@@ -1,0 +1,62 @@
+// Ablation (paper Sec. VII "Live Reconfiguration"): stop-and-restart
+// redeployment versus live, API-driven parallelism changes. The tuning
+// *decisions* are identical — only the per-deployment cost changes — so the
+// experiment quantifies how much of StreamTune's adaptation time (Fig. 7b)
+// is stabilization waiting that live reconfiguration would eliminate.
+
+#include "bench_common.h"
+
+using namespace streamtune;
+using namespace streamtune::bench;
+
+namespace {
+
+std::unique_ptr<sim::StreamEngine> EngineWithMode(const JobGraph& job,
+                                                  bool live) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::SimConfig cfg;
+  cfg.live_reconfiguration = live;
+  return std::make_unique<sim::FlinkEngine>(job, model, cfg);
+}
+
+}  // namespace
+
+int main() {
+  auto corpus = CollectFlinkCorpus();
+  auto bundle = Pretrain(std::move(corpus));
+
+  std::vector<JobGraph> jobs;
+  jobs.push_back(workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                            workloads::Engine::kFlink));
+  jobs.push_back(
+      workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 12));
+
+  TablePrinter table(
+      "Ablation: stop-and-restart vs live reconfiguration (StreamTune)",
+      {"job", "mode", "avg tuning minutes/change", "max tuning minutes",
+       "avg reconfigs"});
+  for (const JobGraph& job : jobs) {
+    for (int live = 0; live <= 1; ++live) {
+      core::StreamTuneTuner tuner(bundle);
+      ScheduleResult r = RunSchedule(
+          job, &tuner,
+          [live](const JobGraph& g) { return EngineWithMode(g, live); }, 20);
+      double total = 0, max_m = 0;
+      for (double m : r.tuning_minutes) {
+        total += m;
+        max_m = std::max(max_m, m);
+      }
+      table.AddRow({job.name(), live ? "live" : "stop-and-restart",
+                    TablePrinter::Fmt(total / r.tuning_minutes.size(), 1),
+                    TablePrinter::Fmt(max_m, 0),
+                    TablePrinter::Fmt(r.avg_reconfigurations, 2)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nClaim (paper Sec. VII): with operator-level RESTful reconfiguration\n"
+      "(as deployed at ByteDance), the 10-minute stop-and-restart\n"
+      "stabilization wait per deployment collapses to ~1 minute, cutting\n"
+      "adaptation time by ~10x while the recommendations are unchanged.\n");
+  return 0;
+}

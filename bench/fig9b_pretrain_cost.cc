@@ -1,0 +1,69 @@
+// Fig. 9b: offline pre-training cost versus dataset size (google-benchmark
+// timing of the full clustering + per-cluster GNN training pipeline).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workloads/random_dag.h"
+
+using namespace streamtune;
+using namespace streamtune::bench;
+
+namespace {
+
+std::vector<core::HistoryRecord> CorpusOfSize(int records) {
+  // Mix of PQP variants and random DAGs, ~6 samples per job.
+  const int samples = 6;
+  int jobs_needed = (records + samples - 1) / samples;
+  std::vector<JobGraph> jobs;
+  int i = 0;
+  while (static_cast<int>(jobs.size()) < jobs_needed) {
+    jobs.push_back(workloads::BuildPqpJob(
+        workloads::PqpTemplate::kThreeWayJoin,
+        i % workloads::PqpVariantCount(workloads::PqpTemplate::kThreeWayJoin)));
+    if (static_cast<int>(jobs.size()) < jobs_needed) {
+      jobs.push_back(workloads::BuildPqpJob(
+          workloads::PqpTemplate::kLinear,
+          i % workloads::PqpVariantCount(workloads::PqpTemplate::kLinear)));
+    }
+    ++i;
+  }
+  core::HistoryOptions opts;
+  opts.samples_per_job = samples;
+  auto corpus = core::CollectHistory(jobs, opts);
+  corpus.resize(records);
+  return corpus;
+}
+
+void BM_PretrainCost(benchmark::State& state) {
+  int records = static_cast<int>(state.range(0));
+  auto corpus = CorpusOfSize(records);
+  for (auto _ : state) {
+    core::PretrainOptions opts;
+    opts.k = 2;
+    opts.epochs = 15;
+    auto bundle = core::Pretrainer(opts).Run(corpus);
+    benchmark::DoNotOptimize(bundle);
+  }
+  state.SetLabel(std::to_string(records) + " records");
+}
+
+BENCHMARK(BM_PretrainCost)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nShape check (paper Fig. 9b): pre-training cost grows non-linearly\n"
+      "with the dataset size (clustering's pairwise GED work plus more\n"
+      "GNN training steps per epoch).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table II: source-rate units W_u of the evaluated streaming jobs.
+
+#include "bench_common.h"
+
+using namespace streamtune;
+using workloads::Engine;
+using workloads::NexmarkQuery;
+
+int main() {
+  TablePrinter table(
+      "Table II: source rate units (records/second)",
+      {"job", "bids Flink", "bids Timely", "auctions Flink", "auctions Timely",
+       "persons Flink", "persons Timely", "PQP source"});
+  auto fmt = [](double v) {
+    if (v <= 0) return std::string("/");
+    if (v >= 1e6) return TablePrinter::Fmt(v / 1e6, 0) + "M";
+    return TablePrinter::Fmt(v / 1e3, v < 1000 ? 2 : 0) + "K";
+  };
+  struct Row {
+    NexmarkQuery q;
+    bool bids, auctions, persons;
+  };
+  const Row rows[] = {
+      {NexmarkQuery::kQ1, true, false, false},
+      {NexmarkQuery::kQ2, true, false, false},
+      {NexmarkQuery::kQ3, false, true, true},
+      {NexmarkQuery::kQ5, true, false, false},
+      {NexmarkQuery::kQ8, false, true, true},
+  };
+  for (const Row& r : rows) {
+    auto cell = [&](bool used, const char* stream, Engine e) {
+      return used ? fmt(workloads::NexmarkRateUnit(r.q, e, stream))
+                  : std::string("/");
+    };
+    table.AddRow({std::string("(Nexmark)") + workloads::NexmarkQueryName(r.q),
+                  cell(r.bids, "bids", Engine::kFlink),
+                  cell(r.bids, "bids", Engine::kTimely),
+                  cell(r.auctions, "auctions", Engine::kFlink),
+                  cell(r.auctions, "auctions", Engine::kTimely),
+                  cell(r.persons, "persons", Engine::kFlink),
+                  cell(r.persons, "persons", Engine::kTimely),
+                  "/"});
+  }
+  for (auto t : {workloads::PqpTemplate::kLinear,
+                 workloads::PqpTemplate::kTwoWayJoin,
+                 workloads::PqpTemplate::kThreeWayJoin}) {
+    table.AddRow({std::string("(PQP)") + workloads::PqpTemplateName(t), "/",
+                  "/", "/", "/", "/", "/", fmt(workloads::PqpRateUnit(t))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table III: frequency of backpressure occurrences — tuning processes that
+// ended with sustained, unresolved backpressure — per method and query,
+// across the periodic source-rate pattern (Flink).
+
+#include "bench_common.h"
+
+using namespace streamtune;
+using namespace streamtune::bench;
+
+int main() {
+  int schedule = ScheduleLength();
+  std::printf("schedule length: %d rate changes per query "
+              "(ST_BENCH_SCHEDULE; paper uses 120)\n\n",
+              schedule);
+
+  auto corpus = CollectFlinkCorpus();
+  auto bundle = Pretrain(corpus);
+  auto zerotune = TrainZeroTune(corpus);
+  auto streamtune = MakeTuner("StreamTune", bundle);
+
+  std::vector<JobGraph> jobs;
+  for (auto q : workloads::AllNexmarkQueries()) {
+    jobs.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+  jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 7));
+  jobs.push_back(
+      workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 12));
+  jobs.push_back(
+      workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, 20));
+
+  TablePrinter table("Table III: backpressure occurrences during tuning",
+                     {"method", "Q1", "Q2", "Q3", "Q5", "Q8", "Linear",
+                      "2-way-join", "3-way-join"});
+  for (const std::string& method :
+       {std::string("DS2"), std::string("ContTune"), std::string("ZeroTune"),
+        std::string("StreamTune")}) {
+    std::vector<std::string> row{method};
+    for (const JobGraph& job : jobs) {
+      bool is_pqp = job.name().rfind("pqp-", 0) == 0;
+      if (method == "ZeroTune" && !is_pqp) {
+        row.push_back("/");
+        continue;
+      }
+      baselines::Tuner* tuner_ptr;
+      std::unique_ptr<baselines::Tuner> fresh;
+      if (method == "ZeroTune") {
+        tuner_ptr = zerotune.get();
+      } else if (method == "StreamTune") {
+        tuner_ptr = streamtune.get();
+      } else {
+        fresh = MakeTuner(method, bundle);
+        tuner_ptr = fresh.get();
+      }
+      ScheduleResult r = RunFlinkSchedule(job, tuner_ptr, schedule);
+      row.push_back(std::to_string(r.backpressure_failures));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper Table III): StreamTune and ZeroTune report 0\n"
+      "occurrences everywhere; DS2 and ContTune trigger backpressure\n"
+      "multiple times, concentrated on the join-heavy queries (their noisy\n"
+      "useful-time measurements overestimate processing ability).\n");
+  return 0;
+}

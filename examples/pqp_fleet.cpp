@@ -1,0 +1,104 @@
+// Example: operating a fleet of PQP streaming jobs with GED-clustered
+// pre-training.
+//
+// Demonstrates the clustering machinery end-to-end: histories from many
+// structurally diverse queries, elbow-selected k for GED k-means, per-
+// cluster encoders, nearest-cluster assignment of unseen jobs, and tuning
+// quality across the fleet.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table_printer.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/streamtune_tuner.h"
+#include "graph/ged.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/pqp.h"
+
+using namespace streamtune;
+
+int main() {
+  // Histories from a training slice of every PQP template.
+  std::vector<JobGraph> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, i));
+  }
+  core::HistoryOptions hist;
+  hist.samples_per_job = 15;
+  auto corpus = core::CollectHistory(jobs, hist);
+
+  // Pre-train with GED k-means; k chosen by the elbow method.
+  core::PretrainOptions pre;
+  pre.use_clustering = true;
+  pre.k = 0;  // elbow
+  pre.max_k = 4;
+  auto bundle_res = core::Pretrainer(pre).Run(std::move(corpus));
+  if (!bundle_res.ok()) {
+    std::printf("pre-training failed: %s\n",
+                bundle_res.status().ToString().c_str());
+    return 1;
+  }
+  auto bundle =
+      std::make_shared<core::PretrainedBundle>(std::move(*bundle_res));
+  std::printf("elbow method selected k = %d clusters\n",
+              bundle->num_clusters());
+  for (int c = 0; c < bundle->num_clusters(); ++c) {
+    std::printf("  cluster %d: center = %-22s (%zu records)\n", c,
+                bundle->cluster(c).center.name().c_str(),
+                bundle->cluster(c).record_indices.size());
+  }
+
+  // Tune a fleet of HELD-OUT variants at peak rate.
+  TablePrinter table("fleet tuning (held-out PQP variants at 10x W_u)",
+                     {"job", "assigned cluster", "GED to center",
+                      "parallelism", "oracle", "reconfigs", "clean"});
+  core::StreamTuneTuner tuner(bundle);
+  std::vector<JobGraph> fleet;
+  for (int i = 5; i < 8; ++i) {
+    fleet.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 8; i < 11; ++i) {
+    fleet.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+  }
+  for (int i = 10; i < 13; ++i) {
+    fleet.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, i));
+  }
+  for (const JobGraph& job : fleet) {
+    int c = bundle->AssignCluster(job);
+    graph::GedResult ged = graph::ComputeGed(job, bundle->cluster(c).center);
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::FlinkEngine engine(job, model, sim::SimConfig{});
+    std::vector<int> ones(job.num_operators(), 1);
+    (void)engine.Deploy(ones);
+    engine.ScaleAllSources(10.0);
+    auto outcome = tuner.Tune(&engine);
+    if (!outcome.ok()) {
+      std::printf("%s failed: %s\n", job.name().c_str(),
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    int oracle = 0;
+    for (int p : engine.OracleParallelism()) oracle += p;
+    table.AddRow({job.name(), std::to_string(c),
+                  TablePrinter::Fmt(ged.distance, 0),
+                  std::to_string(outcome->total_parallelism),
+                  std::to_string(oracle),
+                  std::to_string(outcome->reconfigurations),
+                  outcome->ended_with_backpressure ? "no" : "yes"});
+  }
+  table.Print();
+  return 0;
+}

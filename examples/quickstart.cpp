@@ -1,0 +1,101 @@
+// Quickstart: the whole StreamTune pipeline on a small synthetic workload.
+//
+// 1. Build a few PQP streaming jobs and collect execution histories on the
+//    simulated Flink cluster (random parallelisms + rates, Algorithm-1
+//    labels).
+// 2. Pre-train: GED-cluster the DAGs, train a GNN encoder per cluster.
+// 3. Online-tune one job with StreamTune after a source-rate change, and
+//    compare against DS2 on the same engine state.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/ds2.h"
+#include "common/table_printer.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/streamtune_tuner.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/pqp.h"
+
+using namespace streamtune;
+
+namespace {
+
+sim::FlinkEngine MakeEngine(const JobGraph& job) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::SimConfig cfg;
+  return sim::FlinkEngine(job, model, cfg);
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Histories ----
+  std::vector<JobGraph> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+  }
+  core::HistoryOptions hist_opts;
+  hist_opts.samples_per_job = 10;
+  std::vector<core::HistoryRecord> corpus =
+      core::CollectHistory(jobs, hist_opts);
+  std::printf("collected %zu history records from %zu jobs\n", corpus.size(),
+              jobs.size());
+
+  // ---- 2. Pre-training ----
+  core::PretrainOptions pre_opts;
+  pre_opts.k = 2;
+  pre_opts.epochs = 20;
+  core::Pretrainer pretrainer(pre_opts);
+  auto bundle_res = pretrainer.Run(std::move(corpus));
+  if (!bundle_res.ok()) {
+    std::printf("pre-training failed: %s\n",
+                bundle_res.status().ToString().c_str());
+    return 1;
+  }
+  auto bundle = std::make_shared<core::PretrainedBundle>(
+      std::move(bundle_res).value());
+  std::printf("pre-trained %d cluster encoder(s)\n", bundle->num_clusters());
+
+  // ---- 3. Online tuning after a rate change ----
+  JobGraph target = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin,
+                                           7);  // not in the corpus
+  TablePrinter table("quickstart: tuning PQP 2-way-join variant 7 at 10x W_u",
+                     {"method", "total parallelism", "reconfigurations",
+                      "backpressure events", "oracle total"});
+
+  for (int use_streamtune = 1; use_streamtune >= 0; --use_streamtune) {
+    sim::FlinkEngine engine = MakeEngine(target);
+    std::vector<int> ones(target.num_operators(), 1);
+    (void)engine.Deploy(ones);
+    engine.ScaleAllSources(10.0);
+    engine.ResetCounters();
+
+    std::unique_ptr<baselines::Tuner> tuner;
+    if (use_streamtune) {
+      tuner = std::make_unique<core::StreamTuneTuner>(bundle);
+    } else {
+      tuner = std::make_unique<baselines::Ds2Tuner>();
+    }
+    auto outcome = tuner->Tune(&engine);
+    if (!outcome.ok()) {
+      std::printf("%s failed: %s\n", tuner->name().c_str(),
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    int oracle_total = 0;
+    for (int p : engine.OracleParallelism()) oracle_total += p;
+    table.AddRow({tuner->name(), std::to_string(outcome->total_parallelism),
+                  std::to_string(outcome->reconfigurations),
+                  std::to_string(outcome->backpressure_events),
+                  std::to_string(oracle_total)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "baselines/conttune.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamtune::baselines {
+
+std::vector<int> ContTuneTuner::Recommend(const sim::StreamEngine& engine,
+                                          const sim::JobMetrics& metrics) {
+  const JobGraph& g = engine.graph();
+  const int n = g.num_operators();
+  const int p_max = engine.max_parallelism();
+  const std::vector<int>& p_cur = engine.parallelism();
+
+  // Target rates via observed selectivities (as in DS2).
+  std::vector<double> sel(n, 1.0);
+  for (int v = 0; v < n; ++v) {
+    const sim::OperatorMetrics& m = metrics.ops[v];
+    sel[v] = m.input_rate > 1e-9 ? m.output_rate / m.input_rate : 1.0;
+  }
+  auto order = g.TopologicalOrder();
+  std::vector<double> target_in(n, 0.0), target_out(n, 0.0);
+  for (int v : order.value()) {
+    if (g.upstream(v).empty()) {
+      target_in[v] = metrics.ops[v].desired_input_rate;
+    } else {
+      double in = 0;
+      for (int u : g.upstream(v)) in += target_out[u];
+      target_in[v] = in;
+    }
+    target_out[v] = target_in[v] * sel[v];
+  }
+
+  std::vector<int> rec = p_cur;
+  for (int v = 0; v < n; ++v) {
+    const sim::OperatorMetrics& m = metrics.ops[v];
+    if (m.input_rate <= 1e-9) continue;
+
+    // Observe processing ability at the current degree and record it in the
+    // job's own tuning history.
+    double ability = m.input_rate / m.useful_time_frac_observed;
+    OpHistory& h = history_[v];
+    h.parallelism.push_back(static_cast<double>(p_cur[v]));
+    h.ability.push_back(ability);
+
+    if (ability < target_in[v]) {
+      // Big phase: scale up proportionally to the deficit, with margin.
+      double factor = target_in[v] / std::max(ability, 1e-9);
+      int jump = static_cast<int>(
+          std::ceil(p_cur[v] * factor * options_.big_factor));
+      rec[v] = std::clamp(jump, p_cur[v] + 1, p_max);
+      continue;
+    }
+
+    // Small phase: conservative downward search on the GP surrogate.
+    if (h.parallelism.size() < 2) continue;  // not enough evidence yet
+    ml::GaussianProcess gp(options_.gp);
+    if (!gp.Fit(h.parallelism, h.ability).ok()) continue;
+    int best = p_cur[v];
+    for (int cand = 1; cand < p_cur[v]; ++cand) {
+      if (gp.Lcb(static_cast<double>(cand), options_.alpha) >= target_in[v]) {
+        best = cand;
+        break;
+      }
+    }
+    rec[v] = best;
+  }
+  return rec;
+}
+
+Result<TuningOutcome> ContTuneTuner::Tune(sim::StreamEngine* engine) {
+  TuningOutcome outcome;
+  int reconfig_before = engine->reconfiguration_count();
+  double minutes_before = engine->virtual_minutes();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    outcome.iterations = iter + 1;
+    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
+    // Only post-deployment backpressure counts against this tuner (the
+    // iteration-0 state is shared by every method).
+    if (iter > 0 && metrics.job_backpressure) ++outcome.backpressure_events;
+    std::vector<int> rec = Recommend(*engine, metrics);
+    if (rec == engine->parallelism()) break;
+    ST_RETURN_NOT_OK(engine->Deploy(rec));
+  }
+
+  outcome.final_parallelism = engine->parallelism();
+  for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
+  outcome.reconfigurations =
+      engine->reconfiguration_count() - reconfig_before;
+  outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
+  ST_ASSIGN_OR_RETURN(sim::JobMetrics final_metrics, engine->Measure());
+  outcome.ended_with_backpressure = final_metrics.severe_backpressure;
+  return outcome;
+}
+
+}  // namespace streamtune::baselines

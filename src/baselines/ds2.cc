@@ -1,0 +1,83 @@
+#include "baselines/ds2.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamtune::baselines {
+
+std::vector<int> Ds2Tuner::Recommend(const sim::StreamEngine& engine,
+                                     const sim::JobMetrics& metrics) const {
+  const JobGraph& g = engine.graph();
+  const int n = g.num_operators();
+  const int p_max = engine.max_parallelism();
+  const std::vector<int>& p_cur = engine.parallelism();
+
+  // Observed selectivities from the rate logs.
+  std::vector<double> sel(n, 1.0);
+  for (int v = 0; v < n; ++v) {
+    const sim::OperatorMetrics& m = metrics.ops[v];
+    sel[v] = m.input_rate > 1e-9 ? m.output_rate / m.input_rate : 1.0;
+  }
+
+  // Propagate target (unthrottled) rates from the sources downstream.
+  auto order = g.TopologicalOrder();
+  std::vector<double> target_in(n, 0.0), target_out(n, 0.0);
+  for (int v : order.value()) {
+    if (g.upstream(v).empty()) {
+      target_in[v] = metrics.ops[v].desired_input_rate;
+    } else {
+      double in = 0;
+      for (int u : g.upstream(v)) in += target_out[u];
+      target_in[v] = in;
+    }
+    target_out[v] = target_in[v] * sel[v];
+  }
+
+  std::vector<int> rec(n, 1);
+  for (int v = 0; v < n; ++v) {
+    const sim::OperatorMetrics& m = metrics.ops[v];
+    if (m.input_rate <= 1e-9) {
+      // No data observed: nothing to extrapolate from, keep the current
+      // degree.
+      rec[v] = p_cur[v];
+      continue;
+    }
+    // DS2's core: true rate = processed / useful time, assumed linear in p.
+    double true_rate = m.input_rate / m.useful_time_frac_observed;
+    double per_instance = true_rate / p_cur[v];
+    double needed = options_.headroom * target_in[v] / per_instance;
+    rec[v] = static_cast<int>(
+        std::clamp(std::ceil(needed - 1e-9), 1.0,
+                   static_cast<double>(p_max)));
+  }
+  return rec;
+}
+
+Result<TuningOutcome> Ds2Tuner::Tune(sim::StreamEngine* engine) {
+  TuningOutcome outcome;
+  int reconfig_before = engine->reconfiguration_count();
+  double minutes_before = engine->virtual_minutes();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    outcome.iterations = iter + 1;
+    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
+    // The iteration-0 measurement reflects the pre-tuning state shared by
+    // all methods; only backpressure after this tuner's own deployments is
+    // attributed to it (Table III semantics).
+    if (iter > 0 && metrics.job_backpressure) ++outcome.backpressure_events;
+    std::vector<int> rec = Recommend(*engine, metrics);
+    if (rec == engine->parallelism()) break;
+    ST_RETURN_NOT_OK(engine->Deploy(rec));
+  }
+
+  outcome.final_parallelism = engine->parallelism();
+  for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
+  outcome.reconfigurations =
+      engine->reconfiguration_count() - reconfig_before;
+  outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
+  ST_ASSIGN_OR_RETURN(sim::JobMetrics final_metrics, engine->Measure());
+  outcome.ended_with_backpressure = final_metrics.severe_backpressure;
+  return outcome;
+}
+
+}  // namespace streamtune::baselines

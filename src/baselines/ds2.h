@@ -1,0 +1,43 @@
+// DS2 (Kalavri et al., OSDI'18): analytical scaling on the linearity
+// assumption.
+//
+// For every operator DS2 estimates the *true processing rate* as
+// observed-rate / useful-time and assumes capacity grows linearly with
+// parallelism. Target input rates are propagated from the sources through
+// the DAG with observed selectivities; the recommended degree is
+// ceil(target_rate / per-instance true rate). The method iterates ("three
+// steps is all you need") because the linearity assumption and the noisy
+// useful-time measurements leave residual error after each step.
+
+#pragma once
+
+#include "baselines/tuner.h"
+
+namespace streamtune::baselines {
+
+/// Options for the DS2 tuner.
+struct Ds2Options {
+  int max_iterations = 10;
+  /// Safety headroom multiplied onto target rates (DS2 uses none by
+  /// default; kept configurable for ablations).
+  double headroom = 1.0;
+};
+
+/// The DS2 scaling controller.
+class Ds2Tuner : public Tuner {
+ public:
+  explicit Ds2Tuner(Ds2Options options = {}) : options_(options) {}
+
+  std::string name() const override { return "DS2"; }
+  Result<TuningOutcome> Tune(sim::StreamEngine* engine) override;
+
+  /// One DS2 policy step: given metrics of the current deployment, the new
+  /// recommended parallelism per operator. Exposed for unit tests.
+  std::vector<int> Recommend(const sim::StreamEngine& engine,
+                             const sim::JobMetrics& metrics) const;
+
+ private:
+  Ds2Options options_;
+};
+
+}  // namespace streamtune::baselines

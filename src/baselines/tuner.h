@@ -1,0 +1,52 @@
+// Common interface for parallelism tuners.
+//
+// A tuner drives one "tuning process": starting from the engine's current
+// deployment (under possibly changed source rates), it reconfigures the job
+// until its convergence criterion holds, and reports how it went. All four
+// methods (DS2, ContTune, ZeroTune, StreamTune) implement this interface and
+// run unchanged on either simulated engine.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/engine.h"
+
+namespace streamtune::baselines {
+
+/// What happened during one tuning process.
+struct TuningOutcome {
+  /// Final per-operator parallelism degrees.
+  std::vector<int> final_parallelism;
+  /// Sum of the final degrees (the Fig. 6 / Fig. 8a metric).
+  int total_parallelism = 0;
+  /// Reconfigurations performed by this tuning process.
+  int reconfigurations = 0;
+  /// Post-deployment measurements that observed job-level backpressure
+  /// during this tuning process (transient, while still iterating).
+  int backpressure_events = 0;
+  /// True when the process ended with unresolved job-level backpressure —
+  /// the method declared convergence on a configuration that cannot sustain
+  /// the source rates. Table III counts these failures.
+  bool ended_with_backpressure = false;
+  /// Tuning iterations executed.
+  int iterations = 0;
+  /// Virtual minutes spent (stabilization waits), for Fig. 7b.
+  double tuning_minutes = 0;
+};
+
+/// A parallelism tuning method.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs one tuning process on `engine` (which must already be deployed).
+  /// Implementations call engine->Deploy / engine->Measure; counters are
+  /// read as deltas so callers need not reset them.
+  virtual Result<TuningOutcome> Tune(sim::StreamEngine* engine) = 0;
+};
+
+}  // namespace streamtune::baselines

@@ -1,0 +1,71 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamtune {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0) return xs.front();
+  if (q >= 100) return xs.back();
+  double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double MinMaxScale(double x, double lo, double hi) {
+  if (hi <= lo) return 0.0;
+  return Clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> xs,
+                                                    size_t points) {
+  std::vector<std::pair<double, double>> cdf;
+  if (xs.empty() || points == 0) return cdf;
+  std::sort(xs.begin(), xs.end());
+  cdf.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double frac = points == 1 ? 1.0
+                              : static_cast<double>(i) /
+                                    static_cast<double>(points - 1);
+    size_t idx = static_cast<size_t>(
+        frac * static_cast<double>(xs.size() - 1) + 0.5);
+    cdf.emplace_back(xs[idx], static_cast<double>(idx + 1) /
+                                  static_cast<double>(xs.size()));
+  }
+  return cdf;
+}
+
+}  // namespace streamtune

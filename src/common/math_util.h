@@ -1,0 +1,34 @@
+// Small numeric helpers shared across modules.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace streamtune {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Sorts a copy.
+double Percentile(std::vector<double> xs, double q);
+
+/// Min-max scaling of `x` from [lo, hi] to [0, 1]; clamps outside the range.
+/// If hi == lo the result is 0.
+double MinMaxScale(double x, double lo, double hi);
+
+/// Numerically stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Empirical CDF of `xs` evaluated at `points.size()` evenly spaced quantile
+/// levels; returns (value, cumulative-fraction) pairs sorted by value.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> xs,
+                                                    size_t points = 100);
+
+}  // namespace streamtune

@@ -1,0 +1,87 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components (simulator noise, corpus generation, ML weight
+// init, k-means seeding) draw from an explicitly seeded Rng so experiments
+// are reproducible run-to-run.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace streamtune {
+
+/// Small, fast, explicitly seeded PRNG (splitmix64 core) with the handful of
+/// distributions this project needs. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int>(NextU64() %
+                                 static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextU64() % i;
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator (for parallel components).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace streamtune

@@ -1,0 +1,63 @@
+#include "common/table_printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace streamtune {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (size_t k = row[c].size(); k < widths[c]; ++k) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  os << render_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    for (size_t k = 0; k < widths[c] + 2; ++k) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) os << render_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace streamtune

@@ -1,0 +1,37 @@
+// Console table formatting for the benchmark harness.
+//
+// Benches reproduce the paper's tables/figures as aligned text tables; this
+// keeps their output uniform and diff-friendly.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace streamtune {
+
+/// Builds and prints an aligned, pipe-delimited text table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given title and column headers.
+  TablePrinter(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Renders the full table (title, rule, headers, rows) as a string.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamtune

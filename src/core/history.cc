@@ -1,0 +1,92 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "workloads/cost_config.h"
+
+namespace streamtune::core {
+
+double JobCost(const sim::JobMetrics& metrics) {
+  // Queueing-style latency proxy: per-operator 1/(1-utilization) penalties
+  // plus a large term for the unsustained throughput fraction.
+  double cost = 0;
+  for (const sim::OperatorMetrics& m : metrics.ops) {
+    double u = Clamp(m.busy_frac, 0.0, 0.98);
+    cost += 1.0 / (1.0 - u);
+  }
+  cost /= static_cast<double>(metrics.ops.size());
+  cost += 20.0 * (1.0 / std::max(metrics.lambda, 0.05) - 1.0);
+  return cost;
+}
+
+EngineFactory DefaultFlinkFactory() {
+  return [](const JobGraph& job, uint64_t seed) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::SimConfig cfg;
+    cfg.noise_seed = seed;
+    return std::make_unique<sim::FlinkEngine>(job, model, cfg);
+  };
+}
+
+std::vector<HistoryRecord> CollectHistory(const std::vector<JobGraph>& jobs,
+                                          const HistoryOptions& options,
+                                          EngineFactory factory) {
+  if (!factory) factory = DefaultFlinkFactory();
+  Rng rng(options.seed);
+  std::vector<HistoryRecord> records;
+  records.reserve(jobs.size() * options.samples_per_job);
+
+  for (const JobGraph& job : jobs) {
+    std::unique_ptr<sim::StreamEngine> engine = factory(job, rng.NextU64());
+    const int n = job.num_operators();
+    const int p_cap =
+        std::min(options.max_parallelism, engine->max_parallelism());
+
+    for (int s = 0; s < options.samples_per_job; ++s) {
+      double multiplier = rng.Uniform(options.min_rate_multiplier,
+                                      options.max_rate_multiplier);
+      engine->ScaleAllSources(multiplier);
+      std::vector<int> parallelism(n);
+      bool near_oracle = rng.Bernoulli(options.near_oracle_fraction);
+      std::vector<int> oracle;
+      if (near_oracle) oracle = engine->OracleParallelism();
+      for (int v = 0; v < n; ++v) {
+        if (near_oracle) {
+          // Jittered around the true minimum: covers both sides of the
+          // operator's bottleneck threshold, as tuned production jobs do.
+          double jitter = rng.Uniform(0.6, 1.7);
+          parallelism[v] = static_cast<int>(oracle[v] * jitter + 0.5);
+        } else {
+          // Log-uniform: most thresholds sit at low degrees, so uniform
+          // sampling in [1, 60] would label almost every configuration
+          // bottleneck-free and starve the classifier of positives.
+          double lo = std::log(static_cast<double>(options.min_parallelism));
+          double hi = std::log(static_cast<double>(p_cap) + 0.999);
+          parallelism[v] = static_cast<int>(std::exp(rng.Uniform(lo, hi)));
+        }
+        parallelism[v] = std::clamp(parallelism[v], options.min_parallelism,
+                                    p_cap);
+      }
+      Status st = engine->Deploy(parallelism);
+      assert(st.ok());
+      (void)st;
+      auto metrics = engine->Measure();
+      assert(metrics.ok());
+
+      HistoryRecord rec;
+      rec.graph = job;
+      rec.parallelism = parallelism;
+      rec.source_rates = engine->current_source_rates();
+      rec.labels = LabelBottlenecks(job, *metrics, options.labeling);
+      rec.job_cost = JobCost(*metrics);
+      rec.backpressure = metrics->job_backpressure;
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace streamtune::core

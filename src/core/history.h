@@ -1,0 +1,79 @@
+// Dataflow execution histories (Sec. II-A) and pre-training corpus
+// collection (Sec. V-A "Pre-training Setup").
+//
+// A history record captures one observed execution of a streaming job:
+// the DAG, the deployed parallelism degrees, the external source rates, the
+// Algorithm-1 bottleneck labels, and a job-level performance cost (used by
+// the ZeroTune baseline). The corpus generator reproduces the paper's setup:
+// random parallelism degrees in [1, 60], random rate multipliers in
+// (1 W_u, 10 W_u), labels from Algorithm 1.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/labeling.h"
+#include "dataflow/job_graph.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace streamtune::core {
+
+/// One observed execution of a streaming job.
+struct HistoryRecord {
+  JobGraph graph;
+  std::vector<int> parallelism;
+  /// External source rates at execution time (indexed by operator id).
+  std::vector<double> source_rates;
+  /// Algorithm-1 labels: 1 bottleneck / 0 not / -1 inconclusive.
+  std::vector<int> labels;
+  /// Job-level performance cost (latency proxy, higher = worse); the
+  /// training target for ZeroTune's job-level cost model.
+  double job_cost = 0;
+  /// Whether job-level backpressure was observed.
+  bool backpressure = false;
+};
+
+/// Builds a fresh engine deployment for one job (used to replay histories on
+/// a particular simulated cluster). `seed` decorrelates measurement noise
+/// across jobs.
+using EngineFactory = std::function<std::unique_ptr<sim::StreamEngine>(
+    const JobGraph& job, uint64_t seed)>;
+
+/// The default factory: a simulated Flink cluster with the workload-matched
+/// cost calibration (workloads::CostConfigFor).
+EngineFactory DefaultFlinkFactory();
+
+/// Corpus-generation knobs (paper defaults).
+struct HistoryOptions {
+  int samples_per_job = 8;
+  int min_parallelism = 1;
+  int max_parallelism = 60;
+  double min_rate_multiplier = 1.0;
+  double max_rate_multiplier = 10.0;
+  /// Fraction of samples whose parallelism is drawn near the engine's
+  /// ground-truth minimum (jittered). Production execution histories are
+  /// dominated by jobs that were already tuned, and these near-threshold
+  /// samples are what give the classifier resolution on both sides of each
+  /// operator's bottleneck boundary. The remainder is log-uniform random.
+  double near_oracle_fraction = 0.4;
+  LabelingOptions labeling;
+  uint64_t seed = 97;
+};
+
+/// Job-level latency-proxy cost from one measurement: a queueing-style
+/// penalty that grows as operators approach saturation and explodes under
+/// backpressure. Used only as ZeroTune's regression target.
+double JobCost(const sim::JobMetrics& metrics);
+
+/// Runs `samples_per_job` randomized executions of every job on engines made
+/// by `factory` (default: simulated Flink) and returns the labeled records.
+std::vector<HistoryRecord> CollectHistory(const std::vector<JobGraph>& jobs,
+                                          const HistoryOptions& options = {},
+                                          EngineFactory factory = nullptr);
+
+}  // namespace streamtune::core

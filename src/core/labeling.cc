@@ -1,0 +1,52 @@
+#include "core/labeling.h"
+
+namespace streamtune::core {
+
+std::vector<int> LabelBottlenecks(const JobGraph& graph,
+                                  const sim::JobMetrics& metrics,
+                                  const LabelingOptions& options) {
+  const int n = graph.num_operators();
+  std::vector<int> labels(n, -1);  // Line 1: unlabeled.
+
+  // Lines 2-6: no job-level backpressure -> every operator keeps up.
+  if (!metrics.job_backpressure) {
+    for (int v = 0; v < n; ++v) labels[v] = 0;
+    return labels;
+  }
+
+  // Line 7: frontier O_b = backpressured operators none of whose downstream
+  // operators are backpressured.
+  std::vector<bool> frontier(n, false);
+  for (int v = 0; v < n; ++v) {
+    if (!metrics.ops[v].backpressured) continue;
+    bool downstream_bp = false;
+    for (int d : graph.downstream(v)) {
+      if (metrics.ops[d].backpressured) {
+        downstream_bp = true;
+        break;
+      }
+    }
+    frontier[v] = !downstream_bp;
+  }
+
+  // Lines 8-16: classify the frontier's downstream operators by resource
+  // utilization.
+  for (int v = 0; v < n; ++v) {
+    if (!frontier[v]) continue;
+    for (int d : graph.downstream(v)) {
+      labels[d] = metrics.ops[d].cpu_load > options.cpu_threshold ? 1 : 0;
+    }
+  }
+
+  // Operators running at full capacity while the job is backpressured are
+  // bottlenecks by definition. This covers two cases the frontier scan
+  // cannot see: saturated sources (their throttled "upstream" is the
+  // external producer, outside the DAG) and mild bottlenecks whose induced
+  // backpressure fraction stays under the engine's 10% flag threshold.
+  for (int v = 0; v < n; ++v) {
+    if (metrics.ops[v].saturated) labels[v] = 1;
+  }
+  return labels;
+}
+
+}  // namespace streamtune::core

@@ -1,0 +1,220 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace streamtune::core {
+
+namespace {
+
+ml::Matrix FeatureMatrix(const FeatureEncoder& encoder, const JobGraph& g,
+                         const std::vector<double>& rates) {
+  return ml::Matrix::FromRows(encoder.EncodeGraphWithRates(g, rates));
+}
+
+ml::Matrix ParallelismColumn(const FeatureEncoder& encoder,
+                             const std::vector<int>& p) {
+  ml::Matrix col(static_cast<int>(p.size()), 1);
+  for (size_t i = 0; i < p.size(); ++i) {
+    col.at(static_cast<int>(i), 0) = encoder.ScaleParallelism(p[i]);
+  }
+  return col;
+}
+
+}  // namespace
+
+int PretrainedBundle::AssignCluster(const JobGraph& g) const {
+  std::vector<JobGraph> centers;
+  centers.reserve(clusters_.size());
+  for (const ClusterModel& c : clusters_) centers.push_back(c.center);
+  return graph::NearestCenter(g, centers);
+}
+
+ml::Matrix PretrainedBundle::AgnosticEmbeddings(
+    int c, const JobGraph& g, const std::vector<double>& rates) const {
+  ml::Matrix features = FeatureMatrix(feature_encoder_, g, rates);
+  ml::Var emb = clusters_[c].encoder.ForwardAgnostic(g, features);
+
+  // Skip connection for the fine-tuned model: append the job's mean source-
+  // rate encoding to every row. The message-passing output carries the rate
+  // signal only after several mixing layers, which attenuates it; demand
+  // thresholds scale directly with the rate multiplier, so M_f gets the
+  // global rate level verbatim.
+  const int n = g.num_operators();
+  const int f_dim = features.cols();
+  const int r_dim = FeatureEncoder::kRateFeatures;
+  std::vector<double> mean_rate(r_dim, 0.0);
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < r_dim; ++j) {
+      mean_rate[j] += features.at(v, f_dim - r_dim + j);
+    }
+  }
+  for (double& m : mean_rate) m /= n;
+
+  ml::Matrix out(n, emb->value.cols() + r_dim);
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < emb->value.cols(); ++j) {
+      out.at(v, j) = emb->value.at(v, j);
+    }
+    for (int j = 0; j < r_dim; ++j) {
+      out.at(v, emb->value.cols() + j) = mean_rate[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> PretrainedBundle::PretrainHeadProbabilities(
+    int c, const JobGraph& g, const std::vector<double>& rates,
+    const std::vector<int>& parallelism) const {
+  const ClusterModel& cm = clusters_[c];
+  ml::Var emb = cm.encoder.Forward(g, FeatureMatrix(feature_encoder_, g, rates),
+                                   ParallelismColumn(feature_encoder_,
+                                                     parallelism));
+  ml::Var logits = cm.head.Forward(emb);
+  std::vector<double> probs(g.num_operators());
+  for (int v = 0; v < g.num_operators(); ++v) {
+    probs[v] = Sigmoid(logits->value.at(v, 0));
+  }
+  return probs;
+}
+
+std::vector<ml::LabeledSample> PretrainedBundle::WarmUpDataset(
+    int c, int max_records, uint64_t seed) const {
+  const ClusterModel& cm = clusters_[c];
+  std::vector<int> idx = cm.record_indices;
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  if (static_cast<int>(idx.size()) > max_records) idx.resize(max_records);
+
+  std::vector<ml::LabeledSample> samples;
+  for (int ri : idx) {
+    const HistoryRecord& rec = records_[ri];
+    ml::Matrix emb = AgnosticEmbeddings(c, rec.graph, rec.source_rates);
+    for (int v = 0; v < rec.graph.num_operators(); ++v) {
+      if (rec.labels[v] < 0) continue;
+      ml::LabeledSample s;
+      s.embedding = emb.Row(v);
+      s.parallelism = rec.parallelism[v];
+      s.label = rec.labels[v];
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+Result<PretrainedBundle> Pretrainer::Run(
+    std::vector<HistoryRecord> records) const {
+  if (records.empty()) return Status::InvalidArgument("empty corpus");
+
+  FeatureEncoder feature_encoder;
+
+  // Deduplicate graphs by name: samples of the same job share a DAG, and
+  // clustering should see each structure once.
+  std::vector<JobGraph> unique_graphs;
+  std::map<std::string, int> graph_index;
+  std::vector<int> record_graph(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto [it, inserted] = graph_index.try_emplace(
+        records[i].graph.name(), static_cast<int>(unique_graphs.size()));
+    if (inserted) unique_graphs.push_back(records[i].graph);
+    record_graph[i] = it->second;
+  }
+
+  // ---- Clustering (Sec. IV-C) ----
+  std::vector<int> graph_cluster(unique_graphs.size(), 0);
+  std::vector<JobGraph> centers;
+  int num_clusters = 1;
+  if (options_.use_clustering && unique_graphs.size() > 1) {
+    graph::KMeansOptions km = options_.kmeans;
+    km.seed = options_.seed;
+    int k = options_.k;
+    if (k <= 0) {
+      int hi = std::min<int>(options_.max_k,
+                             static_cast<int>(unique_graphs.size()));
+      if (hi >= 3) {
+        auto elbow = graph::SelectKByElbow(unique_graphs, 2, hi, km);
+        if (!elbow.ok()) return elbow.status();
+        k = *elbow;
+      } else {
+        k = hi >= 2 ? 2 : 1;
+      }
+    }
+    k = std::min<int>(k, static_cast<int>(unique_graphs.size()));
+    km.k = k;
+    auto clustering = graph::ClusterDags(unique_graphs, km);
+    if (!clustering.ok()) return clustering.status();
+    graph_cluster = clustering->assignment;
+    num_clusters = k;
+    for (int ci : clustering->center_indices) {
+      centers.push_back(unique_graphs[ci]);
+    }
+  } else {
+    centers.push_back(unique_graphs.front());
+  }
+
+  // ---- Per-cluster supervised pre-training (Sec. IV-A) ----
+  std::vector<ClusterModel> clusters(num_clusters);
+  Rng seeder(options_.seed);
+  for (int c = 0; c < num_clusters; ++c) {
+    ClusterModel& cm = clusters[c];
+    cm.center = centers[c];
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (graph_cluster[record_graph[i]] == c) {
+        cm.record_indices.push_back(static_cast<int>(i));
+      }
+    }
+
+    ml::GnnConfig gcfg;
+    gcfg.feature_dim = FeatureEncoder::FeatureDim();
+    gcfg.hidden_dim = options_.hidden_dim;
+    gcfg.num_layers = options_.gnn_layers;
+    gcfg.seed = seeder.NextU64();
+    cm.encoder = ml::GnnEncoder(gcfg);
+    Rng head_rng(seeder.NextU64());
+    cm.head = ml::Mlp({options_.hidden_dim, 16, 1}, ml::Activation::kRelu,
+                      &head_rng);
+
+    if (cm.record_indices.empty()) continue;
+
+    std::vector<ml::Var> params = cm.encoder.Params();
+    for (const ml::Var& p : cm.head.Params()) params.push_back(p);
+    ml::Adam opt(params, options_.learning_rate);
+
+    std::vector<int> order = cm.record_indices;
+    Rng shuffle_rng(seeder.NextU64());
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      shuffle_rng.Shuffle(&order);
+      for (int ri : order) {
+        const HistoryRecord& rec = records[ri];
+        const int n = rec.graph.num_operators();
+        ml::Matrix targets(n, 1), mask(n, 1);
+        bool any = false;
+        for (int v = 0; v < n; ++v) {
+          if (rec.labels[v] >= 0) {
+            targets.at(v, 0) = rec.labels[v];
+            mask.at(v, 0) = 1.0;
+            any = true;
+          }
+        }
+        if (!any) continue;
+        ml::Var emb = cm.encoder.Forward(
+            rec.graph, FeatureMatrix(feature_encoder, rec.graph,
+                                     rec.source_rates),
+            ParallelismColumn(feature_encoder, rec.parallelism));
+        ml::Var logits = cm.head.Forward(emb);
+        ml::Var loss = ml::BceWithLogitsMasked(logits, targets, mask);
+        ml::Backward(loss);
+        opt.Step();
+      }
+    }
+  }
+
+  return PretrainedBundle(std::move(clusters), std::move(records),
+                          feature_encoder);
+}
+
+}  // namespace streamtune::core

@@ -1,0 +1,42 @@
+// Persistence for execution histories and pre-trained bundles.
+//
+// A long-running deployment collects histories continuously and pre-trains
+// offline; the online tuner then loads the bundle at job-submission time.
+// The format is a self-describing, line-oriented text format (versioned,
+// human-inspectable, no external dependencies). Loaders validate
+// structure and report malformed input through Status.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/history.h"
+#include "core/pretrain.h"
+
+namespace streamtune::core {
+
+// ---- Job graphs -----------------------------------------------------------
+
+/// Writes one job graph block to `os`.
+void WriteJobGraph(std::ostream& os, const JobGraph& graph);
+/// Reads one job graph block from `is`.
+Result<JobGraph> ReadJobGraph(std::istream& is);
+
+// ---- Histories ------------------------------------------------------------
+
+/// Saves history records to `path` (overwrites).
+Status SaveHistory(const std::vector<HistoryRecord>& records,
+                   const std::string& path);
+/// Loads history records from `path`.
+Result<std::vector<HistoryRecord>> LoadHistory(const std::string& path);
+
+// ---- Pre-trained bundles ---------------------------------------------------
+
+/// Saves a pre-trained bundle (clusters, encoder/head weights, corpus).
+Status SaveBundle(const PretrainedBundle& bundle, const std::string& path);
+/// Loads a bundle saved with SaveBundle.
+Result<PretrainedBundle> LoadBundle(const std::string& path);
+
+}  // namespace streamtune::core

@@ -1,0 +1,269 @@
+#include "core/streamtune_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamtune::core {
+
+const char* FineTuneModelName(FineTuneModel m) {
+  switch (m) {
+    case FineTuneModel::kSvm:
+      return "SVM";
+    case FineTuneModel::kXgboost:
+      return "XGBoost";
+    case FineTuneModel::kNn:
+      return "NN";
+  }
+  return "?";
+}
+
+StreamTuneTuner::StreamTuneTuner(
+    std::shared_ptr<const PretrainedBundle> bundle, StreamTuneOptions options)
+    : bundle_(std::move(bundle)), options_(options) {}
+
+std::string StreamTuneTuner::name() const {
+  return options_.model == FineTuneModel::kXgboost
+             ? "StreamTune"
+             : std::string("StreamTune-") + FineTuneModelName(options_.model);
+}
+
+std::unique_ptr<ml::BottleneckModel> StreamTuneTuner::MakeModel(
+    int embedding_dim) const {
+  switch (options_.model) {
+    case FineTuneModel::kSvm:
+      return std::make_unique<ml::MonotonicSvm>(embedding_dim, options_.svm);
+    case FineTuneModel::kXgboost:
+      return std::make_unique<ml::MonotonicGbdt>(embedding_dim,
+                                                 options_.gbdt);
+    case FineTuneModel::kNn:
+      return std::make_unique<ml::NnClassifier>(embedding_dim, options_.nn);
+  }
+  return nullptr;
+}
+
+int StreamTuneTuner::MinSafeParallelism(const ml::BottleneckModel& model,
+                                        const std::vector<double>& embedding,
+                                        int p_max) const {
+  const double thr = options_.probability_threshold;
+  if (model.PredictProbability(embedding, p_max) >= thr) return p_max;
+  if (model.PredictProbability(embedding, 1) < thr) return 1;
+  int lo = 1, hi = p_max;  // prob(lo) >= thr > prob(hi)
+  while (lo + 1 < hi) {
+    int mid = (lo + hi) / 2;
+    if (model.PredictProbability(embedding, mid) < thr) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<int> StreamTuneTuner::Recommend(const sim::StreamEngine& engine,
+                                            const ml::BottleneckModel& model,
+                                            int cluster) const {
+  const JobGraph& g = engine.graph();
+  ml::Matrix emb = bundle_->AgnosticEmbeddings(cluster, g,
+                                               engine.current_source_rates());
+  std::vector<int> rec(g.num_operators(), 1);
+  auto order = g.TopologicalOrder();
+  for (int v : order.value()) {
+    rec[v] = MinSafeParallelism(model, emb.Row(v), engine.max_parallelism());
+  }
+  return rec;
+}
+
+Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
+    sim::StreamEngine* engine) {
+  baselines::TuningOutcome outcome;
+  int reconfig_before = engine->reconfiguration_count();
+  double minutes_before = engine->virtual_minutes();
+
+  const int cluster = bundle_->AssignCluster(engine->graph());
+  const int emb_dim = bundle_->cluster(cluster).encoder.config().hidden_dim +
+                      FeatureEncoder::kRateFeatures;
+
+  // Algorithm 2, line 3: warm-up dataset from the cluster's history, plus
+  // the feedback this tuner has already accumulated for this job from
+  // earlier tuning processes ("iteratively refines ... for the target job").
+  std::vector<ml::LabeledSample> dataset =
+      bundle_->WarmUpDataset(cluster, options_.warmup_records, options_.seed);
+  std::vector<ml::LabeledSample>& accumulated =
+      accumulated_[engine->graph().name()];
+  dataset.insert(dataset.end(), accumulated.begin(), accumulated.end());
+
+  // The pre-tuning state, shared by every method, tells Algorithm 1 where
+  // the current bottlenecks are before the first recommendation.
+  ST_ASSIGN_OR_RETURN(sim::JobMetrics last_metrics, engine->Measure());
+  std::vector<int> last_labels =
+      LabelBottlenecks(engine->graph(), last_metrics);
+  bool last_backpressure = last_metrics.job_backpressure;
+  bool last_severe = last_metrics.severe_backpressure;
+
+  auto total_of = [](const std::vector<int>& p) {
+    int t = 0;
+    for (int x : p) t += x;
+    return t;
+  };
+  // The last deployment observed to run without backpressure; used to
+  // revert a failed scale-down probe.
+  std::vector<int> last_clean;
+  if (!last_backpressure) last_clean = engine->parallelism();
+
+  // Within-process bracketing from this process's own observations at the
+  // current rates: a bottleneck at degree d pins the lower bound above d,
+  // a clean run at degree d pins the upper bound at d. Clamping every
+  // recommendation into the bracket makes the process converge
+  // monotonically instead of ping-ponging across the threshold.
+  const int n_ops = engine->graph().num_operators();
+  std::vector<int> bracket_lo(n_ops, 1);
+  std::vector<int> bracket_hi(n_ops, engine->max_parallelism());
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    outcome.iterations = iter + 1;
+
+    // Line 5: fit the monotonic model to the dataset.
+    std::unique_ptr<ml::BottleneckModel> model = MakeModel(emb_dim);
+    if (!dataset.empty()) {
+      ST_RETURN_NOT_OK(model->Fit(dataset));
+    }
+
+    // Lines 6-9: recommend in topological order.
+    std::vector<int> rec =
+        dataset.empty() ? engine->parallelism()
+                        : Recommend(*engine, *model, cluster);
+
+    // Progress guard: an operator that was just observed to be a bottleneck
+    // at its current degree must strictly scale up, even if the refitted
+    // model's boundary has not yet moved past it. Guarantees the loop makes
+    // progress toward eliminating backpressure instead of stalling.
+    if (last_backpressure) {
+      const std::vector<int>& cur = engine->parallelism();
+      for (int v = 0; v < engine->graph().num_operators(); ++v) {
+        if (last_labels[v] != 1) continue;
+        if (bracket_hi[v] < engine->max_parallelism()) {
+          // A clean degree is already known above: bisect toward it.
+          rec[v] = std::max(rec[v], (bracket_lo[v] + bracket_hi[v] + 1) / 2);
+        } else {
+          // No upper evidence yet: jump by the observed demand deficit
+          // (unthrottled demand over achieved rate — the same rate logs
+          // Algorithm 1 reads), with a small margin; fall back to doubling
+          // when no rate was observed.
+          const sim::OperatorMetrics& om = last_metrics.ops[v];
+          double factor = om.input_rate > 1e-9
+                              ? om.desired_input_rate / om.input_rate
+                              : 2.0;
+          factor = std::clamp(factor * 1.1, 1.25, 8.0);
+          rec[v] = std::min(engine->max_parallelism(),
+                            static_cast<int>(std::ceil(cur[v] * factor)));
+        }
+      }
+    } else {
+      // Scale-down probes move at most halfway down per step: a drastically
+      // wrong downward recommendation would cost a reconfiguration and a
+      // backpressure episode to discover.
+      const std::vector<int>& cur = engine->parallelism();
+      for (int v = 0; v < engine->graph().num_operators(); ++v) {
+        rec[v] = std::max(rec[v], (cur[v] + 1) / 2);
+      }
+    }
+
+    // Clamp into the bracket established by this process's observations.
+    for (int v = 0; v < n_ops; ++v) {
+      rec[v] = std::clamp(rec[v], bracket_lo[v], bracket_hi[v]);
+    }
+
+    // Stop rule (Algorithm 2, line 12): stop when the recommendation no
+    // longer differs from the deployed configuration, with hysteresis —
+    // once the job runs clean, a redeployment is only worth its cost if the
+    // recommendation saves a meaningful amount of parallelism (small +-1
+    // model jitter must not trigger endless reconfigurations).
+    if (rec == engine->parallelism()) break;
+    if (!last_backpressure) {
+      int cur_total = total_of(engine->parallelism());
+      int rec_total = total_of(rec);
+      int margin = std::max(1, cur_total / 20);
+      if (rec_total >= cur_total - margin) break;
+    }
+
+    // Line 10: redeploy and monitor.
+    ST_RETURN_NOT_OK(engine->Deploy(rec));
+    ST_ASSIGN_OR_RETURN(last_metrics, engine->Measure());
+    const sim::JobMetrics& metrics = last_metrics;
+    if (metrics.job_backpressure) ++outcome.backpressure_events;
+
+    // Line 11: fold the fresh Algorithm-1 labels into the dataset (and the
+    // per-job accumulator used by future tuning processes). The monotonic
+    // assumption licenses augmentation — a bottleneck at p is a bottleneck
+    // at every p' < p, and a safe degree stays safe at every p' > p — and
+    // job-specific feedback is replicated so it is not drowned out by the
+    // generic warm-up samples.
+    last_labels = LabelBottlenecks(engine->graph(), metrics);
+    last_backpressure = metrics.job_backpressure;
+    last_severe = metrics.severe_backpressure;
+    if (!last_backpressure) last_clean = engine->parallelism();
+    for (int v = 0; v < n_ops; ++v) {
+      if (last_labels[v] == 1) {
+        bracket_lo[v] = std::max(bracket_lo[v], rec[v] + 1);
+        // Bottleneck evidence wins a contradiction (noise can mislabel 0).
+        bracket_hi[v] = std::max(bracket_hi[v], bracket_lo[v]);
+      } else if (last_labels[v] == 0) {
+        bracket_hi[v] =
+            std::max(bracket_lo[v], std::min(bracket_hi[v], rec[v]));
+      }
+    }
+    ml::Matrix emb = bundle_->AgnosticEmbeddings(
+        cluster, engine->graph(), engine->current_source_rates());
+    const int p_max = engine->max_parallelism();
+    for (int v = 0; v < engine->graph().num_operators(); ++v) {
+      if (last_labels[v] < 0) continue;
+      ml::LabeledSample s;
+      s.embedding = emb.Row(v);
+      s.parallelism = rec[v];
+      s.label = last_labels[v];
+      std::vector<ml::LabeledSample> induced{s, s, s};  // 3x weight
+      if (s.label == 1 && s.parallelism > 1) {
+        ml::LabeledSample lower = s;
+        lower.parallelism = std::max(1, s.parallelism / 2);
+        induced.push_back(lower);
+      } else if (s.label == 0 && s.parallelism < p_max) {
+        ml::LabeledSample higher = s;
+        higher.parallelism = std::min(p_max, 2 * s.parallelism);
+        induced.push_back(higher);
+      }
+      for (ml::LabeledSample& is : induced) {
+        dataset.push_back(is);
+        accumulated.push_back(std::move(is));
+      }
+      // FIFO eviction: recent feedback reflects the current workload and
+      // model state; stale scale-up labels must not dominate forever.
+      if (accumulated.size() > kMaxAccumulatedSamples) {
+        accumulated.erase(
+            accumulated.begin(),
+            accumulated.begin() +
+                (accumulated.size() - kMaxAccumulatedSamples));
+      }
+    }
+
+  }
+
+  // A failed scale-down probe at the iteration limit must not leave the job
+  // backpressured: revert to the last configuration known to run clean.
+  if (last_backpressure && !last_clean.empty() &&
+      last_clean != engine->parallelism()) {
+    ST_RETURN_NOT_OK(engine->Deploy(last_clean));
+    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
+    last_backpressure = metrics.job_backpressure;
+    last_severe = metrics.severe_backpressure;
+  }
+
+  outcome.final_parallelism = engine->parallelism();
+  for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
+  outcome.reconfigurations =
+      engine->reconfiguration_count() - reconfig_before;
+  outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
+  outcome.ended_with_backpressure = last_severe;
+  return outcome;
+}
+
+}  // namespace streamtune::core

@@ -1,0 +1,144 @@
+#include "dataflow/job_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace streamtune {
+
+int JobGraph::AddOperator(OperatorSpec spec) {
+  operators_.push_back(std::move(spec));
+  adjacency_dirty_ = true;
+  return static_cast<int>(operators_.size()) - 1;
+}
+
+Status JobGraph::AddEdge(int from, int to) {
+  int n = num_operators();
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) return Status::InvalidArgument("self loop");
+  if (std::find(edges_.begin(), edges_.end(), std::make_pair(from, to)) !=
+      edges_.end()) {
+    return Status::InvalidArgument("duplicate edge");
+  }
+  edges_.emplace_back(from, to);
+  adjacency_dirty_ = true;
+  return Status::OK();
+}
+
+void JobGraph::RebuildAdjacency() const {
+  upstream_.assign(operators_.size(), {});
+  downstream_.assign(operators_.size(), {});
+  for (const auto& [from, to] : edges_) {
+    downstream_[from].push_back(to);
+    upstream_[to].push_back(from);
+  }
+  adjacency_dirty_ = false;
+}
+
+const std::vector<int>& JobGraph::upstream(int id) const {
+  if (adjacency_dirty_) RebuildAdjacency();
+  return upstream_[id];
+}
+
+const std::vector<int>& JobGraph::downstream(int id) const {
+  if (adjacency_dirty_) RebuildAdjacency();
+  return downstream_[id];
+}
+
+std::vector<int> JobGraph::SourceIds() const {
+  std::vector<int> ids;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (upstream(i).empty()) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<int> JobGraph::FirstLevelDownstream() const {
+  std::vector<bool> mark(operators_.size(), false);
+  for (int s : SourceIds()) {
+    for (int d : downstream(s)) mark[d] = true;
+  }
+  std::vector<int> ids;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (mark[i] && !upstream(i).empty()) ids.push_back(i);
+  }
+  return ids;
+}
+
+bool JobGraph::HasCycle() const {
+  std::vector<int> indeg(operators_.size(), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++indeg[to];
+  }
+  std::queue<int> q;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (indeg[i] == 0) q.push(i);
+  }
+  int seen = 0;
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    ++seen;
+    for (int v : downstream(u)) {
+      if (--indeg[v] == 0) q.push(v);
+    }
+  }
+  return seen != num_operators();
+}
+
+Status JobGraph::Validate() const {
+  if (operators_.empty()) return Status::InvalidArgument("empty graph");
+  if (HasCycle()) return Status::FailedPrecondition("graph has a cycle");
+  for (int i = 0; i < num_operators(); ++i) {
+    const OperatorSpec& spec = operators_[i];
+    bool no_upstream = upstream(i).empty();
+    if (spec.is_source() && !no_upstream) {
+      return Status::FailedPrecondition("source operator '" + spec.name +
+                                        "' has upstream edges");
+    }
+    if (!spec.is_source() && no_upstream) {
+      return Status::FailedPrecondition("non-source operator '" + spec.name +
+                                        "' has no upstream edges");
+    }
+    if (spec.is_source() && spec.source_rate < 0) {
+      return Status::InvalidArgument("negative source rate on '" + spec.name +
+                                     "'");
+    }
+    if (!spec.is_source() && spec.source_rate != 0.0) {
+      return Status::InvalidArgument("non-source operator '" + spec.name +
+                                     "' has a source rate");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> JobGraph::TopologicalOrder() const {
+  std::vector<int> indeg(operators_.size(), 0);
+  for (const auto& [from, to] : edges_) {
+    (void)from;
+    ++indeg[to];
+  }
+  // Min-id tie-breaking keeps the order deterministic.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> q;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (indeg[i] == 0) q.push(i);
+  }
+  std::vector<int> order;
+  order.reserve(operators_.size());
+  while (!q.empty()) {
+    int u = q.top();
+    q.pop();
+    order.push_back(u);
+    for (int v : downstream(u)) {
+      if (--indeg[v] == 0) q.push(v);
+    }
+  }
+  if (order.size() != operators_.size()) {
+    return Status::FailedPrecondition("graph has a cycle");
+  }
+  return order;
+}
+
+}  // namespace streamtune

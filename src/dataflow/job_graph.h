@@ -1,0 +1,81 @@
+// Logical dataflow DAG (JobGraph).
+//
+// The unit everything else operates on: the simulators deploy it, the GNN
+// encodes it, GED compares it, and the tuners recommend one parallelism per
+// logical operator in it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/operator.h"
+
+namespace streamtune {
+
+/// A directed acyclic graph of logical dataflow operators.
+///
+/// Operators are addressed by dense integer ids in insertion order. Edges are
+/// directed upstream -> downstream. The graph owns derived structure
+/// (adjacency, topological order) which is recomputed lazily on demand.
+class JobGraph {
+ public:
+  JobGraph() = default;
+  explicit JobGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds an operator and returns its id.
+  int AddOperator(OperatorSpec spec);
+
+  /// Adds a directed edge from operator `from` to operator `to`.
+  /// Returns InvalidArgument for out-of-range ids, self loops, or duplicates.
+  Status AddEdge(int from, int to);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  int num_operators() const { return static_cast<int>(operators_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const OperatorSpec& op(int id) const { return operators_[id]; }
+  OperatorSpec& mutable_op(int id) { return operators_[id]; }
+  const std::vector<OperatorSpec>& operators() const { return operators_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// Operator ids with an edge into `id` (its upstream operators).
+  const std::vector<int>& upstream(int id) const;
+  /// Operator ids that `id` feeds (its downstream operators).
+  const std::vector<int>& downstream(int id) const;
+
+  /// Ids of source operators (in-degree 0). In a valid graph these are
+  /// exactly the kSource operators.
+  std::vector<int> SourceIds() const;
+
+  /// Ids of first-level downstream operators: non-sources fed directly by at
+  /// least one source.
+  std::vector<int> FirstLevelDownstream() const;
+
+  /// Checks structure: acyclic, connected enough to execute (every
+  /// non-source has an upstream; sources have none and are kSource).
+  Status Validate() const;
+
+  /// Topological order of operator ids; FailedPrecondition if cyclic.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// True if the graph contains a directed cycle.
+  bool HasCycle() const;
+
+ private:
+  void RebuildAdjacency() const;
+
+  std::string name_;
+  std::vector<OperatorSpec> operators_;
+  std::vector<std::pair<int, int>> edges_;
+
+  // Lazily rebuilt adjacency caches.
+  mutable bool adjacency_dirty_ = true;
+  mutable std::vector<std::vector<int>> upstream_;
+  mutable std::vector<std::vector<int>> downstream_;
+};
+
+}  // namespace streamtune

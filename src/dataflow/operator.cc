@@ -1,0 +1,39 @@
+#include "dataflow/operator.h"
+
+namespace streamtune {
+
+const char* OperatorTypeName(OperatorType t) {
+  switch (t) {
+    case OperatorType::kSource:
+      return "Source";
+    case OperatorType::kMap:
+      return "Map";
+    case OperatorType::kFilter:
+      return "Filter";
+    case OperatorType::kFlatMap:
+      return "FlatMap";
+    case OperatorType::kJoin:
+      return "Join";
+    case OperatorType::kWindowJoin:
+      return "WindowJoin";
+    case OperatorType::kAggregate:
+      return "Aggregate";
+    case OperatorType::kSink:
+      return "Sink";
+  }
+  return "Unknown";
+}
+
+const char* WindowTypeName(WindowType t) {
+  switch (t) {
+    case WindowType::kNone:
+      return "None";
+    case WindowType::kTumbling:
+      return "Tumbling";
+    case WindowType::kSliding:
+      return "Sliding";
+  }
+  return "Unknown";
+}
+
+}  // namespace streamtune

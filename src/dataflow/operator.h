@@ -1,0 +1,88 @@
+// Logical dataflow operator model.
+//
+// Mirrors the paper's Table I: every operator carries a set of static
+// (context-independent, transferable) features plus the dynamic source rate.
+// Parallelism is deliberately NOT part of the operator spec — StreamTune
+// treats it as a separately injected dynamic feature (Sec. IV-A).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace streamtune {
+
+/// Kind of computation an operator performs (Table I "Operator Type").
+enum class OperatorType : uint8_t {
+  kSource = 0,
+  kMap,
+  kFilter,
+  kFlatMap,
+  kJoin,        // record-at-a-time incremental join
+  kWindowJoin,  // windowed two-input join
+  kAggregate,   // windowed / keyed aggregation
+  kSink,
+};
+inline constexpr int kNumOperatorTypes = 8;
+
+/// Window shifting strategy (Table I "Window Type").
+enum class WindowType : uint8_t { kNone = 0, kTumbling, kSliding };
+inline constexpr int kNumWindowTypes = 3;
+
+/// Windowing strategy (Table I "Window Policy").
+enum class WindowPolicy : uint8_t { kNone = 0, kCount, kTime };
+inline constexpr int kNumWindowPolicies = 3;
+
+/// Data type of join/aggregate keys and tuples (Table I *Class rows).
+enum class KeyClass : uint8_t { kNone = 0, kInt, kLong, kString, kComposite };
+inline constexpr int kNumKeyClasses = 5;
+
+/// Aggregation function (Table I "Aggregate Function").
+enum class AggregateFunction : uint8_t {
+  kNone = 0,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+inline constexpr int kNumAggregateFunctions = 6;
+
+const char* OperatorTypeName(OperatorType t);
+const char* WindowTypeName(WindowType t);
+
+/// Static + dynamic description of a logical dataflow operator.
+///
+/// Static features (everything except `source_rate`) are fixed properties of
+/// the query and transfer across jobs; they feed the GNN's initial feature
+/// vector. `source_rate` is non-zero only for kSource operators.
+struct OperatorSpec {
+  std::string name;
+  OperatorType type = OperatorType::kMap;
+
+  // Windowing (meaningful for kWindowJoin / kAggregate).
+  WindowType window_type = WindowType::kNone;
+  WindowPolicy window_policy = WindowPolicy::kNone;
+  double window_length = 0.0;   // seconds (time policy) or records (count)
+  double sliding_length = 0.0;  // slide interval; 0 for tumbling/none
+
+  // Key/type classes.
+  KeyClass join_key_class = KeyClass::kNone;
+  KeyClass aggregate_class = KeyClass::kNone;
+  KeyClass aggregate_key_class = KeyClass::kNone;
+  AggregateFunction aggregate_function = AggregateFunction::kNone;
+
+  // Tuple shape.
+  double tuple_width_in = 0.0;   // bytes
+  double tuple_width_out = 0.0;  // bytes
+  KeyClass tuple_data_type = KeyClass::kInt;
+
+  // Dynamic feature: records/second produced by this operator if it is a
+  // source; 0 otherwise.
+  double source_rate = 0.0;
+
+  /// True for operators that ingest external data.
+  bool is_source() const { return type == OperatorType::kSource; }
+};
+
+}  // namespace streamtune

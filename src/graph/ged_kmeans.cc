@@ -1,0 +1,142 @@
+#include "graph/ged_kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace streamtune::graph {
+
+std::vector<double> DistancesToCenters(const JobGraph& g,
+                                       const std::vector<JobGraph>& centers) {
+  std::vector<double> dist(centers.size(),
+                           std::numeric_limits<double>::infinity());
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < centers.size(); ++i) {
+    GedOptions opts;
+    // Branch-and-bound across centers: once a center at distance `best` is
+    // known, a deeper search than that is pointless for the assignment.
+    if (best < std::numeric_limits<double>::infinity()) {
+      opts.threshold = best;
+    }
+    GedResult r = ComputeGed(g, centers[i], opts);
+    dist[i] = r.distance;
+    best = std::min(best, r.distance);
+  }
+  return dist;
+}
+
+int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers) {
+  std::vector<double> dist = DistancesToCenters(g, centers);
+  return static_cast<int>(
+      std::min_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
+                                 const KMeansOptions& options) {
+  const int n = static_cast<int>(dataset.size());
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument("k must be in [1, dataset size]");
+  }
+
+  Rng rng(options.seed);
+  // Init: farthest-point seeding (k-means++-style). A random first center,
+  // then each next center is the graph farthest from all chosen centers —
+  // structurally distinct families reliably get their own seed.
+  std::vector<int> center_idx;
+  center_idx.push_back(rng.UniformInt(0, n - 1));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(center_idx.size()) < options.k) {
+    int last = center_idx.back();
+    for (int i = 0; i < n; ++i) {
+      GedOptions opts;
+      opts.threshold = min_dist[i];  // prune beyond the current minimum
+      GedResult r = ComputeGed(dataset[i], dataset[last], opts);
+      min_dist[i] = std::min(min_dist[i], r.distance);
+    }
+    int farthest = 0;
+    double best = -1;
+    for (int i = 0; i < n; ++i) {
+      if (min_dist[i] > best) {
+        best = min_dist[i];
+        farthest = i;
+      }
+    }
+    center_idx.push_back(farthest);
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    std::vector<JobGraph> centers;
+    centers.reserve(options.k);
+    for (int c : center_idx) centers.push_back(dataset[c]);
+    double inertia = 0;
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> dist = DistancesToCenters(dataset[i], centers);
+      int best = static_cast<int>(
+          std::min_element(dist.begin(), dist.end()) - dist.begin());
+      inertia += dist[best];
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    result.within_cluster_distance = inertia;
+    if (!changed && iter > 0) break;
+
+    // Update step: similarity center per cluster.
+    std::vector<int> new_centers = center_idx;
+    for (int c = 0; c < options.k; ++c) {
+      std::vector<JobGraph> members;
+      std::vector<int> member_ids;
+      for (int i = 0; i < n; ++i) {
+        if (result.assignment[i] == c) {
+          members.push_back(dataset[i]);
+          member_ids.push_back(i);
+        }
+      }
+      if (members.empty()) continue;  // keep the old center for empty cells
+      int sc = SimilarityCenter(members, options.center_tau, options.method);
+      new_centers[c] = member_ids[sc];
+    }
+    if (new_centers == center_idx) break;
+    center_idx = new_centers;
+  }
+
+  result.center_indices = center_idx;
+  return result;
+}
+
+Result<int> SelectKByElbow(const std::vector<JobGraph>& dataset, int k_min,
+                           int k_max, const KMeansOptions& base_options) {
+  if (k_min < 1 || k_max < k_min ||
+      k_max > static_cast<int>(dataset.size())) {
+    return Status::InvalidArgument("invalid k range");
+  }
+  std::vector<double> inertia;
+  for (int k = k_min; k <= k_max; ++k) {
+    KMeansOptions opts = base_options;
+    opts.k = k;
+    auto res = ClusterDags(dataset, opts);
+    if (!res.ok()) return res.status();
+    inertia.push_back(res->within_cluster_distance);
+  }
+  if (inertia.size() < 3) return k_min;
+  // Elbow = maximum positive curvature of the inertia curve.
+  int best_k = k_min + 1;
+  double best_curv = -std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i + 1 < inertia.size(); ++i) {
+    double curv = inertia[i - 1] - 2 * inertia[i] + inertia[i + 1];
+    if (curv > best_curv) {
+      best_curv = curv;
+      best_k = k_min + static_cast<int>(i);
+    }
+  }
+  return best_k;
+}
+
+}  // namespace streamtune::graph

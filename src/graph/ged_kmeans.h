@@ -1,0 +1,60 @@
+// K-means clustering of dataflow DAGs under Graph Edit Distance (Sec. IV-C).
+//
+// Standard k-means structure — init / assign / update — with two
+// graph-specific twists from the paper:
+//   - centroids are member graphs (there is no "average" graph); the update
+//     step picks each cluster's similarity center (Def. 2);
+//   - assignment distances are GEDs, computed with the bounded best-first
+//     search and pruned against the best center found so far.
+// The elbow method selects k.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/job_graph.h"
+#include "graph/similarity.h"
+
+namespace streamtune::graph {
+
+/// Clustering options.
+struct KMeansOptions {
+  int k = 3;
+  int max_iterations = 10;
+  /// GED threshold tau for similarity-center computation (paper uses 5).
+  double center_tau = 5.0;
+  SearchMethod method = SearchMethod::kAStarLsa;
+  uint64_t seed = 2024;
+};
+
+/// Result of one clustering run.
+struct KMeansResult {
+  /// Cluster id per input graph.
+  std::vector<int> assignment;
+  /// Index (into the input dataset) of each cluster's center graph.
+  std::vector<int> center_indices;
+  /// Sum over graphs of GED to their assigned center (the k-means inertia).
+  double within_cluster_distance = 0;
+  int iterations = 0;
+};
+
+/// Runs GED k-means over `dataset`. Requires 1 <= k <= dataset.size().
+Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
+                                 const KMeansOptions& options);
+
+/// Distance from `g` to each of the given center graphs; the search for
+/// center i is pruned at the best distance among centers [0, i).
+std::vector<double> DistancesToCenters(const JobGraph& g,
+                                       const std::vector<JobGraph>& centers);
+
+/// Index of the nearest center (minimum GED) for `g`.
+int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers);
+
+/// Elbow-method selection of k: runs ClusterDags for each k in
+/// [k_min, k_max] and returns the k with the largest curvature (second
+/// difference) of the inertia curve.
+Result<int> SelectKByElbow(const std::vector<JobGraph>& dataset, int k_min,
+                           int k_max, const KMeansOptions& base_options);
+
+}  // namespace streamtune::graph

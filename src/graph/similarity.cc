@@ -1,0 +1,58 @@
+#include "graph/similarity.h"
+
+#include <algorithm>
+
+namespace streamtune::graph {
+
+namespace {
+
+bool Within(const JobGraph& a, const JobGraph& b, double tau,
+            SearchMethod method) {
+  if (method == SearchMethod::kAStarLsa) {
+    return GedWithinThreshold(a, b, tau);
+  }
+  // Direct: pay for the full exact computation, then compare.
+  GedOptions opts;
+  opts.use_lower_bound = false;
+  GedResult r = ComputeGed(a, b, opts);
+  return r.distance <= tau + 1e-9;
+}
+
+}  // namespace
+
+std::vector<int> SimilaritySearch(const std::vector<JobGraph>& dataset,
+                                  const JobGraph& query, double tau,
+                                  SearchMethod method) {
+  std::vector<int> hits;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (Within(dataset[i], query, tau, method)) {
+      hits.push_back(static_cast<int>(i));
+    }
+  }
+  return hits;
+}
+
+std::vector<int> AppearanceCounts(const std::vector<JobGraph>& cluster,
+                                  double tau, SearchMethod method) {
+  std::vector<int> counts(cluster.size(), 0);
+  for (size_t q = 0; q < cluster.size(); ++q) {
+    for (size_t g = 0; g < cluster.size(); ++g) {
+      // GED is symmetric, but we follow Def. 2 literally: g appears in the
+      // search result of query q (including q itself, ged = 0 <= tau).
+      if (g == q || Within(cluster[g], cluster[q], tau, method)) {
+        ++counts[g];
+      }
+    }
+  }
+  return counts;
+}
+
+int SimilarityCenter(const std::vector<JobGraph>& cluster, double tau,
+                     SearchMethod method) {
+  if (cluster.empty()) return -1;
+  std::vector<int> counts = AppearanceCounts(cluster, tau, method);
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace streamtune::graph

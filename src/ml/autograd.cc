@@ -1,0 +1,307 @@
+#include "ml/autograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace streamtune::ml {
+
+void Node::AccumGrad(const Matrix& g) {
+  if (!has_grad()) {
+    grad = g;
+  } else {
+    assert(grad.same_shape(g));
+    grad = grad.Add(g);
+  }
+}
+
+void Node::ZeroGrad() { grad = Matrix(); }
+
+Var Constant(Matrix v) { return std::make_shared<Node>(std::move(v), false); }
+Var Param(Matrix v) { return std::make_shared<Node>(std::move(v), true); }
+
+namespace {
+
+Var MakeOp(Matrix value, std::vector<Var> inputs) {
+  auto n = std::make_shared<Node>(std::move(value), false);
+  n->inputs = std::move(inputs);
+  return n;
+}
+
+}  // namespace
+
+Var MatMul(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.MatMul(b->value), {a, b});
+  Node* o = out.get();
+  out->backward_fn = [o, a, b]() {
+    a->AccumGrad(o->grad.MatMul(b->value.Transpose()));
+    b->AccumGrad(a->value.Transpose().MatMul(o->grad));
+  };
+  return out;
+}
+
+Var Add(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.Add(b->value), {a, b});
+  Node* o = out.get();
+  out->backward_fn = [o, a, b]() {
+    a->AccumGrad(o->grad);
+    b->AccumGrad(o->grad);
+  };
+  return out;
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.Sub(b->value), {a, b});
+  Node* o = out.get();
+  out->backward_fn = [o, a, b]() {
+    a->AccumGrad(o->grad);
+    b->AccumGrad(o->grad.Scale(-1.0));
+  };
+  return out;
+}
+
+Var Hadamard(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.Hadamard(b->value), {a, b});
+  Node* o = out.get();
+  out->backward_fn = [o, a, b]() {
+    a->AccumGrad(o->grad.Hadamard(b->value));
+    b->AccumGrad(o->grad.Hadamard(a->value));
+  };
+  return out;
+}
+
+Var Scale(const Var& a, double s) {
+  Var out = MakeOp(a->value.Scale(s), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a, s]() { a->AccumGrad(o->grad.Scale(s)); };
+  return out;
+}
+
+Var AddRowBroadcast(const Var& a, const Var& row) {
+  Var out = MakeOp(a->value.AddRowBroadcast(row->value), {a, row});
+  Node* o = out.get();
+  out->backward_fn = [o, a, row]() {
+    a->AccumGrad(o->grad);
+    row->AccumGrad(o->grad.SumRows());
+  };
+  return out;
+}
+
+Var Relu(const Var& a) {
+  Matrix v = a->value;
+  for (double& x : v.data()) x = std::max(0.0, x);
+  Var out = MakeOp(std::move(v), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a]() {
+    Matrix g = o->grad;
+    const auto& in = a->value.data();
+    for (size_t i = 0; i < g.data().size(); ++i) {
+      if (in[i] <= 0.0) g.data()[i] = 0.0;
+    }
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var TanhOp(const Var& a) {
+  Matrix v = a->value;
+  for (double& x : v.data()) x = std::tanh(x);
+  Var out = MakeOp(std::move(v), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a]() {
+    Matrix g = o->grad;
+    const auto& y = o->value.data();
+    for (size_t i = 0; i < g.data().size(); ++i) {
+      g.data()[i] *= 1.0 - y[i] * y[i];
+    }
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var SigmoidOp(const Var& a) {
+  Matrix v = a->value;
+  for (double& x : v.data()) {
+    x = x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+               : std::exp(x) / (1.0 + std::exp(x));
+  }
+  Var out = MakeOp(std::move(v), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a]() {
+    Matrix g = o->grad;
+    const auto& y = o->value.data();
+    for (size_t i = 0; i < g.data().size(); ++i) {
+      g.data()[i] *= y[i] * (1.0 - y[i]);
+    }
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  Var out = MakeOp(a->value.ConcatCols(b->value), {a, b});
+  Node* o = out.get();
+  out->backward_fn = [o, a, b]() {
+    int ac = a->value.cols();
+    a->AccumGrad(o->grad.SliceCols(0, ac));
+    b->AccumGrad(o->grad.SliceCols(ac, o->grad.cols()));
+  };
+  return out;
+}
+
+Var MeanRows(const Var& a) {
+  int n = a->value.rows();
+  assert(n > 0);
+  Var out = MakeOp(a->value.SumRows().Scale(1.0 / n), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a, n]() {
+    Matrix g(a->value.rows(), a->value.cols());
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        g.at(r, c) = o->grad.at(0, c) / n;
+      }
+    }
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var RmsNormRows(const Var& a, double eps) {
+  const int rows = a->value.rows(), cols = a->value.cols();
+  Matrix v(rows, cols);
+  std::vector<double> inv_rms(rows);
+  for (int r = 0; r < rows; ++r) {
+    double ms = 0;
+    for (int c = 0; c < cols; ++c) ms += a->value.at(r, c) * a->value.at(r, c);
+    ms = ms / cols + eps;
+    inv_rms[r] = 1.0 / std::sqrt(ms);
+    for (int c = 0; c < cols; ++c) v.at(r, c) = a->value.at(r, c) * inv_rms[r];
+  }
+  Var out = MakeOp(std::move(v), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a, inv_rms, cols]() {
+    Matrix g(a->value.rows(), a->value.cols());
+    for (int r = 0; r < g.rows(); ++r) {
+      // dL/dx = inv_rms * (dL/dy - y * mean(y .* dL/dy) / (1/inv_rms^2 ... ))
+      // Using y = x * inv_rms: dL/dx_c = inv_rms * (g_c - y_c * m) where
+      // m = mean over c of (g_c * y_c).
+      double m = 0;
+      for (int c = 0; c < cols; ++c) m += o->grad.at(r, c) * o->value.at(r, c);
+      m /= cols;
+      for (int c = 0; c < cols; ++c) {
+        g.at(r, c) =
+            inv_rms[r] * (o->grad.at(r, c) - o->value.at(r, c) * m);
+      }
+    }
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var SumAll(const Var& a) {
+  Matrix v(1, 1);
+  v.at(0, 0) = a->value.SumAll();
+  Var out = MakeOp(std::move(v), {a});
+  Node* o = out.get();
+  out->backward_fn = [o, a]() {
+    Matrix g(a->value.rows(), a->value.cols(), o->grad.at(0, 0));
+    a->AccumGrad(g);
+  };
+  return out;
+}
+
+Var BceWithLogitsMasked(const Var& logits, const Matrix& targets,
+                        const Matrix& mask) {
+  assert(logits->value.same_shape(targets));
+  assert(logits->value.same_shape(mask));
+  double count = 0;
+  for (double m : mask.data()) {
+    if (m != 0.0) count += 1.0;
+  }
+  Matrix v(1, 1);
+  if (count > 0) {
+    double total = 0;
+    const auto& z = logits->value.data();
+    const auto& y = targets.data();
+    const auto& mk = mask.data();
+    for (size_t i = 0; i < z.size(); ++i) {
+      if (mk[i] == 0.0) continue;
+      // Stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+      total += std::max(z[i], 0.0) - z[i] * y[i] +
+               std::log1p(std::exp(-std::fabs(z[i])));
+    }
+    v.at(0, 0) = total / count;
+  }
+  Var out = MakeOp(std::move(v), {logits});
+  Node* o = out.get();
+  Matrix tg = targets, mk = mask;
+  out->backward_fn = [o, logits, tg, mk, count]() {
+    if (count == 0) return;
+    Matrix g(logits->value.rows(), logits->value.cols());
+    const auto& z = logits->value.data();
+    for (size_t i = 0; i < z.size(); ++i) {
+      if (mk.data()[i] == 0.0) continue;
+      double s = z[i] >= 0 ? 1.0 / (1.0 + std::exp(-z[i]))
+                           : std::exp(z[i]) / (1.0 + std::exp(z[i]));
+      g.data()[i] = o->grad.at(0, 0) * (s - tg.data()[i]) / count;
+    }
+    logits->AccumGrad(g);
+  };
+  return out;
+}
+
+Var MseLoss(const Var& pred, const Matrix& target) {
+  assert(pred->value.same_shape(target));
+  double n = static_cast<double>(pred->value.size());
+  Matrix v(1, 1);
+  Matrix diff = pred->value.Sub(target);
+  v.at(0, 0) = diff.SquaredNorm() / n;
+  Var out = MakeOp(std::move(v), {pred});
+  Node* o = out.get();
+  Matrix tg = target;
+  out->backward_fn = [o, pred, tg, n]() {
+    Matrix g = pred->value.Sub(tg).Scale(2.0 / n * o->grad.at(0, 0));
+    pred->AccumGrad(g);
+  };
+  return out;
+}
+
+void Backward(const Var& root) {
+  assert(root->value.rows() == 1 && root->value.cols() == 1);
+  // Post-order DFS for a topological order of the graph above `root`.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  visited.insert(root.get());
+  // Iterative DFS; nodes are pushed to `order` after all inputs.
+  std::vector<Var> node_stack{root};
+  std::vector<size_t> idx_stack{0};
+  std::vector<Var> keepalive;
+  while (!node_stack.empty()) {
+    Var cur = node_stack.back();
+    size_t& i = idx_stack.back();
+    if (i < cur->inputs.size()) {
+      Var next = cur->inputs[i++];
+      if (visited.insert(next.get()).second) {
+        node_stack.push_back(next);
+        idx_stack.push_back(0);
+      }
+    } else {
+      order.push_back(cur.get());
+      keepalive.push_back(cur);
+      node_stack.pop_back();
+      idx_stack.pop_back();
+    }
+  }
+
+  for (Node* n : order) n->ZeroGrad();
+  Matrix seed(1, 1);
+  seed.at(0, 0) = 1.0;
+  root->grad = seed;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->has_grad()) n->backward_fn();
+  }
+}
+
+}  // namespace streamtune::ml

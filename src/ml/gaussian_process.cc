@@ -1,0 +1,116 @@
+#include "ml/gaussian_process.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace streamtune::ml {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  int n = a.rows();
+  Matrix l(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (int k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (s <= 0) {
+          return Status::FailedPrecondition("matrix not positive definite");
+        }
+        l.at(i, i) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSolve(const Matrix& l,
+                                 const std::vector<double>& b) {
+  int n = l.rows();
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackwardSolve(const Matrix& l,
+                                  const std::vector<double>& y) {
+  int n = l.rows();
+  std::vector<double> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= l.at(k, i) * x[k];
+    x[i] = s / l.at(i, i);
+  }
+  return x;
+}
+
+double GaussianProcess::Kernel(double a, double b) const {
+  double d = (a - b) / config_.length_scale;
+  return config_.signal_var * std::exp(-0.5 * d * d);
+}
+
+Status GaussianProcess::Fit(const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("GP needs matching non-empty x/y");
+  }
+  x_ = x;
+  {
+    double s = 0;
+    for (double v : y) s += v;
+    y_mean_ = s / static_cast<double>(y.size());
+  }
+  double var = 0;
+  for (double v : y) var += (v - y_mean_) * (v - y_mean_);
+  var /= static_cast<double>(y.size());
+  y_scale_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  int n = static_cast<int>(x.size());
+  Matrix k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) k.at(i, j) = Kernel(x[i], x[j]);
+    k.at(i, i) += config_.noise_var + 1e-10;
+  }
+  auto chol = Cholesky(k);
+  if (!chol.ok()) return chol.status();
+  l_ = std::move(chol).value();
+
+  std::vector<double> centered(n);
+  for (int i = 0; i < n; ++i) centered[i] = (y[i] - y_mean_) / y_scale_;
+  alpha_ = BackwardSolve(l_, ForwardSolve(l_, centered));
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GaussianProcess::Mean(double x) const {
+  assert(fitted_);
+  double s = 0;
+  for (size_t i = 0; i < x_.size(); ++i) s += Kernel(x, x_[i]) * alpha_[i];
+  return y_mean_ + y_scale_ * s;
+}
+
+double GaussianProcess::StdDev(double x) const {
+  assert(fitted_);
+  int n = static_cast<int>(x_.size());
+  std::vector<double> kx(n);
+  for (int i = 0; i < n; ++i) kx[i] = Kernel(x, x_[i]);
+  std::vector<double> v = ForwardSolve(l_, kx);
+  double var = Kernel(x, x);
+  for (double vi : v) var -= vi * vi;
+  var = std::max(var, 0.0);
+  return y_scale_ * std::sqrt(var);
+}
+
+double GaussianProcess::Lcb(double x, double beta) const {
+  return Mean(x) - beta * StdDev(x);
+}
+
+}  // namespace streamtune::ml

@@ -1,0 +1,62 @@
+// Gaussian process regression (RBF kernel) — the surrogate model ContTune
+// uses to capture the relationship between an operator's parallelism and its
+// processing ability (Sec. I / VI).
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace streamtune::ml {
+
+/// Hyperparameters for GaussianProcess.
+struct GpConfig {
+  double length_scale = 4.0;   ///< RBF length scale (parallelism units)
+  double signal_var = 1.0;     ///< kernel amplitude (relative to y variance)
+  double noise_var = 1e-4;     ///< observation noise (relative)
+};
+
+/// One-dimensional GP regression y = f(x) + noise with an RBF kernel.
+/// Inputs here are parallelism degrees; outputs are observed processing
+/// abilities. Targets are internally standardized.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {}) : config_(config) {}
+
+  /// Fits the posterior on (x, y) pairs. Requires at least one point.
+  Status Fit(const std::vector<double>& x, const std::vector<double>& y);
+
+  /// Posterior mean at `x`.
+  double Mean(double x) const;
+  /// Posterior standard deviation at `x`.
+  double StdDev(double x) const;
+  /// Lower confidence bound mean - beta * std (conservative estimate).
+  double Lcb(double x, double beta) const;
+
+  bool fitted() const { return fitted_; }
+  int num_points() const { return static_cast<int>(x_.size()); }
+
+ private:
+  double Kernel(double a, double b) const;
+
+  GpConfig config_;
+  std::vector<double> x_;
+  std::vector<double> alpha_;       // K^-1 (y - mean)
+  Matrix l_;                        // Cholesky factor of K + noise I
+  double y_mean_ = 0, y_scale_ = 1;
+  bool fitted_ = false;
+};
+
+/// Cholesky decomposition of a symmetric positive-definite matrix.
+/// Returns FailedPrecondition if the matrix is not SPD.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves L y = b for lower-triangular L.
+std::vector<double> ForwardSolve(const Matrix& l, const std::vector<double>& b);
+/// Solves L^T x = y for lower-triangular L.
+std::vector<double> BackwardSolve(const Matrix& l,
+                                  const std::vector<double>& y);
+
+}  // namespace streamtune::ml

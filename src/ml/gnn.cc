@@ -1,0 +1,98 @@
+#include "ml/gnn.h"
+
+#include <cassert>
+
+namespace streamtune::ml {
+
+GnnEncoder::GnnEncoder(const GnnConfig& config) : config_(config) {
+  assert(config.feature_dim > 0);
+  Rng rng(config.seed);
+  input_proj_ = LinearLayer(config.feature_dim, config.hidden_dim, &rng);
+  for (int t = 0; t < config.num_layers; ++t) {
+    MessageLayer layer;
+    layer.w_up =
+        Param(Matrix::GlorotUniform(config.hidden_dim, config.hidden_dim, &rng));
+    layer.w_dn =
+        Param(Matrix::GlorotUniform(config.hidden_dim, config.hidden_dim, &rng));
+    layer.w_self =
+        Param(Matrix::GlorotUniform(config.hidden_dim, config.hidden_dim, &rng));
+    layer.bias = Param(Matrix::Zeros(1, config.hidden_dim));
+    layers_.push_back(std::move(layer));
+  }
+  w_fuse_ = Param(
+      Matrix::GlorotUniform(config.hidden_dim + 1, config.hidden_dim, &rng));
+  b_fuse_ = Param(Matrix::Zeros(1, config.hidden_dim));
+}
+
+Matrix GnnEncoder::NormalizedUpstreamAdj(const JobGraph& graph) {
+  int n = graph.num_operators();
+  Matrix a(n, n);
+  for (int v = 0; v < n; ++v) {
+    const auto& ups = graph.upstream(v);
+    if (ups.empty()) continue;
+    double w = 1.0 / static_cast<double>(ups.size());
+    for (int u : ups) a.at(v, u) = w;
+  }
+  return a;
+}
+
+Matrix GnnEncoder::NormalizedDownstreamAdj(const JobGraph& graph) {
+  int n = graph.num_operators();
+  Matrix a(n, n);
+  for (int v = 0; v < n; ++v) {
+    const auto& dns = graph.downstream(v);
+    if (dns.empty()) continue;
+    double w = 1.0 / static_cast<double>(dns.size());
+    for (int d : dns) a.at(v, d) = w;
+  }
+  return a;
+}
+
+Var GnnEncoder::ForwardAgnostic(const JobGraph& graph,
+                                const Matrix& features) const {
+  assert(features.rows() == graph.num_operators());
+  assert(features.cols() == config_.feature_dim);
+
+  Var a_up = Constant(NormalizedUpstreamAdj(graph));
+  Var a_dn = Constant(NormalizedDownstreamAdj(graph));
+  Var x = Constant(features);
+
+  Var h = RmsNormRows(Relu(input_proj_.Forward(x)));
+  for (const MessageLayer& layer : layers_) {
+    Var msg_up = MatMul(MatMul(a_up, h), layer.w_up);
+    Var msg_dn = MatMul(MatMul(a_dn, h), layer.w_dn);
+    Var self = MatMul(h, layer.w_self);
+    Var m = AddRowBroadcast(Add(Add(msg_up, msg_dn), self), layer.bias);
+    h = RmsNormRows(Relu(m));
+  }
+  return h;
+}
+
+Var GnnEncoder::Fuse(const Var& agnostic,
+                     const Matrix& parallelism_scaled) const {
+  assert(parallelism_scaled.rows() == agnostic->value.rows());
+  assert(parallelism_scaled.cols() == 1);
+  Var p_col = Constant(parallelism_scaled);
+  Var fused = MatMul(ConcatCols(agnostic, p_col), w_fuse_);
+  return TanhOp(AddRowBroadcast(fused, b_fuse_));
+}
+
+Var GnnEncoder::Forward(const JobGraph& graph, const Matrix& features,
+                        const Matrix& parallelism_scaled) const {
+  return Fuse(ForwardAgnostic(graph, features), parallelism_scaled);
+}
+
+std::vector<Var> GnnEncoder::Params() const {
+  std::vector<Var> ps = input_proj_.Params();
+  for (const MessageLayer& layer : layers_) {
+    ps.push_back(layer.w_up);
+    ps.push_back(layer.w_dn);
+    ps.push_back(layer.w_self);
+    ps.push_back(layer.bias);
+  }
+  ps.push_back(w_fuse_);
+  ps.push_back(b_fuse_);
+  return ps;
+}
+
+}  // namespace streamtune::ml

@@ -1,0 +1,80 @@
+// GNN encoder for dataflow DAGs (Sec. IV-A).
+//
+// Message passing runs along both edge directions (an operator's behaviour
+// depends on its upstream producers and downstream consumers), with mean
+// aggregation:
+//
+//   H^(0)  = rmsnorm(relu(X W_x + b_x))
+//   M^(t)  = A_up H^(t-1) W_up + A_dn H^(t-1) W_dn + H^(t-1) W_self + b
+//   H^(t)  = rmsnorm(relu(M^(t)))                       (Eq. 1 + Eq. 2)
+//
+// Following the paper's parallelism-handling strategy, the parallelism
+// degree is incorporated only AFTER all other features are encoded: the
+// message-passing output H^(T) is the *parallelism-agnostic* embedding used
+// by the online fine-tuning phase, and a single FUSE step
+//
+//   H' = tanh([H^(T) | p] W_fuse + b_fuse)              (FUSE, Eq. 3)
+//
+// produces the *parallelism-aware* embedding fed to the pre-training head.
+// A_up / A_dn are row-normalized upstream/downstream adjacency matrices;
+// RMS normalization between stages keeps activations well-conditioned so
+// tanh cannot saturate away per-operator and rate signal.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/job_graph.h"
+#include "ml/autograd.h"
+#include "ml/nn.h"
+
+namespace streamtune::ml {
+
+/// Architecture hyperparameters for the encoder.
+struct GnnConfig {
+  int feature_dim = 0;  ///< width of the initial node features (required)
+  int hidden_dim = 32;
+  int num_layers = 3;
+  uint64_t seed = 7;
+};
+
+/// The dataflow-DAG encoder: per-operator embeddings of width hidden_dim.
+class GnnEncoder {
+ public:
+  GnnEncoder() = default;
+  explicit GnnEncoder(const GnnConfig& config);
+
+  /// Parallelism-agnostic embeddings H^(T): pure message passing over the
+  /// static features + source rates. `features` is
+  /// num_operators x feature_dim.
+  Var ForwardAgnostic(const JobGraph& graph, const Matrix& features) const;
+
+  /// Parallelism-aware embeddings: FUSE(H^(T) | p). `parallelism_scaled` is
+  /// num_operators x 1 with each degree scaled to [0, 1].
+  Var Forward(const JobGraph& graph, const Matrix& features,
+              const Matrix& parallelism_scaled) const;
+
+  /// Applies only the FUSE step to precomputed agnostic embeddings.
+  Var Fuse(const Var& agnostic, const Matrix& parallelism_scaled) const;
+
+  std::vector<Var> Params() const;
+  const GnnConfig& config() const { return config_; }
+
+  /// Row-normalized adjacency over upstream edges: (A_up)_{v,u} = 1/|up(v)|
+  /// for each upstream u of v.
+  static Matrix NormalizedUpstreamAdj(const JobGraph& graph);
+  /// Row-normalized adjacency over downstream edges.
+  static Matrix NormalizedDownstreamAdj(const JobGraph& graph);
+
+ private:
+  GnnConfig config_;
+  LinearLayer input_proj_;
+  struct MessageLayer {
+    Var w_up, w_dn, w_self, bias;
+  };
+  std::vector<MessageLayer> layers_;
+  Var w_fuse_, b_fuse_;  // FUSE: (hidden+1) -> hidden
+};
+
+}  // namespace streamtune::ml

@@ -1,0 +1,146 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamtune::ml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows_; ++r) {
+    assert(static_cast<int>(rows[r].size()) == m.cols_);
+    for (int c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / (rows + cols));
+  for (double& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      double a = at(r, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[static_cast<size_t>(k) * other.cols_];
+      double* orow = &out.data_[static_cast<size_t>(r) * out.cols_];
+      for (int c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(same_shape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  assert(same_shape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  assert(same_shape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  assert(row.rows_ == 1 && row.cols_ == cols_);
+  Matrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.at(r, c) += row.at(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::SumRows() const {
+  Matrix out(1, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.at(0, c) += at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.at(r, c) = at(r, c);
+    for (int c = 0; c < other.cols_; ++c) out.at(r, cols_ + c) = other.at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::SliceCols(int begin, int end) const {
+  assert(begin >= 0 && begin <= end && end <= cols_);
+  Matrix out(rows_, end - begin);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = begin; c < end; ++c) out.at(r, c - begin) = at(r, c);
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Row(int r) const {
+  std::vector<double> out(cols_);
+  for (int c = 0; c < cols_; ++c) out[c] = at(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int r, const std::vector<double>& values) {
+  assert(static_cast<int>(values.size()) == cols_);
+  for (int c = 0; c < cols_; ++c) at(r, c) = values[c];
+}
+
+double Matrix::SumAll() const {
+  double s = 0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double s = 0;
+  for (double v : data_) s = std::max(s, std::fabs(v));
+  return s;
+}
+
+}  // namespace streamtune::ml

@@ -1,0 +1,82 @@
+// Dense row-major matrix of doubles — the numeric workhorse for the ML stack.
+//
+// Deliberately minimal: the models in this project (GNN encoder, MLP heads,
+// SVM, GP) operate on graphs with <= ~20 nodes and hidden widths <= 64, so a
+// straightforward O(n^3) matmul is more than fast enough and easy to verify.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamtune::ml {
+
+/// Dense rows x cols matrix of doubles, row-major.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds a matrix from nested initializer data (row per inner vector).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  static Matrix Identity(int n);
+  /// Glorot-uniform initialization for layer weights.
+  static Matrix GlorotUniform(int rows, int cols, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix Transpose() const;
+  /// Matrix product; this->cols() must equal other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Add(const Matrix& other) const;
+  Matrix Sub(const Matrix& other) const;
+  Matrix Hadamard(const Matrix& other) const;
+  Matrix Scale(double s) const;
+  /// Adds a 1 x cols row vector to every row.
+  Matrix AddRowBroadcast(const Matrix& row) const;
+  /// Sums all rows into a 1 x cols vector.
+  Matrix SumRows() const;
+  /// Concatenates columns: [this | other]; row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+  /// Returns columns [begin, end).
+  Matrix SliceCols(int begin, int end) const;
+  /// Extracts one row as a flat vector.
+  std::vector<double> Row(int r) const;
+  void SetRow(int r, const std::vector<double>& values);
+
+  double SumAll() const;
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+  /// Largest absolute entry.
+  double MaxAbs() const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace streamtune::ml

@@ -1,0 +1,93 @@
+#include "ml/nn.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace streamtune::ml {
+
+Var Activate(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return TanhOp(x);
+    case Activation::kSigmoid:
+      return SigmoidOp(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
+LinearLayer::LinearLayer(int in_dim, int out_dim, Rng* rng)
+    : W_(Param(Matrix::GlorotUniform(in_dim, out_dim, rng))),
+      b_(Param(Matrix::Zeros(1, out_dim))) {}
+
+Var LinearLayer::Forward(const Var& x) const {
+  return AddRowBroadcast(MatMul(x, W_), b_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Activation hidden_act, Rng* rng)
+    : hidden_act_(hidden_act) {
+  assert(dims.size() >= 2);
+  in_dim_ = dims.front();
+  out_dim_ = dims.back();
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Activate(h, hidden_act_);
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Params() const {
+  std::vector<Var> ps;
+  for (const auto& layer : layers_) {
+    for (const Var& p : layer.Params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, t_);
+  double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p->has_grad()) continue;
+    auto& g = p->grad.data();
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    auto& w = p->value.data();
+    for (size_t k = 0; k < w.size(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g[k] * g[k];
+      double mhat = m[k] / bc1;
+      double vhat = v[k] / bc2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) p->ZeroGrad();
+}
+
+}  // namespace streamtune::ml

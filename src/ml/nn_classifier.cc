@@ -1,0 +1,59 @@
+#include "ml/nn_classifier.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace streamtune::ml {
+
+NnClassifier::NnClassifier(int embedding_dim, NnClassifierConfig config)
+    : embedding_dim_(embedding_dim), config_(config) {
+  assert(embedding_dim > 0);
+  Rng rng(config_.seed);
+  mlp_ = Mlp({embedding_dim_ + 1, config_.hidden_dim, config_.hidden_dim, 1},
+             Activation::kRelu, &rng);
+}
+
+Status NnClassifier::Fit(const std::vector<LabeledSample>& data) {
+  if (data.empty()) return Status::InvalidArgument("empty training set");
+  const int n = static_cast<int>(data.size());
+  Matrix x(n, embedding_dim_ + 1);
+  Matrix y(n, 1);
+  Matrix mask(n, 1, 1.0);
+  for (int i = 0; i < n; ++i) {
+    if (static_cast<int>(data[i].embedding.size()) != embedding_dim_) {
+      return Status::InvalidArgument("embedding dimension mismatch");
+    }
+    for (int j = 0; j < embedding_dim_; ++j) {
+      x.at(i, j) = data[i].embedding[j];
+    }
+    x.at(i, embedding_dim_) =
+        data[i].parallelism / config_.parallelism_scale;
+    y.at(i, 0) = data[i].label == 1 ? 1.0 : 0.0;
+  }
+
+  // Re-initialize so every Fit is a fresh retrain on the full dataset.
+  Rng rng(config_.seed);
+  mlp_ = Mlp({embedding_dim_ + 1, config_.hidden_dim, config_.hidden_dim, 1},
+             Activation::kRelu, &rng);
+  Adam opt(mlp_.Params(), config_.learning_rate);
+  Var xs = Constant(x);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Var logits = mlp_.Forward(xs);
+    Var loss = BceWithLogitsMasked(logits, y, mask);
+    Backward(loss);
+    opt.Step();
+  }
+  return Status::OK();
+}
+
+double NnClassifier::PredictProbability(const std::vector<double>& h,
+                                        int parallelism) const {
+  Matrix x(1, embedding_dim_ + 1);
+  for (int j = 0; j < embedding_dim_; ++j) x.at(0, j) = h[j];
+  x.at(0, embedding_dim_) = parallelism / config_.parallelism_scale;
+  Var out = mlp_.Forward(Constant(x));
+  return Sigmoid(out->value.at(0, 0));
+}
+
+}  // namespace streamtune::ml

@@ -1,0 +1,43 @@
+// Unconstrained neural-network bottleneck classifier.
+//
+// The ablation baseline of Fig. 11a: an MLP over [h, p] trained with BCE.
+// Nothing enforces monotonicity in p, so Algorithm 2's minimum-parallelism
+// search can be misled — exactly the failure mode the paper demonstrates.
+
+#pragma once
+
+#include <memory>
+
+#include "ml/bottleneck_model.h"
+#include "ml/nn.h"
+
+namespace streamtune::ml {
+
+/// Hyperparameters for NnClassifier.
+struct NnClassifierConfig {
+  int hidden_dim = 32;
+  int epochs = 200;
+  double learning_rate = 5e-3;
+  double parallelism_scale = 100.0;
+  uint64_t seed = 17;
+};
+
+/// MLP classifier on [embedding | scaled parallelism], no monotonic
+/// constraint.
+class NnClassifier : public BottleneckModel {
+ public:
+  explicit NnClassifier(int embedding_dim, NnClassifierConfig config = {});
+
+  Status Fit(const std::vector<LabeledSample>& data) override;
+  double PredictProbability(const std::vector<double>& h,
+                            int parallelism) const override;
+  bool is_monotonic() const override { return false; }
+  std::string name() const override { return "NN"; }
+
+ private:
+  int embedding_dim_;
+  NnClassifierConfig config_;
+  Mlp mlp_;
+};
+
+}  // namespace streamtune::ml

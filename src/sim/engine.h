@@ -1,0 +1,85 @@
+// Abstract stream-engine interface.
+//
+// Both simulated engines (Flink-like, Timely-like) expose this surface, so
+// every tuner (DS2, ContTune, ZeroTune, StreamTune) is written once and runs
+// against either — mirroring the paper's generality evaluation (Sec. V-F).
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/job_graph.h"
+#include "sim/flink_simulator.h"
+
+namespace streamtune::sim {
+
+/// A deployed streaming job that can be reconfigured and measured.
+class StreamEngine {
+ public:
+  virtual ~StreamEngine() = default;
+
+  virtual const JobGraph& graph() const = 0;
+  /// Physical ceiling on per-operator parallelism.
+  virtual int max_parallelism() const = 0;
+
+  /// Stop-and-restart reconfiguration with new parallelism degrees.
+  virtual Status Deploy(const std::vector<int>& parallelism) = 0;
+  /// Samples runtime metrics for the current deployment.
+  virtual Result<JobMetrics> Measure() = 0;
+  virtual const std::vector<int>& parallelism() const = 0;
+
+  /// Scales every source to `factor` times its base rate.
+  virtual void ScaleAllSources(double factor) = 0;
+  /// Current external source rates indexed by operator id (0 = non-source).
+  virtual std::vector<double> current_source_rates() const = 0;
+
+  virtual int reconfiguration_count() const = 0;
+  virtual int deployment_count() const = 0;
+  /// Virtual minutes spent in post-deployment stabilization waits.
+  virtual double virtual_minutes() const = 0;
+  virtual void ResetCounters() = 0;
+
+  /// Ground-truth minimal backpressure-free parallelism (tests/reporting
+  /// only; tuners must not call this).
+  virtual std::vector<int> OracleParallelism() const = 0;
+};
+
+/// StreamEngine facade over FlinkSimulator.
+class FlinkEngine : public StreamEngine {
+ public:
+  FlinkEngine(JobGraph graph, PerfModel model, SimConfig config = {})
+      : sim_(std::move(graph), std::move(model), config) {}
+
+  const JobGraph& graph() const override { return sim_.graph(); }
+  int max_parallelism() const override {
+    return sim_.config().max_parallelism;
+  }
+  Status Deploy(const std::vector<int>& p) override { return sim_.Deploy(p); }
+  Result<JobMetrics> Measure() override { return sim_.Measure(); }
+  const std::vector<int>& parallelism() const override {
+    return sim_.parallelism();
+  }
+  void ScaleAllSources(double factor) override {
+    sim_.ScaleAllSources(factor);
+  }
+  std::vector<double> current_source_rates() const override {
+    return sim_.source_rates();
+  }
+  int reconfiguration_count() const override {
+    return sim_.reconfiguration_count();
+  }
+  int deployment_count() const override { return sim_.deployment_count(); }
+  double virtual_minutes() const override { return sim_.virtual_minutes(); }
+  void ResetCounters() override { sim_.ResetCounters(); }
+  std::vector<int> OracleParallelism() const override {
+    return sim_.OracleParallelism();
+  }
+
+  FlinkSimulator& simulator() { return sim_; }
+
+ private:
+  FlinkSimulator sim_;
+};
+
+}  // namespace streamtune::sim

@@ -1,0 +1,286 @@
+#include "sim/event_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/rng.h"
+#include "sim/flow_solver.h"
+
+namespace streamtune::sim {
+
+namespace {
+
+enum class EventType { kExternalArrival, kServiceComplete };
+
+struct Event {
+  double time;
+  EventType type;
+  int op;
+  uint64_t seq;  // tie-breaker for determinism
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct OperatorState {
+  int parallelism = 1;
+  double mean_service = 1e-5;  // seconds per record per server (rescaled)
+  double selectivity = 1.0;
+  int capacity = 64;           // input queue capacity (sources: unbounded)
+  bool is_source = false;
+
+  int queue = 0;
+  int busy = 0;     // servers currently processing
+  std::deque<int> blocked;  // blocked servers, each holding k outputs
+
+  // Statistics (accumulated after warmup).
+  double busy_time = 0, blocked_time = 0;
+  double queue_time = 0;  // integral of queue length
+  long consumed = 0, delivered = 0, offered = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const JobGraph& graph, const PerfModel& model,
+             const std::vector<int>& parallelism,
+             const std::vector<double>& source_rate,
+             const EventSimConfig& config)
+      : graph_(graph), config_(config), rng_(config.seed) {
+    const int n = graph.num_operators();
+    ops_.resize(n);
+
+    // Estimate total event volume to pick the time rescale factor.
+    std::vector<double> huge(n, 1e18), sel(n);
+    for (int v = 0; v < n; ++v) sel[v] = model.Selectivity(v);
+    FlowResult flow = SolveFlow(graph, huge, sel, source_rate);
+    double total_demand = 0;
+    for (int v = 0; v < n; ++v) total_demand += flow.desired_in[v];
+    double projected = total_demand * config.duration_seconds;
+    rescale_ = std::max(1.0, projected / config.max_events);
+
+    for (int v = 0; v < n; ++v) {
+      OperatorState& s = ops_[v];
+      s.parallelism = parallelism[v];
+      // Per-server rate = PA(p)/p; service time grows with the rescale so
+      // utilizations are invariant.
+      double per_server = model.ProcessingAbility(v, parallelism[v]) /
+                          parallelism[v];
+      s.mean_service = rescale_ / per_server;
+      s.selectivity = sel[v];
+      s.is_source = graph.op(v).is_source();
+      s.capacity = s.is_source ? std::numeric_limits<int>::max()
+                               : config.queue_capacity;
+      if (s.is_source && source_rate[v] > 0) {
+        scaled_rate_.push_back({v, source_rate[v] / rescale_});
+      }
+    }
+    for (const auto& [v, rate] : scaled_rate_) {
+      Schedule(Exponential(1.0 / rate), EventType::kExternalArrival, v);
+    }
+  }
+
+  EventSimResult Run() {
+    while (!events_.empty()) {
+      Event e = events_.top();
+      if (e.time > config_.duration_seconds) break;
+      events_.pop();
+      AdvanceTime(e.time);
+      if (e.type == EventType::kExternalArrival) {
+        HandleArrival(e.op);
+      } else {
+        HandleComplete(e.op);
+      }
+      ++processed_;
+    }
+    AdvanceTime(config_.duration_seconds);
+    return Finalize();
+  }
+
+ private:
+  double Exponential(double mean) {
+    double u = rng_.Uniform();
+    if (u < 1e-12) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  void Schedule(double delay, EventType type, int op) {
+    events_.push(Event{now_ + delay, type, op, seq_++});
+  }
+
+  void AdvanceTime(double t) {
+    double dt = t - now_;
+    if (dt <= 0) {
+      now_ = std::max(now_, t);
+      return;
+    }
+    if (t > config_.warmup_seconds) {
+      double effective = std::min(dt, t - config_.warmup_seconds);
+      for (OperatorState& s : ops_) {
+        s.busy_time += effective * s.busy / s.parallelism;
+        s.blocked_time +=
+            effective * static_cast<double>(s.blocked.size()) /
+            s.parallelism;
+        if (!s.is_source) s.queue_time += effective * s.queue;
+      }
+    }
+    now_ = t;
+  }
+
+  bool counting() const { return now_ > config_.warmup_seconds; }
+
+  void HandleArrival(int v) {
+    OperatorState& s = ops_[v];
+    ++s.queue;
+    if (counting()) ++s.offered;
+    TryStartService(v);
+    // Next external arrival.
+    double rate = 0;
+    for (const auto& [op, r] : scaled_rate_) {
+      if (op == v) rate = r;
+    }
+    Schedule(Exponential(1.0 / rate), EventType::kExternalArrival, v);
+  }
+
+  void TryStartService(int v) {
+    OperatorState& s = ops_[v];
+    while (s.queue > 0 &&
+           s.busy + static_cast<int>(s.blocked.size()) < s.parallelism) {
+      --s.queue;
+      ++s.busy;
+      if (counting()) ++s.consumed;
+      Schedule(Exponential(s.mean_service), EventType::kServiceComplete, v);
+      // Space freed in v's queue: upstream blocked servers may proceed.
+      for (int u : graph_.upstream(v)) RetryBlocked(u);
+    }
+  }
+
+  int DrawOutputs(double selectivity) {
+    int whole = static_cast<int>(selectivity);
+    double frac = selectivity - whole;
+    return whole + (rng_.Uniform() < frac ? 1 : 0);
+  }
+
+  bool CanDeliver(int v, int k) const {
+    if (k == 0) return true;
+    for (int d : graph_.downstream(v)) {
+      if (ops_[d].queue + k > ops_[d].capacity) return false;
+    }
+    return true;
+  }
+
+  void Deliver(int v, int k) {
+    OperatorState& s = ops_[v];
+    if (counting()) s.delivered += k;
+    for (int d : graph_.downstream(v)) {
+      ops_[d].queue += k;
+      if (counting() && ops_[d].is_source) ++ops_[d].offered;
+      TryStartService(d);
+    }
+  }
+
+  void HandleComplete(int v) {
+    OperatorState& s = ops_[v];
+    --s.busy;
+    int k = DrawOutputs(s.selectivity);
+    if (CanDeliver(v, k)) {
+      Deliver(v, k);
+      TryStartService(v);
+    } else {
+      // Buffer exhaustion downstream: the server holds its outputs and the
+      // operator spends this server's time backpressured.
+      s.blocked.push_back(k);
+    }
+  }
+
+  void RetryBlocked(int u) {
+    OperatorState& s = ops_[u];
+    while (!s.blocked.empty() && CanDeliver(u, s.blocked.front())) {
+      int k = s.blocked.front();
+      s.blocked.pop_front();
+      Deliver(u, k);
+      TryStartService(u);
+    }
+  }
+
+  EventSimResult Finalize() {
+    EventSimResult r;
+    const int n = graph_.num_operators();
+    double window = config_.duration_seconds - config_.warmup_seconds;
+    r.busy_frac.resize(n);
+    r.blocked_frac.resize(n);
+    r.idle_frac.resize(n);
+    r.input_rate.resize(n);
+    r.output_rate.resize(n);
+    r.avg_queue_length.resize(n);
+    long offered_total = 0, source_emitted = 0;
+    for (int v = 0; v < n; ++v) {
+      const OperatorState& s = ops_[v];
+      r.busy_frac[v] = s.busy_time / window;
+      r.blocked_frac[v] = s.blocked_time / window;
+      r.idle_frac[v] =
+          std::max(0.0, 1.0 - r.busy_frac[v] - r.blocked_frac[v]);
+      r.input_rate[v] = s.consumed / window * rescale_;
+      r.output_rate[v] = s.delivered / window * rescale_;
+      r.avg_queue_length[v] = s.queue_time / window;
+      if (s.is_source) {
+        offered_total += s.offered;
+        source_emitted += s.delivered;
+      }
+    }
+    r.source_throughput_ratio =
+        offered_total > 0
+            ? std::min(1.0, static_cast<double>(source_emitted) /
+                                offered_total)
+            : 1.0;
+    r.events_processed = processed_;
+    r.time_rescale = rescale_;
+    return r;
+  }
+
+  const JobGraph& graph_;
+  EventSimConfig config_;
+  Rng rng_;
+  std::vector<OperatorState> ops_;
+  std::vector<std::pair<int, double>> scaled_rate_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  double now_ = 0;
+  double rescale_ = 1.0;
+  uint64_t seq_ = 0;
+  size_t processed_ = 0;
+};
+
+}  // namespace
+
+Result<EventSimResult> RunEventSimulation(
+    const JobGraph& graph, const PerfModel& model,
+    const std::vector<int>& parallelism,
+    const std::vector<double>& source_rate, EventSimConfig config) {
+  ST_RETURN_NOT_OK(graph.Validate());
+  const int n = graph.num_operators();
+  if (static_cast<int>(parallelism.size()) != n ||
+      static_cast<int>(source_rate.size()) != n) {
+    return Status::InvalidArgument("parallelism/source_rate size mismatch");
+  }
+  for (int p : parallelism) {
+    if (p < 1) return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (config.warmup_seconds >= config.duration_seconds) {
+    return Status::InvalidArgument("warmup must be shorter than duration");
+  }
+  double any_rate = 0;
+  for (int v = 0; v < n; ++v) {
+    if (graph.op(v).is_source()) any_rate += source_rate[v];
+  }
+  if (any_rate <= 0) {
+    return Status::InvalidArgument("no positive source rate");
+  }
+  Simulation sim(graph, model, parallelism, source_rate, config);
+  return sim.Run();
+}
+
+}  // namespace streamtune::sim

@@ -1,0 +1,150 @@
+#include "sim/flink_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace streamtune::sim {
+
+FlinkSimulator::FlinkSimulator(JobGraph graph, PerfModel model,
+                               SimConfig config)
+    : graph_(std::move(graph)),
+      model_(std::move(model)),
+      config_(config),
+      noise_rng_(config.noise_seed) {
+  assert(graph_.Validate().ok());
+  assert(model_.num_operators() == graph_.num_operators());
+  const int n = graph_.num_operators();
+  source_rates_.assign(n, 0.0);
+  selectivity_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    if (graph_.op(v).is_source()) source_rates_[v] = graph_.op(v).source_rate;
+    selectivity_[v] = model_.Selectivity(v);
+  }
+  parallelism_.assign(n, 1);
+}
+
+Status FlinkSimulator::SetSourceRate(int op_id, double rate) {
+  if (op_id < 0 || op_id >= graph_.num_operators()) {
+    return Status::InvalidArgument("operator id out of range");
+  }
+  if (!graph_.op(op_id).is_source()) {
+    return Status::InvalidArgument("operator '" + graph_.op(op_id).name +
+                                   "' is not a source");
+  }
+  if (rate < 0) return Status::InvalidArgument("negative source rate");
+  source_rates_[op_id] = rate;
+  return Status::OK();
+}
+
+void FlinkSimulator::ScaleAllSources(double factor) {
+  for (int v = 0; v < graph_.num_operators(); ++v) {
+    if (graph_.op(v).is_source()) {
+      source_rates_[v] = graph_.op(v).source_rate * factor;
+    }
+  }
+}
+
+Status FlinkSimulator::Deploy(const std::vector<int>& parallelism) {
+  if (static_cast<int>(parallelism.size()) != graph_.num_operators()) {
+    return Status::InvalidArgument("parallelism vector size mismatch");
+  }
+  for (int p : parallelism) {
+    if (p < 1 || p > config_.max_parallelism) {
+      return Status::OutOfRange("parallelism degree " + std::to_string(p) +
+                                " outside [1, " +
+                                std::to_string(config_.max_parallelism) + "]");
+    }
+  }
+  bool changed = !deployed_ || parallelism != parallelism_;
+  if (deployed_ && changed) ++reconfiguration_count_;
+  parallelism_ = parallelism;
+  deployed_ = true;
+  ++deployment_count_;
+  virtual_minutes_ += config_.live_reconfiguration
+                          ? config_.live_stabilization_minutes
+                          : config_.stabilization_minutes;
+  return Status::OK();
+}
+
+FlowResult FlinkSimulator::Solve() const {
+  std::vector<double> capacity(graph_.num_operators());
+  for (int v = 0; v < graph_.num_operators(); ++v) {
+    capacity[v] = model_.ProcessingAbility(v, parallelism_[v]);
+  }
+  return SolveFlow(graph_, capacity, selectivity_, source_rates_);
+}
+
+Result<JobMetrics> FlinkSimulator::Measure() {
+  if (!deployed_) {
+    return Status::FailedPrecondition("job not deployed");
+  }
+  FlowResult flow = Solve();
+  const int n = graph_.num_operators();
+
+  JobMetrics jm;
+  jm.ops.resize(n);
+  jm.lambda = flow.lambda;
+  jm.job_backpressure = flow.AnyBackpressure();
+  jm.total_parallelism = 0;
+  for (int v = 0; v < n; ++v) {
+    OperatorMetrics& m = jm.ops[v];
+    m.busy_frac = Clamp(flow.busy[v], 0.0, 1.0);
+    // An operator spends (1 - lambda) of its time blocked by downstream,
+    // bounded by the time it is not itself processing (busy, blocked and
+    // idle time partition the second).
+    m.backpressured_frac =
+        flow.blocked[v] ? std::min(1.0 - flow.lambda, 1.0 - m.busy_frac)
+                        : 0.0;
+    m.idle_frac =
+        std::max(0.0, 1.0 - m.busy_frac - m.backpressured_frac);
+    m.cpu_load = m.busy_frac;
+    m.input_rate = flow.achieved_in[v];
+    m.output_rate = flow.achieved_out[v];
+    m.desired_input_rate = flow.desired_in[v];
+    m.saturated = flow.saturated[v];
+    m.backpressured = m.backpressured_frac > config_.backpressure_threshold;
+
+    // Noisy useful-time sample: relative Gaussian error clamped to +-2.5
+    // sigma, floored away from zero so rate/useful_time stays finite.
+    double eps = config_.useful_time_noise == 0
+                     ? 0.0
+                     : Clamp(noise_rng_.Normal(0.0, config_.useful_time_noise),
+                             -2.5 * config_.useful_time_noise,
+                             2.5 * config_.useful_time_noise);
+    m.useful_time_frac_observed =
+        std::max(1e-4, m.busy_frac * (1.0 + eps));
+
+    jm.total_parallelism += parallelism_[v];
+    jm.used_cores += parallelism_[v] * m.busy_frac;
+    if (m.backpressured) jm.severe_backpressure = true;
+  }
+  if (jm.lambda < 1.0 - config_.backpressure_threshold) {
+    jm.severe_backpressure = true;  // sources throttled past the margin
+  }
+  return jm;
+}
+
+std::vector<int> FlinkSimulator::OracleParallelism() const {
+  // Unthrottled demand: give every operator effectively infinite capacity.
+  const int n = graph_.num_operators();
+  std::vector<double> huge(n, 1e18);
+  FlowResult flow = SolveFlow(graph_, huge, selectivity_, source_rates_);
+  std::vector<int> p(n, 1);
+  for (int v = 0; v < n; ++v) {
+    int need = model_.MinParallelismFor(v, flow.desired_in[v],
+                                        config_.max_parallelism);
+    p[v] = std::min(need, config_.max_parallelism);
+  }
+  return p;
+}
+
+void FlinkSimulator::ResetCounters() {
+  deployment_count_ = 0;
+  reconfiguration_count_ = 0;
+  virtual_minutes_ = 0;
+}
+
+}  // namespace streamtune::sim

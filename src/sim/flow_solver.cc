@@ -1,0 +1,89 @@
+#include "sim/flow_solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamtune::sim {
+
+namespace {
+// Utilization within this margin of capacity counts as saturated.
+constexpr double kSaturationTolerance = 1e-9;
+}  // namespace
+
+bool FlowResult::AnyBackpressure() const {
+  for (size_t i = 0; i < saturated.size(); ++i) {
+    if (saturated[i]) return true;
+  }
+  return false;
+}
+
+FlowResult SolveFlow(const JobGraph& graph,
+                     const std::vector<double>& capacity,
+                     const std::vector<double>& selectivity,
+                     const std::vector<double>& source_rate) {
+  const int n = graph.num_operators();
+  assert(static_cast<int>(capacity.size()) == n);
+  assert(static_cast<int>(selectivity.size()) == n);
+  assert(static_cast<int>(source_rate.size()) == n);
+
+  FlowResult r;
+  r.desired_in.assign(n, 0.0);
+  r.desired_out.assign(n, 0.0);
+  r.utilization_desired.assign(n, 0.0);
+  r.achieved_in.assign(n, 0.0);
+  r.achieved_out.assign(n, 0.0);
+  r.busy.assign(n, 0.0);
+  r.saturated.assign(n, false);
+  r.blocked.assign(n, false);
+
+  auto order_res = graph.TopologicalOrder();
+  assert(order_res.ok() && "SolveFlow requires an acyclic graph");
+  const std::vector<int>& order = order_res.value();
+
+  // Pass 1: propagate unthrottled demand downstream in topological order.
+  for (int v : order) {
+    if (graph.upstream(v).empty()) {
+      r.desired_in[v] = source_rate[v];
+    } else {
+      double in = 0;
+      for (int u : graph.upstream(v)) in += r.desired_out[u];
+      r.desired_in[v] = in;
+    }
+    r.desired_out[v] = r.desired_in[v] * selectivity[v];
+  }
+
+  // Pass 2: the sustainable throughput fraction is set by the most
+  // overloaded operator.
+  double max_util = 0.0;
+  for (int v = 0; v < n; ++v) {
+    assert(capacity[v] > 0);
+    r.utilization_desired[v] = r.desired_in[v] / capacity[v];
+    max_util = std::max(max_util, r.utilization_desired[v]);
+  }
+  r.lambda = max_util > 1.0 ? 1.0 / max_util : 1.0;
+
+  // Pass 3: achieved rates and busy fractions at the throttled fixed point.
+  for (int v = 0; v < n; ++v) {
+    r.achieved_in[v] = r.lambda * r.desired_in[v];
+    r.achieved_out[v] = r.lambda * r.desired_out[v];
+    r.busy[v] = r.achieved_in[v] / capacity[v];
+    r.saturated[v] = r.busy[v] >= 1.0 - kSaturationTolerance &&
+                     r.achieved_in[v] > 0.0;
+  }
+
+  // Pass 4: cascading effect — every operator with a saturated strict
+  // descendant is blocked (spends time backpressured). Reverse topological
+  // propagation of "has saturated descendant".
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int v = *it;
+    for (int d : graph.downstream(v)) {
+      if (r.saturated[d] || r.blocked[d]) {
+        r.blocked[v] = true;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace streamtune::sim

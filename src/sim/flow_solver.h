@@ -1,0 +1,62 @@
+// Steady-state dataflow flow solver.
+//
+// Given a job graph, per-operator capacities (records/second), selectivities
+// and external source rates, computes the steady-state flow fixed point under
+// backpressure: desired (unthrottled) rates, the sustainable throughput
+// fraction lambda, achieved rates, per-operator busy fractions, saturation,
+// and which operators are blocked by a saturated descendant (the cascading
+// effect described in Sec. II-A of the paper).
+
+#pragma once
+
+#include <vector>
+
+#include "dataflow/job_graph.h"
+
+namespace streamtune::sim {
+
+/// Output of one steady-state solve. All vectors are indexed by operator id.
+struct FlowResult {
+  /// Input rate each operator would receive if nothing throttled (rec/s).
+  /// For sources this is the external production demand.
+  std::vector<double> desired_in;
+  /// Output rate under no throttling (desired_in * selectivity).
+  std::vector<double> desired_out;
+  /// desired_in / capacity: > 1 means the operator cannot sustain the demand.
+  std::vector<double> utilization_desired;
+  /// Achieved input rate after backpressure throttling (lambda * desired_in).
+  std::vector<double> achieved_in;
+  /// Achieved output rate.
+  std::vector<double> achieved_out;
+  /// Fraction of time each operator spends processing (achieved_in/capacity).
+  std::vector<double> busy;
+  /// True when the operator runs at (effectively) full capacity.
+  std::vector<bool> saturated;
+  /// True when some strict descendant is saturated, i.e. this operator is
+  /// blocked by downstream backpressure (cascading effect).
+  std::vector<bool> blocked;
+  /// Fraction of the external source rates the pipeline sustains, in (0, 1].
+  double lambda = 1.0;
+
+  /// True if the job cannot sustain the offered source rates: some operator
+  /// is saturated (a bottleneck exists somewhere in the pipeline).
+  bool AnyBackpressure() const;
+};
+
+/// Solves the steady-state flow.
+///
+/// `capacity[v]`    operator v's processing ability at its deployed
+///                  parallelism (records/second, > 0);
+/// `selectivity[v]` output records per input record;
+/// `source_rate[v]` external production rate for sources, 0 for non-sources.
+///
+/// The graph must be a valid DAG (see JobGraph::Validate). All source rates
+/// are throttled by a single factor lambda such that no operator exceeds its
+/// capacity — the steady state a credit-based backpressure mechanism (Flink)
+/// converges to.
+FlowResult SolveFlow(const JobGraph& graph,
+                     const std::vector<double>& capacity,
+                     const std::vector<double>& selectivity,
+                     const std::vector<double>& source_rate);
+
+}  // namespace streamtune::sim

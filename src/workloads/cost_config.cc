@@ -1,0 +1,27 @@
+#include "workloads/cost_config.h"
+
+namespace streamtune::workloads {
+
+double CostScaleFor(const std::string& name) {
+  auto starts_with = [&](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  auto ends_with = [&](const char* suffix) {
+    std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  if (starts_with("pqp-")) return 15.0;               // heavyweight operators
+  if (starts_with("nexmark-") && ends_with("-timely")) {
+    return 0.0015;  // native Rust operators
+  }
+  return 1.0;  // Flink baseline
+}
+
+sim::CostModelConfig CostConfigFor(const JobGraph& job) {
+  sim::CostModelConfig cfg;
+  cfg.cost_scale = CostScaleFor(job.name());
+  return cfg;
+}
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,28 @@
+// Per-workload cost-model calibration.
+//
+// The three workload families run on very different "hardware" in the paper:
+//   - Nexmark-on-Flink: JVM operators with serialization overhead (baseline
+//     per-record costs);
+//   - Nexmark-on-Timely: native Rust operators, orders of magnitude cheaper
+//     per record (which is why Table II's Timely rate units are in the
+//     millions);
+//   - PQP: the ZeroTune testbed's heavyweight synthetic operators, whose
+//     rate units are only hundreds of records/second.
+// This helper picks a calibrated cost scale from the job's name so each
+// family exercises meaningful parallelism ranges under its Table II rates.
+
+#pragma once
+
+#include "dataflow/job_graph.h"
+#include "sim/cost_model.h"
+
+namespace streamtune::workloads {
+
+/// Cost-model configuration matched to the workload family of `job`
+/// (by job-name prefix; unknown names get the Flink baseline).
+sim::CostModelConfig CostConfigFor(const JobGraph& job);
+
+/// The scale factors behind CostConfigFor, exposed for tests.
+double CostScaleFor(const std::string& job_name);
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,232 @@
+#include "workloads/nexmark.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace streamtune::workloads {
+
+const char* NexmarkQueryName(NexmarkQuery q) {
+  switch (q) {
+    case NexmarkQuery::kQ1:
+      return "Q1";
+    case NexmarkQuery::kQ2:
+      return "Q2";
+    case NexmarkQuery::kQ3:
+      return "Q3";
+    case NexmarkQuery::kQ5:
+      return "Q5";
+    case NexmarkQuery::kQ8:
+      return "Q8";
+  }
+  return "?";
+}
+
+std::vector<NexmarkQuery> AllNexmarkQueries() {
+  return {NexmarkQuery::kQ1, NexmarkQuery::kQ2, NexmarkQuery::kQ3,
+          NexmarkQuery::kQ5, NexmarkQuery::kQ8};
+}
+
+double NexmarkRateUnit(NexmarkQuery query, Engine engine,
+                       const char* stream) {
+  const bool flink = engine == Engine::kFlink;
+  auto is = [&](const char* s) { return std::strcmp(stream, s) == 0; };
+  switch (query) {
+    case NexmarkQuery::kQ1:
+      if (is("bids")) return flink ? 700e3 : 9e6;
+      break;
+    case NexmarkQuery::kQ2:
+      if (is("bids")) return flink ? 900e3 : 9e6;
+      break;
+    case NexmarkQuery::kQ3:
+      if (is("auctions")) return flink ? 200e3 : 5e6;
+      if (is("persons")) return flink ? 40e3 : 5e6;
+      break;
+    case NexmarkQuery::kQ5:
+      if (is("bids")) return flink ? 80e3 : 10e6;
+      break;
+    case NexmarkQuery::kQ8:
+      if (is("auctions")) return flink ? 100e3 : 4e6;
+      if (is("persons")) return flink ? 60e3 : 4e6;
+      break;
+  }
+  assert(false && "stream not used by this query");
+  return 0;
+}
+
+namespace {
+
+OperatorSpec Source(const char* name, double rate, double width) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = rate;
+  s.tuple_width_in = width;
+  s.tuple_width_out = width;
+  s.tuple_data_type = KeyClass::kComposite;
+  return s;
+}
+
+OperatorSpec Sink(const char* name, double width) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSink;
+  s.tuple_width_in = width;
+  s.tuple_width_out = 0;
+  return s;
+}
+
+}  // namespace
+
+JobGraph BuildNexmarkJob(NexmarkQuery query, Engine engine) {
+  const char* engine_tag = engine == Engine::kFlink ? "flink" : "timely";
+  JobGraph g(std::string("nexmark-") + NexmarkQueryName(query) + "-" +
+             engine_tag);
+  switch (query) {
+    case NexmarkQuery::kQ1: {
+      // Currency conversion: stateless map over bids.
+      int src = g.AddOperator(
+          Source("bids", NexmarkRateUnit(query, engine, "bids"), 128));
+      OperatorSpec map;
+      map.name = "currency-map";
+      map.type = OperatorType::kMap;
+      map.tuple_width_in = 128;
+      map.tuple_width_out = 136;
+      int m = g.AddOperator(map);
+      int sink = g.AddOperator(Sink("sink", 136));
+      (void)g.AddEdge(src, m);
+      (void)g.AddEdge(m, sink);
+      break;
+    }
+    case NexmarkQuery::kQ2: {
+      // Selection: stateless filter over bids.
+      int src = g.AddOperator(
+          Source("bids", NexmarkRateUnit(query, engine, "bids"), 128));
+      OperatorSpec filter;
+      filter.name = "auction-filter";
+      filter.type = OperatorType::kFilter;
+      filter.tuple_width_in = 128;
+      filter.tuple_width_out = 128;
+      int f = g.AddOperator(filter);
+      int sink = g.AddOperator(Sink("sink", 128));
+      (void)g.AddEdge(src, f);
+      (void)g.AddEdge(f, sink);
+      break;
+    }
+    case NexmarkQuery::kQ3: {
+      // Local item suggestion: incremental (record-at-a-time) join of
+      // filtered auctions with filtered persons.
+      int auctions = g.AddOperator(
+          Source("auctions", NexmarkRateUnit(query, engine, "auctions"), 196));
+      int persons = g.AddOperator(
+          Source("persons", NexmarkRateUnit(query, engine, "persons"), 224));
+      OperatorSpec fa;
+      fa.name = "category-filter";
+      fa.type = OperatorType::kFilter;
+      fa.tuple_width_in = 196;
+      fa.tuple_width_out = 196;
+      int f1 = g.AddOperator(fa);
+      OperatorSpec fp;
+      fp.name = "state-filter";
+      fp.type = OperatorType::kFilter;
+      fp.tuple_width_in = 224;
+      fp.tuple_width_out = 224;
+      int f2 = g.AddOperator(fp);
+      OperatorSpec join;
+      join.name = "incremental-join";
+      join.type = OperatorType::kJoin;
+      join.join_key_class = KeyClass::kLong;
+      join.tuple_width_in = 210;
+      join.tuple_width_out = 280;
+      int j = g.AddOperator(join);
+      int sink = g.AddOperator(Sink("sink", 280));
+      (void)g.AddEdge(auctions, f1);
+      (void)g.AddEdge(persons, f2);
+      (void)g.AddEdge(f1, j);
+      (void)g.AddEdge(f2, j);
+      (void)g.AddEdge(j, sink);
+      break;
+    }
+    case NexmarkQuery::kQ5: {
+      // Hot items: sliding-window aggregation over bids plus a global max.
+      int src = g.AddOperator(
+          Source("bids", NexmarkRateUnit(query, engine, "bids"), 128));
+      OperatorSpec map;
+      map.name = "project-bid";
+      map.type = OperatorType::kMap;
+      map.tuple_width_in = 128;
+      map.tuple_width_out = 64;
+      int m = g.AddOperator(map);
+      OperatorSpec win;
+      win.name = "sliding-count";
+      win.type = OperatorType::kAggregate;
+      win.window_type = WindowType::kSliding;
+      win.window_policy = WindowPolicy::kTime;
+      win.window_length = 60.0;
+      win.sliding_length = 5.0;
+      win.aggregate_function = AggregateFunction::kCount;
+      win.aggregate_class = KeyClass::kLong;
+      win.aggregate_key_class = KeyClass::kLong;
+      win.tuple_width_in = 64;
+      win.tuple_width_out = 48;
+      int w = g.AddOperator(win);
+      OperatorSpec maxagg;
+      maxagg.name = "window-max";
+      maxagg.type = OperatorType::kAggregate;
+      maxagg.window_type = WindowType::kTumbling;
+      maxagg.window_policy = WindowPolicy::kTime;
+      maxagg.window_length = 5.0;
+      maxagg.aggregate_function = AggregateFunction::kMax;
+      maxagg.aggregate_class = KeyClass::kLong;
+      maxagg.aggregate_key_class = KeyClass::kLong;
+      maxagg.tuple_width_in = 48;
+      maxagg.tuple_width_out = 48;
+      int x = g.AddOperator(maxagg);
+      int sink = g.AddOperator(Sink("sink", 48));
+      (void)g.AddEdge(src, m);
+      (void)g.AddEdge(m, w);
+      (void)g.AddEdge(w, x);
+      (void)g.AddEdge(x, sink);
+      break;
+    }
+    case NexmarkQuery::kQ8: {
+      // Monitor new users: tumbling-window join of persons and auctions.
+      int persons = g.AddOperator(
+          Source("persons", NexmarkRateUnit(query, engine, "persons"), 224));
+      int auctions = g.AddOperator(
+          Source("auctions", NexmarkRateUnit(query, engine, "auctions"), 196));
+      OperatorSpec mp;
+      mp.name = "project-person";
+      mp.type = OperatorType::kMap;
+      mp.tuple_width_in = 224;
+      mp.tuple_width_out = 96;
+      int m1 = g.AddOperator(mp);
+      OperatorSpec ma;
+      ma.name = "project-auction";
+      ma.type = OperatorType::kMap;
+      ma.tuple_width_in = 196;
+      ma.tuple_width_out = 96;
+      int m2 = g.AddOperator(ma);
+      OperatorSpec join;
+      join.name = "tumbling-window-join";
+      join.type = OperatorType::kWindowJoin;
+      join.window_type = WindowType::kTumbling;
+      join.window_policy = WindowPolicy::kTime;
+      join.window_length = 10.0;
+      join.join_key_class = KeyClass::kLong;
+      join.tuple_width_in = 96;
+      join.tuple_width_out = 128;
+      int j = g.AddOperator(join);
+      int sink = g.AddOperator(Sink("sink", 128));
+      (void)g.AddEdge(persons, m1);
+      (void)g.AddEdge(auctions, m2);
+      (void)g.AddEdge(m1, j);
+      (void)g.AddEdge(m2, j);
+      (void)g.AddEdge(j, sink);
+      break;
+    }
+  }
+  assert(g.Validate().ok());
+  return g;
+}
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,32 @@
+// Nexmark benchmark queries Q1, Q2, Q3, Q5, Q8 as logical dataflow DAGs
+// (Sec. V-A), with the per-engine source-rate units of Table II.
+
+#pragma once
+
+#include <vector>
+
+#include "dataflow/job_graph.h"
+
+namespace streamtune::workloads {
+
+/// The Nexmark queries evaluated in the paper.
+enum class NexmarkQuery { kQ1, kQ2, kQ3, kQ5, kQ8 };
+
+/// Which engine's source-rate units (Table II) to bake into the job.
+enum class Engine { kFlink, kTimely };
+
+const char* NexmarkQueryName(NexmarkQuery q);
+
+/// All five evaluated queries, in paper order.
+std::vector<NexmarkQuery> AllNexmarkQueries();
+
+/// Builds the logical DAG for `query`. Source operators carry their Table II
+/// rate unit W_u as the base source rate; the rate schedule scales them.
+JobGraph BuildNexmarkJob(NexmarkQuery query, Engine engine);
+
+/// The W_u (records/second) for a given stream of a query, per Table II.
+/// Stream name is one of "bids", "auctions", "persons".
+double NexmarkRateUnit(NexmarkQuery query, Engine engine,
+                       const char* stream);
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,204 @@
+#include "workloads/pqp.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace streamtune::workloads {
+
+const char* PqpTemplateName(PqpTemplate t) {
+  switch (t) {
+    case PqpTemplate::kLinear:
+      return "Linear";
+    case PqpTemplate::kTwoWayJoin:
+      return "2-way-join";
+    case PqpTemplate::kThreeWayJoin:
+      return "3-way-join";
+  }
+  return "?";
+}
+
+int PqpVariantCount(PqpTemplate t) {
+  switch (t) {
+    case PqpTemplate::kLinear:
+      return 8;
+    case PqpTemplate::kTwoWayJoin:
+      return 16;
+    case PqpTemplate::kThreeWayJoin:
+      return 32;
+  }
+  return 0;
+}
+
+double PqpRateUnit(PqpTemplate t) {
+  switch (t) {
+    case PqpTemplate::kLinear:
+      return 5e3;
+    case PqpTemplate::kTwoWayJoin:
+      return 0.5e3;
+    case PqpTemplate::kThreeWayJoin:
+      return 0.25e3;
+  }
+  return 0;
+}
+
+namespace {
+
+OperatorSpec MakeSource(const std::string& name, double rate, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = rate;
+  s.tuple_width_in = s.tuple_width_out = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_data_type = KeyClass::kComposite;
+  return s;
+}
+
+OperatorSpec RandomUnary(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  int pick = rng->UniformInt(0, 2);
+  s.type = pick == 0   ? OperatorType::kFilter
+           : pick == 1 ? OperatorType::kMap
+                       : OperatorType::kFlatMap;
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(2, 16) * 16.0;
+  return s;
+}
+
+OperatorSpec RandomWindowedAgg(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kAggregate;
+  s.window_type =
+      rng->Bernoulli(0.5) ? WindowType::kTumbling : WindowType::kSliding;
+  s.window_policy =
+      rng->Bernoulli(0.5) ? WindowPolicy::kTime : WindowPolicy::kCount;
+  s.window_length = rng->UniformInt(1, 12) * 10.0;
+  if (s.window_type == WindowType::kSliding) {
+    s.sliding_length = s.window_length / rng->UniformInt(2, 6);
+  }
+  int fn = rng->UniformInt(1, kNumAggregateFunctions - 1);
+  s.aggregate_function = static_cast<AggregateFunction>(fn);
+  s.aggregate_class = static_cast<KeyClass>(rng->UniformInt(1, 3));
+  s.aggregate_key_class = static_cast<KeyClass>(rng->UniformInt(1, 3));
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(1, 8) * 16.0;
+  return s;
+}
+
+OperatorSpec RandomWindowJoin(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kWindowJoin;
+  s.window_type =
+      rng->Bernoulli(0.5) ? WindowType::kTumbling : WindowType::kSliding;
+  s.window_policy = WindowPolicy::kTime;
+  s.window_length = rng->UniformInt(1, 6) * 10.0;
+  if (s.window_type == WindowType::kSliding) {
+    s.sliding_length = s.window_length / rng->UniformInt(2, 4);
+  }
+  s.join_key_class = static_cast<KeyClass>(rng->UniformInt(1, 3));
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(4, 20) * 16.0;
+  return s;
+}
+
+OperatorSpec MakeSink(double width) {
+  OperatorSpec s;
+  s.name = "sink";
+  s.type = OperatorType::kSink;
+  s.tuple_width_in = width;
+  return s;
+}
+
+// One filter/map chain: returns the id of the chain's last operator.
+int AddChain(JobGraph* g, int from, int length, const std::string& prefix,
+             Rng* rng) {
+  int prev = from;
+  for (int i = 0; i < length; ++i) {
+    int id = g->AddOperator(
+        RandomUnary(prefix + "-op" + std::to_string(i), rng));
+    (void)g->AddEdge(prev, id);
+    prev = id;
+  }
+  return prev;
+}
+
+}  // namespace
+
+JobGraph BuildPqpJob(PqpTemplate t, int index) {
+  assert(index >= 0 && index < PqpVariantCount(t));
+  Rng rng(0x5eed0000ULL + static_cast<uint64_t>(t) * 1000 + index);
+  JobGraph g(std::string("pqp-") + PqpTemplateName(t) + "-" +
+             std::to_string(index));
+  double wu = PqpRateUnit(t);
+
+  switch (t) {
+    case PqpTemplate::kLinear: {
+      int src = g.AddOperator(MakeSource("source", wu, &rng));
+      int tail = AddChain(&g, src, rng.UniformInt(1, 4), "chain", &rng);
+      int agg = g.AddOperator(RandomWindowedAgg("aggregate", &rng));
+      (void)g.AddEdge(tail, agg);
+      int sink = g.AddOperator(MakeSink(g.op(agg).tuple_width_out));
+      (void)g.AddEdge(agg, sink);
+      break;
+    }
+    case PqpTemplate::kTwoWayJoin: {
+      int s1 = g.AddOperator(MakeSource("source-a", wu, &rng));
+      int s2 = g.AddOperator(MakeSource("source-b", wu, &rng));
+      int t1 = AddChain(&g, s1, rng.UniformInt(0, 2), "left", &rng);
+      int t2 = AddChain(&g, s2, rng.UniformInt(0, 2), "right", &rng);
+      int j = g.AddOperator(RandomWindowJoin("join", &rng));
+      (void)g.AddEdge(t1, j);
+      (void)g.AddEdge(t2, j);
+      int tail = j;
+      if (rng.Bernoulli(0.6)) {
+        int agg = g.AddOperator(RandomWindowedAgg("aggregate", &rng));
+        (void)g.AddEdge(j, agg);
+        tail = agg;
+      }
+      int sink = g.AddOperator(MakeSink(g.op(tail).tuple_width_out));
+      (void)g.AddEdge(tail, sink);
+      break;
+    }
+    case PqpTemplate::kThreeWayJoin: {
+      int s1 = g.AddOperator(MakeSource("source-a", wu, &rng));
+      int s2 = g.AddOperator(MakeSource("source-b", wu, &rng));
+      int s3 = g.AddOperator(MakeSource("source-c", wu, &rng));
+      int t1 = AddChain(&g, s1, rng.UniformInt(0, 2), "a", &rng);
+      int t2 = AddChain(&g, s2, rng.UniformInt(0, 1), "b", &rng);
+      int t3 = AddChain(&g, s3, rng.UniformInt(0, 2), "c", &rng);
+      int j1 = g.AddOperator(RandomWindowJoin("join-ab", &rng));
+      (void)g.AddEdge(t1, j1);
+      (void)g.AddEdge(t2, j1);
+      int j2 = g.AddOperator(RandomWindowJoin("join-abc", &rng));
+      (void)g.AddEdge(j1, j2);
+      (void)g.AddEdge(t3, j2);
+      int tail = j2;
+      if (rng.Bernoulli(0.6)) {
+        int agg = g.AddOperator(RandomWindowedAgg("aggregate", &rng));
+        (void)g.AddEdge(j2, agg);
+        tail = agg;
+      }
+      int sink = g.AddOperator(MakeSink(g.op(tail).tuple_width_out));
+      (void)g.AddEdge(tail, sink);
+      break;
+    }
+  }
+  assert(g.Validate().ok());
+  return g;
+}
+
+std::vector<JobGraph> AllPqpJobs() {
+  std::vector<JobGraph> jobs;
+  for (PqpTemplate t : {PqpTemplate::kLinear, PqpTemplate::kTwoWayJoin,
+                        PqpTemplate::kThreeWayJoin}) {
+    for (int i = 0; i < PqpVariantCount(t); ++i) {
+      jobs.push_back(BuildPqpJob(t, i));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,37 @@
+// PQP synthetic query workload (Sec. V-A, from the ZeroTune paper).
+//
+// Three parameterized templates: Linear (8 query variants), 2-way-join (16)
+// and 3-way-join (32). Variants differ deterministically (seeded by template
+// and index) in chain length, operator mix, window configuration and tuple
+// widths, reflecting the diversity the paper uses to test generalization.
+// Source-rate units W_u per Table II: Linear 5K, 2-way-join 0.5K,
+// 3-way-join 0.25K records/second (Flink only).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/job_graph.h"
+
+namespace streamtune::workloads {
+
+/// The three PQP query templates.
+enum class PqpTemplate { kLinear, kTwoWayJoin, kThreeWayJoin };
+
+const char* PqpTemplateName(PqpTemplate t);
+
+/// Number of query variants the paper evaluates per template.
+int PqpVariantCount(PqpTemplate t);
+
+/// Table II W_u for a template (records/second).
+double PqpRateUnit(PqpTemplate t);
+
+/// Builds variant `index` (in [0, PqpVariantCount)) of a template. Sources
+/// carry W_u as their base rate.
+JobGraph BuildPqpJob(PqpTemplate t, int index);
+
+/// All variants of all templates (8 + 16 + 32 = 56 jobs).
+std::vector<JobGraph> AllPqpJobs();
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,145 @@
+#include "workloads/random_dag.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace streamtune::workloads {
+
+namespace {
+
+OperatorSpec RandSource(const std::string& name, double rate, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = rate;
+  s.tuple_width_in = s.tuple_width_out = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_data_type = static_cast<KeyClass>(rng->UniformInt(1, 4));
+  return s;
+}
+
+OperatorSpec RandUnary(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  int pick = rng->UniformInt(0, 2);
+  s.type = pick == 0   ? OperatorType::kFilter
+           : pick == 1 ? OperatorType::kMap
+                       : OperatorType::kFlatMap;
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(2, 16) * 16.0;
+  return s;
+}
+
+OperatorSpec RandAgg(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kAggregate;
+  s.window_type =
+      rng->Bernoulli(0.5) ? WindowType::kTumbling : WindowType::kSliding;
+  s.window_policy =
+      rng->Bernoulli(0.5) ? WindowPolicy::kTime : WindowPolicy::kCount;
+  s.window_length = rng->UniformInt(1, 30) * 10.0;
+  if (s.window_type == WindowType::kSliding) {
+    s.sliding_length = s.window_length / rng->UniformInt(2, 8);
+  }
+  s.aggregate_function = static_cast<AggregateFunction>(
+      rng->UniformInt(1, kNumAggregateFunctions - 1));
+  s.aggregate_class = static_cast<KeyClass>(rng->UniformInt(1, 4));
+  s.aggregate_key_class = static_cast<KeyClass>(rng->UniformInt(1, 4));
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(1, 8) * 16.0;
+  return s;
+}
+
+OperatorSpec RandJoin(const std::string& name, Rng* rng) {
+  OperatorSpec s;
+  s.name = name;
+  bool windowed = rng->Bernoulli(0.6);
+  s.type = windowed ? OperatorType::kWindowJoin : OperatorType::kJoin;
+  if (windowed) {
+    s.window_type =
+        rng->Bernoulli(0.5) ? WindowType::kTumbling : WindowType::kSliding;
+    s.window_policy = WindowPolicy::kTime;
+    s.window_length = rng->UniformInt(1, 12) * 10.0;
+    if (s.window_type == WindowType::kSliding) {
+      s.sliding_length = s.window_length / rng->UniformInt(2, 4);
+    }
+  }
+  s.join_key_class = static_cast<KeyClass>(rng->UniformInt(1, 4));
+  s.tuple_width_in = rng->UniformInt(2, 16) * 16.0;
+  s.tuple_width_out = rng->UniformInt(4, 24) * 16.0;
+  return s;
+}
+
+int Chain(JobGraph* g, int from, int length, const std::string& prefix,
+          Rng* rng) {
+  int prev = from;
+  for (int i = 0; i < length; ++i) {
+    int id =
+        g->AddOperator(RandUnary(prefix + "-u" + std::to_string(i), rng));
+    (void)g->AddEdge(prev, id);
+    prev = id;
+  }
+  return prev;
+}
+
+}  // namespace
+
+JobGraph GenerateRandomDag(Rng* rng, const RandomDagConfig& config) {
+  static int counter = 0;
+  JobGraph g("rand-" + std::to_string(counter++));
+  int num_sources = rng->UniformInt(config.min_sources, config.max_sources);
+
+  // Log-uniform rate unit so small and large rates are both represented.
+  double lo = std::log(config.min_rate_unit);
+  double hi = std::log(config.max_rate_unit);
+  double rate = std::exp(rng->Uniform(lo, hi));
+
+  // Build per-source branches, then join them pairwise.
+  std::vector<int> heads;
+  for (int s = 0; s < num_sources; ++s) {
+    int src = g.AddOperator(
+        RandSource("source-" + std::to_string(s), rate, rng));
+    heads.push_back(Chain(&g, src, rng->UniformInt(1, config.max_chain_length),
+                          "s" + std::to_string(s), rng));
+  }
+  while (heads.size() > 1) {
+    int a = heads.back();
+    heads.pop_back();
+    int b = heads.back();
+    heads.pop_back();
+    int j = g.AddOperator(
+        RandJoin("join-" + std::to_string(heads.size()), rng));
+    (void)g.AddEdge(a, j);
+    (void)g.AddEdge(b, j);
+    heads.push_back(rng->Bernoulli(0.4)
+                        ? Chain(&g, j, 1, "pj" + std::to_string(j), rng)
+                        : j);
+  }
+  int tail = heads[0];
+  if (rng->Bernoulli(0.7)) {
+    int agg = g.AddOperator(RandAgg("aggregate", rng));
+    (void)g.AddEdge(tail, agg);
+    tail = agg;
+  }
+  OperatorSpec sink;
+  sink.name = "sink";
+  sink.type = OperatorType::kSink;
+  sink.tuple_width_in = g.op(tail).tuple_width_out;
+  int sk = g.AddOperator(sink);
+  (void)g.AddEdge(tail, sk);
+
+  assert(g.Validate().ok());
+  return g;
+}
+
+std::vector<JobGraph> GenerateRandomDags(int count, uint64_t seed,
+                                         const RandomDagConfig& config) {
+  Rng rng(seed);
+  std::vector<JobGraph> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(GenerateRandomDag(&rng, config));
+  return out;
+}
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,34 @@
+// Random dataflow DAG generation for the pre-training corpus.
+//
+// Produces valid streaming jobs of varied shape (1-3 sources, unary chains,
+// optional joins and aggregations, <= ~20 operators) so the pre-training
+// history covers the structural diversity shown in Fig. 5.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/job_graph.h"
+
+namespace streamtune::workloads {
+
+/// Shape controls for random job generation.
+struct RandomDagConfig {
+  int min_sources = 1;
+  int max_sources = 3;
+  int max_chain_length = 3;
+  /// Source-rate unit range (uniform log-ish choice between the two).
+  double min_rate_unit = 50e3;
+  double max_rate_unit = 2e6;
+};
+
+/// Generates one random valid streaming job.
+JobGraph GenerateRandomDag(Rng* rng, const RandomDagConfig& config = {});
+
+/// Generates `count` random jobs from a base seed.
+std::vector<JobGraph> GenerateRandomDags(int count, uint64_t seed,
+                                         const RandomDagConfig& config = {});
+
+}  // namespace streamtune::workloads

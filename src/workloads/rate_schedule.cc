@@ -1,0 +1,32 @@
+#include "workloads/rate_schedule.h"
+
+#include "common/rng.h"
+
+namespace streamtune::workloads {
+
+std::vector<double> BasicRateCycle() {
+  return {3, 7, 4, 2, 1, 10, 8, 5, 6, 9};
+}
+
+std::vector<double> RateSequence(int permutation_index, uint64_t seed) {
+  std::vector<double> cycle = BasicRateCycle();
+  if (permutation_index > 0) {
+    Rng rng(seed + static_cast<uint64_t>(permutation_index));
+    rng.Shuffle(&cycle);
+  }
+  std::vector<double> seq = cycle;
+  seq.insert(seq.end(), cycle.begin(), cycle.end());
+  return seq;
+}
+
+std::vector<double> FullRateSchedule(uint64_t seed) {
+  std::vector<double> schedule;
+  schedule.reserve(120);
+  for (int p = 0; p < 6; ++p) {
+    std::vector<double> seq = RateSequence(p, seed);
+    schedule.insert(schedule.end(), seq.begin(), seq.end());
+  }
+  return schedule;
+}
+
+}  // namespace streamtune::workloads

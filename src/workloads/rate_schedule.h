@@ -1,0 +1,26 @@
+// Source-rate simulation (Sec. V-A).
+//
+// The paper drives every query with a periodic pattern: a basic cycle of ten
+// multipliers [3,7,4,2,1,10,8,5,6,9] (in units of W_u), replicated to twenty,
+// with six permutations of the cycle per query — 120 source-rate changes in
+// total per query.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace streamtune::workloads {
+
+/// The paper's basic cycle of ten rate multipliers.
+std::vector<double> BasicRateCycle();
+
+/// One 20-step sequence: a permutation of the basic cycle, replicated twice.
+/// `permutation_index` selects a deterministic permutation (0 = identity).
+std::vector<double> RateSequence(int permutation_index, uint64_t seed = 77);
+
+/// The full experimental schedule: six permuted 20-step sequences
+/// concatenated = 120 rate multipliers.
+std::vector<double> FullRateSchedule(uint64_t seed = 77);
+
+}  // namespace streamtune::workloads

@@ -1,0 +1,217 @@
+// Finite-difference verification of every autograd op, plus structural
+// tests (shared subexpressions, masked losses).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "ml/autograd.h"
+
+namespace streamtune::ml {
+namespace {
+
+Matrix RandomMatrix(int r, int c, Rng* rng, double scale = 1.0) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = scale * (2 * rng->Uniform() - 1);
+  return m;
+}
+
+// Checks d(loss)/d(param) against central finite differences, where the
+// loss is built by `make_loss` from the parameter node.
+void CheckGradient(Var param,
+                   const std::function<Var(const Var&)>& make_loss,
+                   double tol = 1e-5) {
+  Var loss = make_loss(param);
+  Backward(loss);
+  ASSERT_TRUE(param->has_grad());
+  Matrix analytic = param->grad;
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < param->value.size(); ++i) {
+    double saved = param->value.data()[i];
+    param->value.data()[i] = saved + eps;
+    double up = make_loss(param)->value.at(0, 0);
+    param->value.data()[i] = saved - eps;
+    double down = make_loss(param)->value.at(0, 0);
+    param->value.data()[i] = saved;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tol)
+        << "entry " << i << " of " << param->value.size();
+  }
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(1);
+  Var a = Param(RandomMatrix(3, 4, &rng));
+  Matrix b_val = RandomMatrix(4, 2, &rng);
+  CheckGradient(a, [&](const Var& p) {
+    return SumAll(MatMul(p, Constant(b_val)));
+  });
+  Var b = Param(b_val);
+  Matrix a_val = RandomMatrix(3, 4, &rng);
+  CheckGradient(b, [&](const Var& p) {
+    return SumAll(MatMul(Constant(a_val), p));
+  });
+}
+
+TEST(AutogradTest, AddSubGradient) {
+  Rng rng(2);
+  Matrix other = RandomMatrix(2, 3, &rng);
+  Var a = Param(RandomMatrix(2, 3, &rng));
+  CheckGradient(a, [&](const Var& p) {
+    return SumAll(Add(p, Constant(other)));
+  });
+  CheckGradient(a, [&](const Var& p) {
+    return SumAll(Sub(Constant(other), p));
+  });
+}
+
+TEST(AutogradTest, HadamardAndScaleGradient) {
+  Rng rng(3);
+  Matrix other = RandomMatrix(2, 2, &rng);
+  Var a = Param(RandomMatrix(2, 2, &rng));
+  CheckGradient(a, [&](const Var& p) {
+    return SumAll(Hadamard(p, Constant(other)));
+  });
+  CheckGradient(a, [&](const Var& p) { return SumAll(Scale(p, -2.5)); });
+}
+
+TEST(AutogradTest, RowBroadcastGradient) {
+  Rng rng(4);
+  Matrix big = RandomMatrix(4, 3, &rng);
+  Var bias = Param(RandomMatrix(1, 3, &rng));
+  CheckGradient(bias, [&](const Var& p) {
+    // Square so the bias gradient is input-dependent.
+    Var x = AddRowBroadcast(Constant(big), p);
+    return SumAll(Hadamard(x, x));
+  });
+}
+
+TEST(AutogradTest, ActivationGradients) {
+  Rng rng(5);
+  // Keep away from ReLU's kink for finite differences.
+  Matrix val = RandomMatrix(3, 3, &rng);
+  for (double& v : val.data()) {
+    if (std::fabs(v) < 0.05) v = 0.1;
+  }
+  Var a = Param(val);
+  CheckGradient(a, [&](const Var& p) { return SumAll(Relu(p)); });
+  CheckGradient(a, [&](const Var& p) { return SumAll(TanhOp(p)); });
+  CheckGradient(a, [&](const Var& p) { return SumAll(SigmoidOp(p)); });
+}
+
+TEST(AutogradTest, ConcatColsGradient) {
+  Rng rng(6);
+  Matrix right = RandomMatrix(3, 2, &rng);
+  Var a = Param(RandomMatrix(3, 4, &rng));
+  CheckGradient(a, [&](const Var& p) {
+    Var cat = ConcatCols(p, Constant(right));
+    return SumAll(Hadamard(cat, cat));
+  });
+  Var b = Param(right);
+  Matrix left = RandomMatrix(3, 4, &rng);
+  CheckGradient(b, [&](const Var& p) {
+    Var cat = ConcatCols(Constant(left), p);
+    return SumAll(Hadamard(cat, cat));
+  });
+}
+
+TEST(AutogradTest, MeanRowsGradient) {
+  Rng rng(7);
+  Var a = Param(RandomMatrix(5, 3, &rng));
+  CheckGradient(a, [&](const Var& p) {
+    Var m = MeanRows(p);
+    return SumAll(Hadamard(m, m));
+  });
+}
+
+TEST(AutogradTest, RmsNormRowsGradient) {
+  Rng rng(8);
+  Var a = Param(RandomMatrix(4, 6, &rng));
+  Rng wrng(99);
+  Matrix weights = RandomMatrix(4, 6, &wrng);
+  CheckGradient(a, [&](const Var& p) {
+    // Weighted sum so per-entry gradients are distinguishable.
+    return SumAll(Hadamard(RmsNormRows(p), Constant(weights)));
+  });
+}
+
+TEST(AutogradTest, RmsNormRowsNormalizes) {
+  Rng rng(9);
+  Var a = Constant(RandomMatrix(3, 8, &rng, 10.0));
+  Var n = RmsNormRows(a);
+  for (int r = 0; r < 3; ++r) {
+    double ms = 0;
+    for (int c = 0; c < 8; ++c) ms += n->value.at(r, c) * n->value.at(r, c);
+    EXPECT_NEAR(ms / 8, 1.0, 1e-6);
+  }
+}
+
+TEST(AutogradTest, BceWithLogitsGradientAndValue) {
+  Rng rng(10);
+  Matrix targets(4, 1);
+  targets.at(0, 0) = 1;
+  targets.at(2, 0) = 1;
+  Matrix mask(4, 1, 1.0);
+  mask.at(3, 0) = 0.0;  // one unlabeled entry
+  Var logits = Param(RandomMatrix(4, 1, &rng, 2.0));
+  CheckGradient(logits, [&](const Var& p) {
+    return BceWithLogitsMasked(p, targets, mask);
+  });
+
+  // Value check: logit 0 with any target gives log(2).
+  Var zero = Constant(Matrix(1, 1, 0.0));
+  Matrix t1(1, 1, 1.0), m1(1, 1, 1.0);
+  EXPECT_NEAR(BceWithLogitsMasked(zero, t1, m1)->value.at(0, 0),
+              std::log(2.0), 1e-12);
+}
+
+TEST(AutogradTest, BceAllMaskedIsZeroLoss) {
+  Matrix targets(2, 1), mask(2, 1, 0.0);
+  Var logits = Param(Matrix(2, 1, 3.0));
+  Var loss = BceWithLogitsMasked(logits, targets, mask);
+  EXPECT_DOUBLE_EQ(loss->value.at(0, 0), 0.0);
+  Backward(loss);  // must not crash
+}
+
+TEST(AutogradTest, MseLossGradient) {
+  Rng rng(11);
+  Matrix target = RandomMatrix(3, 2, &rng);
+  Var pred = Param(RandomMatrix(3, 2, &rng));
+  CheckGradient(pred, [&](const Var& p) { return MseLoss(p, target); });
+  // Zero loss at the target itself.
+  Var exact = Param(target);
+  EXPECT_DOUBLE_EQ(MseLoss(exact, target)->value.at(0, 0), 0.0);
+}
+
+TEST(AutogradTest, SharedSubexpressionAccumulatesGradient) {
+  // loss = sum(x + x) => dloss/dx = 2.
+  Var x = Param(Matrix(2, 2, 1.0));
+  Var loss = SumAll(Add(x, x));
+  Backward(loss);
+  for (double g : x->grad.data()) EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST(AutogradTest, BackwardClearsStaleGradients) {
+  Var x = Param(Matrix(1, 1, 2.0));
+  Var loss1 = SumAll(Scale(x, 3.0));
+  Backward(loss1);
+  EXPECT_DOUBLE_EQ(x->grad.at(0, 0), 3.0);
+  // A second independent backward pass over the same parameter must not
+  // accumulate on top of the previous gradient.
+  Var loss2 = SumAll(Scale(x, 5.0));
+  Backward(loss2);
+  EXPECT_DOUBLE_EQ(x->grad.at(0, 0), 5.0);
+}
+
+TEST(AutogradTest, ConstantsReceiveNoParamTreatment) {
+  Var c = Constant(Matrix(2, 2, 1.0));
+  EXPECT_FALSE(c->requires_grad);
+  Var p = Param(Matrix(2, 2, 1.0));
+  EXPECT_TRUE(p->requires_grad);
+}
+
+}  // namespace
+}  // namespace streamtune::ml

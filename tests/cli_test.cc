@@ -1,0 +1,51 @@
+// End-to-end test of the streamtune_cli binary (path injected by CMake).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+std::string Cli() { return STREAMTUNE_CLI_PATH; }
+
+std::string Tmp(const char* tag) {
+  return std::string(::testing::TempDir()) + "/cli_" + tag + "_" +
+         std::to_string(::getpid()) + ".txt";
+}
+
+int RunCli(const std::string& cmd) {
+  return std::system((cmd + " > /dev/null 2>&1").c_str());
+}
+
+TEST(CliTest, EndToEndPipeline) {
+  std::string hist = Tmp("hist");
+  std::string bundle = Tmp("bundle");
+  ASSERT_EQ(0, RunCli(Cli() + " collect --workload nexmark-flink --samples 5 "
+                           "--out " + hist));
+  ASSERT_EQ(0, RunCli(Cli() + " inspect --history " + hist));
+  ASSERT_EQ(0, RunCli(Cli() + " pretrain --history " + hist +
+                   " --no-cluster --epochs 5 --out " + bundle));
+  ASSERT_EQ(0, RunCli(Cli() + " inspect --bundle " + bundle));
+  ASSERT_EQ(0, RunCli(Cli() + " tune --bundle " + bundle +
+                   " --job nexmark:Q1 --rate 5"));
+  ASSERT_EQ(0, RunCli(Cli() + " tune --bundle " + bundle +
+                   " --job pqp:linear:0 --rate 3 --model svm"));
+  ASSERT_EQ(0, RunCli(Cli() + " simulate --job nexmark:Q2 --rate 2 "
+                           "--parallelism 3,4,2"));
+  std::remove(hist.c_str());
+  std::remove(bundle.c_str());
+}
+
+TEST(CliTest, FailsCleanlyOnBadInput) {
+  EXPECT_NE(0, RunCli(Cli()));                      // no command
+  EXPECT_NE(0, RunCli(Cli() + " bogus"));           // unknown command
+  EXPECT_NE(0, RunCli(Cli() + " collect"));         // missing --out
+  EXPECT_NE(0, RunCli(Cli() + " tune --bundle /nonexistent.txt "
+                           "--job nexmark:Q1"));
+  EXPECT_NE(0, RunCli(Cli() + " simulate --job nexmark:Q99"));
+  EXPECT_NE(0, RunCli(Cli() + " simulate --job pqp:linear:999"));
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::sim {
+namespace {
+
+JobGraph SampleJob() {
+  return workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                    workloads::Engine::kFlink);
+}
+
+TEST(CostModelTest, ProcessingAbilityStrictlyIncreasing) {
+  PerfModel model(SampleJob(), CostModelConfig{});
+  for (int v = 0; v < model.num_operators(); ++v) {
+    for (int p = 1; p < 100; ++p) {
+      EXPECT_LT(model.ProcessingAbility(v, p),
+                model.ProcessingAbility(v, p + 1))
+          << "operator " << v << " p " << p;
+    }
+  }
+}
+
+TEST(CostModelTest, SubLinearScaling) {
+  PerfModel model(SampleJob(), CostModelConfig{});
+  for (int v = 0; v < model.num_operators(); ++v) {
+    if (model.profile(v).scaling_gamma == 0) continue;
+    double pa1 = model.ProcessingAbility(v, 1);
+    double pa10 = model.ProcessingAbility(v, 10);
+    EXPECT_LT(pa10, 10 * pa1);  // contention
+    EXPECT_GT(pa10, 5 * pa1);   // but not pathological
+  }
+}
+
+TEST(CostModelTest, MinParallelismForMatchesLinearScan) {
+  PerfModel model(SampleJob(), CostModelConfig{});
+  const int p_max = 100;
+  for (int v = 0; v < model.num_operators(); ++v) {
+    for (double frac : {0.1, 0.5, 0.9, 1.3}) {
+      double rate = frac * model.ProcessingAbility(v, 37);
+      int bs = model.MinParallelismFor(v, rate, p_max);
+      int lin = p_max + 1;
+      for (int p = 1; p <= p_max; ++p) {
+        if (model.ProcessingAbility(v, p) >= rate) {
+          lin = p;
+          break;
+        }
+      }
+      EXPECT_EQ(bs, lin) << "operator " << v << " rate " << rate;
+    }
+  }
+}
+
+TEST(CostModelTest, MinParallelismEdgeCases) {
+  PerfModel model(SampleJob(), CostModelConfig{});
+  EXPECT_EQ(model.MinParallelismFor(0, 0.0, 100), 1);
+  EXPECT_EQ(model.MinParallelismFor(0, -5.0, 100), 1);
+  EXPECT_EQ(model.MinParallelismFor(0, 1e18, 100), 101);  // unattainable
+}
+
+TEST(CostModelTest, StatefulOperatorsCostMore) {
+  OperatorSpec map;
+  map.type = OperatorType::kMap;
+  OperatorSpec agg;
+  agg.type = OperatorType::kAggregate;
+  agg.window_type = WindowType::kTumbling;
+  agg.window_policy = WindowPolicy::kTime;
+  agg.window_length = 60;
+  EXPECT_GT(PerfModel::BaseProfile(agg).cost_per_record,
+            PerfModel::BaseProfile(map).cost_per_record);
+}
+
+TEST(CostModelTest, SlidingWindowsCostMoreThanTumbling) {
+  OperatorSpec tumbling;
+  tumbling.type = OperatorType::kAggregate;
+  tumbling.window_type = WindowType::kTumbling;
+  tumbling.window_policy = WindowPolicy::kTime;
+  tumbling.window_length = 60;
+  OperatorSpec sliding = tumbling;
+  sliding.window_type = WindowType::kSliding;
+  sliding.sliding_length = 5;
+  EXPECT_GT(PerfModel::BaseProfile(sliding).cost_per_record,
+            PerfModel::BaseProfile(tumbling).cost_per_record);
+}
+
+TEST(CostModelTest, WiderTuplesCostMore) {
+  OperatorSpec narrow;
+  narrow.type = OperatorType::kMap;
+  narrow.tuple_width_in = 64;
+  OperatorSpec wide = narrow;
+  wide.tuple_width_in = 512;
+  EXPECT_GT(PerfModel::BaseProfile(wide).cost_per_record,
+            PerfModel::BaseProfile(narrow).cost_per_record);
+}
+
+TEST(CostModelTest, JitterDeterministicPerSeed) {
+  JobGraph job = SampleJob();
+  CostModelConfig cfg;
+  PerfModel a(job, cfg), b(job, cfg);
+  for (int v = 0; v < a.num_operators(); ++v) {
+    EXPECT_DOUBLE_EQ(a.profile(v).cost_per_record,
+                     b.profile(v).cost_per_record);
+  }
+  cfg.seed = 99;
+  PerfModel c(job, cfg);
+  bool any_diff = false;
+  for (int v = 0; v < a.num_operators(); ++v) {
+    any_diff |= a.profile(v).cost_per_record != c.profile(v).cost_per_record;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CostModelTest, CostScaleMultiplies) {
+  JobGraph job = SampleJob();
+  CostModelConfig base;
+  base.jitter = 0;
+  CostModelConfig scaled = base;
+  scaled.cost_scale = 10.0;
+  PerfModel a(job, base), b(job, scaled);
+  for (int v = 0; v < a.num_operators(); ++v) {
+    EXPECT_NEAR(b.profile(v).cost_per_record,
+                10.0 * a.profile(v).cost_per_record, 1e-15);
+  }
+}
+
+TEST(CostModelTest, SetProfileOverrides) {
+  PerfModel model(SampleJob(), CostModelConfig{});
+  CostProfile custom;
+  custom.cost_per_record = 1e-3;
+  custom.selectivity = 0.25;
+  custom.scaling_gamma = 0.0;
+  model.SetProfile(1, custom);
+  EXPECT_DOUBLE_EQ(model.Selectivity(1), 0.25);
+  // gamma = 0 means perfectly linear scaling.
+  EXPECT_DOUBLE_EQ(model.ProcessingAbility(1, 8),
+                   8 * model.ProcessingAbility(1, 1));
+}
+
+TEST(CostModelTest, SinkHasZeroSelectivity) {
+  OperatorSpec sink;
+  sink.type = OperatorType::kSink;
+  EXPECT_DOUBLE_EQ(PerfModel::BaseProfile(sink).selectivity, 0.0);
+}
+
+}  // namespace
+}  // namespace streamtune::sim

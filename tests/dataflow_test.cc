@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/feature_encoder.h"
+#include "dataflow/job_graph.h"
+
+namespace streamtune {
+namespace {
+
+OperatorSpec Src(const char* name, double rate) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = rate;
+  return s;
+}
+
+OperatorSpec Op(const char* name, OperatorType t) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = t;
+  return s;
+}
+
+JobGraph Chain3() {
+  JobGraph g("chain");
+  int a = g.AddOperator(Src("src", 1000));
+  int b = g.AddOperator(Op("map", OperatorType::kMap));
+  int c = g.AddOperator(Op("sink", OperatorType::kSink));
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.AddEdge(b, c).ok());
+  return g;
+}
+
+TEST(JobGraphTest, AddOperatorsAndEdges) {
+  JobGraph g = Chain3();
+  EXPECT_EQ(g.num_operators(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.op(0).name, "src");
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(JobGraphTest, RejectsBadEdges) {
+  JobGraph g = Chain3();
+  EXPECT_FALSE(g.AddEdge(0, 0).ok());   // self loop
+  EXPECT_FALSE(g.AddEdge(0, 9).ok());   // out of range
+  EXPECT_FALSE(g.AddEdge(-1, 1).ok());  // out of range
+  EXPECT_FALSE(g.AddEdge(0, 1).ok());   // duplicate
+}
+
+TEST(JobGraphTest, AdjacencyLists) {
+  JobGraph g = Chain3();
+  EXPECT_TRUE(g.upstream(0).empty());
+  ASSERT_EQ(g.downstream(0).size(), 1u);
+  EXPECT_EQ(g.downstream(0)[0], 1);
+  ASSERT_EQ(g.upstream(2).size(), 1u);
+  EXPECT_EQ(g.upstream(2)[0], 1);
+}
+
+TEST(JobGraphTest, SourcesAndFirstLevelDownstream) {
+  JobGraph g("join");
+  int s1 = g.AddOperator(Src("s1", 10));
+  int s2 = g.AddOperator(Src("s2", 10));
+  int j = g.AddOperator(Op("join", OperatorType::kJoin));
+  int k = g.AddOperator(Op("sink", OperatorType::kSink));
+  ASSERT_TRUE(g.AddEdge(s1, j).ok());
+  ASSERT_TRUE(g.AddEdge(s2, j).ok());
+  ASSERT_TRUE(g.AddEdge(j, k).ok());
+  EXPECT_EQ(g.SourceIds(), (std::vector<int>{s1, s2}));
+  EXPECT_EQ(g.FirstLevelDownstream(), (std::vector<int>{j}));
+}
+
+TEST(JobGraphTest, DetectsCycle) {
+  JobGraph g("cyclic");
+  int a = g.AddOperator(Src("src", 1));
+  int b = g.AddOperator(Op("m1", OperatorType::kMap));
+  int c = g.AddOperator(Op("m2", OperatorType::kMap));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(c, b).ok());
+  EXPECT_TRUE(g.HasCycle());
+  EXPECT_FALSE(g.Validate().ok());
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+}
+
+TEST(JobGraphTest, TopologicalOrderRespectsEdges) {
+  JobGraph g("diamond");
+  int s = g.AddOperator(Src("src", 1));
+  int a = g.AddOperator(Op("a", OperatorType::kMap));
+  int b = g.AddOperator(Op("b", OperatorType::kFilter));
+  int j = g.AddOperator(Op("join", OperatorType::kJoin));
+  ASSERT_TRUE(g.AddEdge(s, a).ok());
+  ASSERT_TRUE(g.AddEdge(s, b).ok());
+  ASSERT_TRUE(g.AddEdge(a, j).ok());
+  ASSERT_TRUE(g.AddEdge(b, j).ok());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[order.value()[i]] = i;
+  for (const auto& [from, to] : g.edges()) EXPECT_LT(pos[from], pos[to]);
+}
+
+TEST(JobGraphTest, ValidateRejectsSourceAnomalies) {
+  JobGraph g("bad1");
+  int a = g.AddOperator(Src("src", 1));
+  int b = g.AddOperator(Src("src2", 1));
+  ASSERT_TRUE(g.AddEdge(a, b).ok());  // edge into a source
+  EXPECT_FALSE(g.Validate().ok());
+
+  JobGraph g2("bad2");
+  g2.AddOperator(Op("orphan-map", OperatorType::kMap));  // no upstream
+  EXPECT_FALSE(g2.Validate().ok());
+
+  JobGraph g3("bad3");
+  OperatorSpec weird = Op("map", OperatorType::kMap);
+  weird.source_rate = 5;  // non-source with a rate
+  int s = g3.AddOperator(Src("src", 1));
+  int m = g3.AddOperator(weird);
+  ASSERT_TRUE(g3.AddEdge(s, m).ok());
+  EXPECT_FALSE(g3.Validate().ok());
+
+  EXPECT_FALSE(JobGraph("empty").Validate().ok());
+}
+
+TEST(FeatureEncoderTest, DimensionStable) {
+  FeatureEncoder enc;
+  OperatorSpec s = Src("src", 1000);
+  EXPECT_EQ(static_cast<int>(enc.Encode(s).size()),
+            FeatureEncoder::FeatureDim());
+}
+
+TEST(FeatureEncoderTest, OneHotOperatorType) {
+  FeatureEncoder enc;
+  OperatorSpec s = Op("f", OperatorType::kFilter);
+  auto f = enc.Encode(s);
+  // Operator type is the first block.
+  double sum = 0;
+  for (int i = 0; i < kNumOperatorTypes; ++i) sum += f[i];
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(f[static_cast<int>(OperatorType::kFilter)], 1.0);
+}
+
+TEST(FeatureEncoderTest, NumericFeaturesInUnitRange) {
+  FeatureEncoder enc;
+  OperatorSpec s = Op("agg", OperatorType::kAggregate);
+  s.window_length = 1e9;  // out of bounds -> clamped
+  s.tuple_width_in = -5;  // clamped at 0
+  auto f = enc.Encode(s);
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(FeatureEncoderTest, SourceRateMonotone) {
+  FeatureEncoder enc;
+  // The last kRateFeatures features encode the rate; each must be
+  // monotonically non-decreasing in the rate.
+  auto rate_features = [&](double r) {
+    OperatorSpec s = Src("s", r);
+    auto f = enc.Encode(s);
+    return std::vector<double>(f.end() - FeatureEncoder::kRateFeatures,
+                               f.end());
+  };
+  auto lo = rate_features(100), mid = rate_features(10000),
+       hi = rate_features(1e6);
+  for (int i = 0; i < FeatureEncoder::kRateFeatures; ++i) {
+    EXPECT_LE(lo[i], mid[i] + 1e-12);
+    EXPECT_LE(mid[i], hi[i] + 1e-12);
+  }
+  // A 10x rate change must move the encoding noticeably somewhere.
+  double total = 0;
+  for (int i = 0; i < FeatureEncoder::kRateFeatures; ++i) {
+    total += hi[i] - mid[i];
+  }
+  EXPECT_GT(total, 0.2);
+}
+
+TEST(FeatureEncoderTest, EncodeGraphWithRatesOverrides) {
+  FeatureEncoder enc;
+  JobGraph g = Chain3();
+  std::vector<double> rates{5e5, 0, 0};
+  auto base = enc.EncodeGraph(g);
+  auto overridden = enc.EncodeGraphWithRates(g, rates);
+  EXPECT_NE(base[0].back(), overridden[0].back());
+  EXPECT_EQ(base[1], overridden[1]);  // non-source unchanged
+}
+
+TEST(FeatureEncoderTest, ScaleParallelism) {
+  FeatureEncoder enc;
+  EXPECT_DOUBLE_EQ(enc.ScaleParallelism(0), 0.0);
+  EXPECT_DOUBLE_EQ(enc.ScaleParallelism(50), 0.5);
+  EXPECT_DOUBLE_EQ(enc.ScaleParallelism(100), 1.0);
+  EXPECT_DOUBLE_EQ(enc.ScaleParallelism(150), 1.0);  // clamped
+}
+
+TEST(OperatorTest, Names) {
+  EXPECT_STREQ(OperatorTypeName(OperatorType::kWindowJoin), "WindowJoin");
+  EXPECT_STREQ(WindowTypeName(WindowType::kSliding), "Sliding");
+}
+
+}  // namespace
+}  // namespace streamtune

@@ -1,0 +1,176 @@
+// Property-based invariants of the simulated engines over randomized jobs
+// and deployments.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "timelysim/timely_simulator.h"
+#include "workloads/cost_config.h"
+#include "workloads/random_dag.h"
+
+namespace streamtune {
+namespace {
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnginePropertyTest, FlinkMetricsInvariants) {
+  Rng rng(GetParam());
+  auto jobs = workloads::GenerateRandomDags(4, GetParam() * 31 + 7);
+  for (const JobGraph& job : jobs) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::FlinkSimulator engine(job, model, sim::SimConfig{});
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<int> p(job.num_operators());
+      for (int& x : p) x = rng.UniformInt(1, 100);
+      ASSERT_TRUE(engine.Deploy(p).ok());
+      engine.ScaleAllSources(rng.Uniform(0.5, 10.0));
+      auto m = engine.Measure();
+      ASSERT_TRUE(m.ok());
+      // Lambda in (0, 1]; total parallelism consistent.
+      EXPECT_GT(m->lambda, 0.0);
+      EXPECT_LE(m->lambda, 1.0);
+      int total = 0;
+      for (int x : p) total += x;
+      EXPECT_EQ(m->total_parallelism, total);
+      EXPECT_GE(m->used_cores, 0.0);
+      EXPECT_LE(m->used_cores, total + 1e-9);
+      for (const auto& om : m->ops) {
+        // Time fractions partition the second.
+        EXPECT_GE(om.busy_frac, 0.0);
+        EXPECT_LE(om.busy_frac, 1.0 + 1e-9);
+        EXPECT_GE(om.idle_frac, 0.0);
+        EXPECT_GE(om.backpressured_frac, 0.0);
+        EXPECT_LE(om.busy_frac + om.idle_frac + om.backpressured_frac,
+                  1.0 + 1e-6);
+        // Achieved rates never exceed demand.
+        EXPECT_LE(om.input_rate, om.desired_input_rate + 1e-6);
+      }
+      // Severe backpressure implies job backpressure.
+      if (m->severe_backpressure) {
+        EXPECT_TRUE(m->job_backpressure);
+      }
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, FlinkFlowConservation) {
+  Rng rng(GetParam() ^ 0x55);
+  auto jobs = workloads::GenerateRandomDags(3, GetParam() * 17 + 3);
+  for (const JobGraph& job : jobs) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::SimConfig cfg;
+    cfg.useful_time_noise = 0;
+    sim::FlinkSimulator engine(job, model, cfg);
+    std::vector<int> p(job.num_operators());
+    for (int& x : p) x = rng.UniformInt(1, 50);
+    ASSERT_TRUE(engine.Deploy(p).ok());
+    auto m = engine.Measure();
+    ASSERT_TRUE(m.ok());
+    for (int v = 0; v < job.num_operators(); ++v) {
+      // Output = input * selectivity at the achieved fixed point.
+      EXPECT_NEAR(m->ops[v].output_rate,
+                  m->ops[v].input_rate * model.Selectivity(v),
+                  1e-6 * (1 + m->ops[v].output_rate));
+      // Each non-source operator's achieved input equals the sum of its
+      // upstream achieved outputs (flow conservation).
+      if (!job.upstream(v).empty()) {
+        double upstream_out = 0;
+        for (int u : job.upstream(v)) upstream_out += m->ops[u].output_rate;
+        EXPECT_NEAR(m->ops[v].input_rate, upstream_out,
+                    1e-6 * (1 + upstream_out));
+      }
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, LambdaMonotoneInParallelism) {
+  // Raising any operator's parallelism must not lower the sustained
+  // throughput fraction.
+  Rng rng(GetParam() ^ 0x99);
+  auto jobs = workloads::GenerateRandomDags(3, GetParam() * 13 + 1);
+  for (const JobGraph& job : jobs) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::SimConfig cfg;
+    cfg.useful_time_noise = 0;
+    sim::FlinkSimulator engine(job, model, cfg);
+    engine.ScaleAllSources(8.0);
+    std::vector<int> p(job.num_operators());
+    for (int& x : p) x = rng.UniformInt(1, 10);
+    ASSERT_TRUE(engine.Deploy(p).ok());
+    double lambda_before = engine.Measure()->lambda;
+    int v = rng.UniformInt(0, job.num_operators() - 1);
+    p[v] = std::min(100, p[v] * 3);
+    ASSERT_TRUE(engine.Deploy(p).ok());
+    double lambda_after = engine.Measure()->lambda;
+    EXPECT_GE(lambda_after, lambda_before - 1e-9);
+  }
+}
+
+TEST_P(EnginePropertyTest, TimelyMetricsInvariants) {
+  Rng rng(GetParam() ^ 0x42);
+  auto jobs = workloads::GenerateRandomDags(3, GetParam() * 19 + 11);
+  for (const JobGraph& job : jobs) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    timelysim::TimelySimulator engine(job, model, timelysim::TimelyConfig{});
+    std::vector<int> p(job.num_operators());
+    for (int& x : p) x = rng.UniformInt(1, 10);
+    ASSERT_TRUE(engine.Deploy(p).ok());
+    engine.ScaleAllSources(rng.Uniform(0.5, 10.0));
+    auto m = engine.Measure();
+    ASSERT_TRUE(m.ok());
+    EXPECT_GT(m->lambda, 0.0);
+    EXPECT_LE(m->lambda, 1.0);
+    for (const auto& om : m->ops) {
+      EXPECT_GE(om.busy_frac, 0.0);
+      EXPECT_LE(om.busy_frac, 1.0 + 1e-9);
+      // Spinning workers: observed useful time never below true busy time.
+      EXPECT_GE(om.useful_time_frac_observed, om.busy_frac * 0.8);
+    }
+    // Epoch latencies are positive and finite.
+    auto trace = engine.RunEpochs(20);
+    ASSERT_TRUE(trace.ok());
+    for (double lat : trace->latencies) {
+      EXPECT_GT(lat, 0.0);
+      EXPECT_LT(lat, 1e7);
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, OracleIsBackpressureFreeOnRandomJobs) {
+  auto jobs = workloads::GenerateRandomDags(4, GetParam() * 23 + 5);
+  for (const JobGraph& job : jobs) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::SimConfig cfg;
+    cfg.useful_time_noise = 0;
+    sim::FlinkSimulator engine(job, model, cfg);
+    for (double mult : {1.0, 4.0, 10.0}) {
+      engine.ScaleAllSources(mult);
+      std::vector<int> oracle = engine.OracleParallelism();
+      bool attainable = true;
+      for (size_t v = 0; v < oracle.size(); ++v) {
+        // The oracle may clamp at max when even that is insufficient.
+        if (model.ProcessingAbility(static_cast<int>(v), oracle[v]) <
+            1e-9) {
+          attainable = false;
+        }
+      }
+      ASSERT_TRUE(attainable);
+      ASSERT_TRUE(engine.Deploy(oracle).ok());
+      auto m = engine.Measure();
+      ASSERT_TRUE(m.ok());
+      // Unless an operator was clamped at the physical cap, no backpressure.
+      bool clamped = false;
+      for (int p : oracle) clamped |= (p == 100);
+      if (!clamped) {
+        EXPECT_FALSE(m->job_backpressure) << job.name() << " @" << mult;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace streamtune

@@ -1,0 +1,177 @@
+// Discrete-event simulator tests: validation against the analytic
+// steady-state flow solver, and queueing-level behaviours the fixed point
+// cannot express.
+
+#include <gtest/gtest.h>
+
+#include "sim/event_simulator.h"
+#include "sim/flow_solver.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+
+namespace streamtune::sim {
+namespace {
+
+struct SimHarness {
+  JobGraph graph;
+  PerfModel model;
+  std::vector<double> source_rates;
+  std::vector<double> selectivity;
+
+  explicit SimHarness(workloads::NexmarkQuery q)
+      : graph(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink)),
+        model(graph, workloads::CostConfigFor(graph)) {
+    source_rates.assign(graph.num_operators(), 0.0);
+    selectivity.resize(graph.num_operators());
+    for (int v = 0; v < graph.num_operators(); ++v) {
+      if (graph.op(v).is_source()) {
+        source_rates[v] = graph.op(v).source_rate;
+      }
+      selectivity[v] = model.Selectivity(v);
+    }
+  }
+
+  FlowResult Analytic(const std::vector<int>& parallelism) const {
+    std::vector<double> capacity(graph.num_operators());
+    for (int v = 0; v < graph.num_operators(); ++v) {
+      capacity[v] = model.ProcessingAbility(v, parallelism[v]);
+    }
+    return SolveFlow(graph, capacity, selectivity, source_rates);
+  }
+};
+
+TEST(EventSimTest, RejectsBadInput) {
+  SimHarness s(workloads::NexmarkQuery::kQ1);
+  std::vector<int> ones(s.graph.num_operators(), 1);
+  EXPECT_FALSE(
+      RunEventSimulation(s.graph, s.model, {1, 2}, s.source_rates).ok());
+  std::vector<int> zeros(s.graph.num_operators(), 0);
+  EXPECT_FALSE(
+      RunEventSimulation(s.graph, s.model, zeros, s.source_rates).ok());
+  EventSimConfig bad;
+  bad.warmup_seconds = 10;
+  bad.duration_seconds = 5;
+  EXPECT_FALSE(
+      RunEventSimulation(s.graph, s.model, ones, s.source_rates, bad).ok());
+  std::vector<double> no_rates(s.graph.num_operators(), 0.0);
+  EXPECT_FALSE(RunEventSimulation(s.graph, s.model, ones, no_rates).ok());
+}
+
+TEST(EventSimTest, WellProvisionedMatchesAnalyticBusyFractions) {
+  SimHarness s(workloads::NexmarkQuery::kQ3);
+  // Oracle-like parallelism: run the analytic solver's oracle degrees.
+  std::vector<int> p(s.graph.num_operators());
+  FlowResult unthrottled = s.Analytic(std::vector<int>(p.size(), 100));
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    p[v] = std::min(
+        100, s.model.MinParallelismFor(v, 1.25 * unthrottled.desired_in[v],
+                                       100));
+  }
+  auto r = RunEventSimulation(s.graph, s.model, p, s.source_rates);
+  ASSERT_TRUE(r.ok());
+  FlowResult analytic = s.Analytic(p);
+  EXPECT_GT(r->source_throughput_ratio, 0.95);
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    EXPECT_NEAR(r->busy_frac[v], analytic.busy[v], 0.12)
+        << "operator " << v << " (" << s.graph.op(v).name << ")";
+    // Rates agree with the fixed point within sampling error.
+    if (analytic.achieved_in[v] > 0) {
+      EXPECT_NEAR(r->input_rate[v] / analytic.achieved_in[v], 1.0, 0.15)
+          << "operator " << v;
+    }
+  }
+}
+
+TEST(EventSimTest, OverloadedJobShowsBackpressureAndThrottling) {
+  SimHarness s(workloads::NexmarkQuery::kQ3);
+  for (double& rate : s.source_rates) rate *= 10;  // peak demand
+  std::vector<int> ones(s.graph.num_operators(), 1);
+  auto r = RunEventSimulation(s.graph, s.model, ones, s.source_rates);
+  ASSERT_TRUE(r.ok());
+  FlowResult analytic = s.Analytic(ones);
+  ASSERT_LT(analytic.lambda, 0.9);
+  // The DES measures the same throughput collapse as the fixed point.
+  EXPECT_NEAR(r->source_throughput_ratio, analytic.lambda, 0.15);
+  // Operators blocked in the analytic model spend time blocked in the DES.
+  bool any_blocked = false;
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    if (analytic.blocked[v] && !s.graph.op(v).is_source()) {
+      any_blocked |= r->blocked_frac[v] > 0.05;
+    }
+  }
+  EXPECT_TRUE(any_blocked);
+  // The bottleneck operator runs at (near) full utilization in both.
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    if (analytic.saturated[v]) {
+      EXPECT_GT(r->busy_frac[v] + r->blocked_frac[v], 0.75)
+          << "operator " << v;
+    }
+  }
+}
+
+TEST(EventSimTest, QueuesGrowAtTheBottleneck) {
+  SimHarness s(workloads::NexmarkQuery::kQ5);
+  for (double& rate : s.source_rates) rate *= 10;
+  std::vector<int> ones(s.graph.num_operators(), 1);
+  auto r = RunEventSimulation(s.graph, s.model, ones, s.source_rates);
+  ASSERT_TRUE(r.ok());
+  FlowResult analytic = s.Analytic(ones);
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    if (analytic.saturated[v] && !s.graph.op(v).is_source()) {
+      // The bottleneck's queue sits near capacity.
+      EXPECT_GT(r->avg_queue_length[v], 16.0) << "operator " << v;
+    }
+  }
+}
+
+TEST(EventSimTest, TimeRescalingPreservesUtilization) {
+  SimHarness s(workloads::NexmarkQuery::kQ1);
+  std::vector<int> p(s.graph.num_operators(), 30);
+  EventSimConfig tight;
+  tight.max_events = 50000;  // force heavy rescaling
+  auto small = RunEventSimulation(s.graph, s.model, p, s.source_rates, tight);
+  EventSimConfig loose;
+  loose.max_events = 400000;
+  auto big = RunEventSimulation(s.graph, s.model, p, s.source_rates, loose);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(small->time_rescale, big->time_rescale);
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    EXPECT_NEAR(small->busy_frac[v], big->busy_frac[v], 0.12)
+        << "operator " << v;
+  }
+}
+
+TEST(EventSimTest, DeterministicForSeed) {
+  SimHarness s(workloads::NexmarkQuery::kQ2);
+  std::vector<int> p(s.graph.num_operators(), 5);
+  auto a = RunEventSimulation(s.graph, s.model, p, s.source_rates);
+  auto b = RunEventSimulation(s.graph, s.model, p, s.source_rates);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->events_processed, b->events_processed);
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    EXPECT_DOUBLE_EQ(a->busy_frac[v], b->busy_frac[v]);
+  }
+  EventSimConfig other;
+  other.seed = 1;
+  auto c = RunEventSimulation(s.graph, s.model, p, s.source_rates, other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->events_processed, c->events_processed);
+}
+
+TEST(EventSimTest, SinkNeverBlocks) {
+  SimHarness s(workloads::NexmarkQuery::kQ8);
+  for (double& rate : s.source_rates) rate *= 10;
+  std::vector<int> ones(s.graph.num_operators(), 1);
+  auto r = RunEventSimulation(s.graph, s.model, ones, s.source_rates);
+  ASSERT_TRUE(r.ok());
+  for (int v = 0; v < s.graph.num_operators(); ++v) {
+    if (s.graph.downstream(v).empty()) {
+      EXPECT_DOUBLE_EQ(r->blocked_frac[v], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::sim

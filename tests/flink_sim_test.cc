@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::sim {
+namespace {
+
+FlinkSimulator MakeSim(const JobGraph& job, SimConfig cfg = {}) {
+  PerfModel model(job, workloads::CostConfigFor(job));
+  return FlinkSimulator(job, model, cfg);
+}
+
+JobGraph Q3() {
+  return workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                    workloads::Engine::kFlink);
+}
+
+TEST(FlinkSimTest, DeployValidation) {
+  FlinkSimulator sim = MakeSim(Q3());
+  EXPECT_FALSE(sim.Deploy({1, 2}).ok());  // wrong arity
+  std::vector<int> zeros(sim.graph().num_operators(), 0);
+  EXPECT_FALSE(sim.Deploy(zeros).ok());  // below 1
+  std::vector<int> huge(sim.graph().num_operators(), 101);
+  EXPECT_FALSE(sim.Deploy(huge).ok());  // above the cap
+  std::vector<int> ones(sim.graph().num_operators(), 1);
+  EXPECT_TRUE(sim.Deploy(ones).ok());
+}
+
+TEST(FlinkSimTest, MeasureRequiresDeploy) {
+  FlinkSimulator sim = MakeSim(Q3());
+  EXPECT_FALSE(sim.Measure().ok());
+}
+
+TEST(FlinkSimTest, ReconfigurationCounting) {
+  FlinkSimulator sim = MakeSim(Q3());
+  std::vector<int> p(sim.graph().num_operators(), 1);
+  ASSERT_TRUE(sim.Deploy(p).ok());
+  EXPECT_EQ(sim.deployment_count(), 1);
+  EXPECT_EQ(sim.reconfiguration_count(), 0);  // initial deploy not counted
+  ASSERT_TRUE(sim.Deploy(p).ok());            // unchanged
+  EXPECT_EQ(sim.reconfiguration_count(), 0);
+  p[0] = 2;
+  ASSERT_TRUE(sim.Deploy(p).ok());
+  EXPECT_EQ(sim.reconfiguration_count(), 1);
+  EXPECT_GT(sim.virtual_minutes(), 0.0);
+  sim.ResetCounters();
+  EXPECT_EQ(sim.deployment_count(), 0);
+  EXPECT_EQ(sim.reconfiguration_count(), 0);
+  EXPECT_DOUBLE_EQ(sim.virtual_minutes(), 0.0);
+}
+
+TEST(FlinkSimTest, TimeFractionsFormPartition) {
+  FlinkSimulator sim = MakeSim(Q3());
+  std::vector<int> p(sim.graph().num_operators(), 2);
+  ASSERT_TRUE(sim.Deploy(p).ok());
+  auto m = sim.Measure();
+  ASSERT_TRUE(m.ok());
+  for (const OperatorMetrics& om : m->ops) {
+    EXPECT_GE(om.busy_frac, 0.0);
+    EXPECT_LE(om.busy_frac, 1.0);
+    EXPECT_GE(om.idle_frac, 0.0);
+    EXPECT_GE(om.backpressured_frac, 0.0);
+    EXPECT_LE(om.busy_frac + om.idle_frac + om.backpressured_frac,
+              1.0 + 1e-9);
+  }
+}
+
+TEST(FlinkSimTest, OracleParallelismEliminatesBackpressure) {
+  for (auto q : workloads::AllNexmarkQueries()) {
+    JobGraph job = workloads::BuildNexmarkJob(q, workloads::Engine::kFlink);
+    FlinkSimulator sim = MakeSim(job);
+    for (double mult : {1.0, 5.0, 10.0}) {
+      sim.ScaleAllSources(mult);
+      std::vector<int> oracle = sim.OracleParallelism();
+      ASSERT_TRUE(sim.Deploy(oracle).ok());
+      auto m = sim.Measure();
+      ASSERT_TRUE(m.ok());
+      EXPECT_FALSE(m->job_backpressure)
+          << workloads::NexmarkQueryName(q) << " at " << mult << "x";
+      EXPECT_DOUBLE_EQ(m->lambda, 1.0);
+    }
+  }
+}
+
+TEST(FlinkSimTest, OracleIsMinimal) {
+  // One degree less on any non-trivial operator must reintroduce a
+  // bottleneck at that operator.
+  JobGraph job = Q3();
+  FlinkSimulator sim = MakeSim(job);
+  sim.ScaleAllSources(10.0);
+  std::vector<int> oracle = sim.OracleParallelism();
+  for (int v = 0; v < job.num_operators(); ++v) {
+    if (oracle[v] <= 1) continue;
+    std::vector<int> p = oracle;
+    p[v] -= 1;
+    ASSERT_TRUE(sim.Deploy(p).ok());
+    auto m = sim.Measure();
+    ASSERT_TRUE(m.ok());
+    EXPECT_TRUE(m->ops[v].saturated) << "operator " << v;
+  }
+}
+
+TEST(FlinkSimTest, UnderProvisioningCreatesBackpressure) {
+  FlinkSimulator sim = MakeSim(Q3());
+  sim.ScaleAllSources(10.0);
+  std::vector<int> ones(sim.graph().num_operators(), 1);
+  ASSERT_TRUE(sim.Deploy(ones).ok());
+  auto m = sim.Measure();
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->job_backpressure);
+  EXPECT_LT(m->lambda, 1.0);
+}
+
+TEST(FlinkSimTest, SetSourceRateValidation) {
+  FlinkSimulator sim = MakeSim(Q3());
+  EXPECT_FALSE(sim.SetSourceRate(99, 10).ok());
+  EXPECT_FALSE(sim.SetSourceRate(0, -1).ok());
+  // Operator 0 is a source in Q3; find a non-source for the failure case.
+  int non_source = -1;
+  for (int v = 0; v < sim.graph().num_operators(); ++v) {
+    if (!sim.graph().op(v).is_source()) {
+      non_source = v;
+      break;
+    }
+  }
+  ASSERT_GE(non_source, 0);
+  EXPECT_FALSE(sim.SetSourceRate(non_source, 10).ok());
+  for (int v = 0; v < sim.graph().num_operators(); ++v) {
+    if (sim.graph().op(v).is_source()) {
+      EXPECT_TRUE(sim.SetSourceRate(v, 123.0).ok());
+      EXPECT_DOUBLE_EQ(sim.source_rates()[v], 123.0);
+    }
+  }
+}
+
+TEST(FlinkSimTest, ScaleAllSourcesMultipliesBaseRates) {
+  JobGraph job = Q3();
+  FlinkSimulator sim = MakeSim(job);
+  sim.ScaleAllSources(3.0);
+  for (int v = 0; v < job.num_operators(); ++v) {
+    if (job.op(v).is_source()) {
+      EXPECT_DOUBLE_EQ(sim.source_rates()[v], 3.0 * job.op(v).source_rate);
+    }
+  }
+  // Scaling is relative to the base rates, not cumulative.
+  sim.ScaleAllSources(2.0);
+  for (int v = 0; v < job.num_operators(); ++v) {
+    if (job.op(v).is_source()) {
+      EXPECT_DOUBLE_EQ(sim.source_rates()[v], 2.0 * job.op(v).source_rate);
+    }
+  }
+}
+
+TEST(FlinkSimTest, UsefulTimeNoiseBoundedAndCentered) {
+  SimConfig cfg;
+  cfg.useful_time_noise = 0.08;
+  FlinkSimulator sim = MakeSim(Q3(), cfg);
+  std::vector<int> p(sim.graph().num_operators(), 4);
+  ASSERT_TRUE(sim.Deploy(p).ok());
+  double ratio_sum = 0;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto m = sim.Measure();
+    ASSERT_TRUE(m.ok());
+    for (const OperatorMetrics& om : m->ops) {
+      if (om.busy_frac < 1e-6) continue;
+      double ratio = om.useful_time_frac_observed / om.busy_frac;
+      EXPECT_GT(ratio, 1.0 - 0.25);
+      EXPECT_LT(ratio, 1.0 + 0.25);
+      ratio_sum += ratio;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(ratio_sum / count, 1.0, 0.02);
+}
+
+TEST(FlinkSimTest, ZeroNoiseGivesExactUsefulTime) {
+  SimConfig cfg;
+  cfg.useful_time_noise = 0.0;
+  FlinkSimulator sim = MakeSim(Q3(), cfg);
+  std::vector<int> p(sim.graph().num_operators(), 4);
+  ASSERT_TRUE(sim.Deploy(p).ok());
+  auto m = sim.Measure();
+  ASSERT_TRUE(m.ok());
+  for (const OperatorMetrics& om : m->ops) {
+    if (om.busy_frac < 1e-4) continue;
+    EXPECT_DOUBLE_EQ(om.useful_time_frac_observed, om.busy_frac);
+  }
+}
+
+TEST(FlinkEngineTest, ImplementsStreamEngineInterface) {
+  JobGraph job = Q3();
+  PerfModel model(job, workloads::CostConfigFor(job));
+  FlinkEngine engine(job, model, SimConfig{});
+  StreamEngine* base = &engine;
+  EXPECT_EQ(base->max_parallelism(), 100);
+  std::vector<int> ones(job.num_operators(), 1);
+  EXPECT_TRUE(base->Deploy(ones).ok());
+  EXPECT_TRUE(base->Measure().ok());
+  EXPECT_EQ(base->parallelism(), ones);
+  EXPECT_EQ(static_cast<int>(base->current_source_rates().size()),
+            job.num_operators());
+}
+
+}  // namespace
+}  // namespace streamtune::sim

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sim/flow_solver.h"
+
+namespace streamtune::sim {
+namespace {
+
+OperatorSpec Src(const char* name, double rate) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = rate;
+  return s;
+}
+
+OperatorSpec Op(const char* name, OperatorType t) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = t;
+  return s;
+}
+
+// src -> map -> sink
+JobGraph Chain() {
+  JobGraph g("chain");
+  int a = g.AddOperator(Src("src", 1000));
+  int b = g.AddOperator(Op("map", OperatorType::kMap));
+  int c = g.AddOperator(Op("sink", OperatorType::kSink));
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.AddEdge(b, c).ok());
+  return g;
+}
+
+TEST(FlowSolverTest, UnconstrainedChainPassesRatesThrough) {
+  JobGraph g = Chain();
+  FlowResult r = SolveFlow(g, {1e6, 1e6, 1e6}, {1.0, 0.5, 0.0},
+                           {1000, 0, 0});
+  EXPECT_DOUBLE_EQ(r.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(r.desired_in[0], 1000);
+  EXPECT_DOUBLE_EQ(r.desired_in[1], 1000);
+  EXPECT_DOUBLE_EQ(r.desired_in[2], 500);  // selectivity 0.5
+  EXPECT_FALSE(r.AnyBackpressure());
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(r.achieved_in[v], r.desired_in[v]);
+    EXPECT_FALSE(r.blocked[v]);
+  }
+}
+
+TEST(FlowSolverTest, BottleneckThrottlesSources) {
+  JobGraph g = Chain();
+  // Map can only handle 500 of the 1000 offered.
+  FlowResult r = SolveFlow(g, {1e6, 500, 1e6}, {1.0, 1.0, 0.0},
+                           {1000, 0, 0});
+  EXPECT_DOUBLE_EQ(r.lambda, 0.5);
+  EXPECT_DOUBLE_EQ(r.achieved_in[1], 500);
+  EXPECT_TRUE(r.saturated[1]);
+  EXPECT_TRUE(r.blocked[0]);   // source blocked by the map
+  EXPECT_FALSE(r.blocked[1]);  // the bottleneck itself is not blocked
+  EXPECT_FALSE(r.blocked[2]);  // downstream of the bottleneck
+  EXPECT_TRUE(r.AnyBackpressure());
+}
+
+TEST(FlowSolverTest, CascadingBlockPropagatesUpstream) {
+  // src -> m1 -> m2 -> sink, bottleneck at sink.
+  JobGraph g("deep");
+  int s = g.AddOperator(Src("src", 1000));
+  int m1 = g.AddOperator(Op("m1", OperatorType::kMap));
+  int m2 = g.AddOperator(Op("m2", OperatorType::kMap));
+  int k = g.AddOperator(Op("sink", OperatorType::kSink));
+  ASSERT_TRUE(g.AddEdge(s, m1).ok());
+  ASSERT_TRUE(g.AddEdge(m1, m2).ok());
+  ASSERT_TRUE(g.AddEdge(m2, k).ok());
+  FlowResult r = SolveFlow(g, {1e6, 1e6, 1e6, 100}, {1, 1, 1, 0},
+                           {1000, 0, 0, 0});
+  EXPECT_TRUE(r.saturated[k]);
+  EXPECT_TRUE(r.blocked[s]);
+  EXPECT_TRUE(r.blocked[m1]);
+  EXPECT_TRUE(r.blocked[m2]);
+  EXPECT_NEAR(r.lambda, 0.1, 1e-12);
+}
+
+TEST(FlowSolverTest, MultiSourceJoinSumsInputs) {
+  JobGraph g("join");
+  int s1 = g.AddOperator(Src("s1", 300));
+  int s2 = g.AddOperator(Src("s2", 700));
+  int j = g.AddOperator(Op("join", OperatorType::kJoin));
+  int k = g.AddOperator(Op("sink", OperatorType::kSink));
+  ASSERT_TRUE(g.AddEdge(s1, j).ok());
+  ASSERT_TRUE(g.AddEdge(s2, j).ok());
+  ASSERT_TRUE(g.AddEdge(j, k).ok());
+  FlowResult r = SolveFlow(g, {1e6, 1e6, 1e6, 1e6}, {1, 1, 0.8, 0},
+                           {300, 700, 0, 0});
+  EXPECT_DOUBLE_EQ(r.desired_in[j], 1000);
+  EXPECT_DOUBLE_EQ(r.desired_in[k], 800);
+}
+
+TEST(FlowSolverTest, SaturatedSourceCountsAsBackpressure) {
+  JobGraph g = Chain();
+  FlowResult r = SolveFlow(g, {400, 1e6, 1e6}, {1, 1, 0}, {1000, 0, 0});
+  EXPECT_TRUE(r.saturated[0]);
+  EXPECT_NEAR(r.lambda, 0.4, 1e-12);
+  EXPECT_TRUE(r.AnyBackpressure());
+  // Nothing upstream of the source, so nothing is blocked.
+  EXPECT_FALSE(r.blocked[0]);
+}
+
+TEST(FlowSolverTest, BusyFractionsMatchAchievedOverCapacity) {
+  JobGraph g = Chain();
+  FlowResult r = SolveFlow(g, {2000, 4000, 8000}, {1, 1, 0}, {1000, 0, 0});
+  EXPECT_DOUBLE_EQ(r.busy[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.busy[1], 0.25);
+  EXPECT_DOUBLE_EQ(r.busy[2], 0.125);
+}
+
+TEST(FlowSolverTest, ZeroRateProducesZeroFlowsAndNoBackpressure) {
+  JobGraph g = Chain();
+  FlowResult r = SolveFlow(g, {100, 100, 100}, {1, 1, 0}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(r.lambda, 1.0);
+  EXPECT_FALSE(r.AnyBackpressure());
+  for (int v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(r.achieved_in[v], 0.0);
+}
+
+TEST(FlowSolverTest, MostOverloadedOperatorSetsLambda) {
+  JobGraph g("deep");
+  int s = g.AddOperator(Src("src", 1000));
+  int m1 = g.AddOperator(Op("m1", OperatorType::kMap));
+  int m2 = g.AddOperator(Op("m2", OperatorType::kMap));
+  ASSERT_TRUE(g.AddEdge(s, m1).ok());
+  ASSERT_TRUE(g.AddEdge(m1, m2).ok());
+  // m1 at 50% deficit, m2 at 75% deficit -> lambda from m2.
+  FlowResult r = SolveFlow(g, {1e6, 500, 250}, {1, 1, 0}, {1000, 0, 0});
+  EXPECT_NEAR(r.lambda, 0.25, 1e-12);
+  EXPECT_TRUE(r.saturated[m2]);
+  // m1 runs at half capacity after throttling; not saturated at runtime.
+  EXPECT_FALSE(r.saturated[m1]);
+  EXPECT_TRUE(r.blocked[m1]);
+}
+
+}  // namespace
+}  // namespace streamtune::sim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/gbdt.h"
+
+namespace streamtune::ml {
+namespace {
+
+std::vector<LabeledSample> ThresholdDataset(int n, Rng* rng) {
+  std::vector<LabeledSample> data;
+  for (int i = 0; i < n; ++i) {
+    double knob = rng->Uniform();
+    double threshold = 10 + 40 * knob;
+    LabeledSample s;
+    s.embedding = {knob, rng->Uniform(), rng->Uniform(), rng->Uniform()};
+    s.parallelism = rng->UniformInt(1, 60);
+    s.label = s.parallelism < threshold ? 1 : 0;
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+TEST(GbdtTest, RejectsBadInput) {
+  MonotonicGbdt gbdt(4);
+  EXPECT_FALSE(gbdt.Fit({}).ok());
+  LabeledSample bad;
+  bad.embedding = {1.0, 2.0};
+  EXPECT_FALSE(gbdt.Fit({bad}).ok());
+}
+
+TEST(GbdtTest, LearnsThresholdTask) {
+  Rng rng(42);
+  auto data = ThresholdDataset(500, &rng);
+  MonotonicGbdt gbdt(4);
+  ASSERT_TRUE(gbdt.Fit(data).ok());
+  EXPECT_EQ(gbdt.num_trees_built(), GbdtConfig{}.num_trees);
+  auto test = ThresholdDataset(200, &rng);
+  int correct = 0;
+  for (const auto& s : test) {
+    if (gbdt.PredictBottleneck(s.embedding, s.parallelism) ==
+        (s.label == 1)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 165) << "accuracy " << correct / 200.0;
+}
+
+// Property: the ensemble is non-increasing in the parallelism feature for
+// arbitrary embeddings — the constraint must hold off-distribution too.
+class GbdtMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GbdtMonotonicityTest, LogitNonIncreasingInParallelism) {
+  Rng rng(200 + GetParam());
+  MonotonicGbdt gbdt(4);
+  ASSERT_TRUE(gbdt.Fit(ThresholdDataset(300, &rng)).ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> h{rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                          rng.Uniform()};
+    double prev = gbdt.PredictLogit(h, 1);
+    for (int p = 2; p <= 100; ++p) {
+      double cur = gbdt.PredictLogit(h, p);
+      EXPECT_LE(cur, prev + 1e-9) << "p=" << p << " trial=" << trial;
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbdtMonotonicityTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(GbdtTest, UnconstrainedModelCanViolateMonotonicity) {
+  // Adversarial dataset: bottlenecks at HIGH parallelism (inverted world).
+  // The unconstrained model should follow the data; the constrained one
+  // cannot.
+  Rng rng(31);
+  std::vector<LabeledSample> data;
+  for (int i = 0; i < 300; ++i) {
+    LabeledSample s;
+    s.embedding = {rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                   rng.Uniform()};
+    s.parallelism = rng.UniformInt(1, 60);
+    s.label = s.parallelism > 30 ? 1 : 0;  // inverted
+    data.push_back(std::move(s));
+  }
+  GbdtConfig free_cfg;
+  free_cfg.enforce_monotonic = false;
+  MonotonicGbdt unconstrained(4, free_cfg);
+  ASSERT_TRUE(unconstrained.Fit(data).ok());
+  EXPECT_FALSE(unconstrained.is_monotonic());
+  std::vector<double> h{0.5, 0.5, 0.5, 0.5};
+  // Unconstrained follows the inverted data.
+  EXPECT_GT(unconstrained.PredictLogit(h, 55),
+            unconstrained.PredictLogit(h, 5));
+
+  MonotonicGbdt constrained(4);
+  ASSERT_TRUE(constrained.Fit(data).ok());
+  EXPECT_TRUE(constrained.is_monotonic());
+  // Constrained refuses to increase with p even on inverted data.
+  double prev = constrained.PredictLogit(h, 1);
+  for (int p = 2; p <= 60; ++p) {
+    double cur = constrained.PredictLogit(h, p);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(GbdtTest, SingleClassDataIsStable) {
+  Rng rng(33);
+  auto data = ThresholdDataset(100, &rng);
+  for (auto& s : data) s.label = 1;
+  MonotonicGbdt gbdt(4);
+  ASSERT_TRUE(gbdt.Fit(data).ok());
+  std::vector<double> h{0.5, 0.5, 0.5, 0.5};
+  EXPECT_GT(gbdt.PredictProbability(h, 10), 0.5);
+}
+
+TEST(GbdtTest, RefitReplacesModel) {
+  Rng rng(35);
+  MonotonicGbdt gbdt(4);
+  ASSERT_TRUE(gbdt.Fit(ThresholdDataset(100, &rng)).ok());
+  int trees_before = gbdt.num_trees_built();
+  ASSERT_TRUE(gbdt.Fit(ThresholdDataset(100, &rng)).ok());
+  EXPECT_EQ(gbdt.num_trees_built(), trees_before);  // replaced, not appended
+}
+
+TEST(GbdtTest, DepthLimitRespected) {
+  // With max_depth 1 the trees are stumps; prediction must still work.
+  GbdtConfig cfg;
+  cfg.max_depth = 1;
+  cfg.num_trees = 10;
+  Rng rng(37);
+  MonotonicGbdt gbdt(4, cfg);
+  ASSERT_TRUE(gbdt.Fit(ThresholdDataset(200, &rng)).ok());
+  std::vector<double> h{0.5, 0.5, 0.5, 0.5};
+  double p = gbdt.PredictProbability(h, 10);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace streamtune::ml

@@ -1,0 +1,108 @@
+// Edit-script extraction tests: the explained edit path realizes exactly
+// the computed distance.
+
+#include <gtest/gtest.h>
+
+#include "graph/ged.h"
+#include "workloads/pqp.h"
+#include "workloads/random_dag.h"
+
+namespace streamtune::graph {
+namespace {
+
+OperatorSpec Node(const char* name, OperatorType t) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = t;
+  if (t == OperatorType::kSource) s.source_rate = 1;
+  return s;
+}
+
+JobGraph Chain(OperatorType mid = OperatorType::kMap) {
+  JobGraph g("chain");
+  int a = g.AddOperator(Node("s", OperatorType::kSource));
+  int b = g.AddOperator(Node("m", mid));
+  int c = g.AddOperator(Node("k", OperatorType::kSink));
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.AddEdge(b, c).ok());
+  return g;
+}
+
+TEST(GedEditPathTest, IdenticalGraphsNeedNoEdits) {
+  JobGraph g = Chain();
+  GedResult r = ComputeGed(g, g);
+  ASSERT_TRUE(r.exact);
+  ASSERT_EQ(static_cast<int>(r.mapping.size()), g.num_operators());
+  auto edits = ExplainEdits(g, g, r.mapping);
+  EXPECT_TRUE(edits.empty());
+}
+
+TEST(GedEditPathTest, RelabelExplainedAsTypeModification) {
+  JobGraph g1 = Chain(OperatorType::kMap);
+  JobGraph g2 = Chain(OperatorType::kFilter);
+  GedResult r = ComputeGed(g1, g2);
+  ASSERT_TRUE(r.exact);
+  auto edits = ExplainEdits(g1, g2, r.mapping);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].kind, EditOp::Kind::kTypeModification);
+  EXPECT_NE(edits[0].description.find("Map"), std::string::npos);
+  EXPECT_NE(edits[0].description.find("Filter"), std::string::npos);
+}
+
+TEST(GedEditPathTest, EditCountEqualsDistance) {
+  auto dags = workloads::GenerateRandomDags(
+      6, 4242, workloads::RandomDagConfig{1, 2, 2, 1e3, 1e4});
+  for (size_t i = 0; i < dags.size(); ++i) {
+    for (size_t j = 0; j < dags.size(); ++j) {
+      GedResult r = ComputeGed(dags[i], dags[j]);
+      if (!r.exact) continue;
+      ASSERT_EQ(static_cast<int>(r.mapping.size()),
+                dags[i].num_operators());
+      auto edits = ExplainEdits(dags[i], dags[j], r.mapping);
+      EXPECT_DOUBLE_EQ(static_cast<double>(edits.size()), r.distance)
+          << dags[i].name() << " -> " << dags[j].name();
+      // Cross-check against MappingCost.
+      EXPECT_DOUBLE_EQ(MappingCost(dags[i], dags[j], r.mapping), r.distance);
+    }
+  }
+}
+
+TEST(GedEditPathTest, MappingIsValidAssignment) {
+  JobGraph a = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 0);
+  JobGraph b = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 0);
+  GedResult r = ComputeGed(a, b);
+  ASSERT_FALSE(r.mapping.empty());
+  std::vector<bool> used(b.num_operators(), false);
+  for (int v : r.mapping) {
+    if (v < 0) continue;
+    ASSERT_LT(v, b.num_operators());
+    EXPECT_FALSE(used[v]) << "g2 node matched twice";
+    used[v] = true;
+  }
+}
+
+TEST(GedEditPathTest, DirectionModificationExplained) {
+  JobGraph g1("fwd");
+  int a1 = g1.AddOperator(Node("a", OperatorType::kMap));
+  int b1 = g1.AddOperator(Node("b", OperatorType::kFilter));
+  ASSERT_TRUE(g1.AddEdge(a1, b1).ok());
+  JobGraph g2("bwd");
+  int a2 = g2.AddOperator(Node("a", OperatorType::kMap));
+  int b2 = g2.AddOperator(Node("b", OperatorType::kFilter));
+  ASSERT_TRUE(g2.AddEdge(b2, a2).ok());
+  GedResult r = ComputeGed(g1, g2);
+  ASSERT_TRUE(r.exact);
+  auto edits = ExplainEdits(g1, g2, r.mapping);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].kind, EditOp::Kind::kDirectionModification);
+}
+
+TEST(GedEditPathTest, KindNamesAreStable) {
+  EXPECT_STREQ(EditOpKindName(EditOp::Kind::kNodeInsertion),
+               "node-insertion");
+  EXPECT_STREQ(EditOpKindName(EditOp::Kind::kDirectionModification),
+               "direction-modification");
+}
+
+}  // namespace
+}  // namespace streamtune::graph

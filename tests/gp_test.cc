@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ml/gaussian_process.h"
+
+namespace streamtune::ml {
+namespace {
+
+TEST(CholeskyTest, KnownDecomposition) {
+  // A = L L^T with L = [[2,0],[1,3]].
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(l->at(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l->at(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l->at(1, 1), 3.0, 1e-12);
+  EXPECT_NEAR(l->at(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(CholeskyTest, SolvesLinearSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 10}});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  // Solve A x = b with b = {8, 26}; exact solution x = {1.5, 2.3}.
+  std::vector<double> x = BackwardSolve(*l, ForwardSolve(*l, {8, 26}));
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 8, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 10 * x[1], 26, 1e-10);
+}
+
+TEST(GpTest, RejectsBadInput) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({1, 2}, {1}).ok());
+}
+
+TEST(GpTest, InterpolatesTrainingPoints) {
+  GaussianProcess gp;
+  std::vector<double> x{1, 5, 10, 20};
+  std::vector<double> y{100, 480, 900, 1500};
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(gp.Mean(x[i]), y[i], 30);  // small noise term allows slack
+    EXPECT_LT(gp.StdDev(x[i]), 0.2 * std::abs(y[i]) + 50);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({5, 6, 7}, {50, 60, 70}).ok());
+  EXPECT_GT(gp.StdDev(30), gp.StdDev(6));
+}
+
+TEST(GpTest, LcbBelowMean) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({1, 10, 20}, {10, 100, 180}).ok());
+  for (double x : {1.0, 5.0, 15.0, 25.0}) {
+    EXPECT_LE(gp.Lcb(x, 3.0), gp.Mean(x) + 1e-9);
+    EXPECT_LE(gp.Lcb(x, 3.0), gp.Lcb(x, 1.0) + 1e-9);  // more conservative
+  }
+}
+
+TEST(GpTest, SinglePointPosterior) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({4}, {40}).ok());
+  EXPECT_NEAR(gp.Mean(4), 40, 1.0);
+  EXPECT_GE(gp.StdDev(20), 0.0);
+}
+
+TEST(GpTest, MonotoneDataGivesMonotoneInterpolation) {
+  // Processing-ability curves are increasing; the GP mean should roughly
+  // follow between training points.
+  GaussianProcess gp;
+  std::vector<double> x, y;
+  for (int p = 1; p <= 20; p += 2) {
+    x.push_back(p);
+    y.push_back(1000.0 * p / (1 + 0.02 * (p - 1)));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (int p = 2; p <= 18; p += 2) {
+    EXPECT_GT(gp.Mean(p + 1), gp.Mean(p - 1));
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::ml

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/history.h"
+#include "timelysim/timely_simulator.h"
+#include "workloads/cost_config.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::core {
+namespace {
+
+std::vector<JobGraph> SmallJobSet() {
+  std::vector<JobGraph> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  return jobs;
+}
+
+TEST(HistoryTest, CollectsExpectedCount) {
+  HistoryOptions opts;
+  opts.samples_per_job = 5;
+  auto records = CollectHistory(SmallJobSet(), opts);
+  EXPECT_EQ(records.size(), 15u);
+}
+
+TEST(HistoryTest, RecordsAreInternallyConsistent) {
+  HistoryOptions opts;
+  opts.samples_per_job = 6;
+  auto records = CollectHistory(SmallJobSet(), opts);
+  for (const HistoryRecord& r : records) {
+    int n = r.graph.num_operators();
+    ASSERT_EQ(static_cast<int>(r.parallelism.size()), n);
+    ASSERT_EQ(static_cast<int>(r.source_rates.size()), n);
+    ASSERT_EQ(static_cast<int>(r.labels.size()), n);
+    for (int v = 0; v < n; ++v) {
+      EXPECT_GE(r.parallelism[v], 1);
+      EXPECT_LE(r.parallelism[v], opts.max_parallelism);
+      EXPECT_GE(r.labels[v], -1);
+      EXPECT_LE(r.labels[v], 1);
+      if (!r.graph.op(v).is_source()) {
+        EXPECT_DOUBLE_EQ(r.source_rates[v], 0.0);
+      }
+    }
+    EXPECT_GE(r.job_cost, 0.0);
+    // Clean runs must be fully labeled 0; backpressured runs must contain a
+    // bottleneck label.
+    if (!r.backpressure) {
+      for (int v = 0; v < n; ++v) EXPECT_EQ(r.labels[v], 0);
+    } else {
+      bool any_bottleneck = false;
+      for (int v = 0; v < n; ++v) any_bottleneck |= (r.labels[v] == 1);
+      EXPECT_TRUE(any_bottleneck);
+    }
+  }
+}
+
+TEST(HistoryTest, RateMultipliersWithinRange) {
+  HistoryOptions opts;
+  opts.samples_per_job = 8;
+  auto records = CollectHistory(SmallJobSet(), opts);
+  double wu = workloads::PqpRateUnit(workloads::PqpTemplate::kLinear);
+  for (const HistoryRecord& r : records) {
+    for (int v = 0; v < r.graph.num_operators(); ++v) {
+      if (!r.graph.op(v).is_source()) continue;
+      double mult = r.source_rates[v] / wu;
+      EXPECT_GE(mult, opts.min_rate_multiplier - 1e-9);
+      EXPECT_LE(mult, opts.max_rate_multiplier + 1e-9);
+    }
+  }
+}
+
+TEST(HistoryTest, DeterministicPerSeed) {
+  HistoryOptions opts;
+  opts.samples_per_job = 4;
+  auto a = CollectHistory(SmallJobSet(), opts);
+  auto b = CollectHistory(SmallJobSet(), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].parallelism, b[i].parallelism);
+    EXPECT_EQ(a[i].labels, b[i].labels);
+    EXPECT_DOUBLE_EQ(a[i].job_cost, b[i].job_cost);
+  }
+  opts.seed = 1234;
+  auto c = CollectHistory(SmallJobSet(), opts);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].parallelism != c[i].parallelism;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HistoryTest, ContainsBothLabelClasses) {
+  HistoryOptions opts;
+  opts.samples_per_job = 20;
+  auto records = CollectHistory(SmallJobSet(), opts);
+  int pos = 0, neg = 0;
+  for (const HistoryRecord& r : records) {
+    for (int l : r.labels) {
+      if (l == 1) ++pos;
+      if (l == 0) ++neg;
+    }
+  }
+  EXPECT_GT(pos, 0) << "corpus has no bottleneck examples";
+  EXPECT_GT(neg, 0) << "corpus has no negative examples";
+}
+
+TEST(HistoryTest, CustomEngineFactoryIsUsed) {
+  // Collect on the Timely-like engine: parallelism must respect its
+  // 10-worker cap.
+  HistoryOptions opts;
+  opts.samples_per_job = 5;
+  auto factory = [](const JobGraph& job, uint64_t seed) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    timelysim::TimelyConfig cfg;
+    cfg.noise_seed = seed;
+    return std::make_unique<timelysim::TimelySimulator>(job, model, cfg);
+  };
+  auto records = CollectHistory(SmallJobSet(), opts, factory);
+  ASSERT_EQ(records.size(), 15u);
+  for (const HistoryRecord& r : records) {
+    for (int p : r.parallelism) EXPECT_LE(p, 10);
+  }
+}
+
+TEST(JobCostTest, PenalizesSaturationAndThrottling) {
+  sim::JobMetrics relaxed;
+  relaxed.ops.resize(2);
+  relaxed.ops[0].busy_frac = 0.1;
+  relaxed.ops[1].busy_frac = 0.1;
+  relaxed.lambda = 1.0;
+  sim::JobMetrics busy = relaxed;
+  busy.ops[0].busy_frac = 0.95;
+  EXPECT_GT(JobCost(busy), JobCost(relaxed));
+  sim::JobMetrics throttled = relaxed;
+  throttled.lambda = 0.5;
+  EXPECT_GT(JobCost(throttled), JobCost(busy));
+}
+
+}  // namespace
+}  // namespace streamtune::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "graph/ged_kmeans.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::graph {
+namespace {
+
+std::vector<JobGraph> TwoFamilies(int per_family) {
+  std::vector<JobGraph> dags;
+  for (int i = 0; i < per_family; ++i) {
+    dags.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 0; i < per_family; ++i) {
+    dags.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, i));
+  }
+  return dags;
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  KMeansOptions opts;
+  EXPECT_FALSE(ClusterDags({}, opts).ok());
+  auto dags = TwoFamilies(2);
+  opts.k = 0;
+  EXPECT_FALSE(ClusterDags(dags, opts).ok());
+  opts.k = 100;
+  EXPECT_FALSE(ClusterDags(dags, opts).ok());
+}
+
+TEST(KMeansTest, SeparatesStructuralFamilies) {
+  auto dags = TwoFamilies(5);
+  KMeansOptions opts;
+  opts.k = 2;
+  auto res = ClusterDags(dags, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->assignment.size(), dags.size());
+  // All Linear queries in one cluster, all 3-way joins in the other.
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(res->assignment[i], res->assignment[0]) << "linear " << i;
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_EQ(res->assignment[i], res->assignment[5]) << "3-way " << i;
+  }
+  EXPECT_NE(res->assignment[0], res->assignment[5]);
+}
+
+TEST(KMeansTest, CentersAreMembersOfTheirClusters) {
+  auto dags = TwoFamilies(4);
+  KMeansOptions opts;
+  opts.k = 2;
+  auto res = ClusterDags(dags, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->center_indices.size(), 2u);
+  for (int c = 0; c < 2; ++c) {
+    int idx = res->center_indices[c];
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, static_cast<int>(dags.size()));
+    EXPECT_EQ(res->assignment[idx], c);
+  }
+}
+
+TEST(KMeansTest, SingleClusterAssignsEverything) {
+  auto dags = TwoFamilies(3);
+  KMeansOptions opts;
+  opts.k = 1;
+  auto res = ClusterDags(dags, opts);
+  ASSERT_TRUE(res.ok());
+  for (int a : res->assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  auto dags = TwoFamilies(4);
+  KMeansOptions opts;
+  opts.k = 2;
+  auto a = ClusterDags(dags, opts);
+  auto b = ClusterDags(dags, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->center_indices, b->center_indices);
+}
+
+TEST(KMeansTest, NearestCenterPicksArgmin) {
+  auto linear = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 6);
+  std::vector<JobGraph> centers{
+      workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 0),
+      workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, 0)};
+  EXPECT_EQ(NearestCenter(linear, centers), 0);
+  auto three = workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, 6);
+  EXPECT_EQ(NearestCenter(three, centers), 1);
+}
+
+TEST(KMeansTest, DistancesToCentersMatchExactGed) {
+  auto g = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 2);
+  std::vector<JobGraph> centers{
+      workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 0),
+      workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 1)};
+  auto dist = DistancesToCenters(g, centers);
+  // The minimum distance is exact (the pruning threshold only trims
+  // centers that are provably farther).
+  GedResult d0 = ComputeGed(g, centers[0]);
+  GedResult d1 = ComputeGed(g, centers[1]);
+  double expected_min = std::min(d0.distance, d1.distance);
+  EXPECT_DOUBLE_EQ(std::min(dist[0], dist[1]), expected_min);
+}
+
+TEST(KMeansTest, ElbowSelectsWithinRange) {
+  auto dags = TwoFamilies(4);
+  KMeansOptions opts;
+  auto k = SelectKByElbow(dags, 2, 4, opts);
+  ASSERT_TRUE(k.ok());
+  EXPECT_GE(*k, 2);
+  EXPECT_LE(*k, 4);
+}
+
+TEST(KMeansTest, ElbowRejectsBadRange) {
+  auto dags = TwoFamilies(2);
+  KMeansOptions opts;
+  EXPECT_FALSE(SelectKByElbow(dags, 0, 3, opts).ok());
+  EXPECT_FALSE(SelectKByElbow(dags, 3, 2, opts).ok());
+  EXPECT_FALSE(SelectKByElbow(dags, 2, 100, opts).ok());
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  auto dags = TwoFamilies(5);
+  KMeansOptions opts;
+  opts.k = 1;
+  auto one = ClusterDags(dags, opts);
+  opts.k = 4;
+  auto four = ClusterDags(dags, opts);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  EXPECT_LE(four->within_cluster_distance,
+            one->within_cluster_distance + 1e-9);
+}
+
+}  // namespace
+}  // namespace streamtune::graph

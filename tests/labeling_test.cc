@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/labeling.h"
+
+namespace streamtune::core {
+namespace {
+
+OperatorSpec Src(const char* name) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = OperatorType::kSource;
+  s.source_rate = 1000;
+  return s;
+}
+
+OperatorSpec Op(const char* name, OperatorType t) {
+  OperatorSpec s;
+  s.name = name;
+  s.type = t;
+  return s;
+}
+
+// Builds the Fig. 3 topology: O1 -> {O2, O3}; O3 -> O4 (O2 also -> O4).
+struct Fig3 {
+  JobGraph g{"fig3"};
+  int o1, o2, o3, o4;
+  Fig3() {
+    o1 = g.AddOperator(Src("O1"));
+    o2 = g.AddOperator(Op("O2", OperatorType::kMap));
+    o3 = g.AddOperator(Op("O3", OperatorType::kFilter));
+    o4 = g.AddOperator(Op("O4", OperatorType::kSink));
+    EXPECT_TRUE(g.AddEdge(o1, o2).ok());
+    EXPECT_TRUE(g.AddEdge(o1, o3).ok());
+    EXPECT_TRUE(g.AddEdge(o2, o4).ok());
+    EXPECT_TRUE(g.AddEdge(o3, o4).ok());
+  }
+};
+
+sim::JobMetrics CleanMetrics(int n) {
+  sim::JobMetrics m;
+  m.ops.resize(n);
+  for (auto& om : m.ops) {
+    om.busy_frac = om.cpu_load = 0.2;
+    om.idle_frac = 0.8;
+  }
+  m.job_backpressure = false;
+  return m;
+}
+
+TEST(LabelingTest, NoBackpressureLabelsEverythingZero) {
+  Fig3 f;
+  auto labels = LabelBottlenecks(f.g, CleanMetrics(4));
+  EXPECT_EQ(labels, (std::vector<int>{0, 0, 0, 0}));
+}
+
+TEST(LabelingTest, Fig3Scenario) {
+  // O1 backpressured; O2 at 98% CPU (the bottleneck); O3 at 15%.
+  Fig3 f;
+  sim::JobMetrics m = CleanMetrics(4);
+  m.job_backpressure = true;
+  m.ops[f.o1].backpressured = true;
+  m.ops[f.o1].backpressured_frac = 0.4;
+  m.ops[f.o2].cpu_load = 0.98;
+  m.ops[f.o2].busy_frac = 0.98;
+  m.ops[f.o2].saturated = true;
+  m.ops[f.o3].cpu_load = 0.15;
+  auto labels = LabelBottlenecks(f.g, m);
+  EXPECT_EQ(labels[f.o1], -1);  // under backpressure: inconclusive
+  EXPECT_EQ(labels[f.o2], 1);   // high CPU downstream of the frontier
+  EXPECT_EQ(labels[f.o3], 0);   // low CPU downstream of the frontier
+  EXPECT_EQ(labels[f.o4], -1);  // not downstream of the frontier
+}
+
+TEST(LabelingTest, FrontierExcludesOperatorsWithBackpressuredDownstream) {
+  // Chain src -> m1 -> m2(sat) with both src and m1 backpressured: only m1
+  // is in the frontier; src's downstream (m1) must stay unlabeled.
+  JobGraph g("chain");
+  int s = g.AddOperator(Src("s"));
+  int m1 = g.AddOperator(Op("m1", OperatorType::kMap));
+  int m2 = g.AddOperator(Op("m2", OperatorType::kMap));
+  int k = g.AddOperator(Op("k", OperatorType::kSink));
+  ASSERT_TRUE(g.AddEdge(s, m1).ok());
+  ASSERT_TRUE(g.AddEdge(m1, m2).ok());
+  ASSERT_TRUE(g.AddEdge(m2, k).ok());
+  sim::JobMetrics m = CleanMetrics(4);
+  m.job_backpressure = true;
+  m.ops[s].backpressured = true;
+  m.ops[m1].backpressured = true;
+  m.ops[m2].saturated = true;
+  m.ops[m2].cpu_load = 1.0;
+  m.ops[k].cpu_load = 0.1;
+  auto labels = LabelBottlenecks(g, m);
+  EXPECT_EQ(labels[s], -1);
+  EXPECT_EQ(labels[m1], -1);
+  EXPECT_EQ(labels[m2], 1);
+  // k is downstream of the bottleneck m2, not of a frontier member; its
+  // upstream rates are altered, so it stays inconclusive.
+  EXPECT_EQ(labels[k], -1);
+}
+
+TEST(LabelingTest, SaturatedSourceIsItsOwnBottleneck) {
+  Fig3 f;
+  sim::JobMetrics m = CleanMetrics(4);
+  m.job_backpressure = true;
+  m.ops[f.o1].saturated = true;
+  m.ops[f.o1].busy_frac = m.ops[f.o1].cpu_load = 1.0;
+  auto labels = LabelBottlenecks(f.g, m);
+  EXPECT_EQ(labels[f.o1], 1);
+  // Everything else inconclusive: the throttled source altered their rates.
+  EXPECT_EQ(labels[f.o2], -1);
+  EXPECT_EQ(labels[f.o3], -1);
+  EXPECT_EQ(labels[f.o4], -1);
+}
+
+TEST(LabelingTest, CpuThresholdConfigurable) {
+  Fig3 f;
+  sim::JobMetrics m = CleanMetrics(4);
+  m.job_backpressure = true;
+  m.ops[f.o1].backpressured = true;
+  m.ops[f.o2].cpu_load = 0.5;
+  m.ops[f.o3].cpu_load = 0.1;
+  LabelingOptions strict;
+  strict.cpu_threshold = 0.4;
+  auto labels = LabelBottlenecks(f.g, m, strict);
+  EXPECT_EQ(labels[f.o2], 1);  // 0.5 > 0.4
+  LabelingOptions lax;
+  lax.cpu_threshold = 0.6;
+  labels = LabelBottlenecks(f.g, m, lax);
+  EXPECT_EQ(labels[f.o2], 0);  // 0.5 < 0.6
+}
+
+TEST(LabelingTest, MildSaturationLabeledDirectly) {
+  // A saturated non-source whose upstream never crosses the 10% flag: the
+  // direct saturation rule must still label it.
+  Fig3 f;
+  sim::JobMetrics m = CleanMetrics(4);
+  m.job_backpressure = true;
+  m.ops[f.o2].saturated = true;  // nobody flagged backpressured
+  m.ops[f.o2].cpu_load = 1.0;
+  auto labels = LabelBottlenecks(f.g, m);
+  EXPECT_EQ(labels[f.o2], 1);
+}
+
+}  // namespace
+}  // namespace streamtune::core

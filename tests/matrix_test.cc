@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "ml/matrix.h"
+
+namespace streamtune::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityAndMatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix i = Matrix::Identity(2);
+  Matrix prod = a.MatMul(i);
+  EXPECT_TRUE(prod.same_shape(a));
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(prod.at(r, c), a.at(r, c));
+  }
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});      // 2x3
+  Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}});  // 3x2
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6);
+  Matrix tt = t.Transpose();
+  EXPECT_TRUE(tt.same_shape(a));
+  EXPECT_DOUBLE_EQ(tt.at(1, 2), 6);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  EXPECT_DOUBLE_EQ(a.Add(b).at(1, 1), 12);
+  EXPECT_DOUBLE_EQ(a.Sub(b).at(0, 0), -4);
+  EXPECT_DOUBLE_EQ(a.Hadamard(b).at(1, 0), 21);
+  EXPECT_DOUBLE_EQ(a.Scale(-2).at(0, 1), -4);
+}
+
+TEST(MatrixTest, RowBroadcastAndSumRows) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::FromRows({{10, 20}});
+  Matrix r = a.AddRowBroadcast(bias);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 11);
+  EXPECT_DOUBLE_EQ(r.at(1, 1), 24);
+  Matrix s = a.SumRows();
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 4);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), 6);
+}
+
+TEST(MatrixTest, ConcatAndSliceInverse) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5}, {6}});
+  Matrix cat = a.ConcatCols(b);
+  EXPECT_EQ(cat.cols(), 3);
+  EXPECT_DOUBLE_EQ(cat.at(1, 2), 6);
+  Matrix left = cat.SliceCols(0, 2);
+  Matrix right = cat.SliceCols(2, 3);
+  EXPECT_DOUBLE_EQ(left.at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(right.at(0, 0), 5);
+}
+
+TEST(MatrixTest, RowAccessors) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(a.Row(1), (std::vector<double>{4, 5, 6}));
+  a.SetRow(0, {7, 8, 9});
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 9);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a = Matrix::FromRows({{1, -2}, {3, -4}});
+  EXPECT_DOUBLE_EQ(a.SumAll(), -2);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 1 + 4 + 9 + 16);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  Rng rng(5);
+  Matrix m = Matrix::GlorotUniform(8, 8, &rng);
+  double limit = std::sqrt(6.0 / 16.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+  EXPECT_GT(m.MaxAbs(), 0.0);  // not all zero
+}
+
+}  // namespace
+}  // namespace streamtune::ml

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/nn_classifier.h"
+
+namespace streamtune::ml {
+namespace {
+
+std::vector<LabeledSample> ThresholdDataset(int n, Rng* rng) {
+  std::vector<LabeledSample> data;
+  for (int i = 0; i < n; ++i) {
+    double knob = rng->Uniform();
+    double threshold = 10 + 40 * knob;
+    LabeledSample s;
+    s.embedding = {knob, rng->Uniform(), rng->Uniform(), rng->Uniform()};
+    s.parallelism = rng->UniformInt(1, 60);
+    s.label = s.parallelism < threshold ? 1 : 0;
+    data.push_back(std::move(s));
+  }
+  return data;
+}
+
+TEST(NnClassifierTest, RejectsBadInput) {
+  NnClassifier nn(4);
+  EXPECT_FALSE(nn.Fit({}).ok());
+  LabeledSample bad;
+  bad.embedding = {1.0};
+  EXPECT_FALSE(nn.Fit({bad}).ok());
+}
+
+TEST(NnClassifierTest, NotMonotonicByContract) {
+  NnClassifier nn(4);
+  EXPECT_FALSE(nn.is_monotonic());
+  EXPECT_EQ(nn.name(), "NN");
+}
+
+TEST(NnClassifierTest, LearnsThresholdTask) {
+  Rng rng(42);
+  auto data = ThresholdDataset(400, &rng);
+  NnClassifier nn(4);
+  ASSERT_TRUE(nn.Fit(data).ok());
+  auto test = ThresholdDataset(200, &rng);
+  int correct = 0;
+  for (const auto& s : test) {
+    if (nn.PredictBottleneck(s.embedding, s.parallelism) == (s.label == 1)) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, 150) << "accuracy " << correct / 200.0;
+}
+
+TEST(NnClassifierTest, ProbabilitiesInRange) {
+  Rng rng(7);
+  NnClassifier nn(4);
+  ASSERT_TRUE(nn.Fit(ThresholdDataset(100, &rng)).ok());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> h{rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                          rng.Uniform()};
+    double p = nn.PredictProbability(h, rng.UniformInt(1, 100));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(NnClassifierTest, RefitIsDeterministicFreshRetrain) {
+  Rng rng(9);
+  auto data = ThresholdDataset(150, &rng);
+  NnClassifier a(4), b(4);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  std::vector<double> h{0.3, 0.6, 0.2, 0.8};
+  EXPECT_DOUBLE_EQ(a.PredictProbability(h, 10), b.PredictProbability(h, 10));
+}
+
+}  // namespace
+}  // namespace streamtune::ml

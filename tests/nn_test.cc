@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "ml/nn.h"
+
+namespace streamtune::ml {
+namespace {
+
+TEST(LinearLayerTest, ShapesAndBias) {
+  Rng rng(1);
+  LinearLayer layer(4, 3, &rng);
+  Var x = Constant(Matrix(5, 4, 1.0));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.rows(), 5);
+  EXPECT_EQ(y->value.cols(), 3);
+  EXPECT_EQ(layer.Params().size(), 2u);
+}
+
+TEST(MlpTest, ForwardShape) {
+  Rng rng(2);
+  Mlp mlp({6, 8, 4, 1}, Activation::kRelu, &rng);
+  EXPECT_EQ(mlp.in_dim(), 6);
+  EXPECT_EQ(mlp.out_dim(), 1);
+  EXPECT_EQ(mlp.Params().size(), 6u);  // 3 layers x (W, b)
+  Var y = mlp.Forward(Constant(Matrix(7, 6, 0.5)));
+  EXPECT_EQ(y->value.rows(), 7);
+  EXPECT_EQ(y->value.cols(), 1);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // minimize ||x - t||^2; Adam should get close to t.
+  Var x = Param(Matrix(1, 3, 0.0));
+  Matrix target(1, 3);
+  target.at(0, 0) = 1.0;
+  target.at(0, 1) = -2.0;
+  target.at(0, 2) = 0.5;
+  Adam opt({x}, 0.05);
+  for (int i = 0; i < 500; ++i) {
+    Var loss = MseLoss(x, target);
+    Backward(loss);
+    opt.Step();
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(x->value.at(0, c), target.at(0, c), 1e-2);
+  }
+}
+
+TEST(AdamTest, ZeroGradClearsGradients) {
+  Var x = Param(Matrix(1, 1, 1.0));
+  Adam opt({x}, 0.1);
+  Var loss = MseLoss(x, Matrix(1, 1, 0.0));
+  Backward(loss);
+  EXPECT_TRUE(x->has_grad());
+  opt.ZeroGrad();
+  EXPECT_FALSE(x->has_grad());
+}
+
+TEST(MlpTest, LearnsXor) {
+  // XOR is not linearly separable: requires the hidden layer to work.
+  Rng rng(3);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, &rng);
+  Matrix x = Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  Matrix y = Matrix::FromRows({{0}, {1}, {1}, {0}});
+  Matrix mask(4, 1, 1.0);
+  Adam opt(mlp.Params(), 0.02);
+  for (int epoch = 0; epoch < 1500; ++epoch) {
+    Var logits = mlp.Forward(Constant(x));
+    Var loss = BceWithLogitsMasked(logits, y, mask);
+    Backward(loss);
+    opt.Step();
+  }
+  Var logits = mlp.Forward(Constant(x));
+  for (int i = 0; i < 4; ++i) {
+    double prob = Sigmoid(logits->value.at(i, 0));
+    EXPECT_NEAR(prob, y.at(i, 0), 0.2) << "input row " << i;
+  }
+}
+
+TEST(ActivateTest, AppliesRequestedFunction) {
+  Var x = Constant(Matrix(1, 1, -1.0));
+  EXPECT_DOUBLE_EQ(Activate(x, Activation::kRelu)->value.at(0, 0), 0.0);
+  EXPECT_NEAR(Activate(x, Activation::kTanh)->value.at(0, 0),
+              std::tanh(-1.0), 1e-12);
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid)->value.at(0, 0),
+              Sigmoid(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Activate(x, Activation::kNone)->value.at(0, 0), -1.0);
+}
+
+}  // namespace
+}  // namespace streamtune::ml

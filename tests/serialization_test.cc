@@ -1,0 +1,175 @@
+// Round-trip and malformed-input tests for history/bundle persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/serialization.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::core {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/streamtune_" + tag + "_" +
+         std::to_string(::getpid()) + ".txt";
+}
+
+std::vector<HistoryRecord> SampleCorpus() {
+  std::vector<JobGraph> jobs;
+  jobs.push_back(workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                            workloads::Engine::kFlink));
+  jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 1));
+  HistoryOptions opts;
+  opts.samples_per_job = 5;
+  return CollectHistory(jobs, opts);
+}
+
+TEST(SerializationTest, JobGraphRoundTrip) {
+  JobGraph g = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                          workloads::Engine::kFlink);
+  std::stringstream ss;
+  WriteJobGraph(ss, g);
+  auto back = ReadJobGraph(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name(), g.name());
+  ASSERT_EQ(back->num_operators(), g.num_operators());
+  EXPECT_EQ(back->edges(), g.edges());
+  for (int v = 0; v < g.num_operators(); ++v) {
+    const OperatorSpec& a = g.op(v);
+    const OperatorSpec& b = back->op(v);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.window_type, b.window_type);
+    EXPECT_DOUBLE_EQ(a.window_length, b.window_length);
+    EXPECT_DOUBLE_EQ(a.sliding_length, b.sliding_length);
+    EXPECT_EQ(a.aggregate_function, b.aggregate_function);
+    EXPECT_DOUBLE_EQ(a.tuple_width_in, b.tuple_width_in);
+    EXPECT_DOUBLE_EQ(a.source_rate, b.source_rate);
+  }
+}
+
+TEST(SerializationTest, ReadRejectsMalformedGraph) {
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadJobGraph(empty).ok());
+  std::stringstream wrong_magic("grph foo\nops 1\n");
+  EXPECT_FALSE(ReadJobGraph(wrong_magic).ok());
+  std::stringstream bad_enum("graph g\nops 1\nop s 99 0 0 0 0 0 0 0 0 0 0 0 "
+                             "0\nedges 0\n");
+  EXPECT_FALSE(ReadJobGraph(bad_enum).ok());
+  std::stringstream bad_edge(
+      "graph g\nops 1\nop s 0 0 0 0 0 0 0 0 0 0 0 0 5\nedges 1\ne 0 7\n");
+  EXPECT_FALSE(ReadJobGraph(bad_edge).ok());
+}
+
+TEST(SerializationTest, HistoryRoundTrip) {
+  auto corpus = SampleCorpus();
+  std::string path = TempPath("hist");
+  ASSERT_TRUE(SaveHistory(corpus, path).ok());
+  auto back = LoadHistory(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*back)[i].parallelism, corpus[i].parallelism);
+    EXPECT_EQ((*back)[i].labels, corpus[i].labels);
+    EXPECT_EQ((*back)[i].backpressure, corpus[i].backpressure);
+    EXPECT_DOUBLE_EQ((*back)[i].job_cost, corpus[i].job_cost);
+    ASSERT_EQ((*back)[i].source_rates.size(), corpus[i].source_rates.size());
+    for (size_t v = 0; v < corpus[i].source_rates.size(); ++v) {
+      EXPECT_DOUBLE_EQ((*back)[i].source_rates[v],
+                       corpus[i].source_rates[v]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadHistoryRejectsMissingFile) {
+  EXPECT_FALSE(LoadHistory("/nonexistent/dir/nope.txt").ok());
+}
+
+TEST(SerializationTest, LoadHistoryRejectsWrongMagic) {
+  std::string path = TempPath("badmagic");
+  {
+    std::ofstream os(path);
+    os << "NOTAHISTORY 1\ncount 0\n";
+  }
+  EXPECT_FALSE(LoadHistory(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BundleRoundTripPreservesModelOutputs) {
+  auto corpus = SampleCorpus();
+  PretrainOptions pre;
+  pre.use_clustering = true;
+  pre.k = 2;
+  pre.epochs = 5;
+  pre.hidden_dim = 16;
+  auto bundle = Pretrainer(pre).Run(corpus);
+  ASSERT_TRUE(bundle.ok());
+
+  std::string path = TempPath("bundle");
+  ASSERT_TRUE(SaveBundle(*bundle, path).ok());
+  auto back = LoadBundle(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back->num_clusters(), bundle->num_clusters());
+  EXPECT_EQ(back->records().size(), bundle->records().size());
+
+  // The loaded bundle must reproduce embeddings and head outputs exactly.
+  JobGraph probe = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                              workloads::Engine::kFlink);
+  std::vector<double> rates(probe.num_operators(), 0.0);
+  std::vector<int> parallelism(probe.num_operators(), 4);
+  for (int v = 0; v < probe.num_operators(); ++v) {
+    if (probe.op(v).is_source()) rates[v] = 1e6;
+  }
+  for (int c = 0; c < bundle->num_clusters(); ++c) {
+    ml::Matrix a = bundle->AgnosticEmbeddings(c, probe, rates);
+    ml::Matrix b = back->AgnosticEmbeddings(c, probe, rates);
+    ASSERT_TRUE(a.same_shape(b));
+    EXPECT_DOUBLE_EQ(a.Sub(b).SquaredNorm(), 0.0) << "cluster " << c;
+    auto pa = bundle->PretrainHeadProbabilities(c, probe, rates, parallelism);
+    auto pb = back->PretrainHeadProbabilities(c, probe, rates, parallelism);
+    for (size_t v = 0; v < pa.size(); ++v) EXPECT_DOUBLE_EQ(pa[v], pb[v]);
+    // Warm-up datasets built from the loaded corpus match too.
+    auto wa = bundle->WarmUpDataset(c, 8, 3);
+    auto wb = back->WarmUpDataset(c, 8, 3);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_EQ(wa[i].parallelism, wb[i].parallelism);
+      EXPECT_EQ(wa[i].label, wb[i].label);
+    }
+  }
+  // Cluster assignment is preserved (same centers).
+  EXPECT_EQ(back->AssignCluster(probe), bundle->AssignCluster(probe));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadBundleRejectsTruncatedFile) {
+  auto corpus = SampleCorpus();
+  PretrainOptions pre;
+  pre.use_clustering = false;
+  pre.epochs = 2;
+  pre.hidden_dim = 16;
+  auto bundle = Pretrainer(pre).Run(corpus);
+  ASSERT_TRUE(bundle.ok());
+  std::string path = TempPath("trunc");
+  ASSERT_TRUE(SaveBundle(*bundle, path).ok());
+  // Truncate to half size.
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  {
+    std::ofstream os(path);
+    os << content.substr(0, content.size() / 2);
+  }
+  EXPECT_FALSE(LoadBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamtune::core

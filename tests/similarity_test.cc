@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "graph/similarity.h"
+#include "workloads/pqp.h"
+#include "workloads/random_dag.h"
+
+namespace streamtune::graph {
+namespace {
+
+std::vector<JobGraph> MixedDataset() {
+  std::vector<JobGraph> dags;
+  for (int i = 0; i < 4; ++i) {
+    dags.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    dags.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, i));
+  }
+  return dags;
+}
+
+TEST(SimilarityTest, SearchFindsSelf) {
+  auto dags = MixedDataset();
+  auto hits = SimilaritySearch(dags, dags[0], 0.0);
+  ASSERT_FALSE(hits.empty());
+  bool found_self = false;
+  for (int h : hits) found_self |= (h == 0);
+  EXPECT_TRUE(found_self);
+}
+
+TEST(SimilarityTest, MethodsAgree) {
+  auto dags = MixedDataset();
+  for (double tau : {2.0, 5.0}) {
+    for (int q = 0; q < 3; ++q) {
+      auto direct =
+          SimilaritySearch(dags, dags[q], tau, SearchMethod::kDirectGed);
+      auto lsa = SimilaritySearch(dags, dags[q], tau, SearchMethod::kAStarLsa);
+      EXPECT_EQ(direct, lsa) << "query " << q << " tau " << tau;
+    }
+  }
+}
+
+TEST(SimilarityTest, SearchMatchesBruteForceGed) {
+  auto dags = MixedDataset();
+  double tau = 4.0;
+  auto hits = SimilaritySearch(dags, dags[1], tau);
+  std::vector<int> expected;
+  for (size_t i = 0; i < dags.size(); ++i) {
+    GedResult r = ComputeGed(dags[i], dags[1]);
+    if (r.exact && r.distance <= tau + 1e-9) {
+      expected.push_back(static_cast<int>(i));
+    }
+  }
+  EXPECT_EQ(hits, expected);
+}
+
+TEST(SimilarityTest, LargerTauFindsMore) {
+  auto dags = MixedDataset();
+  auto small = SimilaritySearch(dags, dags[0], 1.0);
+  auto large = SimilaritySearch(dags, dags[0], 10.0);
+  EXPECT_GE(large.size(), small.size());
+}
+
+TEST(SimilarityTest, AppearanceCountsIncludeSelf) {
+  auto dags = MixedDataset();
+  auto counts = AppearanceCounts(dags, 0.0, SearchMethod::kAStarLsa);
+  ASSERT_EQ(counts.size(), dags.size());
+  // Every graph appears at least in its own search result.
+  for (int c : counts) EXPECT_GE(c, 1);
+}
+
+TEST(SimilarityTest, SimilarityCenterIsCentralMember) {
+  // Cluster of 4 similar Linear queries plus 1 structural outlier: the
+  // center should not be the outlier.
+  std::vector<JobGraph> cluster;
+  for (int i = 0; i < 4; ++i) {
+    cluster.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear,
+                                             i));
+  }
+  cluster.push_back(
+      workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, 0));
+  int center = SimilarityCenter(cluster, 5.0);
+  ASSERT_GE(center, 0);
+  EXPECT_LT(center, 4) << "outlier selected as similarity center";
+}
+
+TEST(SimilarityTest, EmptyClusterHasNoCenter) {
+  EXPECT_EQ(SimilarityCenter({}, 5.0), -1);
+}
+
+TEST(SimilarityTest, SingletonClusterIsItsOwnCenter) {
+  std::vector<JobGraph> cluster{
+      workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 0)};
+  EXPECT_EQ(SimilarityCenter(cluster, 5.0), 0);
+}
+
+}  // namespace
+}  // namespace streamtune::graph

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/streamtune_tuner.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::core {
+namespace {
+
+// Shared fixture state: pre-training once keeps the suite fast.
+class StreamTuneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<JobGraph> jobs;
+    for (int i = 0; i < 6; ++i) {
+      jobs.push_back(
+          workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+    }
+    for (int i = 0; i < 6; ++i) {
+      jobs.push_back(
+          workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+    }
+    HistoryOptions hist;
+    hist.samples_per_job = 12;
+    auto corpus = CollectHistory(jobs, hist);
+    PretrainOptions pre;
+    pre.k = 2;
+    pre.epochs = 15;
+    auto bundle = Pretrainer(pre).Run(std::move(corpus));
+    ASSERT_TRUE(bundle.ok());
+    bundle_ = std::make_shared<PretrainedBundle>(std::move(*bundle));
+  }
+
+  static sim::FlinkEngine MakeEngine(const JobGraph& job) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    return sim::FlinkEngine(job, model, sim::SimConfig{});
+  }
+
+  static std::shared_ptr<PretrainedBundle> bundle_;
+};
+
+std::shared_ptr<PretrainedBundle> StreamTuneTest::bundle_;
+
+TEST_F(StreamTuneTest, EliminatesBackpressureOnUnseenJob) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin,
+                                        9);  // not in the corpus
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  engine.ScaleAllSources(10.0);
+  StreamTuneTuner tuner(bundle_);
+  auto outcome = tuner.Tune(&engine);
+  ASSERT_TRUE(outcome.ok());
+  auto m = engine.Measure();
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->severe_backpressure);
+}
+
+TEST_F(StreamTuneTest, RecommendationsWithinPhysicalLimits) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 7);
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  engine.ScaleAllSources(8.0);
+  StreamTuneTuner tuner(bundle_);
+  auto outcome = tuner.Tune(&engine);
+  ASSERT_TRUE(outcome.ok());
+  for (int p : outcome->final_parallelism) {
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, engine.max_parallelism());
+  }
+}
+
+TEST_F(StreamTuneTest, FeedbackAccumulationTightensRecommendations) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin,
+                                        10);
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  StreamTuneTuner tuner(bundle_);
+  // Run several tuning processes across the rate cycle.
+  int first_total = -1, last_total = -1;
+  for (double mult : {10.0, 3.0, 7.0, 10.0, 5.0, 10.0}) {
+    engine.ScaleAllSources(mult);
+    auto outcome = tuner.Tune(&engine);
+    ASSERT_TRUE(outcome.ok());
+    if (mult == 10.0) {
+      if (first_total < 0) first_total = outcome->total_parallelism;
+      last_total = outcome->total_parallelism;
+    }
+  }
+  // With accumulated feedback the final 10x recommendation must not be
+  // looser than the cold-start one.
+  EXPECT_LE(last_total, first_total);
+}
+
+TEST_F(StreamTuneTest, BinarySearchMatchesLinearScanForMonotonicModels) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 3);
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  engine.ScaleAllSources(10.0);
+
+  StreamTuneOptions opts;
+  StreamTuneTuner tuner(bundle_, opts);
+  int cluster = bundle_->AssignCluster(job);
+  auto warmup = bundle_->WarmUpDataset(cluster, 60, 5);
+  auto model = tuner.MakeModel(
+      bundle_->cluster(cluster).encoder.config().hidden_dim +
+      FeatureEncoder::kRateFeatures);
+  ASSERT_TRUE(model->Fit(warmup).ok());
+  std::vector<int> rec = tuner.Recommend(engine, *model, cluster);
+
+  // Verify the binary search against an exhaustive scan per operator.
+  ml::Matrix emb = bundle_->AgnosticEmbeddings(cluster, job,
+                                               engine.current_source_rates());
+  for (int v = 0; v < job.num_operators(); ++v) {
+    int expected = engine.max_parallelism();
+    for (int p = 1; p <= engine.max_parallelism(); ++p) {
+      if (model->PredictProbability(emb.Row(v), p) <
+          opts.probability_threshold) {
+        expected = p;
+        break;
+      }
+    }
+    EXPECT_EQ(rec[v], expected) << "operator " << v;
+  }
+}
+
+TEST_F(StreamTuneTest, AllThreeModelFamiliesRun) {
+  for (FineTuneModel mtype : {FineTuneModel::kSvm, FineTuneModel::kXgboost,
+                              FineTuneModel::kNn}) {
+    JobGraph job =
+        workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 11);
+    sim::FlinkEngine engine = MakeEngine(job);
+    std::vector<int> ones(job.num_operators(), 1);
+    ASSERT_TRUE(engine.Deploy(ones).ok());
+    engine.ScaleAllSources(6.0);
+    StreamTuneOptions opts;
+    opts.model = mtype;
+    opts.nn.epochs = 60;  // keep the NN ablation fast in tests
+    StreamTuneTuner tuner(bundle_, opts);
+    auto outcome = tuner.Tune(&engine);
+    ASSERT_TRUE(outcome.ok()) << FineTuneModelName(mtype);
+    EXPECT_GE(outcome->iterations, 1);
+  }
+}
+
+TEST_F(StreamTuneTest, NameReflectsModelFamily) {
+  StreamTuneOptions opts;
+  EXPECT_EQ(StreamTuneTuner(bundle_, opts).name(), "StreamTune");
+  opts.model = FineTuneModel::kSvm;
+  EXPECT_EQ(StreamTuneTuner(bundle_, opts).name(), "StreamTune-SVM");
+  opts.model = FineTuneModel::kNn;
+  EXPECT_EQ(StreamTuneTuner(bundle_, opts).name(), "StreamTune-NN");
+}
+
+TEST_F(StreamTuneTest, StableRecommendationShortCircuits) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 2);
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  engine.ScaleAllSources(4.0);
+  StreamTuneTuner tuner(bundle_);
+  auto first = tuner.Tune(&engine);
+  ASSERT_TRUE(first.ok());
+  // Re-tuning at the same rate must be cheap (at most a small refinement),
+  // must not loosen the deployment, and must leave the job clean.
+  auto second = tuner.Tune(&engine);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(second->reconfigurations, 2);
+  EXPECT_LE(second->total_parallelism, first->total_parallelism + 1);
+  EXPECT_FALSE(second->ended_with_backpressure);
+}
+
+
+TEST_F(StreamTuneTest, ProbabilityThresholdShiftsRecommendations) {
+  // A stricter (lower) threshold demands more confidence that a degree is
+  // safe, so recommendations are never lower than with a lax threshold.
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 4);
+  sim::FlinkEngine engine = MakeEngine(job);
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+  engine.ScaleAllSources(8.0);
+
+  int cluster = bundle_->AssignCluster(job);
+  auto warmup = bundle_->WarmUpDataset(cluster, 80, 5);
+  StreamTuneOptions lax_opts;
+  lax_opts.probability_threshold = 0.7;
+  StreamTuneOptions strict_opts;
+  strict_opts.probability_threshold = 0.3;
+  StreamTuneTuner lax(bundle_, lax_opts), strict(bundle_, strict_opts);
+  int dim = bundle_->cluster(cluster).encoder.config().hidden_dim +
+            FeatureEncoder::kRateFeatures;
+  auto model = lax.MakeModel(dim);
+  ASSERT_TRUE(model->Fit(warmup).ok());
+  std::vector<int> lax_rec = lax.Recommend(engine, *model, cluster);
+  std::vector<int> strict_rec = strict.Recommend(engine, *model, cluster);
+  for (int v = 0; v < job.num_operators(); ++v) {
+    EXPECT_GE(strict_rec[v], lax_rec[v]) << "operator " << v;
+  }
+}
+
+TEST_F(StreamTuneTest, LiveReconfigurationChargesLessTime) {
+  JobGraph job = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin,
+                                        13);
+  auto run = [&](bool live) {
+    sim::PerfModel model(job, workloads::CostConfigFor(job));
+    sim::SimConfig cfg;
+    cfg.live_reconfiguration = live;
+    sim::FlinkEngine engine(job, model, cfg);
+    std::vector<int> ones(job.num_operators(), 1);
+    (void)engine.Deploy(ones);
+    engine.ScaleAllSources(10.0);
+    StreamTuneTuner tuner(bundle_);
+    auto outcome = tuner.Tune(&engine);
+    EXPECT_TRUE(outcome.ok());
+    return std::make_pair(outcome->tuning_minutes,
+                          outcome->final_parallelism);
+  };
+  auto [stop_minutes, stop_final] = run(false);
+  auto [live_minutes, live_final] = run(true);
+  // Same decisions, ~10x cheaper deployments.
+  EXPECT_EQ(stop_final, live_final);
+  if (stop_minutes > 0) {
+    EXPECT_LT(live_minutes, 0.2 * stop_minutes);
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::core

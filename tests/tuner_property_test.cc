@@ -1,0 +1,146 @@
+// Cross-cutting tuner invariants and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/conttune.h"
+#include "baselines/ds2.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/streamtune_tuner.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/random_dag.h"
+
+namespace streamtune {
+namespace {
+
+sim::FlinkEngine EngineFor(const JobGraph& job, uint64_t seed = 5) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::SimConfig cfg;
+  cfg.noise_seed = seed;
+  return sim::FlinkEngine(job, model, cfg);
+}
+
+class TunerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TunerPropertyTest, OutcomesAreInternallyConsistent) {
+  auto jobs = workloads::GenerateRandomDags(2, GetParam() * 41 + 9);
+  for (const JobGraph& job : jobs) {
+    for (int which = 0; which < 2; ++which) {
+      sim::FlinkEngine engine = EngineFor(job, GetParam());
+      std::vector<int> ones(job.num_operators(), 1);
+      ASSERT_TRUE(engine.Deploy(ones).ok());
+      engine.ScaleAllSources(6.0);
+      std::unique_ptr<baselines::Tuner> tuner;
+      if (which == 0) {
+        tuner = std::make_unique<baselines::Ds2Tuner>();
+      } else {
+        tuner = std::make_unique<baselines::ContTuneTuner>();
+      }
+      auto outcome = tuner->Tune(&engine);
+      ASSERT_TRUE(outcome.ok()) << tuner->name();
+      // Final parallelism matches the engine's deployed state.
+      EXPECT_EQ(outcome->final_parallelism, engine.parallelism());
+      int total = 0;
+      for (int p : outcome->final_parallelism) {
+        EXPECT_GE(p, 1);
+        EXPECT_LE(p, engine.max_parallelism());
+        total += p;
+      }
+      EXPECT_EQ(outcome->total_parallelism, total);
+      EXPECT_GE(outcome->reconfigurations, 0);
+      EXPECT_GE(outcome->iterations, 1);
+      // Stabilization waits: at least 10 minutes per reconfiguration.
+      EXPECT_GE(outcome->tuning_minutes,
+                10.0 * outcome->reconfigurations - 1e-9);
+    }
+  }
+}
+
+TEST_P(TunerPropertyTest, TunersNeverExceedPhysicalLimits) {
+  auto jobs = workloads::GenerateRandomDags(2, GetParam() * 53 + 3);
+  for (const JobGraph& job : jobs) {
+    sim::FlinkEngine engine = EngineFor(job, GetParam());
+    std::vector<int> ones(job.num_operators(), 1);
+    ASSERT_TRUE(engine.Deploy(ones).ok());
+    engine.ScaleAllSources(10.0);  // extreme demand
+    baselines::Ds2Tuner ds2;
+    auto outcome = ds2.Tune(&engine);
+    ASSERT_TRUE(outcome.ok());
+    for (int p : outcome->final_parallelism) {
+      EXPECT_LE(p, engine.max_parallelism());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TunerPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TunerFailureInjectionTest, StreamTuneRequiresDeployedEngine) {
+  // Minimal bundle.
+  std::vector<JobGraph> jobs = workloads::GenerateRandomDags(2, 77);
+  core::HistoryOptions hist;
+  hist.samples_per_job = 4;
+  auto corpus = core::CollectHistory(jobs, hist);
+  core::PretrainOptions pre;
+  pre.use_clustering = false;
+  pre.epochs = 3;
+  auto bundle_res = core::Pretrainer(pre).Run(std::move(corpus));
+  ASSERT_TRUE(bundle_res.ok());
+  auto bundle =
+      std::make_shared<core::PretrainedBundle>(std::move(*bundle_res));
+
+  sim::FlinkEngine engine = EngineFor(jobs[0]);
+  core::StreamTuneTuner tuner(bundle);
+  // Not deployed: the initial measurement must fail cleanly, not crash.
+  auto outcome = tuner.Tune(&engine);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TunerFailureInjectionTest, Ds2RequiresDeployedEngine) {
+  auto jobs = workloads::GenerateRandomDags(1, 78);
+  sim::FlinkEngine engine = EngineFor(jobs[0]);
+  baselines::Ds2Tuner ds2;
+  auto outcome = ds2.Tune(&engine);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(TunerFailureInjectionTest, ContTuneRequiresDeployedEngine) {
+  auto jobs = workloads::GenerateRandomDags(1, 79);
+  sim::FlinkEngine engine = EngineFor(jobs[0]);
+  baselines::ContTuneTuner conttune;
+  auto outcome = conttune.Tune(&engine);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(TunerPropertyTest2, StreamTuneDeterministicAcrossRuns) {
+  // Same bundle + same engine seed => identical tuning outcome.
+  std::vector<JobGraph> jobs = workloads::GenerateRandomDags(3, 91);
+  core::HistoryOptions hist;
+  hist.samples_per_job = 8;
+  auto corpus = core::CollectHistory(jobs, hist);
+  core::PretrainOptions pre;
+  pre.use_clustering = false;
+  pre.epochs = 6;
+  auto bundle_res = core::Pretrainer(pre).Run(std::move(corpus));
+  ASSERT_TRUE(bundle_res.ok());
+  auto bundle =
+      std::make_shared<core::PretrainedBundle>(std::move(*bundle_res));
+
+  auto run_once = [&]() {
+    sim::FlinkEngine engine = EngineFor(jobs[0], 1234);
+    std::vector<int> ones(jobs[0].num_operators(), 1);
+    (void)engine.Deploy(ones);
+    engine.ScaleAllSources(7.0);
+    core::StreamTuneTuner tuner(bundle);
+    auto outcome = tuner.Tune(&engine);
+    return outcome.ok() ? outcome->final_parallelism : std::vector<int>{};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace streamtune

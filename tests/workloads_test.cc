@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+#include "workloads/random_dag.h"
+#include "workloads/rate_schedule.h"
+
+namespace streamtune::workloads {
+namespace {
+
+TEST(NexmarkTest, AllQueriesBuildValidGraphs) {
+  for (auto q : AllNexmarkQueries()) {
+    for (auto e : {Engine::kFlink, Engine::kTimely}) {
+      JobGraph g = BuildNexmarkJob(q, e);
+      EXPECT_TRUE(g.Validate().ok()) << NexmarkQueryName(q);
+      EXPECT_GE(g.num_operators(), 3);
+      EXPECT_LE(g.num_operators(), 8);
+    }
+  }
+}
+
+TEST(NexmarkTest, TableIIRateUnits) {
+  // Spot-check against Table II of the paper.
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ1, Engine::kFlink, "bids"),
+                   700e3);
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ1, Engine::kTimely,
+                                   "bids"),
+                   9e6);
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ3, Engine::kFlink,
+                                   "auctions"),
+                   200e3);
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ3, Engine::kFlink,
+                                   "persons"),
+                   40e3);
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ5, Engine::kTimely,
+                                   "bids"),
+                   10e6);
+  EXPECT_DOUBLE_EQ(NexmarkRateUnit(NexmarkQuery::kQ8, Engine::kFlink,
+                                   "auctions"),
+                   100e3);
+}
+
+TEST(NexmarkTest, SourceRatesBakedIntoGraph) {
+  JobGraph g = BuildNexmarkJob(NexmarkQuery::kQ3, Engine::kFlink);
+  double total = 0;
+  for (const OperatorSpec& op : g.operators()) {
+    if (op.is_source()) total += op.source_rate;
+  }
+  EXPECT_DOUBLE_EQ(total, 240e3);  // 200K auctions + 40K persons
+}
+
+TEST(NexmarkTest, QueryCharacterMatchesPaper) {
+  // Q1/Q2 stateless; Q3 record-at-a-time join; Q5 sliding window; Q8
+  // tumbling window join.
+  auto has_type = [](const JobGraph& g, OperatorType t) {
+    for (const OperatorSpec& op : g.operators()) {
+      if (op.type == t) return true;
+    }
+    return false;
+  };
+  JobGraph q1 = BuildNexmarkJob(NexmarkQuery::kQ1, Engine::kFlink);
+  EXPECT_TRUE(has_type(q1, OperatorType::kMap));
+  EXPECT_FALSE(has_type(q1, OperatorType::kJoin));
+  JobGraph q2 = BuildNexmarkJob(NexmarkQuery::kQ2, Engine::kFlink);
+  EXPECT_TRUE(has_type(q2, OperatorType::kFilter));
+  JobGraph q3 = BuildNexmarkJob(NexmarkQuery::kQ3, Engine::kFlink);
+  EXPECT_TRUE(has_type(q3, OperatorType::kJoin));
+  JobGraph q5 = BuildNexmarkJob(NexmarkQuery::kQ5, Engine::kFlink);
+  bool sliding = false;
+  for (const OperatorSpec& op : q5.operators()) {
+    sliding |= op.window_type == WindowType::kSliding;
+  }
+  EXPECT_TRUE(sliding);
+  JobGraph q8 = BuildNexmarkJob(NexmarkQuery::kQ8, Engine::kFlink);
+  bool tumbling_join = false;
+  for (const OperatorSpec& op : q8.operators()) {
+    tumbling_join |= op.type == OperatorType::kWindowJoin &&
+                     op.window_type == WindowType::kTumbling;
+  }
+  EXPECT_TRUE(tumbling_join);
+}
+
+TEST(PqpTest, VariantCountsMatchPaper) {
+  EXPECT_EQ(PqpVariantCount(PqpTemplate::kLinear), 8);
+  EXPECT_EQ(PqpVariantCount(PqpTemplate::kTwoWayJoin), 16);
+  EXPECT_EQ(PqpVariantCount(PqpTemplate::kThreeWayJoin), 32);
+  EXPECT_EQ(AllPqpJobs().size(), 56u);
+}
+
+TEST(PqpTest, RateUnitsMatchTableII) {
+  EXPECT_DOUBLE_EQ(PqpRateUnit(PqpTemplate::kLinear), 5e3);
+  EXPECT_DOUBLE_EQ(PqpRateUnit(PqpTemplate::kTwoWayJoin), 0.5e3);
+  EXPECT_DOUBLE_EQ(PqpRateUnit(PqpTemplate::kThreeWayJoin), 0.25e3);
+}
+
+TEST(PqpTest, AllVariantsValid) {
+  for (const JobGraph& g : AllPqpJobs()) {
+    EXPECT_TRUE(g.Validate().ok()) << g.name();
+  }
+}
+
+TEST(PqpTest, VariantsAreDeterministic) {
+  JobGraph a = BuildPqpJob(PqpTemplate::kTwoWayJoin, 3);
+  JobGraph b = BuildPqpJob(PqpTemplate::kTwoWayJoin, 3);
+  EXPECT_EQ(a.num_operators(), b.num_operators());
+  EXPECT_EQ(a.edges(), b.edges());
+  for (int v = 0; v < a.num_operators(); ++v) {
+    EXPECT_EQ(a.op(v).type, b.op(v).type);
+  }
+}
+
+TEST(PqpTest, VariantsDiffer) {
+  // At least some variation across indices (shape or operator mix).
+  std::set<int> op_counts;
+  for (int i = 0; i < 8; ++i) {
+    op_counts.insert(BuildPqpJob(PqpTemplate::kLinear, i).num_operators());
+  }
+  EXPECT_GT(op_counts.size(), 1u);
+}
+
+TEST(PqpTest, SourceCountsMatchTemplate) {
+  EXPECT_EQ(BuildPqpJob(PqpTemplate::kLinear, 0).SourceIds().size(), 1u);
+  EXPECT_EQ(BuildPqpJob(PqpTemplate::kTwoWayJoin, 0).SourceIds().size(), 2u);
+  EXPECT_EQ(BuildPqpJob(PqpTemplate::kThreeWayJoin, 0).SourceIds().size(),
+            3u);
+}
+
+TEST(RateScheduleTest, BasicCycleMatchesPaper) {
+  EXPECT_EQ(BasicRateCycle(),
+            (std::vector<double>{3, 7, 4, 2, 1, 10, 8, 5, 6, 9}));
+}
+
+TEST(RateScheduleTest, SequenceIsReplicatedPermutation) {
+  auto seq = RateSequence(2);
+  ASSERT_EQ(seq.size(), 20u);
+  // First half equals second half (replication).
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(seq[i], seq[i + 10]);
+  // Content is a permutation of the basic cycle.
+  std::multiset<double> content(seq.begin(), seq.begin() + 10);
+  std::multiset<double> expected{3, 7, 4, 2, 1, 10, 8, 5, 6, 9};
+  EXPECT_EQ(content, expected);
+}
+
+TEST(RateScheduleTest, IdentityPermutationIsBasicCycle) {
+  auto seq = RateSequence(0);
+  auto cycle = BasicRateCycle();
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(seq[i], cycle[i]);
+}
+
+TEST(RateScheduleTest, FullScheduleHas120Changes) {
+  auto sched = FullRateSchedule();
+  EXPECT_EQ(sched.size(), 120u);
+  for (double m : sched) {
+    EXPECT_GE(m, 1.0);
+    EXPECT_LE(m, 10.0);
+  }
+}
+
+TEST(RandomDagTest, GeneratedDagsAreValid) {
+  auto dags = GenerateRandomDags(30, 2024);
+  for (const JobGraph& g : dags) {
+    EXPECT_TRUE(g.Validate().ok()) << g.name();
+    EXPECT_LE(g.num_operators(), 22);
+  }
+}
+
+TEST(RandomDagTest, SourceCountWithinConfig) {
+  RandomDagConfig cfg;
+  cfg.min_sources = 2;
+  cfg.max_sources = 3;
+  auto dags = GenerateRandomDags(20, 7, cfg);
+  for (const JobGraph& g : dags) {
+    size_t sources = g.SourceIds().size();
+    EXPECT_GE(sources, 2u);
+    EXPECT_LE(sources, 3u);
+  }
+}
+
+TEST(RandomDagTest, DeterministicPerSeed) {
+  auto a = GenerateRandomDags(5, 99);
+  auto b = GenerateRandomDags(5, 99);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].num_operators(), b[i].num_operators());
+    EXPECT_EQ(a[i].edges(), b[i].edges());
+  }
+}
+
+TEST(CostConfigTest, ScalesByWorkloadFamily) {
+  EXPECT_DOUBLE_EQ(CostScaleFor("pqp-Linear-0"), 15.0);
+  EXPECT_DOUBLE_EQ(CostScaleFor("nexmark-Q3-timely"), 0.0015);
+  EXPECT_DOUBLE_EQ(CostScaleFor("nexmark-Q3-flink"), 1.0);
+  EXPECT_DOUBLE_EQ(CostScaleFor("rand-17"), 1.0);
+  JobGraph g = BuildPqpJob(PqpTemplate::kLinear, 0);
+  EXPECT_DOUBLE_EQ(CostConfigFor(g).cost_scale, 15.0);
+}
+
+}  // namespace
+}  // namespace streamtune::workloads

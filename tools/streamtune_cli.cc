@@ -1,0 +1,369 @@
+// streamtune_cli — operate the StreamTune pipeline from the command line.
+//
+//   streamtune_cli collect  --workload nexmark-flink|nexmark-timely|pqp|all
+//                           [--samples N] [--seed S] --out history.txt
+//   streamtune_cli pretrain --history history.txt [--no-cluster] [--k K]
+//                           [--epochs N] --out bundle.txt
+//   streamtune_cli tune     --bundle bundle.txt --job <spec> [--rate M]
+//                           [--engine flink|timely] [--model xgboost|svm|nn]
+//   streamtune_cli simulate --job <spec> [--rate M] [--parallelism p1,p2,..]
+//   streamtune_cli inspect  --history history.txt | --bundle bundle.txt
+//
+// Job specs: nexmark:Q1|Q2|Q3|Q5|Q8  or  pqp:linear|2way|3way:<variant>.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/serialization.h"
+#include "core/streamtune_tuner.h"
+#include "sim/engine.h"
+#include "sim/event_simulator.h"
+#include "timelysim/timely_simulator.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+using namespace streamtune;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  streamtune_cli collect  --workload nexmark-flink|nexmark-timely|"
+      "pqp|all [--samples N] [--seed S] --out FILE\n"
+      "  streamtune_cli pretrain --history FILE [--no-cluster] [--k K] "
+      "[--epochs N] --out FILE\n"
+      "  streamtune_cli tune     --bundle FILE --job SPEC [--rate M] "
+      "[--engine flink|timely] [--model xgboost|svm|nn]\n"
+      "  streamtune_cli simulate --job SPEC [--rate M] "
+      "[--parallelism p1,p2,...]\n"
+      "  streamtune_cli inspect  --history FILE | --bundle FILE\n"
+      "job SPEC: nexmark:Q1|Q2|Q3|Q5|Q8 or pqp:linear|2way|3way:VARIANT\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+Result<JobGraph> ParseJobSpec(const std::string& spec, bool timely) {
+  auto engine = timely ? workloads::Engine::kTimely : workloads::Engine::kFlink;
+  if (spec.rfind("nexmark:", 0) == 0) {
+    std::string q = spec.substr(8);
+    for (auto query : workloads::AllNexmarkQueries()) {
+      if (q == workloads::NexmarkQueryName(query)) {
+        return workloads::BuildNexmarkJob(query, engine);
+      }
+    }
+    return Status::InvalidArgument("unknown Nexmark query '" + q + "'");
+  }
+  if (spec.rfind("pqp:", 0) == 0) {
+    std::string rest = spec.substr(4);
+    size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("pqp spec needs a variant index");
+    }
+    std::string tmpl = rest.substr(0, colon);
+    int variant = std::atoi(rest.substr(colon + 1).c_str());
+    workloads::PqpTemplate t;
+    if (tmpl == "linear") {
+      t = workloads::PqpTemplate::kLinear;
+    } else if (tmpl == "2way") {
+      t = workloads::PqpTemplate::kTwoWayJoin;
+    } else if (tmpl == "3way") {
+      t = workloads::PqpTemplate::kThreeWayJoin;
+    } else {
+      return Status::InvalidArgument("unknown PQP template '" + tmpl + "'");
+    }
+    if (variant < 0 || variant >= workloads::PqpVariantCount(t)) {
+      return Status::InvalidArgument("PQP variant out of range");
+    }
+    return workloads::BuildPqpJob(t, variant);
+  }
+  return Status::InvalidArgument("unrecognized job spec '" + spec + "'");
+}
+
+std::unique_ptr<sim::StreamEngine> MakeEngine(const JobGraph& job,
+                                              bool timely, uint64_t seed) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  if (timely) {
+    timelysim::TimelyConfig cfg;
+    cfg.noise_seed = seed;
+    return std::make_unique<timelysim::TimelySimulator>(job, model, cfg);
+  }
+  sim::SimConfig cfg;
+  cfg.noise_seed = seed;
+  return std::make_unique<sim::FlinkEngine>(job, model, cfg);
+}
+
+int CmdCollect(const std::map<std::string, std::string>& flags) {
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  std::string workload = flags.count("workload") ? flags.at("workload")
+                                                 : std::string("all");
+  bool timely = workload == "nexmark-timely";
+
+  std::vector<JobGraph> jobs;
+  auto engine = timely ? workloads::Engine::kTimely : workloads::Engine::kFlink;
+  if (workload == "nexmark-flink" || workload == "nexmark-timely" ||
+      workload == "all") {
+    for (auto q : workloads::AllNexmarkQueries()) {
+      jobs.push_back(workloads::BuildNexmarkJob(q, engine));
+    }
+  }
+  if (workload == "pqp" || workload == "all") {
+    for (int i = 0; i < 6; ++i) {
+      jobs.push_back(
+          workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+      jobs.push_back(
+          workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+      jobs.push_back(
+          workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, i));
+    }
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  core::HistoryOptions opts;
+  if (flags.count("samples")) {
+    opts.samples_per_job = std::atoi(flags.at("samples").c_str());
+  }
+  if (flags.count("seed")) {
+    opts.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
+  }
+  core::EngineFactory factory;
+  if (timely) {
+    opts.max_parallelism = 10;
+    factory = [](const JobGraph& g, uint64_t seed) {
+      sim::PerfModel model(g, workloads::CostConfigFor(g));
+      timelysim::TimelyConfig cfg;
+      cfg.noise_seed = seed;
+      return std::make_unique<timelysim::TimelySimulator>(g, model, cfg);
+    };
+  }
+  auto records = core::CollectHistory(jobs, opts, factory);
+  Status st = core::SaveHistory(records, out->second);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("collected %zu records from %zu jobs -> %s\n", records.size(),
+              jobs.size(), out->second.c_str());
+  return 0;
+}
+
+int CmdPretrain(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("history") || !flags.count("out")) return Usage();
+  auto records = core::LoadHistory(flags.at("history"));
+  if (!records.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  core::PretrainOptions opts;
+  if (flags.count("no-cluster")) opts.use_clustering = false;
+  if (flags.count("k")) opts.k = std::atoi(flags.at("k").c_str());
+  if (flags.count("epochs")) {
+    opts.epochs = std::atoi(flags.at("epochs").c_str());
+  }
+  std::printf("pre-training on %zu records...\n", records->size());
+  auto bundle = core::Pretrainer(opts).Run(std::move(*records));
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "pre-training failed: %s\n",
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+  Status st = core::SaveBundle(*bundle, flags.at("out"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("pre-trained %d cluster(s) -> %s\n", bundle->num_clusters(),
+              flags.at("out").c_str());
+  return 0;
+}
+
+int CmdTune(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("bundle") || !flags.count("job")) return Usage();
+  bool timely = flags.count("engine") && flags.at("engine") == "timely";
+  auto bundle_res = core::LoadBundle(flags.at("bundle"));
+  if (!bundle_res.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 bundle_res.status().ToString().c_str());
+    return 1;
+  }
+  auto bundle =
+      std::make_shared<core::PretrainedBundle>(std::move(*bundle_res));
+  auto job = ParseJobSpec(flags.at("job"), timely);
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 2;
+  }
+  double rate = flags.count("rate") ? std::atof(flags.at("rate").c_str())
+                                    : 10.0;
+
+  auto engine = MakeEngine(*job, timely, 7);
+  std::vector<int> ones(job->num_operators(), 1);
+  (void)engine->Deploy(ones);
+  engine->ScaleAllSources(rate);
+
+  core::StreamTuneOptions opts;
+  if (flags.count("model")) {
+    const std::string& m = flags.at("model");
+    if (m == "svm") opts.model = core::FineTuneModel::kSvm;
+    if (m == "nn") opts.model = core::FineTuneModel::kNn;
+  }
+  core::StreamTuneTuner tuner(bundle, opts);
+  auto outcome = tuner.Tune(engine.get());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s tuned %s at %.1fx W_u on %s\n", tuner.name().c_str(),
+              job->name().c_str(), rate, timely ? "Timely" : "Flink");
+  TablePrinter table("recommendation", {"operator", "parallelism"});
+  for (int v = 0; v < job->num_operators(); ++v) {
+    table.AddRow({job->op(v).name,
+                  std::to_string(outcome->final_parallelism[v])});
+  }
+  table.Print();
+  std::printf(
+      "total=%d reconfigurations=%d tuning_minutes=%.0f clean=%s\n",
+      outcome->total_parallelism, outcome->reconfigurations,
+      outcome->tuning_minutes,
+      outcome->ended_with_backpressure ? "NO (backpressure!)" : "yes");
+  return 0;
+}
+
+int CmdSimulate(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("job")) return Usage();
+  auto job = ParseJobSpec(flags.at("job"), false);
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 2;
+  }
+  double rate = flags.count("rate") ? std::atof(flags.at("rate").c_str())
+                                    : 1.0;
+  std::vector<int> parallelism(job->num_operators(), 1);
+  if (flags.count("parallelism")) {
+    const std::string& list = flags.at("parallelism");
+    size_t pos = 0;
+    for (int v = 0; v < job->num_operators() && pos < list.size(); ++v) {
+      parallelism[v] = std::atoi(list.c_str() + pos);
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  sim::PerfModel model(*job, workloads::CostConfigFor(*job));
+  std::vector<double> rates(job->num_operators(), 0.0);
+  for (int v = 0; v < job->num_operators(); ++v) {
+    if (job->op(v).is_source()) rates[v] = job->op(v).source_rate * rate;
+  }
+  auto r = sim::RunEventSimulation(*job, model, parallelism, rates);
+  if (!r.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter table("discrete-event simulation of " + job->name(),
+                     {"operator", "p", "busy", "blocked", "queue",
+                      "in rec/s"});
+  for (int v = 0; v < job->num_operators(); ++v) {
+    table.AddRow({job->op(v).name, std::to_string(parallelism[v]),
+                  TablePrinter::Fmt(r->busy_frac[v], 2),
+                  TablePrinter::Fmt(r->blocked_frac[v], 2),
+                  TablePrinter::Fmt(r->avg_queue_length[v], 1),
+                  TablePrinter::Fmt(r->input_rate[v], 0)});
+  }
+  table.Print();
+  std::printf("source throughput ratio: %.3f (%zu events, rescale %.1fx)\n",
+              r->source_throughput_ratio, r->events_processed,
+              r->time_rescale);
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  if (flags.count("history")) {
+    auto records = core::LoadHistory(flags.at("history"));
+    if (!records.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   records.status().ToString().c_str());
+      return 1;
+    }
+    std::map<std::string, int> per_job;
+    int pos = 0, neg = 0, unl = 0, bp = 0;
+    for (const auto& rec : *records) {
+      ++per_job[rec.graph.name()];
+      if (rec.backpressure) ++bp;
+      for (int l : rec.labels) {
+        if (l == 1) ++pos;
+        else if (l == 0) ++neg;
+        else ++unl;
+      }
+    }
+    std::printf("%zu records over %zu jobs, %d with backpressure\n",
+                records->size(), per_job.size(), bp);
+    std::printf("operator labels: %d bottleneck / %d clear / %d unlabeled\n",
+                pos, neg, unl);
+    return 0;
+  }
+  if (flags.count("bundle")) {
+    auto bundle = core::LoadBundle(flags.at("bundle"));
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("bundle: %d cluster(s), %zu corpus records\n",
+                bundle->num_clusters(), bundle->records().size());
+    for (int c = 0; c < bundle->num_clusters(); ++c) {
+      const core::ClusterModel& cm = bundle->cluster(c);
+      std::printf(
+          "  cluster %d: center=%s (%d ops), %zu records, encoder "
+          "%dx%d layers=%d\n",
+          c, cm.center.name().c_str(), cm.center.num_operators(),
+          cm.record_indices.size(), cm.encoder.config().feature_dim,
+          cm.encoder.config().hidden_dim, cm.encoder.config().num_layers);
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "collect") return CmdCollect(flags);
+  if (cmd == "pretrain") return CmdPretrain(flags);
+  if (cmd == "tune") return CmdTune(flags);
+  if (cmd == "simulate") return CmdSimulate(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  return Usage();
+}
