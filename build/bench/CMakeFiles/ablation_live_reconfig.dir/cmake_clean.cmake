@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_live_reconfig.dir/ablation_live_reconfig.cc.o"
+  "CMakeFiles/ablation_live_reconfig.dir/ablation_live_reconfig.cc.o.d"
+  "ablation_live_reconfig"
+  "ablation_live_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_live_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_model_ablation.dir/fig11a_model_ablation.cc.o"
+  "CMakeFiles/fig11a_model_ablation.dir/fig11a_model_ablation.cc.o.d"
+  "fig11a_model_ablation"
+  "fig11a_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_similarity_center.dir/fig11b_similarity_center.cc.o"
+  "CMakeFiles/fig11b_similarity_center.dir/fig11b_similarity_center.cc.o.d"
+  "fig11b_similarity_center"
+  "fig11b_similarity_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_similarity_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

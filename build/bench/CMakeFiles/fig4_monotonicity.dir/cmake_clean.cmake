@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_monotonicity.dir/fig4_monotonicity.cc.o"
+  "CMakeFiles/fig4_monotonicity.dir/fig4_monotonicity.cc.o.d"
+  "fig4_monotonicity"
+  "fig4_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_parallelism_flink.dir/fig6_parallelism_flink.cc.o"
+  "CMakeFiles/fig6_parallelism_flink.dir/fig6_parallelism_flink.cc.o.d"
+  "fig6_parallelism_flink"
+  "fig6_parallelism_flink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_parallelism_flink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_reconfigurations.dir/fig7a_reconfigurations.cc.o"
+  "CMakeFiles/fig7a_reconfigurations.dir/fig7a_reconfigurations.cc.o.d"
+  "fig7a_reconfigurations"
+  "fig7a_reconfigurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_reconfigurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

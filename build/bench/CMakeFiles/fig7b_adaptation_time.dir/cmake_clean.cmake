@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_adaptation_time.dir/fig7b_adaptation_time.cc.o"
+  "CMakeFiles/fig7b_adaptation_time.dir/fig7b_adaptation_time.cc.o.d"
+  "fig7b_adaptation_time"
+  "fig7b_adaptation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_adaptation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

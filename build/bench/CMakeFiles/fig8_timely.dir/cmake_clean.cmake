@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_timely.dir/fig8_timely.cc.o"
+  "CMakeFiles/fig8_timely.dir/fig8_timely.cc.o.d"
+  "fig8_timely"
+  "fig8_timely.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timely.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

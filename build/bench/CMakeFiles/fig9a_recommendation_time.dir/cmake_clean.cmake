@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_recommendation_time.dir/fig9a_recommendation_time.cc.o"
+  "CMakeFiles/fig9a_recommendation_time.dir/fig9a_recommendation_time.cc.o.d"
+  "fig9a_recommendation_time"
+  "fig9a_recommendation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_recommendation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

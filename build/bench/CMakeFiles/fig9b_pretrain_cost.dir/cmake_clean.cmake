@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_pretrain_cost.dir/fig9b_pretrain_cost.cc.o"
+  "CMakeFiles/fig9b_pretrain_cost.dir/fig9b_pretrain_cost.cc.o.d"
+  "fig9b_pretrain_cost"
+  "fig9b_pretrain_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_pretrain_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

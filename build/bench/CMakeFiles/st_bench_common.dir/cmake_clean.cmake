@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/st_bench_common.dir/bench_common.cc.o.d"
+  "libst_bench_common.a"
+  "libst_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

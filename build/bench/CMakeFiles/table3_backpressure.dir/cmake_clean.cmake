@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_backpressure.dir/table3_backpressure.cc.o"
+  "CMakeFiles/table3_backpressure.dir/table3_backpressure.cc.o.d"
+  "table3_backpressure"
+  "table3_backpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_backpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

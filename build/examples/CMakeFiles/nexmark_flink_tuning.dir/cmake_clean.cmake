@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_flink_tuning.dir/nexmark_flink_tuning.cpp.o"
+  "CMakeFiles/nexmark_flink_tuning.dir/nexmark_flink_tuning.cpp.o.d"
+  "nexmark_flink_tuning"
+  "nexmark_flink_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_flink_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqp_fleet.dir/pqp_fleet.cpp.o"
+  "CMakeFiles/pqp_fleet.dir/pqp_fleet.cpp.o.d"
+  "pqp_fleet"
+  "pqp_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqp_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_nexmark.dir/timely_nexmark.cpp.o"
+  "CMakeFiles/timely_nexmark.dir/timely_nexmark.cpp.o.d"
+  "timely_nexmark"
+  "timely_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

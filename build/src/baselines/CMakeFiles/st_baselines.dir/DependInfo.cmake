@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/conttune.cc" "src/baselines/CMakeFiles/st_baselines.dir/conttune.cc.o" "gcc" "src/baselines/CMakeFiles/st_baselines.dir/conttune.cc.o.d"
+  "/root/repo/src/baselines/ds2.cc" "src/baselines/CMakeFiles/st_baselines.dir/ds2.cc.o" "gcc" "src/baselines/CMakeFiles/st_baselines.dir/ds2.cc.o.d"
+  "/root/repo/src/baselines/zerotune.cc" "src/baselines/CMakeFiles/st_baselines.dir/zerotune.cc.o" "gcc" "src/baselines/CMakeFiles/st_baselines.dir/zerotune.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/st_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

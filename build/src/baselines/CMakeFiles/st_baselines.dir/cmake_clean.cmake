@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_baselines.dir/conttune.cc.o"
+  "CMakeFiles/st_baselines.dir/conttune.cc.o.d"
+  "CMakeFiles/st_baselines.dir/ds2.cc.o"
+  "CMakeFiles/st_baselines.dir/ds2.cc.o.d"
+  "CMakeFiles/st_baselines.dir/zerotune.cc.o"
+  "CMakeFiles/st_baselines.dir/zerotune.cc.o.d"
+  "libst_baselines.a"
+  "libst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_common.dir/math_util.cc.o"
+  "CMakeFiles/st_common.dir/math_util.cc.o.d"
+  "CMakeFiles/st_common.dir/table_printer.cc.o"
+  "CMakeFiles/st_common.dir/table_printer.cc.o.d"
+  "libst_common.a"
+  "libst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_core.dir/history.cc.o"
+  "CMakeFiles/st_core.dir/history.cc.o.d"
+  "CMakeFiles/st_core.dir/labeling.cc.o"
+  "CMakeFiles/st_core.dir/labeling.cc.o.d"
+  "CMakeFiles/st_core.dir/pretrain.cc.o"
+  "CMakeFiles/st_core.dir/pretrain.cc.o.d"
+  "CMakeFiles/st_core.dir/serialization.cc.o"
+  "CMakeFiles/st_core.dir/serialization.cc.o.d"
+  "CMakeFiles/st_core.dir/streamtune_tuner.cc.o"
+  "CMakeFiles/st_core.dir/streamtune_tuner.cc.o.d"
+  "libst_core.a"
+  "libst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/feature_encoder.cc" "src/dataflow/CMakeFiles/st_dataflow.dir/feature_encoder.cc.o" "gcc" "src/dataflow/CMakeFiles/st_dataflow.dir/feature_encoder.cc.o.d"
+  "/root/repo/src/dataflow/job_graph.cc" "src/dataflow/CMakeFiles/st_dataflow.dir/job_graph.cc.o" "gcc" "src/dataflow/CMakeFiles/st_dataflow.dir/job_graph.cc.o.d"
+  "/root/repo/src/dataflow/operator.cc" "src/dataflow/CMakeFiles/st_dataflow.dir/operator.cc.o" "gcc" "src/dataflow/CMakeFiles/st_dataflow.dir/operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

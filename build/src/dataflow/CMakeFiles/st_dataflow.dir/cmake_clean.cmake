@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_dataflow.dir/feature_encoder.cc.o"
+  "CMakeFiles/st_dataflow.dir/feature_encoder.cc.o.d"
+  "CMakeFiles/st_dataflow.dir/job_graph.cc.o"
+  "CMakeFiles/st_dataflow.dir/job_graph.cc.o.d"
+  "CMakeFiles/st_dataflow.dir/operator.cc.o"
+  "CMakeFiles/st_dataflow.dir/operator.cc.o.d"
+  "libst_dataflow.a"
+  "libst_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

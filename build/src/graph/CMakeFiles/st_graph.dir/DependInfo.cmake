@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/ged.cc" "src/graph/CMakeFiles/st_graph.dir/ged.cc.o" "gcc" "src/graph/CMakeFiles/st_graph.dir/ged.cc.o.d"
+  "/root/repo/src/graph/ged_kmeans.cc" "src/graph/CMakeFiles/st_graph.dir/ged_kmeans.cc.o" "gcc" "src/graph/CMakeFiles/st_graph.dir/ged_kmeans.cc.o.d"
+  "/root/repo/src/graph/similarity.cc" "src/graph/CMakeFiles/st_graph.dir/similarity.cc.o" "gcc" "src/graph/CMakeFiles/st_graph.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

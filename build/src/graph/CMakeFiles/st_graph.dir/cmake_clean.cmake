@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_graph.dir/ged.cc.o"
+  "CMakeFiles/st_graph.dir/ged.cc.o.d"
+  "CMakeFiles/st_graph.dir/ged_kmeans.cc.o"
+  "CMakeFiles/st_graph.dir/ged_kmeans.cc.o.d"
+  "CMakeFiles/st_graph.dir/similarity.cc.o"
+  "CMakeFiles/st_graph.dir/similarity.cc.o.d"
+  "libst_graph.a"
+  "libst_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autograd.cc" "src/ml/CMakeFiles/st_ml.dir/autograd.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/autograd.cc.o.d"
+  "/root/repo/src/ml/gaussian_process.cc" "src/ml/CMakeFiles/st_ml.dir/gaussian_process.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/st_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/gnn.cc" "src/ml/CMakeFiles/st_ml.dir/gnn.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/gnn.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/st_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/ml/CMakeFiles/st_ml.dir/nn.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/nn.cc.o.d"
+  "/root/repo/src/ml/nn_classifier.cc" "src/ml/CMakeFiles/st_ml.dir/nn_classifier.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/nn_classifier.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/st_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/st_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

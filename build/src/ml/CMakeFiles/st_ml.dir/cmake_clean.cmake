@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_ml.dir/autograd.cc.o"
+  "CMakeFiles/st_ml.dir/autograd.cc.o.d"
+  "CMakeFiles/st_ml.dir/gaussian_process.cc.o"
+  "CMakeFiles/st_ml.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/st_ml.dir/gbdt.cc.o"
+  "CMakeFiles/st_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/st_ml.dir/gnn.cc.o"
+  "CMakeFiles/st_ml.dir/gnn.cc.o.d"
+  "CMakeFiles/st_ml.dir/matrix.cc.o"
+  "CMakeFiles/st_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/st_ml.dir/nn.cc.o"
+  "CMakeFiles/st_ml.dir/nn.cc.o.d"
+  "CMakeFiles/st_ml.dir/nn_classifier.cc.o"
+  "CMakeFiles/st_ml.dir/nn_classifier.cc.o.d"
+  "CMakeFiles/st_ml.dir/svm.cc.o"
+  "CMakeFiles/st_ml.dir/svm.cc.o.d"
+  "libst_ml.a"
+  "libst_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

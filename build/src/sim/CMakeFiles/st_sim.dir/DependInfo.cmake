@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/st_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/event_simulator.cc" "src/sim/CMakeFiles/st_sim.dir/event_simulator.cc.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/event_simulator.cc.o.d"
+  "/root/repo/src/sim/flink_simulator.cc" "src/sim/CMakeFiles/st_sim.dir/flink_simulator.cc.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/flink_simulator.cc.o.d"
+  "/root/repo/src/sim/flow_solver.cc" "src/sim/CMakeFiles/st_sim.dir/flow_solver.cc.o" "gcc" "src/sim/CMakeFiles/st_sim.dir/flow_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sim.dir/cost_model.cc.o"
+  "CMakeFiles/st_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/st_sim.dir/event_simulator.cc.o"
+  "CMakeFiles/st_sim.dir/event_simulator.cc.o.d"
+  "CMakeFiles/st_sim.dir/flink_simulator.cc.o"
+  "CMakeFiles/st_sim.dir/flink_simulator.cc.o.d"
+  "CMakeFiles/st_sim.dir/flow_solver.cc.o"
+  "CMakeFiles/st_sim.dir/flow_solver.cc.o.d"
+  "libst_sim.a"
+  "libst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_timelysim.dir/timely_simulator.cc.o"
+  "CMakeFiles/st_timelysim.dir/timely_simulator.cc.o.d"
+  "libst_timelysim.a"
+  "libst_timelysim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_timelysim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cost_config.cc" "src/workloads/CMakeFiles/st_workloads.dir/cost_config.cc.o" "gcc" "src/workloads/CMakeFiles/st_workloads.dir/cost_config.cc.o.d"
+  "/root/repo/src/workloads/nexmark.cc" "src/workloads/CMakeFiles/st_workloads.dir/nexmark.cc.o" "gcc" "src/workloads/CMakeFiles/st_workloads.dir/nexmark.cc.o.d"
+  "/root/repo/src/workloads/pqp.cc" "src/workloads/CMakeFiles/st_workloads.dir/pqp.cc.o" "gcc" "src/workloads/CMakeFiles/st_workloads.dir/pqp.cc.o.d"
+  "/root/repo/src/workloads/random_dag.cc" "src/workloads/CMakeFiles/st_workloads.dir/random_dag.cc.o" "gcc" "src/workloads/CMakeFiles/st_workloads.dir/random_dag.cc.o.d"
+  "/root/repo/src/workloads/rate_schedule.cc" "src/workloads/CMakeFiles/st_workloads.dir/rate_schedule.cc.o" "gcc" "src/workloads/CMakeFiles/st_workloads.dir/rate_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_workloads.dir/cost_config.cc.o"
+  "CMakeFiles/st_workloads.dir/cost_config.cc.o.d"
+  "CMakeFiles/st_workloads.dir/nexmark.cc.o"
+  "CMakeFiles/st_workloads.dir/nexmark.cc.o.d"
+  "CMakeFiles/st_workloads.dir/pqp.cc.o"
+  "CMakeFiles/st_workloads.dir/pqp.cc.o.d"
+  "CMakeFiles/st_workloads.dir/random_dag.cc.o"
+  "CMakeFiles/st_workloads.dir/random_dag.cc.o.d"
+  "CMakeFiles/st_workloads.dir/rate_schedule.cc.o"
+  "CMakeFiles/st_workloads.dir/rate_schedule.cc.o.d"
+  "libst_workloads.a"
+  "libst_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flink_sim_test.dir/flink_sim_test.cc.o"
+  "CMakeFiles/flink_sim_test.dir/flink_sim_test.cc.o.d"
+  "flink_sim_test"
+  "flink_sim_test.pdb"
+  "flink_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flink_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

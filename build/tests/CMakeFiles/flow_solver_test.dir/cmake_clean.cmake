@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_solver_test.dir/flow_solver_test.cc.o"
+  "CMakeFiles/flow_solver_test.dir/flow_solver_test.cc.o.d"
+  "flow_solver_test"
+  "flow_solver_test.pdb"
+  "flow_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

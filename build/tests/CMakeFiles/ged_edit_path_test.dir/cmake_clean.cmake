@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ged_edit_path_test.dir/ged_edit_path_test.cc.o"
+  "CMakeFiles/ged_edit_path_test.dir/ged_edit_path_test.cc.o.d"
+  "ged_edit_path_test"
+  "ged_edit_path_test.pdb"
+  "ged_edit_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ged_edit_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gp_test.cc" "tests/CMakeFiles/gp_test.dir/gp_test.cc.o" "gcc" "tests/CMakeFiles/gp_test.dir/gp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/st_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/st_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/st_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/st_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/st_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/timelysim/CMakeFiles/st_timelysim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/st_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/st_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

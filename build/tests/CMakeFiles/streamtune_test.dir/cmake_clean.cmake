@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamtune_test.dir/streamtune_test.cc.o"
+  "CMakeFiles/streamtune_test.dir/streamtune_test.cc.o.d"
+  "streamtune_test"
+  "streamtune_test.pdb"
+  "streamtune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamtune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

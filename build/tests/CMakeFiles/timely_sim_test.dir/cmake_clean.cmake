@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timely_sim_test.dir/timely_sim_test.cc.o"
+  "CMakeFiles/timely_sim_test.dir/timely_sim_test.cc.o.d"
+  "timely_sim_test"
+  "timely_sim_test.pdb"
+  "timely_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timely_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_property_test.dir/tuner_property_test.cc.o"
+  "CMakeFiles/tuner_property_test.dir/tuner_property_test.cc.o.d"
+  "tuner_property_test"
+  "tuner_property_test.pdb"
+  "tuner_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

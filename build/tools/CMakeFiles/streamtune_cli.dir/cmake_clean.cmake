@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamtune_cli.dir/streamtune_cli.cc.o"
+  "CMakeFiles/streamtune_cli.dir/streamtune_cli.cc.o.d"
+  "streamtune_cli"
+  "streamtune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamtune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
