@@ -1,0 +1,161 @@
+// Offline pre-training pipeline speedup: serial/uncached baseline (the
+// pre-concurrency pipeline) versus the thread-pool + GED-memo pipeline.
+//
+// Measures the GED-dominated offline phase the paper benchmarks in Fig. 9b:
+// SelectKByElbow over [2, 6] followed by the final ClusterDags at the chosen
+// k, on a >= 60-graph corpus (all 56 PQP variants + random DAGs). Verifies
+// the optimized run is bit-identical to the baseline (same assignments,
+// centers and selected k) and emits BENCH_pretrain.json so the perf
+// trajectory is tracked across PRs.
+//
+// Environment knobs:
+//   ST_BENCH_THREADS  thread count for the parallel run (default 4).
+//   ST_BENCH_GRAPHS   corpus size (default 64, minimum 60 enforced).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/ged_cache.h"
+#include "graph/ged_kmeans.h"
+#include "workloads/pqp.h"
+#include "workloads/random_dag.h"
+
+using namespace streamtune;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunOutcome {
+  double elbow_ms = 0;
+  double cluster_ms = 0;
+  int k = 0;
+  graph::KMeansResult clustering;
+  graph::GedCache::Stats elbow_stats;
+};
+
+RunOutcome RunPipeline(const std::vector<JobGraph>& corpus, int num_threads,
+                       bool use_cache) {
+  RunOutcome out;
+  graph::GedCache cache;
+  graph::KMeansOptions opts;
+  opts.num_threads = num_threads;
+  opts.use_cache = use_cache;
+  if (use_cache) opts.cache = &cache;
+
+  double t0 = NowMs();
+  auto k = graph::SelectKByElbow(corpus, 2, 6, opts);
+  out.elbow_ms = NowMs() - t0;
+  if (!k.ok()) {
+    std::fprintf(stderr, "SelectKByElbow failed: %s\n",
+                 k.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.k = *k;
+  out.elbow_stats = cache.stats();
+
+  opts.k = *k;
+  t0 = NowMs();
+  auto clustering = graph::ClusterDags(corpus, opts);
+  out.cluster_ms = NowMs() - t0;
+  if (!clustering.ok()) {
+    std::fprintf(stderr, "ClusterDags failed: %s\n",
+                 clustering.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.clustering = *clustering;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = EnvInt("ST_BENCH_THREADS", 4);
+  const int target = std::max(60, EnvInt("ST_BENCH_GRAPHS", 64));
+
+  // Corpus: every PQP variant (8 + 16 + 32 = 56) topped up with random
+  // DAGs to the target size — the structural mixture of Fig. 5.
+  std::vector<JobGraph> corpus = workloads::AllPqpJobs();
+  workloads::RandomDagConfig rcfg;
+  rcfg.max_sources = 2;
+  rcfg.max_chain_length = 2;
+  Rng rng(2024);
+  int extra = 0;
+  while (static_cast<int>(corpus.size()) < target) {
+    corpus.push_back(workloads::GenerateRandomDag(&rng, rcfg));
+    corpus.back().set_name("random-" + std::to_string(extra++));
+  }
+  std::printf("corpus: %zu graphs; parallel run: %d threads\n", corpus.size(),
+              threads);
+
+  std::printf("[1/2] serial baseline (1 thread, no cache)...\n");
+  RunOutcome serial = RunPipeline(corpus, 1, /*use_cache=*/false);
+  std::printf("      elbow %.0f ms + final clustering %.0f ms (k = %d)\n",
+              serial.elbow_ms, serial.cluster_ms, serial.k);
+
+  std::printf("[2/2] optimized (%d threads, GED memo cache)...\n", threads);
+  RunOutcome parallel = RunPipeline(corpus, threads, /*use_cache=*/true);
+  std::printf("      elbow %.0f ms + final clustering %.0f ms (k = %d)\n",
+              parallel.elbow_ms, parallel.cluster_ms, parallel.k);
+
+  const bool identical =
+      serial.k == parallel.k &&
+      serial.clustering.assignment == parallel.clustering.assignment &&
+      serial.clustering.center_indices == parallel.clustering.center_indices;
+
+  const double serial_ms = serial.elbow_ms + serial.cluster_ms;
+  const double parallel_ms = parallel.elbow_ms + parallel.cluster_ms;
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+  const graph::GedCache::Stats& st = parallel.elbow_stats;
+
+  std::printf(
+      "\nspeedup: %.2fx (%.0f ms -> %.0f ms), elbow cache hit rate %.1f%% "
+      "(%llu hits / %llu misses), results identical: %s\n",
+      speedup, serial_ms, parallel_ms, 100.0 * st.HitRate(),
+      static_cast<unsigned long long>(st.hits),
+      static_cast<unsigned long long>(st.misses),
+      identical ? "yes" : "NO (BUG)");
+
+  FILE* f = std::fopen("BENCH_pretrain.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"corpus_graphs\": %zu,\n"
+        "  \"threads\": %d,\n"
+        "  \"selected_k\": %d,\n"
+        "  \"serial_elbow_ms\": %.1f,\n"
+        "  \"serial_cluster_ms\": %.1f,\n"
+        "  \"parallel_elbow_ms\": %.1f,\n"
+        "  \"parallel_cluster_ms\": %.1f,\n"
+        "  \"serial_total_ms\": %.1f,\n"
+        "  \"parallel_total_ms\": %.1f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"elbow_cache_hits\": %llu,\n"
+        "  \"elbow_cache_misses\": %llu,\n"
+        "  \"elbow_cache_hit_rate\": %.4f,\n"
+        "  \"identical_results\": %s\n"
+        "}\n",
+        corpus.size(), threads, parallel.k, serial.elbow_ms,
+        serial.cluster_ms, parallel.elbow_ms, parallel.cluster_ms, serial_ms,
+        parallel_ms, speedup, static_cast<unsigned long long>(st.hits),
+        static_cast<unsigned long long>(st.misses), st.HitRate(),
+        identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_pretrain.json\n");
+  }
+  return identical ? 0 : 1;
+}

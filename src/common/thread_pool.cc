@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace streamtune {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  int resolved = ResolveThreads(num_threads);
+  // Nested pools (constructed on a worker thread) stay empty: the outer
+  // pool already owns the hardware, and inner loops run inline anyway.
+  if (tls_in_worker) resolved = 1;
+  workers_.reserve(resolved - 1);
+  for (int i = 0; i < resolved - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunJob(std::unique_lock<std::mutex>& lock) {
+  Job* job = job_;
+  ++job->active_workers;
+  while (!job->failed && job->next < job->end) {
+    int64_t i = job->next++;
+    lock.unlock();
+    bool threw = false;
+    std::exception_ptr eptr;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      threw = true;
+      eptr = std::current_exception();
+    }
+    lock.lock();
+    if (threw && (!job->failed || i < job->error_index)) {
+      job->failed = true;
+      job->error_index = i;
+      job->error = eptr;
+    }
+  }
+  if (--job->active_workers == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t last_gen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && job_gen_ != last_gen);
+    });
+    if (shutdown_) return;
+    last_gen = job_gen_;
+    RunJob(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  if (end <= begin) return;
+  if (workers_.empty() || end - begin == 1 || tls_in_worker) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.end = end;
+  job.next = begin;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // One range at a time; concurrent external callers queue up here.
+  done_cv_.wait(lock, [&] { return job_ == nullptr; });
+  job_ = &job;
+  ++job_gen_;
+  work_cv_.notify_all();
+  // The caller participates; while it does, it counts as a worker so any
+  // pool or ParallelFor the body creates degrades to serial, exactly like
+  // the background workers.
+  tls_in_worker = true;
+  RunJob(lock);
+  tls_in_worker = false;
+  done_cv_.wait(lock, [&] {
+    return job.active_workers == 0 && (job.failed || job.next >= job.end);
+  });
+  job_ = nullptr;
+  lock.unlock();
+  done_cv_.notify_all();  // release any queued external caller
+
+  if (job.failed) std::rethrow_exception(job.error);
+}
+
+}  // namespace streamtune

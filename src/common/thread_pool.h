@@ -1,0 +1,85 @@
+// Fixed-size worker pool with a deterministic ParallelFor helper.
+//
+// Design constraints (see DESIGN.md "Concurrency model"):
+//   - The calling thread always participates in the loop, so a pool with
+//     `num_threads = N` uses N-1 background workers and never idles the
+//     caller. `num_threads = 1` (or an empty pool) degenerates to a plain
+//     serial loop — the knob that restores pre-concurrency behaviour.
+//   - ParallelFor invoked from inside a pool worker runs inline and serial
+//     (no nested fan-out, no deadlock); likewise a ThreadPool constructed on
+//     a worker thread spawns no workers. Outer loops parallelize, inner
+//     loops degrade gracefully.
+//   - Exceptions thrown by the body are captured and the one with the
+//     lowest index is rethrown on the calling thread after all workers
+//     quiesce, so failure behaviour matches the serial loop.
+//   - Determinism is the caller's job but is easy: each index runs exactly
+//     once, so writing results to slot i and reducing in index order after
+//     the join is bit-identical to the serial loop.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamtune {
+
+/// A fixed set of background workers executing ParallelFor index ranges.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` resolves to std::thread::hardware_concurrency().
+  /// The pool spawns `resolved - 1` background workers (the caller is the
+  /// remaining thread). Constructed inside a pool worker, it spawns none.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in ParallelFor (workers + caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invokes fn(i) exactly once for every i in [begin, end), distributing
+  /// indices dynamically over the workers and the calling thread. Blocks
+  /// until every index completed. If any invocation throws, the exception
+  /// raised at the lowest index is rethrown here once the range is
+  /// abandoned. Safe to call repeatedly; serial when the pool is empty or
+  /// when called from inside a worker.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Resolves a requested thread count: <= 0 becomes
+  /// hardware_concurrency() (at least 1).
+  static int ResolveThreads(int requested);
+
+  /// True when the calling thread is a ThreadPool worker (any pool).
+  static bool InWorker();
+
+ private:
+  struct Job {
+    const std::function<void(int64_t)>* fn = nullptr;
+    int64_t end = 0;
+    std::int64_t next = 0;       // guarded by mu_
+    int active_workers = 0;      // workers still inside RunJob
+    bool failed = false;         // an exception was recorded
+    int64_t error_index = -1;    // lowest failing index so far
+    std::exception_ptr error;    // exception at error_index
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices of the current job until exhausted or failed.
+  void RunJob(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a job / shutdown
+  std::condition_variable done_cv_;  // caller waits for job completion
+  Job* job_ = nullptr;               // non-null while a ParallelFor runs
+  uint64_t job_gen_ = 0;             // bumps when a new job is published
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace streamtune

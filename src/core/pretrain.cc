@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace streamtune::core {
 
@@ -128,9 +129,12 @@ Result<PretrainedBundle> Pretrainer::Run(
   std::vector<int> graph_cluster(unique_graphs.size(), 0);
   std::vector<JobGraph> centers;
   int num_clusters = 1;
+  graph::GedCache ged_cache;  // shared across the elbow sweep + final run
   if (options_.use_clustering && unique_graphs.size() > 1) {
     graph::KMeansOptions km = options_.kmeans;
     km.seed = options_.seed;
+    km.num_threads = options_.num_threads;
+    if (km.use_cache && km.cache == nullptr) km.cache = &ged_cache;
     int k = options_.k;
     if (k <= 0) {
       int hi = std::min<int>(options_.max_k,
@@ -157,7 +161,14 @@ Result<PretrainedBundle> Pretrainer::Run(
   }
 
   // ---- Per-cluster supervised pre-training (Sec. IV-A) ----
+  // Clusters are independent once records are assigned, so training fans
+  // out over the pool. All seeds are drawn serially first, in exactly the
+  // order the serial loop drew them (encoder, head, then — only for
+  // non-empty clusters — the epoch shuffler), so the trained weights are
+  // bit-identical for any thread count.
   std::vector<ClusterModel> clusters(num_clusters);
+  std::vector<uint64_t> encoder_seeds(num_clusters), head_seeds(num_clusters),
+      shuffle_seeds(num_clusters, 0);
   Rng seeder(options_.seed);
   for (int c = 0; c < num_clusters; ++c) {
     ClusterModel& cm = clusters[c];
@@ -167,25 +178,33 @@ Result<PretrainedBundle> Pretrainer::Run(
         cm.record_indices.push_back(static_cast<int>(i));
       }
     }
+    encoder_seeds[c] = seeder.NextU64();
+    head_seeds[c] = seeder.NextU64();
+    if (!cm.record_indices.empty()) shuffle_seeds[c] = seeder.NextU64();
+  }
+
+  ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(0, num_clusters, [&](int64_t c) {
+    ClusterModel& cm = clusters[c];
 
     ml::GnnConfig gcfg;
     gcfg.feature_dim = FeatureEncoder::FeatureDim();
     gcfg.hidden_dim = options_.hidden_dim;
     gcfg.num_layers = options_.gnn_layers;
-    gcfg.seed = seeder.NextU64();
+    gcfg.seed = encoder_seeds[c];
     cm.encoder = ml::GnnEncoder(gcfg);
-    Rng head_rng(seeder.NextU64());
+    Rng head_rng(head_seeds[c]);
     cm.head = ml::Mlp({options_.hidden_dim, 16, 1}, ml::Activation::kRelu,
                       &head_rng);
 
-    if (cm.record_indices.empty()) continue;
+    if (cm.record_indices.empty()) return;
 
     std::vector<ml::Var> params = cm.encoder.Params();
     for (const ml::Var& p : cm.head.Params()) params.push_back(p);
     ml::Adam opt(params, options_.learning_rate);
 
     std::vector<int> order = cm.record_indices;
-    Rng shuffle_rng(seeder.NextU64());
+    Rng shuffle_rng(shuffle_seeds[c]);
     for (int epoch = 0; epoch < options_.epochs; ++epoch) {
       shuffle_rng.Shuffle(&order);
       for (int ri : order) {
@@ -211,7 +230,7 @@ Result<PretrainedBundle> Pretrainer::Run(
         opt.Step();
       }
     }
-  }
+  });
 
   return PretrainedBundle(std::move(clusters), std::move(records),
                           feature_encoder);

@@ -35,6 +35,12 @@ struct PretrainOptions {
   int epochs = 30;
   double learning_rate = 3e-3;
   uint64_t seed = 13;
+  /// Worker threads for the offline pipeline (clustering + per-cluster
+  /// training). 0 = hardware_concurrency, 1 = the old serial behaviour.
+  /// Overrides `kmeans.num_threads`. Every per-cluster RNG stream is drawn
+  /// up front in cluster order, so trained weights are bit-identical for
+  /// any thread count.
+  int num_threads = 0;
 };
 
 /// One cluster's trained artifacts.

@@ -114,6 +114,66 @@ Status JobGraph::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit hash step.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace
+
+uint64_t JobGraph::CanonicalHash() const {
+  const int n = num_operators();
+  // Local adjacency (the lazy member caches are not thread-safe).
+  std::vector<std::vector<int>> up(n), down(n);
+  for (const auto& [from, to] : edges_) {
+    down[from].push_back(to);
+    up[to].push_back(from);
+  }
+
+  // WL color refinement seeded by operator type; in- and out-neighborhoods
+  // are folded separately so edge direction matters (the GED cost model
+  // charges for direction modifications).
+  std::vector<uint64_t> color(n), next(n);
+  for (int v = 0; v < n; ++v) {
+    color[v] = Mix(0x5761u ^ static_cast<uint64_t>(op(v).type));
+  }
+  const int rounds = std::min(n, 16);  // >= diameter of every DAG we build
+  std::vector<uint64_t> bucket;
+  for (int round = 0; round < rounds; ++round) {
+    for (int v = 0; v < n; ++v) {
+      uint64_t h = Combine(color[v], 0xA11CE5ED);
+      // Sort neighbor colors: multiset fold, independent of edge order.
+      bucket.assign(up[v].size(), 0);
+      for (size_t i = 0; i < up[v].size(); ++i) bucket[i] = color[up[v][i]];
+      std::sort(bucket.begin(), bucket.end());
+      for (uint64_t c : bucket) h = Combine(h, c ^ 0x0B5E55EDu);
+      bucket.assign(down[v].size(), 0);
+      for (size_t i = 0; i < down[v].size(); ++i) {
+        bucket[i] = color[down[v][i]];
+      }
+      std::sort(bucket.begin(), bucket.end());
+      for (uint64_t c : bucket) h = Combine(h, c ^ 0xD05E5EEDu);
+      next[v] = h;
+    }
+    color.swap(next);
+  }
+
+  // Graph hash: multiset of final colors plus global counts.
+  std::sort(color.begin(), color.end());
+  uint64_t h = Combine(Mix(static_cast<uint64_t>(n)),
+                       Mix(static_cast<uint64_t>(num_edges())));
+  for (uint64_t c : color) h = Combine(h, c);
+  return h;
+}
+
 Result<std::vector<int>> JobGraph::TopologicalOrder() const {
   std::vector<int> indeg(operators_.size(), 0);
   for (const auto& [from, to] : edges_) {

@@ -62,6 +62,16 @@ class JobGraph {
   /// Topological order of operator ids; FailedPrecondition if cyclic.
   Result<std::vector<int>> TopologicalOrder() const;
 
+  /// Canonical Weisfeiler-Leman-style structural hash: invariant under
+  /// operator relabeling/reordering (isomorphic graphs — same operator
+  /// types, same wiring — hash equal regardless of insertion order).
+  /// Depends only on operator types and edge structure, i.e. exactly the
+  /// signals the GED cost model sees, so it is a sound memoization key for
+  /// GED computations (up to the usual WL blind spots, which do not occur
+  /// for the labeled DAGs in this repo). Pure function of the graph — no
+  /// lazy caches are touched, safe to call concurrently.
+  uint64_t CanonicalHash() const;
+
   /// True if the graph contains a directed cycle.
   bool HasCycle() const;
 

@@ -160,11 +160,9 @@ double CompletionCost(const Prepared& p, uint64_t used) {
   return cost;
 }
 
-}  // namespace
-
-double MappingCost(const JobGraph& g1, const JobGraph& g2,
-                   const std::vector<int>& mapping) {
-  Prepared p = Prepare(g1, g2);
+// MappingCost on an already-Prepared pair (avoids re-running Prepare on the
+// A* hot path, where the greedy incumbent is costed before the search).
+double MappingCostPrepared(const Prepared& p, const std::vector<int>& mapping) {
   assert(static_cast<int>(mapping.size()) == p.n1);
   double cost = 0;
   std::vector<bool> used(p.n2, false);
@@ -202,12 +200,9 @@ double MappingCost(const JobGraph& g1, const JobGraph& g2,
   return cost;
 }
 
-namespace {
-
 // Greedy label/degree-guided assignment; the returned mapping uses -1 for
 // deletions.
-std::vector<int> GreedyMapping(const JobGraph& g1, const JobGraph& g2) {
-  Prepared p = Prepare(g1, g2);
+std::vector<int> GreedyMapping(const Prepared& p) {
   State s;
   s.mapping.assign(p.n1, -1);
   for (int d = 0; d < p.n1; ++d) {
@@ -237,8 +232,14 @@ std::vector<int> GreedyMapping(const JobGraph& g1, const JobGraph& g2) {
 
 }  // namespace
 
+double MappingCost(const JobGraph& g1, const JobGraph& g2,
+                   const std::vector<int>& mapping) {
+  return MappingCostPrepared(Prepare(g1, g2), mapping);
+}
+
 double GreedyGedUpperBound(const JobGraph& g1, const JobGraph& g2) {
-  return MappingCost(g1, g2, GreedyMapping(g1, g2));
+  Prepared p = Prepare(g1, g2);
+  return MappingCostPrepared(p, GreedyMapping(p));
 }
 
 double LabelSetLowerBound(const JobGraph& g1, const JobGraph& g2) {
@@ -251,14 +252,16 @@ GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
   GedResult result;
   Prepared p = Prepare(g1, g2);
   if (p.n2 > 63) {
-    result.mapping = GreedyMapping(g1, g2);
-    result.distance = MappingCost(g1, g2, result.mapping);
+    result.mapping = GreedyMapping(p);
+    result.distance = MappingCostPrepared(p, result.mapping);
     result.exact = false;
     return result;
   }
 
-  std::vector<int> incumbent_mapping = GreedyMapping(g1, g2);
-  double incumbent = MappingCost(g1, g2, incumbent_mapping);
+  // Seed the incumbent with the greedy upper bound so pruning is active
+  // from the first expansion.
+  std::vector<int> incumbent_mapping = GreedyMapping(p);
+  double incumbent = MappingCostPrepared(p, incumbent_mapping);
   const bool thresholded = options.threshold >= 0;
 
   std::priority_queue<State, std::vector<State>, StateCmp> open;

@@ -1,0 +1,142 @@
+#include "graph/ged_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace streamtune::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+}  // namespace
+
+GedCache::Entry::Entry() : certified_gt(-kInf), upper(kInf) {}
+
+GedCache::Key GedCache::MakeKey(const JobGraph& a, const JobGraph& b) {
+  uint64_t ha = a.CanonicalHash();
+  uint64_t hb = b.CanonicalHash();
+  return Key{std::min(ha, hb), std::max(ha, hb)};
+}
+
+void GedCache::Record(const Key& key, const GedResult& result,
+                      const GedOptions& options, bool searched) {
+  // A search "completed" when it neither fell back to the greedy mapping
+  // (n2 > 63, `searched` false) nor ran out of expansion budget; only then
+  // does a pruned outcome certify "ged > threshold".
+  const bool exhausted = result.expansions > options.expansion_budget;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[key];
+  if (result.exact) {
+    e.has_exact = true;
+    e.exact_distance = result.distance;
+    e.upper = std::min(e.upper, result.distance);
+    return;
+  }
+  // Inexact outcomes: the incumbent is always a valid upper bound (it is
+  // the MappingCost of a concrete mapping), never an exact distance.
+  e.upper = std::min(e.upper, result.distance);
+  if (options.threshold >= 0 && searched && !exhausted) {
+    e.certified_gt = std::max(e.certified_gt, options.threshold);
+  }
+}
+
+GedResult GedCache::Compute(const JobGraph& a, const JobGraph& b,
+                            const GedOptions& options) {
+  const Key key = MakeKey(a, b);
+  const bool thresholded = options.threshold >= 0;
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      const Entry& e = it->second;
+      if (e.has_exact) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        GedResult r;
+        r.distance = e.exact_distance;
+        // Mirror a fresh search: in threshold mode a distance beyond tau is
+        // reported as a non-exact bound.
+        r.exact = !thresholded || e.exact_distance <= options.threshold + kEps;
+        return r;
+      }
+      if (thresholded && options.threshold <= e.certified_gt + kEps) {
+        // ged > certified_gt >= tau: a fresh search would prune; serve the
+        // remembered upper bound (> tau by construction).
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        GedResult r;
+        r.distance = e.upper;
+        r.exact = false;
+        return r;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  GedResult result = ComputeGed(a, b, options);
+  Record(key, result, options, b.num_operators() <= 63);
+  return result;
+}
+
+bool GedCache::WithinThreshold(const JobGraph& a, const JobGraph& b,
+                               double tau, const GedOptions& options) {
+  const Key key = MakeKey(a, b);
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      const Entry& e = it->second;
+      if (e.has_exact) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return e.exact_distance <= tau + kEps;
+      }
+      if (tau <= e.certified_gt + kEps) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Mirror GedWithinThreshold, recording what each phase proves.
+  if (LabelSetLowerBound(a, b) > tau + kEps) {
+    // The lower bound alone certifies ged > tau (independent of budget).
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& e = shard.map[key];
+    e.certified_gt = std::max(e.certified_gt, tau);
+    return false;
+  }
+  GedOptions opts = options;
+  opts.threshold = tau;
+  opts.use_lower_bound = true;
+  GedResult r = ComputeGed(a, b, opts);
+  Record(key, r, opts, b.num_operators() <= 63);
+  return r.exact && r.distance <= tau + kEps;
+}
+
+GedCache::Stats GedCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t GedCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void GedCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace streamtune::graph

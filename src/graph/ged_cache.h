@@ -1,0 +1,113 @@
+// Thread-safe memo table for GED computations (the offline-phase hot path).
+//
+// The GED k-means of Sec. IV-C re-asks the same pairwise distances many
+// times: every assignment iteration re-measures distances to recurring
+// centers, SimilarityCenter is an all-pairs sweep per cluster per iteration,
+// and SelectKByElbow re-runs the whole clustering for each candidate k.
+// Entries are keyed by the symmetric pair of JobGraph::CanonicalHash()
+// values (GED is a metric: ged(a, b) == ged(b, a)), so structurally
+// identical graphs share entries regardless of construction order.
+//
+// Caching policy — chosen so that answers are independent of the order in
+// which queries arrive, which is what makes the parallel k-means
+// bit-identical to the serial one:
+//   - Exact distances are cached and served for any later query; the
+//     `exact` flag of a served result is re-derived against the query's own
+//     threshold, mirroring what a fresh search would report.
+//   - Threshold-pruned searches are only an upper bound (the incumbent) —
+//     they are never promoted to exact entries. What IS remembered is the
+//     certificate "ged > tau" (when the search completed without exhausting
+//     its expansion budget), which answers any later query with a
+//     threshold <= tau, plus the incumbent as a reusable upper bound.
+//   - Budget-exhausted searches contribute their upper bound only.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ged.h"
+
+namespace streamtune::graph {
+
+/// Sharded-mutex memo table for ComputeGed / GedWithinThreshold.
+class GedCache {
+ public:
+  GedCache() = default;
+
+  GedCache(const GedCache&) = delete;
+  GedCache& operator=(const GedCache&) = delete;
+
+  /// Cached drop-in for ComputeGed. On a hit the result carries the true
+  /// distance (or a certified bound, see above) with `expansions == 0` and
+  /// an empty `mapping` — callers that need the edit path should use
+  /// ComputeGed directly.
+  GedResult Compute(const JobGraph& a, const JobGraph& b,
+                    const GedOptions& options = {});
+
+  /// Cached drop-in for GedWithinThreshold.
+  bool WithinThreshold(const JobGraph& a, const JobGraph& b, double tau,
+                       const GedOptions& options = {});
+
+  /// Hit/miss counters (a hit = answered without running a search).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+
+  /// Number of distinct graph pairs with a cached entry.
+  size_t size() const;
+
+  /// Drops all entries and resets the counters.
+  void Clear();
+
+ private:
+  struct Key {
+    uint64_t lo = 0, hi = 0;
+    bool operator==(const Key& o) const { return lo == o.lo && hi == o.hi; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t z = k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+  struct Entry {
+    bool has_exact = false;
+    double exact_distance = 0;
+    /// Proven strict lower bound: ged > certified_gt (-inf when unknown).
+    double certified_gt;
+    /// Best known upper bound (+inf when unknown).
+    double upper;
+    Entry();
+  };
+  static constexpr int kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry, KeyHash> map;
+  };
+
+  static Key MakeKey(const JobGraph& a, const JobGraph& b);
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key) % kNumShards];
+  }
+  // Folds a finished search result into the entry for `key`.
+  void Record(const Key& key, const GedResult& result,
+              const GedOptions& options, bool searched);
+
+  Shard shards_[kNumShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace streamtune::graph

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/status.h"
+
 namespace streamtune::graph {
 
+namespace {
+
+GedResult ComputeMaybeCached(const JobGraph& a, const JobGraph& b,
+                             const GedOptions& opts, GedCache* cache) {
+  return cache ? cache->Compute(a, b, opts) : ComputeGed(a, b, opts);
+}
+
+}  // namespace
+
 std::vector<double> DistancesToCenters(const JobGraph& g,
-                                       const std::vector<JobGraph>& centers) {
+                                       const std::vector<JobGraph>& centers,
+                                       GedCache* cache) {
   std::vector<double> dist(centers.size(),
                            std::numeric_limits<double>::infinity());
   double best = std::numeric_limits<double>::infinity();
@@ -17,15 +29,16 @@ std::vector<double> DistancesToCenters(const JobGraph& g,
     if (best < std::numeric_limits<double>::infinity()) {
       opts.threshold = best;
     }
-    GedResult r = ComputeGed(g, centers[i], opts);
+    GedResult r = ComputeMaybeCached(g, centers[i], opts, cache);
     dist[i] = r.distance;
     best = std::min(best, r.distance);
   }
   return dist;
 }
 
-int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers) {
-  std::vector<double> dist = DistancesToCenters(g, centers);
+int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers,
+                  GedCache* cache) {
+  std::vector<double> dist = DistancesToCenters(g, centers, cache);
   return static_cast<int>(
       std::min_element(dist.begin(), dist.end()) - dist.begin());
 }
@@ -38,21 +51,29 @@ Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
     return Status::InvalidArgument("k must be in [1, dataset size]");
   }
 
+  GedCache local_cache;
+  GedCache* cache =
+      options.cache ? options.cache : (options.use_cache ? &local_cache : nullptr);
+  ThreadPool pool(options.num_threads);
+
   Rng rng(options.seed);
   // Init: farthest-point seeding (k-means++-style). A random first center,
   // then each next center is the graph farthest from all chosen centers —
-  // structurally distinct families reliably get their own seed.
+  // structurally distinct families reliably get their own seed. The
+  // distance refresh is per-graph parallel; the argmax reduction stays
+  // serial in index order, so tie-breaking matches the serial path.
   std::vector<int> center_idx;
   center_idx.push_back(rng.UniformInt(0, n - 1));
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
   while (static_cast<int>(center_idx.size()) < options.k) {
     int last = center_idx.back();
-    for (int i = 0; i < n; ++i) {
+    pool.ParallelFor(0, n, [&](int64_t i) {
       GedOptions opts;
       opts.threshold = min_dist[i];  // prune beyond the current minimum
-      GedResult r = ComputeGed(dataset[i], dataset[last], opts);
+      GedResult r =
+          ComputeMaybeCached(dataset[i], dataset[last], opts, cache);
       min_dist[i] = std::min(min_dist[i], r.distance);
-    }
+    });
     int farthest = 0;
     double best = -1;
     for (int i = 0; i < n; ++i) {
@@ -66,29 +87,38 @@ Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
 
   KMeansResult result;
   result.assignment.assign(n, 0);
+  std::vector<int> best_center(n, 0);
+  std::vector<double> best_dist(n, 0.0);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: per-graph parallel, each graph's center scan is
+    // independent; the inertia sum is reduced serially in index order so it
+    // is bit-identical run-to-run.
     std::vector<JobGraph> centers;
     centers.reserve(options.k);
     for (int c : center_idx) centers.push_back(dataset[c]);
+    pool.ParallelFor(0, n, [&](int64_t i) {
+      std::vector<double> dist = DistancesToCenters(dataset[i], centers, cache);
+      int best = static_cast<int>(
+          std::min_element(dist.begin(), dist.end()) - dist.begin());
+      best_center[i] = best;
+      best_dist[i] = dist[best];
+    });
     double inertia = 0;
     bool changed = false;
     for (int i = 0; i < n; ++i) {
-      std::vector<double> dist = DistancesToCenters(dataset[i], centers);
-      int best = static_cast<int>(
-          std::min_element(dist.begin(), dist.end()) - dist.begin());
-      inertia += dist[best];
-      if (result.assignment[i] != best) {
-        result.assignment[i] = best;
+      inertia += best_dist[i];
+      if (result.assignment[i] != best_center[i]) {
+        result.assignment[i] = best_center[i];
         changed = true;
       }
     }
     result.within_cluster_distance = inertia;
     if (!changed && iter > 0) break;
 
-    // Update step: similarity center per cluster.
+    // Update step: similarity center per cluster (all-pairs sweep runs on
+    // the pool).
     std::vector<int> new_centers = center_idx;
     for (int c = 0; c < options.k; ++c) {
       std::vector<JobGraph> members;
@@ -100,7 +130,8 @@ Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
         }
       }
       if (members.empty()) continue;  // keep the old center for empty cells
-      int sc = SimilarityCenter(members, options.center_tau, options.method);
+      int sc = SimilarityCenter(members, options.center_tau, options.method,
+                                cache, &pool);
       new_centers[c] = member_ids[sc];
     }
     if (new_centers == center_idx) break;
@@ -117,15 +148,36 @@ Result<int> SelectKByElbow(const std::vector<JobGraph>& dataset, int k_min,
       k_max > static_cast<int>(dataset.size())) {
     return Status::InvalidArgument("invalid k range");
   }
-  std::vector<double> inertia;
-  for (int k = k_min; k <= k_max; ++k) {
+  // Curvature needs >= 3 inertia points; with fewer the answer is k_min
+  // regardless, so skip the clusterings entirely.
+  if (k_max - k_min < 2) return k_min;
+
+  GedCache local_cache;
+  GedCache* shared = base_options.cache
+                         ? base_options.cache
+                         : (base_options.use_cache ? &local_cache : nullptr);
+  const int count = k_max - k_min + 1;
+  std::vector<double> inertia(count, 0.0);
+  std::vector<Status> statuses(count, Status::OK());
+
+  // The per-k runs are independent given a shared memo table; run them on
+  // the pool (each inner ClusterDags degrades to serial on a worker).
+  ThreadPool pool(base_options.num_threads);
+  pool.ParallelFor(0, count, [&](int64_t i) {
     KMeansOptions opts = base_options;
-    opts.k = k;
+    opts.k = k_min + static_cast<int>(i);
+    opts.cache = shared;
     auto res = ClusterDags(dataset, opts);
-    if (!res.ok()) return res.status();
-    inertia.push_back(res->within_cluster_distance);
+    if (!res.ok()) {
+      statuses[i] = res.status();
+      return;
+    }
+    inertia[i] = res->within_cluster_distance;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
-  if (inertia.size() < 3) return k_min;
+
   // Elbow = maximum positive curvature of the inertia curve.
   int best_k = k_min + 1;
   double best_curv = -std::numeric_limits<double>::infinity();

@@ -7,13 +7,22 @@
 //   - assignment distances are GEDs, computed with the bounded best-first
 //     search and pruned against the best center found so far.
 // The elbow method selects k.
+//
+// Concurrency: the assignment step, farthest-point seeding, similarity-
+// center sweeps and the per-k elbow runs are data-parallel and execute on a
+// ThreadPool sized by KMeansOptions::num_threads. Pairwise distances are
+// memoized in a GedCache (shared across every elbow run). Both are designed
+// so results are bit-identical to the serial, uncached path — see DESIGN.md
+// "Concurrency model".
 
 #pragma once
 
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "dataflow/job_graph.h"
+#include "graph/ged_cache.h"
 #include "graph/similarity.h"
 
 namespace streamtune::graph {
@@ -26,6 +35,15 @@ struct KMeansOptions {
   double center_tau = 5.0;
   SearchMethod method = SearchMethod::kAStarLsa;
   uint64_t seed = 2024;
+  /// Worker threads for the data-parallel steps. 0 = hardware_concurrency,
+  /// 1 = the old serial behaviour. Results are identical for any value.
+  int num_threads = 0;
+  /// Memoize pairwise GEDs (repeated pairs across iterations / elbow runs
+  /// are answered in O(1)). Off reproduces the pre-cache pipeline exactly.
+  bool use_cache = true;
+  /// Optional externally owned memo table (e.g. shared across elbow runs);
+  /// when null and use_cache is set, each ClusterDags run uses its own.
+  GedCache* cache = nullptr;
 };
 
 /// Result of one clustering run.
@@ -44,16 +62,22 @@ Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
                                  const KMeansOptions& options);
 
 /// Distance from `g` to each of the given center graphs; the search for
-/// center i is pruned at the best distance among centers [0, i).
+/// center i is pruned at the best distance among centers [0, i). Distances
+/// above the final minimum may be upper bounds (or cached exact values);
+/// the minimum itself is always exact. `cache` optionally memoizes.
 std::vector<double> DistancesToCenters(const JobGraph& g,
-                                       const std::vector<JobGraph>& centers);
+                                       const std::vector<JobGraph>& centers,
+                                       GedCache* cache = nullptr);
 
 /// Index of the nearest center (minimum GED) for `g`.
-int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers);
+int NearestCenter(const JobGraph& g, const std::vector<JobGraph>& centers,
+                  GedCache* cache = nullptr);
 
 /// Elbow-method selection of k: runs ClusterDags for each k in
-/// [k_min, k_max] and returns the k with the largest curvature (second
-/// difference) of the inertia curve.
+/// [k_min, k_max] (in parallel, sharing one GedCache) and returns the k
+/// with the largest curvature (second difference) of the inertia curve.
+/// Returns k_min immediately when the range has fewer than 3 points, since
+/// curvature is undefined there.
 Result<int> SelectKByElbow(const std::vector<JobGraph>& dataset, int k_min,
                            int k_max, const KMeansOptions& base_options);
 

@@ -2,19 +2,22 @@
 
 #include <algorithm>
 
+#include "graph/ged_cache.h"
+
 namespace streamtune::graph {
 
 namespace {
 
 bool Within(const JobGraph& a, const JobGraph& b, double tau,
-            SearchMethod method) {
+            SearchMethod method, GedCache* cache) {
   if (method == SearchMethod::kAStarLsa) {
-    return GedWithinThreshold(a, b, tau);
+    return cache ? cache->WithinThreshold(a, b, tau)
+                 : GedWithinThreshold(a, b, tau);
   }
   // Direct: pay for the full exact computation, then compare.
   GedOptions opts;
   opts.use_lower_bound = false;
-  GedResult r = ComputeGed(a, b, opts);
+  GedResult r = cache ? cache->Compute(a, b, opts) : ComputeGed(a, b, opts);
   return r.distance <= tau + 1e-9;
 }
 
@@ -22,35 +25,55 @@ bool Within(const JobGraph& a, const JobGraph& b, double tau,
 
 std::vector<int> SimilaritySearch(const std::vector<JobGraph>& dataset,
                                   const JobGraph& query, double tau,
-                                  SearchMethod method) {
+                                  SearchMethod method, GedCache* cache,
+                                  ThreadPool* pool) {
+  const int n = static_cast<int>(dataset.size());
+  std::vector<char> within(n, 0);
+  auto check = [&](int64_t i) {
+    within[i] = Within(dataset[i], query, tau, method, cache) ? 1 : 0;
+  };
+  if (pool) {
+    pool->ParallelFor(0, n, check);
+  } else {
+    for (int i = 0; i < n; ++i) check(i);
+  }
   std::vector<int> hits;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    if (Within(dataset[i], query, tau, method)) {
-      hits.push_back(static_cast<int>(i));
-    }
+  for (int i = 0; i < n; ++i) {
+    if (within[i]) hits.push_back(i);
   }
   return hits;
 }
 
 std::vector<int> AppearanceCounts(const std::vector<JobGraph>& cluster,
-                                  double tau, SearchMethod method) {
-  std::vector<int> counts(cluster.size(), 0);
-  for (size_t q = 0; q < cluster.size(); ++q) {
-    for (size_t g = 0; g < cluster.size(); ++g) {
+                                  double tau, SearchMethod method,
+                                  GedCache* cache, ThreadPool* pool) {
+  const int m = static_cast<int>(cluster.size());
+  std::vector<int> counts(m, 0);
+  // Each row g owns its own count, so the all-pairs sweep parallelizes over
+  // g with no reduction step.
+  auto row = [&](int64_t g) {
+    int c = 0;
+    for (int q = 0; q < m; ++q) {
       // GED is symmetric, but we follow Def. 2 literally: g appears in the
       // search result of query q (including q itself, ged = 0 <= tau).
-      if (g == q || Within(cluster[g], cluster[q], tau, method)) {
-        ++counts[g];
+      if (g == q || Within(cluster[g], cluster[q], tau, method, cache)) {
+        ++c;
       }
     }
+    counts[g] = c;
+  };
+  if (pool) {
+    pool->ParallelFor(0, m, row);
+  } else {
+    for (int g = 0; g < m; ++g) row(g);
   }
   return counts;
 }
 
 int SimilarityCenter(const std::vector<JobGraph>& cluster, double tau,
-                     SearchMethod method) {
+                     SearchMethod method, GedCache* cache, ThreadPool* pool) {
   if (cluster.empty()) return -1;
-  std::vector<int> counts = AppearanceCounts(cluster, tau, method);
+  std::vector<int> counts = AppearanceCounts(cluster, tau, method, cache, pool);
   return static_cast<int>(
       std::max_element(counts.begin(), counts.end()) - counts.begin());
 }

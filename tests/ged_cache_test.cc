@@ -1,0 +1,196 @@
+#include "graph/ged_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/pqp.h"
+
+namespace streamtune::graph {
+namespace {
+
+JobGraph Linear(int variant) {
+  return workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, variant);
+}
+JobGraph ThreeWay(int variant) {
+  return workloads::BuildPqpJob(workloads::PqpTemplate::kThreeWayJoin, variant);
+}
+
+TEST(GedCacheTest, ExactDistanceIsCachedAndServed) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = Linear(1);
+  GedResult direct = ComputeGed(a, b);
+  ASSERT_TRUE(direct.exact);
+
+  GedResult first = cache.Compute(a, b);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(first.distance, direct.distance);
+  EXPECT_TRUE(first.exact);
+
+  GedResult second = cache.Compute(a, b);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(second.distance, direct.distance);
+  EXPECT_TRUE(second.exact);
+  EXPECT_EQ(second.expansions, 0u);  // served, not searched
+}
+
+TEST(GedCacheTest, HitOnSymmetricPairOrder) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = ThreeWay(0);
+  GedResult ab = cache.Compute(a, b);
+  GedResult ba = cache.Compute(b, a);  // ged is symmetric: must hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(ab.distance, ba.distance);
+  EXPECT_DOUBLE_EQ(ab.distance, ComputeGed(b, a).distance);
+}
+
+TEST(GedCacheTest, ExactEntryAnswersThresholdQueries) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = Linear(2);
+  double d = cache.Compute(a, b).distance;
+  ASSERT_GT(d, 0.0);
+
+  EXPECT_TRUE(cache.WithinThreshold(a, b, d));
+  EXPECT_FALSE(cache.WithinThreshold(a, b, d - 1.0));
+  // Both served from the exact entry.
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // A thresholded Compute against the exact entry mirrors a fresh search:
+  // beyond tau the result is flagged inexact, within tau it is exact.
+  GedOptions opts;
+  opts.threshold = d - 1.0;
+  GedResult pruned = cache.Compute(a, b, opts);
+  EXPECT_FALSE(pruned.exact);
+  EXPECT_GT(pruned.distance, opts.threshold);
+  opts.threshold = d;
+  GedResult within = cache.Compute(a, b, opts);
+  EXPECT_TRUE(within.exact);
+  EXPECT_DOUBLE_EQ(within.distance, d);
+}
+
+TEST(GedCacheTest, PrunedResultIsNotCachedAsExact) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = ThreeWay(3);
+  double d = ComputeGed(a, b).distance;
+  ASSERT_GT(d, 1.0) << "need structurally distant graphs for this test";
+
+  // Threshold-pruned: only certifies ged > 1, must not poison exactness.
+  EXPECT_FALSE(cache.WithinThreshold(a, b, 1.0));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The exact query must run a real search (miss) and return the true
+  // distance, not the pruned upper bound.
+  GedResult exact = cache.Compute(a, b);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_DOUBLE_EQ(exact.distance, d);
+}
+
+TEST(GedCacheTest, CertifiedLowerBoundAnswersSmallerThresholds) {
+  GedCache cache;
+  JobGraph a = Linear(1), b = ThreeWay(1);
+  ASSERT_GT(ComputeGed(a, b).distance, 2.0);
+
+  EXPECT_FALSE(cache.WithinThreshold(a, b, 2.0));  // miss: certifies > 2
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_FALSE(cache.WithinThreshold(a, b, 2.0));  // identical query: hit
+  EXPECT_FALSE(cache.WithinThreshold(a, b, 1.0));  // smaller tau: hit
+  EXPECT_FALSE(cache.WithinThreshold(a, b, 0.0));
+  EXPECT_EQ(cache.stats().hits, 3u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // A larger tau is NOT answered by the certificate; it must search again.
+  cache.WithinThreshold(a, b, 100.0);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(GedCacheTest, PrunedComputeServesUpperBoundAboveTau) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = ThreeWay(2);
+  GedOptions opts;
+  opts.threshold = 1.0;
+  GedResult first = cache.Compute(a, b, opts);
+  ASSERT_FALSE(first.exact);
+
+  GedResult served = cache.Compute(a, b, opts);  // certificate hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(served.exact);
+  EXPECT_GT(served.distance, opts.threshold);
+}
+
+TEST(GedCacheTest, WithinThresholdTrueStoresExactDistance) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = Linear(1);
+  double d = ComputeGed(a, b).distance;
+  ASSERT_TRUE(cache.WithinThreshold(a, b, d + 5.0));
+  // The in-threshold search proved the exact distance; the exact query is
+  // now a hit.
+  GedResult r = cache.Compute(a, b);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.distance, d);
+}
+
+TEST(GedCacheTest, IdenticalGraphsShareOneEntry) {
+  GedCache cache;
+  // Same structure built twice (different objects, same canonical hash).
+  JobGraph a1 = Linear(4), a2 = Linear(4);
+  EXPECT_DOUBLE_EQ(cache.Compute(a1, a2).distance, 0.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.Compute(a2, a1).distance, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(GedCacheTest, ClearResetsEntriesAndStats) {
+  GedCache cache;
+  cache.Compute(Linear(0), Linear(1));
+  cache.Compute(Linear(0), Linear(1));
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.stats().hits, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.0);
+}
+
+TEST(GedCacheTest, CanonicalHashIsStructuralNotNominal) {
+  // Same wiring, different operator names / insertion order of edges:
+  // hashes must agree. Different operator type: hashes must differ.
+  JobGraph g1("one");
+  int s1 = g1.AddOperator({.name = "src", .type = OperatorType::kSource});
+  int m1 = g1.AddOperator({.name = "m", .type = OperatorType::kMap});
+  int k1 = g1.AddOperator({.name = "snk", .type = OperatorType::kSink});
+  ASSERT_TRUE(g1.AddEdge(s1, m1).ok());
+  ASSERT_TRUE(g1.AddEdge(m1, k1).ok());
+
+  JobGraph g2("two");
+  int s2 = g2.AddOperator({.name = "SRC2", .type = OperatorType::kSource});
+  int m2 = g2.AddOperator({.name = "MAP2", .type = OperatorType::kMap});
+  int k2 = g2.AddOperator({.name = "SINK2", .type = OperatorType::kSink});
+  ASSERT_TRUE(g2.AddEdge(m2, k2).ok());
+  ASSERT_TRUE(g2.AddEdge(s2, m2).ok());
+
+  EXPECT_EQ(g1.CanonicalHash(), g2.CanonicalHash());
+
+  JobGraph g3("three");
+  int s3 = g3.AddOperator({.name = "src", .type = OperatorType::kSource});
+  int f3 = g3.AddOperator({.name = "f", .type = OperatorType::kFilter});
+  int k3 = g3.AddOperator({.name = "snk", .type = OperatorType::kSink});
+  ASSERT_TRUE(g3.AddEdge(s3, f3).ok());
+  ASSERT_TRUE(g3.AddEdge(f3, k3).ok());
+  EXPECT_NE(g1.CanonicalHash(), g3.CanonicalHash());
+
+  // Edge direction matters (direction modification is a real edit).
+  JobGraph g4("four");
+  int s4 = g4.AddOperator({.name = "src", .type = OperatorType::kSource});
+  int m4 = g4.AddOperator({.name = "m", .type = OperatorType::kMap});
+  int k4 = g4.AddOperator({.name = "snk", .type = OperatorType::kSink});
+  ASSERT_TRUE(g4.AddEdge(s4, m4).ok());
+  ASSERT_TRUE(g4.AddEdge(k4, m4).ok());  // reversed second edge
+  EXPECT_NE(g1.CanonicalHash(), g4.CanonicalHash());
+}
+
+}  // namespace
+}  // namespace streamtune::graph

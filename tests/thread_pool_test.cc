@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace streamtune {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.num_threads(), 8);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, DeterministicResultOrdering) {
+  // Each index writes its own slot: the gathered result must match the
+  // serial loop bit-for-bit, independent of execution interleaving.
+  ThreadPool pool(8);
+  std::vector<int64_t> out(500, -1);
+  pool.ParallelFor(0, 500, [&](int64_t i) { out[i] = i * i; });
+  for (int64_t i = 0; i < 500; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, [&](int64_t) { calls++; });
+  pool.ParallelFor(10, 10, [&](int64_t) { calls++; });
+  pool.ParallelFor(5, 3, [&](int64_t) { calls++; });  // inverted: no-op
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsSerialInCallerOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(0, 10, [&](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](int64_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins) {
+  // Index 0 is always claimed first and always throws, so the rethrown
+  // exception must carry its message even if later indices also throw.
+  ThreadPool pool(8);
+  try {
+    pool.ParallelFor(0, 64, [&](int64_t i) {
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 8,
+                                [](int64_t) {
+                                  throw std::logic_error("first run fails");
+                                }),
+               std::logic_error);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 100, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int64_t>> inner_order(8);
+  pool.ParallelFor(0, 8, [&](int64_t i) {
+    // From inside a worker the nested loop must run serial and in order
+    // (no fan-out, no deadlock) — on this pool or any other.
+    ThreadPool nested(4);
+    EXPECT_EQ(nested.num_threads(), 1);
+    pool.ParallelFor(0, 5, [&](int64_t j) { inner_order[i].push_back(j); });
+  });
+  for (const auto& order : inner_order) {
+    EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(ThreadPoolTest, SequentialRangesOnOnePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 200, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 199 * 200 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(5), 5);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(-3), 1);
+}
+
+TEST(ThreadPoolTest, InWorkerFlag) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  ThreadPool pool(4);
+  std::atomic<int> in_worker{0};
+  pool.ParallelFor(0, 16, [&](int64_t) {
+    if (ThreadPool::InWorker()) in_worker++;
+  });
+  EXPECT_EQ(in_worker.load(), 16);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+}  // namespace
+}  // namespace streamtune
