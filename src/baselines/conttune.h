@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
 #include "ml/gaussian_process.h"
 
@@ -27,6 +28,8 @@ struct ContTuneOptions {
   /// Multiplier for the Big phase (jump factor on the deficit ratio).
   double big_factor = 1.2;
   ml::GpConfig gp;
+  /// Retry/sanitize/rollback knobs for the hardened loop.
+  RobustnessOptions robustness;
 };
 
 /// The ContTune conservative-BO controller.

@@ -55,19 +55,32 @@ std::vector<int> Ds2Tuner::Recommend(const sim::StreamEngine& engine,
 
 Result<TuningOutcome> Ds2Tuner::Tune(sim::StreamEngine* engine) {
   TuningOutcome outcome;
+  RobustLoop loop(engine, options_.robustness);
   int reconfig_before = engine->reconfiguration_count();
   double minutes_before = engine->virtual_minutes();
+  bool last_severe = false;
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     outcome.iterations = iter + 1;
-    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
+    Result<sim::JobMetrics> metrics_r = loop.Measure();
+    if (!metrics_r.ok()) {
+      // A failed *initial* measurement on a fault-free engine is a caller
+      // error (e.g. never deployed) and propagates; once faults are in
+      // play the process degrades gracefully and keeps what it has.
+      if (iter == 0 && !loop.hardened()) return metrics_r.status();
+      break;
+    }
+    const sim::JobMetrics& metrics = *metrics_r;
+    last_severe = metrics.severe_backpressure;
     // The iteration-0 measurement reflects the pre-tuning state shared by
     // all methods; only backpressure after this tuner's own deployments is
     // attributed to it (Table III semantics).
     if (iter > 0 && metrics.job_backpressure) ++outcome.backpressure_events;
+    if (loop.MaybeRollback(metrics)) continue;
     std::vector<int> rec = Recommend(*engine, metrics);
+    loop.ClampStep(&rec);
     if (rec == engine->parallelism()) break;
-    ST_RETURN_NOT_OK(engine->Deploy(rec));
+    if (!loop.Deploy(rec).ok()) break;  // persistent failure: keep current
   }
 
   outcome.final_parallelism = engine->parallelism();
@@ -75,8 +88,11 @@ Result<TuningOutcome> Ds2Tuner::Tune(sim::StreamEngine* engine) {
   outcome.reconfigurations =
       engine->reconfiguration_count() - reconfig_before;
   outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
-  ST_ASSIGN_OR_RETURN(sim::JobMetrics final_metrics, engine->Measure());
-  outcome.ended_with_backpressure = final_metrics.severe_backpressure;
+  Result<sim::JobMetrics> final_metrics = loop.Measure();
+  outcome.ended_with_backpressure = final_metrics.ok()
+                                        ? final_metrics->severe_backpressure
+                                        : last_severe;
+  loop.FillOutcome(&outcome);
   return outcome;
 }
 

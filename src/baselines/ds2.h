@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
 
 namespace streamtune::baselines {
@@ -21,6 +22,8 @@ struct Ds2Options {
   /// Safety headroom multiplied onto target rates (DS2 uses none by
   /// default; kept configurable for ablations).
   double headroom = 1.0;
+  /// Retry/sanitize/rollback knobs for the hardened loop.
+  RobustnessOptions robustness;
 };
 
 /// The DS2 scaling controller.

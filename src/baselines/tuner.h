@@ -35,6 +35,14 @@ struct TuningOutcome {
   int iterations = 0;
   /// Virtual minutes spent (stabilization waits), for Fig. 7b.
   double tuning_minutes = 0;
+  /// Injected/transient faults this process absorbed without dying:
+  /// retried engine calls plus corrupted metric samples replaced by the
+  /// sanitizer. 0 on a fault-free run.
+  int faults_survived = 0;
+  /// Engine calls re-attempted after transient failures.
+  int retries = 0;
+  /// Roll-backs to the last known-good deployment after a regression.
+  int rollbacks = 0;
 };
 
 /// A parallelism tuning method.

@@ -131,17 +131,28 @@ Result<TuningOutcome> ZeroTuneTuner::Tune(sim::StreamEngine* engine) {
       best = cand;
     }
   }
-  ST_RETURN_NOT_OK(engine->Deploy(best));
+  RobustLoop loop(engine, options_.robustness);
+  Status deploy_status = loop.Deploy(best);
+  if (!deploy_status.ok()) {
+    // A persistent failure on a fault-free engine is a caller error;
+    // under faults ZeroTune degrades to the current deployment.
+    if (!loop.hardened()) return deploy_status;
+  }
   outcome.iterations = 1;
-  ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
-  if (metrics.job_backpressure) ++outcome.backpressure_events;
-  outcome.ended_with_backpressure = metrics.severe_backpressure;
+  Result<sim::JobMetrics> metrics_r = loop.Measure();
+  if (!metrics_r.ok()) {
+    if (!loop.hardened()) return metrics_r.status();
+  } else {
+    if (metrics_r->job_backpressure) ++outcome.backpressure_events;
+    outcome.ended_with_backpressure = metrics_r->severe_backpressure;
+  }
 
   outcome.final_parallelism = engine->parallelism();
   for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
   outcome.reconfigurations =
       engine->reconfiguration_count() - reconfig_before;
   outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
+  loop.FillOutcome(&outcome);
   return outcome;
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
 #include "dataflow/feature_encoder.h"
 #include "ml/gnn.h"
@@ -38,6 +39,8 @@ struct ZeroTuneOptions {
   /// Candidate configurations sampled per tuning call.
   int num_samples = 64;
   uint64_t seed = 31;
+  /// Retry/sanitize knobs for the hardened deploy/measure path.
+  RobustnessOptions robustness;
 };
 
 /// The ZeroTune cost-model tuner.

@@ -1,0 +1,32 @@
+#include "common/retry.h"
+
+namespace streamtune {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+Status RetryWithBackoff(const RetryOptions& opts,
+                        const std::function<Status()>& attempt,
+                        const std::function<void(double)>& charge,
+                        RetryStats* stats) {
+  double backoff = opts.initial_backoff_minutes;
+  Status last = attempt();
+  for (int tries = 1;
+       !last.ok() && IsRetryable(last) && tries < opts.max_attempts;
+       ++tries) {
+    double sleep = backoff < opts.max_backoff_minutes
+                       ? backoff
+                       : opts.max_backoff_minutes;
+    if (charge) charge(sleep);
+    if (stats) {
+      ++stats->retries;
+      stats->backoff_minutes += sleep;
+    }
+    backoff *= opts.backoff_multiplier;
+    last = attempt();
+  }
+  return last;
+}
+
+}  // namespace streamtune

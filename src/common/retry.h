@@ -1,0 +1,76 @@
+// Bounded retry with exponential backoff for transient engine failures.
+//
+// Production reconfiguration and metric endpoints fail transiently (the
+// chaos engine reproduces this); tuners route every Deploy/Measure through
+// these helpers so one dropped call does not kill a whole tuning process.
+// Backoff waits are virtual: each sleep is reported through a `charge`
+// callback so engines can account it on their virtual clock (Fig. 7b
+// tuning-minutes semantics), keeping runs deterministic and instant.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace streamtune {
+
+/// Knobs for RetryWithBackoff. Defaults survive the standard fault plan's
+/// bounded bursts (<= 2 consecutive transient failures per call site).
+struct RetryOptions {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 4;
+  /// Virtual minutes slept before the first re-attempt.
+  double initial_backoff_minutes = 0.5;
+  /// Backoff multiplier per additional re-attempt.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on a single backoff sleep.
+  double max_backoff_minutes = 8.0;
+};
+
+/// Counters accumulated across retried calls.
+struct RetryStats {
+  /// Re-attempts performed (beyond each first attempt).
+  int retries = 0;
+  /// Virtual minutes spent backing off.
+  double backoff_minutes = 0;
+};
+
+/// True when `status` is worth re-attempting: transient conditions only.
+/// Logic errors (InvalidArgument, FailedPrecondition, ...) never retry.
+bool IsRetryable(const Status& status);
+
+/// Runs `attempt` up to `opts.max_attempts` times. Retryable failures sleep
+/// an exponentially growing virtual backoff between attempts, reported to
+/// `charge(minutes)` (may be null). Returns the first OK or the last error.
+Status RetryWithBackoff(const RetryOptions& opts,
+                        const std::function<Status()>& attempt,
+                        const std::function<void(double)>& charge = nullptr,
+                        RetryStats* stats = nullptr);
+
+/// Result-returning flavor of RetryWithBackoff.
+template <typename T>
+Result<T> RetryResultWithBackoff(
+    const RetryOptions& opts, const std::function<Result<T>()>& attempt,
+    const std::function<void(double)>& charge = nullptr,
+    RetryStats* stats = nullptr) {
+  double backoff = opts.initial_backoff_minutes;
+  Result<T> last = attempt();
+  for (int tries = 1;
+       !last.ok() && IsRetryable(last.status()) && tries < opts.max_attempts;
+       ++tries) {
+    double sleep = backoff < opts.max_backoff_minutes
+                       ? backoff
+                       : opts.max_backoff_minutes;
+    if (charge) charge(sleep);
+    if (stats) {
+      ++stats->retries;
+      stats->backoff_minutes += sleep;
+    }
+    backoff *= opts.backoff_multiplier;
+    last = attempt();
+  }
+  return last;
+}
+
+}  // namespace streamtune

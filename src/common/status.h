@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -22,6 +24,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  /// Transient failure (engine briefly unreachable, metric window dropped).
+  /// The only code the retry helpers consider worth re-attempting.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -41,6 +46,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -74,6 +81,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,8 +104,23 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+
+/// Terminates the process with the offending status. Accessing the value of
+/// an errored Result is a programming error; unlike an assert, this fires in
+/// every build type, so release builds fail loudly instead of reading an
+/// empty optional (undefined behavior).
+[[noreturn]] inline void FatalResultAccess(const Status& status) {
+  std::fprintf(stderr, "fatal: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored Result is a programming error (assert in debug builds).
+/// errored Result aborts with the status message (all build types).
 template <typename T>
 class Result {
  public:
@@ -110,22 +135,30 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::FatalResultAccess(status_);
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::FatalResultAccess(status_);
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::FatalResultAccess(status_);
     return std::move(*value_);
   }
 
   /// Returns the contained value or `fallback` if errored.
-  T value_or(T fallback) const {
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
   }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+  /// Pointer to the value, or nullptr if errored — lets retry/sanitize
+  /// paths inspect an outcome without risking a fatal access.
+  const T* value_if_ok() const { return ok() ? &*value_ : nullptr; }
+  T* value_if_ok() { return ok() ? &*value_ : nullptr; }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }

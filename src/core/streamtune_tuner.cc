@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "baselines/ds2.h"
+
 namespace streamtune::core {
 
 const char* FineTuneModelName(FineTuneModel m) {
@@ -76,6 +78,7 @@ std::vector<int> StreamTuneTuner::Recommend(const sim::StreamEngine& engine,
 Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
     sim::StreamEngine* engine) {
   baselines::TuningOutcome outcome;
+  baselines::RobustLoop loop(engine, options_.robustness);
   int reconfig_before = engine->reconfiguration_count();
   double minutes_before = engine->virtual_minutes();
 
@@ -94,7 +97,7 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
 
   // The pre-tuning state, shared by every method, tells Algorithm 1 where
   // the current bottlenecks are before the first recommendation.
-  ST_ASSIGN_OR_RETURN(sim::JobMetrics last_metrics, engine->Measure());
+  ST_ASSIGN_OR_RETURN(sim::JobMetrics last_metrics, loop.Measure());
   std::vector<int> last_labels =
       LabelBottlenecks(engine->graph(), last_metrics);
   bool last_backpressure = last_metrics.job_backpressure;
@@ -124,14 +127,23 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
 
     // Line 5: fit the monotonic model to the dataset.
     std::unique_ptr<ml::BottleneckModel> model = MakeModel(emb_dim);
+    bool fitted = false;
     if (!dataset.empty()) {
-      ST_RETURN_NOT_OK(model->Fit(dataset));
+      fitted = model->Fit(dataset).ok();
     }
 
-    // Lines 6-9: recommend in topological order.
-    std::vector<int> rec =
-        dataset.empty() ? engine->parallelism()
-                        : Recommend(*engine, *model, cluster);
+    // Lines 6-9: recommend in topological order. Graceful degradation:
+    // when M_f cannot be fitted (e.g. a corrupted dataset under faults),
+    // fall back to the DS2-style rate rule for this iteration rather than
+    // aborting the tuning process.
+    std::vector<int> rec;
+    if (fitted) {
+      rec = Recommend(*engine, *model, cluster);
+    } else if (dataset.empty()) {
+      rec = engine->parallelism();
+    } else {
+      rec = baselines::Ds2Tuner().Recommend(*engine, last_metrics);
+    }
 
     // Progress guard: an operator that was just observed to be a bottleneck
     // at its current degree must strictly scale up, even if the refitted
@@ -168,10 +180,12 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
       }
     }
 
-    // Clamp into the bracket established by this process's observations.
+    // Clamp into the bracket established by this process's observations,
+    // then (hardened mode only) into a bounded step from the deployment.
     for (int v = 0; v < n_ops; ++v) {
       rec[v] = std::clamp(rec[v], bracket_lo[v], bracket_hi[v]);
     }
+    loop.ClampStep(&rec);
 
     // Stop rule (Algorithm 2, line 12): stop when the recommendation no
     // longer differs from the deployed configuration, with hysteresis —
@@ -186,11 +200,28 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
       if (rec_total >= cur_total - margin) break;
     }
 
-    // Line 10: redeploy and monitor.
-    ST_RETURN_NOT_OK(engine->Deploy(rec));
-    ST_ASSIGN_OR_RETURN(last_metrics, engine->Measure());
+    // Line 10: redeploy and monitor. A persistently failing Deploy or
+    // Measure degrades gracefully: the loop stops and keeps what it has.
+    if (!loop.Deploy(rec).ok()) break;
+    Result<sim::JobMetrics> measured = loop.Measure();
+    if (!measured.ok()) break;
+    last_metrics = *measured;
     const sim::JobMetrics& metrics = last_metrics;
     if (metrics.job_backpressure) ++outcome.backpressure_events;
+    if (loop.MaybeRollback(metrics)) {
+      // The regressed deployment was replaced by the last known-good one;
+      // refresh the observation so the next iteration labels the restored
+      // configuration, and skip folding the regressed sample into the
+      // dataset.
+      Result<sim::JobMetrics> restored = loop.Measure();
+      if (!restored.ok()) break;
+      last_metrics = *restored;
+      last_labels = LabelBottlenecks(engine->graph(), last_metrics);
+      last_backpressure = last_metrics.job_backpressure;
+      last_severe = last_metrics.severe_backpressure;
+      if (!last_backpressure) last_clean = engine->parallelism();
+      continue;
+    }
 
     // Line 11: fold the fresh Algorithm-1 labels into the dataset (and the
     // per-job accumulator used by future tuning processes). The monotonic
@@ -251,10 +282,11 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
   // backpressured: revert to the last configuration known to run clean.
   if (last_backpressure && !last_clean.empty() &&
       last_clean != engine->parallelism()) {
-    ST_RETURN_NOT_OK(engine->Deploy(last_clean));
-    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, engine->Measure());
+    ST_RETURN_NOT_OK(loop.Deploy(last_clean));
+    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, loop.Measure());
     last_backpressure = metrics.job_backpressure;
     last_severe = metrics.severe_backpressure;
+    ++outcome.rollbacks;
   }
 
   outcome.final_parallelism = engine->parallelism();
@@ -263,6 +295,7 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
       engine->reconfiguration_count() - reconfig_before;
   outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
   outcome.ended_with_backpressure = last_severe;
+  loop.FillOutcome(&outcome);
   return outcome;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
 #include "core/pretrain.h"
 #include "ml/gbdt.h"
@@ -46,6 +47,8 @@ struct StreamTuneOptions {
   ml::GbdtConfig gbdt;
   ml::NnClassifierConfig nn;
   uint64_t seed = 19;
+  /// Retry/sanitize/rollback knobs for the hardened loop.
+  baselines::RobustnessOptions robustness;
 };
 
 /// The StreamTune online tuner.

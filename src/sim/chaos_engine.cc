@@ -1,0 +1,145 @@
+#include "sim/chaos_engine.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace streamtune::sim {
+
+namespace {
+
+Status BadProb(const char* name, double p) {
+  return Status::InvalidArgument(std::string(name) + " must be in [0,1], got " +
+                                 std::to_string(p));
+}
+
+}  // namespace
+
+Status FaultPlan::Validate() const {
+  const struct {
+    const char* name;
+    double p;
+  } probs[] = {
+      {"deploy_failure_prob", deploy_failure_prob},
+      {"measure_dropout_prob", measure_dropout_prob},
+      {"metric_corruption_prob", metric_corruption_prob},
+      {"straggler_prob", straggler_prob},
+      {"rate_spike_prob", rate_spike_prob},
+  };
+  for (const auto& [name, p] : probs) {
+    if (!(p >= 0.0 && p <= 1.0)) return BadProb(name, p);
+  }
+  if (max_consecutive_deploy_failures < 1) {
+    return Status::InvalidArgument(
+        "max_consecutive_deploy_failures must be >= 1");
+  }
+  if (max_consecutive_dropouts < 1) {
+    return Status::InvalidArgument("max_consecutive_dropouts must be >= 1");
+  }
+  if (straggler_factor <= 1.0) {
+    return Status::InvalidArgument("straggler_factor must be > 1");
+  }
+  if (rate_spike_factor <= 1.0) {
+    return Status::InvalidArgument("rate_spike_factor must be > 1");
+  }
+  return Status::OK();
+}
+
+ChaosEngine::ChaosEngine(StreamEngine* inner, FaultPlan plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+Status ChaosEngine::Deploy(const std::vector<int>& parallelism) {
+  // Strict no-op plan: forward without touching the RNG.
+  if (plan_.Empty()) return inner_->Deploy(parallelism);
+
+  if (rng_.Bernoulli(plan_.deploy_failure_prob) &&
+      consecutive_deploy_failures_ < plan_.max_consecutive_deploy_failures) {
+    // Fail BEFORE the inner engine sees the request: a failed
+    // reconfiguration attempt must not advance reconfiguration/deployment
+    // counters or the stabilization clock (Fig. 7a accounting).
+    ++consecutive_deploy_failures_;
+    ++stats_.deploy_failures;
+    return Status::Unavailable("injected fault: reconfiguration failed");
+  }
+  consecutive_deploy_failures_ = 0;
+  return inner_->Deploy(parallelism);
+}
+
+Result<JobMetrics> ChaosEngine::Measure() {
+  if (plan_.Empty()) return inner_->Measure();
+
+  if (rng_.Bernoulli(plan_.measure_dropout_prob) &&
+      consecutive_dropouts_ < plan_.max_consecutive_dropouts) {
+    ++consecutive_dropouts_;
+    ++stats_.measure_dropouts;
+    return Status::Unavailable("injected fault: metric window dropped");
+  }
+  consecutive_dropouts_ = 0;
+
+  // Draw the per-sample fault pattern in a fixed order so the sequence is a
+  // pure function of (plan, seed, call sequence).
+  const bool spike = rng_.Bernoulli(plan_.rate_spike_prob);
+  const bool straggle = rng_.Bernoulli(plan_.straggler_prob);
+  const bool corrupt = rng_.Bernoulli(plan_.metric_corruption_prob);
+  const int corrupt_kind = corrupt ? rng_.UniformInt(0, 2) : 0;
+
+  // Frozen replay: the metric collector is wedged and serves the previous
+  // window again; the inner engine is not consulted at all.
+  if (corrupt && corrupt_kind == 2 && has_last_sample_) {
+    ++stats_.corrupted_samples;
+    ++stats_.frozen_replays;
+    return last_sample_;
+  }
+
+  Result<JobMetrics> r = inner_->Measure();
+  if (!r.ok()) return r;
+  JobMetrics m = std::move(*r);
+  const int n = static_cast<int>(m.ops.size());
+
+  if (spike && n > 0) {
+    // Transient source-rate spike: reported (unthrottled) source demand
+    // jumps for one window. Tuners that trust a single window will
+    // over-provision and must recover.
+    ++stats_.rate_spikes;
+    const JobGraph& g = inner_->graph();
+    for (int v = 0; v < n; ++v) {
+      if (g.upstream(v).empty()) {
+        m.ops[v].desired_input_rate *= plan_.rate_spike_factor;
+      }
+    }
+  }
+
+  if (straggle && n > 0) {
+    // One operator's slowest subtask dominates its busy/useful time: the
+    // operator looks far less capable than it is.
+    ++stats_.stragglers;
+    const int v = rng_.UniformInt(0, n - 1);
+    OperatorMetrics& om = m.ops[v];
+    om.busy_frac = std::min(1.0, om.busy_frac * plan_.straggler_factor);
+    om.useful_time_frac_observed =
+        std::min(1.0, om.useful_time_frac_observed * plan_.straggler_factor);
+    om.cpu_load = om.busy_frac;
+    om.idle_frac = std::max(0.0, 1.0 - om.busy_frac - om.backpressured_frac);
+  }
+
+  if (corrupt && n > 0 && corrupt_kind != 2) {
+    ++stats_.corrupted_samples;
+    const int v = rng_.UniformInt(0, n - 1);
+    OperatorMetrics& om = m.ops[v];
+    if (corrupt_kind == 0) {
+      // NaN gauges — a collector bug surfaced as not-a-number.
+      om.busy_frac = std::numeric_limits<double>::quiet_NaN();
+      om.useful_time_frac_observed = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      // Negative counters — a wrapped/reset counter delta.
+      om.input_rate = -std::abs(om.input_rate) - 1.0;
+      om.output_rate = -std::abs(om.output_rate) - 1.0;
+    }
+  }
+
+  has_last_sample_ = true;
+  last_sample_ = m;
+  return m;
+}
+
+}  // namespace streamtune::sim

@@ -1,0 +1,152 @@
+// Fault-injection decorator over any StreamEngine.
+//
+// Production stream clusters are full of failures the pristine simulators
+// never produce: reconfigurations that fail transiently, metric windows
+// that drop or return garbage, straggler subtasks that skew per-operator
+// busy time, and source-rate spikes mid-tuning. ChaosEngine wraps an engine
+// (Flink-like or Timely-like) and injects exactly those faults, driven by a
+// declarative FaultPlan and a dedicated seeded RNG:
+//
+//   - transient Deploy failures (Status::Unavailable), decided BEFORE the
+//     inner engine is touched so failed attempts never inflate
+//     reconfiguration/deployment counters or the virtual clock;
+//   - Measure dropouts (Status::Unavailable);
+//   - corrupted metric samples: NaN gauges, negative rate counters, or a
+//     frozen replay of the previous sample (inner engine not called);
+//   - per-operator straggler slowdowns (inflated busy/useful time);
+//   - transient source-rate spikes (inflated reported source demand).
+//
+// Fully deterministic: same plan + seed + call sequence => same fault
+// sequence. An empty plan is a strict no-op — calls forward without drawing
+// from the RNG, so wrapped runs are bit-identical to the bare engine.
+
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/engine.h"
+
+namespace streamtune::sim {
+
+/// Declarative, seeded description of the faults to inject.
+struct FaultPlan {
+  uint64_t seed = 0xC0FFEE;
+
+  /// Probability that a Deploy attempt fails transiently.
+  double deploy_failure_prob = 0;
+  /// Cap on back-to-back Deploy failures (keeps every fault plan survivable
+  /// by a bounded retry budget).
+  int max_consecutive_deploy_failures = 2;
+
+  /// Probability that a Measure call drops its metric window.
+  double measure_dropout_prob = 0;
+  int max_consecutive_dropouts = 2;
+
+  /// Probability that a delivered sample is corrupted (NaN, negative
+  /// counter, or frozen replay — kind drawn uniformly).
+  double metric_corruption_prob = 0;
+
+  /// Probability that one operator's busy/useful time is straggler-skewed.
+  double straggler_prob = 0;
+  /// Busy-time inflation factor for the straggling operator.
+  double straggler_factor = 3.0;
+
+  /// Probability that a sample reports a transient source-rate spike.
+  double rate_spike_prob = 0;
+  /// Reported source-demand multiplier during a spike.
+  double rate_spike_factor = 2.0;
+
+  /// True when no fault can ever fire (the strict no-op plan).
+  bool Empty() const {
+    return deploy_failure_prob == 0 && measure_dropout_prob == 0 &&
+           metric_corruption_prob == 0 && straggler_prob == 0 &&
+           rate_spike_prob == 0;
+  }
+
+  /// Probabilities in [0,1], factors/caps positive.
+  Status Validate() const;
+
+  /// The acceptance-criteria plan: 10% deploy failures, 10% metric
+  /// dropouts, 5% stragglers.
+  static FaultPlan Standard(uint64_t seed = 0xC0FFEE) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.deploy_failure_prob = 0.10;
+    plan.measure_dropout_prob = 0.10;
+    plan.straggler_prob = 0.05;
+    return plan;
+  }
+};
+
+/// Faults injected so far.
+struct ChaosStats {
+  int deploy_failures = 0;
+  int measure_dropouts = 0;
+  int corrupted_samples = 0;  ///< NaN + negative + frozen
+  int frozen_replays = 0;
+  int stragglers = 0;
+  int rate_spikes = 0;
+
+  int total() const {
+    return deploy_failures + measure_dropouts + corrupted_samples +
+           stragglers + rate_spikes;
+  }
+};
+
+/// StreamEngine decorator injecting FaultPlan-driven faults. Non-owning:
+/// the inner engine must outlive the decorator.
+class ChaosEngine : public StreamEngine {
+ public:
+  ChaosEngine(StreamEngine* inner, FaultPlan plan);
+
+  const JobGraph& graph() const override { return inner_->graph(); }
+  int max_parallelism() const override { return inner_->max_parallelism(); }
+
+  /// May fail transiently per the plan; failed attempts do not reach the
+  /// inner engine (no counter or clock side effects).
+  Status Deploy(const std::vector<int>& parallelism) override;
+
+  /// May drop out or deliver corrupted/straggler/spiked samples.
+  Result<JobMetrics> Measure() override;
+
+  const std::vector<int>& parallelism() const override {
+    return inner_->parallelism();
+  }
+  void ScaleAllSources(double factor) override {
+    inner_->ScaleAllSources(factor);
+  }
+  std::vector<double> current_source_rates() const override {
+    return inner_->current_source_rates();
+  }
+  int reconfiguration_count() const override {
+    return inner_->reconfiguration_count();
+  }
+  int deployment_count() const override { return inner_->deployment_count(); }
+  double virtual_minutes() const override { return inner_->virtual_minutes(); }
+  void ResetCounters() override { inner_->ResetCounters(); }
+  void AdvanceVirtualMinutes(double minutes) override {
+    inner_->AdvanceVirtualMinutes(minutes);
+  }
+  std::vector<int> OracleParallelism() const override {
+    return inner_->OracleParallelism();
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  const ChaosStats& stats() const { return stats_; }
+  StreamEngine* inner() { return inner_; }
+
+ private:
+  StreamEngine* inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  ChaosStats stats_;
+  int consecutive_deploy_failures_ = 0;
+  int consecutive_dropouts_ = 0;
+  bool has_last_sample_ = false;
+  JobMetrics last_sample_;
+};
+
+}  // namespace streamtune::sim

@@ -40,6 +40,11 @@ class StreamEngine {
   virtual double virtual_minutes() const = 0;
   virtual void ResetCounters() = 0;
 
+  /// Advances the virtual clock by `minutes` without deploying — used to
+  /// charge retry backoff waits to tuning time. No-op for engines that do
+  /// not track a clock.
+  virtual void AdvanceVirtualMinutes(double /*minutes*/) {}
+
   /// Ground-truth minimal backpressure-free parallelism (tests/reporting
   /// only; tuners must not call this).
   virtual std::vector<int> OracleParallelism() const = 0;
@@ -72,6 +77,9 @@ class FlinkEngine : public StreamEngine {
   int deployment_count() const override { return sim_.deployment_count(); }
   double virtual_minutes() const override { return sim_.virtual_minutes(); }
   void ResetCounters() override { sim_.ResetCounters(); }
+  void AdvanceVirtualMinutes(double minutes) override {
+    sim_.AdvanceVirtualMinutes(minutes);
+  }
   std::vector<int> OracleParallelism() const override {
     return sim_.OracleParallelism();
   }

@@ -54,6 +54,11 @@ struct JobMetrics {
   int total_parallelism = 0;
   /// Effective cores burned: sum over operators of p_v * busy_v.
   double used_cores = 0;
+
+  /// Checks physical invariants (finite values, fractions in [0,1], non-
+  /// negative rates, lambda in (0,1]) — the first line of defense against
+  /// corrupted metric samples. Implemented in sim/metrics_sanitizer.cc.
+  Status Validate(double tolerance = 1e-6) const;
 };
 
 /// Simulator knobs.
@@ -110,6 +115,8 @@ class FlinkSimulator {
   int reconfiguration_count() const { return reconfiguration_count_; }
   /// Virtual minutes elapsed in stabilization waits.
   double virtual_minutes() const { return virtual_minutes_; }
+  /// Charges extra virtual minutes (retry backoff waits) to the clock.
+  void AdvanceVirtualMinutes(double minutes) { virtual_minutes_ += minutes; }
   /// Resets deployment/reconfiguration counters and the virtual clock
   /// (used between tuning processes).
   void ResetCounters();

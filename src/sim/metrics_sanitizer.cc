@@ -1,0 +1,246 @@
+#include "sim/metrics_sanitizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace streamtune::sim {
+
+namespace {
+
+bool FiniteInRange(double x, double lo, double hi) {
+  return std::isfinite(x) && x >= lo && x <= hi;
+}
+
+Status BadOp(int v, const char* field, double value) {
+  return Status::OutOfRange("corrupt metric sample: op " + std::to_string(v) +
+                            " " + field + " = " + std::to_string(value));
+}
+
+/// Bitwise equality of two samples (frozen-window detection).
+bool SamplesIdentical(const JobMetrics& a, const JobMetrics& b) {
+  if (a.ops.size() != b.ops.size() || a.job_backpressure != b.job_backpressure ||
+      a.severe_backpressure != b.severe_backpressure || a.lambda != b.lambda ||
+      a.total_parallelism != b.total_parallelism ||
+      a.used_cores != b.used_cores) {
+    return false;
+  }
+  for (size_t v = 0; v < a.ops.size(); ++v) {
+    const OperatorMetrics& x = a.ops[v];
+    const OperatorMetrics& y = b.ops[v];
+    if (x.busy_frac != y.busy_frac || x.idle_frac != y.idle_frac ||
+        x.backpressured_frac != y.backpressured_frac ||
+        x.cpu_load != y.cpu_load || x.input_rate != y.input_rate ||
+        x.output_rate != y.output_rate ||
+        x.desired_input_rate != y.desired_input_rate ||
+        x.useful_time_frac_observed != y.useful_time_frac_observed ||
+        x.backpressured != y.backpressured || x.saturated != y.saturated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+bool Majority(const std::vector<bool>& xs) {
+  int yes = 0;
+  for (bool x : xs) yes += x ? 1 : 0;
+  return 2 * yes > static_cast<int>(xs.size());
+}
+
+}  // namespace
+
+Status ValidateJobMetrics(const JobMetrics& m, double tolerance) {
+  if (!std::isfinite(m.lambda) || m.lambda <= 0 ||
+      m.lambda > 1.0 + tolerance) {
+    return Status::OutOfRange("corrupt metric sample: lambda = " +
+                              std::to_string(m.lambda));
+  }
+  if (!std::isfinite(m.used_cores) || m.used_cores < -tolerance) {
+    return Status::OutOfRange("corrupt metric sample: used_cores = " +
+                              std::to_string(m.used_cores));
+  }
+  if (m.total_parallelism < static_cast<int>(m.ops.size())) {
+    return Status::OutOfRange(
+        "corrupt metric sample: total_parallelism = " +
+        std::to_string(m.total_parallelism) + " below operator count");
+  }
+  for (size_t i = 0; i < m.ops.size(); ++i) {
+    const int v = static_cast<int>(i);
+    const OperatorMetrics& om = m.ops[i];
+    if (!FiniteInRange(om.busy_frac, -tolerance, 1.0 + tolerance)) {
+      return BadOp(v, "busy_frac", om.busy_frac);
+    }
+    if (!FiniteInRange(om.idle_frac, -tolerance, 1.0 + tolerance)) {
+      return BadOp(v, "idle_frac", om.idle_frac);
+    }
+    if (!FiniteInRange(om.backpressured_frac, -tolerance, 1.0 + tolerance)) {
+      return BadOp(v, "backpressured_frac", om.backpressured_frac);
+    }
+    if (!FiniteInRange(om.cpu_load, -tolerance, 1.0 + tolerance)) {
+      return BadOp(v, "cpu_load", om.cpu_load);
+    }
+    if (!std::isfinite(om.input_rate) || om.input_rate < -tolerance) {
+      return BadOp(v, "input_rate", om.input_rate);
+    }
+    if (!std::isfinite(om.output_rate) || om.output_rate < -tolerance) {
+      return BadOp(v, "output_rate", om.output_rate);
+    }
+    if (!std::isfinite(om.desired_input_rate) ||
+        om.desired_input_rate < -tolerance) {
+      return BadOp(v, "desired_input_rate", om.desired_input_rate);
+    }
+    // Tuners divide by useful time; zero or negative readings would turn
+    // into infinite capacity estimates. Unlike the true time fractions this
+    // is a noisy relative observation (busy * (1 + eps), eps clamped at
+    // +-2.5 sigma) and legitimately exceeds 1 on busy operators, so the
+    // upper bound only rejects wildly corrupt values.
+    if (!std::isfinite(om.useful_time_frac_observed) ||
+        om.useful_time_frac_observed <= 0 ||
+        om.useful_time_frac_observed > 2.0) {
+      return BadOp(v, "useful_time_frac_observed",
+                   om.useful_time_frac_observed);
+    }
+  }
+  return Status::OK();
+}
+
+Status JobMetrics::Validate(double tolerance) const {
+  return ValidateJobMetrics(*this, tolerance);
+}
+
+JobMetrics MedianOfSamples(const std::vector<JobMetrics>& samples) {
+  assert(!samples.empty());
+  if (samples.size() == 1) return samples[0];
+  const size_t n_ops = samples[0].ops.size();
+  JobMetrics out = samples[0];
+
+  auto med = [&samples](const std::function<double(const JobMetrics&)>& get) {
+    std::vector<double> xs;
+    xs.reserve(samples.size());
+    for (const JobMetrics& s : samples) xs.push_back(get(s));
+    return Median(std::move(xs));
+  };
+  auto maj = [&samples](const std::function<bool(const JobMetrics&)>& get) {
+    std::vector<bool> xs;
+    xs.reserve(samples.size());
+    for (const JobMetrics& s : samples) xs.push_back(get(s));
+    return Majority(xs);
+  };
+
+  out.lambda = med([](const JobMetrics& s) { return s.lambda; });
+  out.used_cores = med([](const JobMetrics& s) { return s.used_cores; });
+  out.job_backpressure =
+      maj([](const JobMetrics& s) { return s.job_backpressure; });
+  out.severe_backpressure =
+      maj([](const JobMetrics& s) { return s.severe_backpressure; });
+  for (size_t v = 0; v < n_ops; ++v) {
+    OperatorMetrics& om = out.ops[v];
+    auto omed = [&](double OperatorMetrics::*field) {
+      std::vector<double> xs;
+      xs.reserve(samples.size());
+      for (const JobMetrics& s : samples) xs.push_back(s.ops[v].*field);
+      return Median(std::move(xs));
+    };
+    auto omaj = [&](bool OperatorMetrics::*field) {
+      std::vector<bool> xs;
+      xs.reserve(samples.size());
+      for (const JobMetrics& s : samples) xs.push_back(s.ops[v].*field);
+      return Majority(xs);
+    };
+    om.busy_frac = omed(&OperatorMetrics::busy_frac);
+    om.idle_frac = omed(&OperatorMetrics::idle_frac);
+    om.backpressured_frac = omed(&OperatorMetrics::backpressured_frac);
+    om.cpu_load = omed(&OperatorMetrics::cpu_load);
+    om.input_rate = omed(&OperatorMetrics::input_rate);
+    om.output_rate = omed(&OperatorMetrics::output_rate);
+    om.desired_input_rate = omed(&OperatorMetrics::desired_input_rate);
+    om.useful_time_frac_observed =
+        omed(&OperatorMetrics::useful_time_frac_observed);
+    om.backpressured = omaj(&OperatorMetrics::backpressured);
+    om.saturated = omaj(&OperatorMetrics::saturated);
+  }
+  return out;
+}
+
+MetricsSanitizer::Verdict MetricsSanitizer::Check(const JobMetrics& m,
+                                                  Status* detail) {
+  Status st = ValidateJobMetrics(m, options_.fraction_tolerance);
+  if (!st.ok()) {
+    ++stats_.rejected;
+    if (detail) *detail = st;
+    return Verdict::kInvalid;
+  }
+  if (options_.detect_frozen && has_last_ && SamplesIdentical(m, last_)) {
+    ++stats_.frozen;
+    return Verdict::kFrozen;
+  }
+  return Verdict::kOk;
+}
+
+void MetricsSanitizer::Accept(const JobMetrics& m) {
+  has_last_ = true;
+  last_ = m;
+}
+
+Result<JobMetrics> MeasureSanitized(StreamEngine* engine,
+                                    MetricsSanitizer* sanitizer,
+                                    const RetryOptions& retry,
+                                    RetryStats* retry_stats) {
+  auto charge = [engine](double minutes) {
+    engine->AdvanceVirtualMinutes(minutes);
+  };
+  auto measure = [&]() {
+    return RetryResultWithBackoff<JobMetrics>(
+        retry, [engine]() { return engine->Measure(); }, charge, retry_stats);
+  };
+
+  Result<JobMetrics> first = measure();
+  if (!first.ok()) return first;
+
+  Status detail;
+  MetricsSanitizer::Verdict verdict = sanitizer->Check(*first, &detail);
+  if (verdict != MetricsSanitizer::Verdict::kInvalid) {
+    // Frozen samples are counted but accepted: they are numerically valid,
+    // and a noise-free deterministic engine legitimately repeats itself.
+    sanitizer->Accept(*first);
+    return first;
+  }
+
+  // Median-of-k replacement: draw fresh samples, keep the valid ones.
+  std::vector<JobMetrics> valid;
+  const int k = std::max(1, sanitizer->options().median_samples);
+  for (int i = 0; i < k; ++i) {
+    Result<JobMetrics> again = measure();
+    ++sanitizer->mutable_stats()->remeasures;
+    if (!again.ok()) continue;  // dropout burst: spend the budget, move on
+    if (ValidateJobMetrics(*again,
+                           sanitizer->options().fraction_tolerance).ok()) {
+      valid.push_back(std::move(*again));
+    }
+  }
+  if (valid.empty()) return detail;  // nothing usable: caller degrades
+  JobMetrics median = MedianOfSamples(valid);
+  sanitizer->Accept(median);
+  return median;
+}
+
+Status DeployWithRetry(StreamEngine* engine,
+                       const std::vector<int>& parallelism,
+                       const RetryOptions& retry, RetryStats* retry_stats) {
+  auto charge = [engine](double minutes) {
+    engine->AdvanceVirtualMinutes(minutes);
+  };
+  return RetryWithBackoff(
+      retry, [&]() { return engine->Deploy(parallelism); }, charge,
+      retry_stats);
+}
+
+}  // namespace streamtune::sim

@@ -82,6 +82,9 @@ class TimelySimulator : public sim::StreamEngine {
   }
   int deployment_count() const override { return deployment_count_; }
   double virtual_minutes() const override { return virtual_minutes_; }
+  void AdvanceVirtualMinutes(double minutes) override {
+    virtual_minutes_ += minutes;
+  }
   void ResetCounters() override;
   std::vector<int> OracleParallelism() const override;
 

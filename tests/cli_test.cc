@@ -19,6 +19,20 @@ int RunCli(const std::string& cmd) {
   return std::system((cmd + " > /dev/null 2>&1").c_str());
 }
 
+// Runs the CLI capturing stdout; asserts the process exited 0.
+std::string RunCliCapture(const std::string& cmd) {
+  FILE* pipe = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (!pipe) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  int rc = ::pclose(pipe);
+  EXPECT_EQ(0, rc) << cmd;
+  return out;
+}
+
 TEST(CliTest, EndToEndPipeline) {
   std::string hist = Tmp("hist");
   std::string bundle = Tmp("bundle");
@@ -36,6 +50,43 @@ TEST(CliTest, EndToEndPipeline) {
                            "--parallelism 3,4,2"));
   std::remove(hist.c_str());
   std::remove(bundle.c_str());
+}
+
+TEST(CliTest, ChaosFlagsInjectDeterministicFaults) {
+  std::string hist = Tmp("chaos_hist");
+  std::string bundle = Tmp("chaos_bundle");
+  ASSERT_EQ(0, RunCli(Cli() + " collect --workload nexmark-flink --samples 5 "
+                           "--out " + hist));
+  ASSERT_EQ(0, RunCli(Cli() + " pretrain --history " + hist +
+                   " --no-cluster --epochs 5 --out " + bundle));
+
+  std::string cmd = Cli() + " tune --bundle " + bundle +
+      " --job nexmark:Q1 --rate 5 --chaos-seed 42 --chaos-deploy-fail 0.1 "
+      "--chaos-metric-drop 0.1 --chaos-straggler 0.05";
+  std::string out1 = RunCliCapture(cmd);
+  std::string out2 = RunCliCapture(cmd);
+  // Fault injection is fully deterministic per seed.
+  EXPECT_EQ(out1, out2);
+  EXPECT_NE(out1.find("chaos:"), std::string::npos);
+  EXPECT_NE(out1.find("survived:"), std::string::npos);
+
+  // No chaos flags -> no chaos report.
+  std::string clean = RunCliCapture(Cli() + " tune --bundle " + bundle +
+                                    " --job nexmark:Q1 --rate 5");
+  EXPECT_EQ(clean.find("chaos:"), std::string::npos);
+
+  std::remove(hist.c_str());
+  std::remove(bundle.c_str());
+}
+
+TEST(CliTest, RejectsInvalidFaultPlan) {
+  // The fault plan is validated before the bundle is even loaded, so a
+  // nonexistent bundle path still exercises the flag error.
+  std::string bundle = Tmp("nobundle");
+  EXPECT_NE(0, RunCli(Cli() + " tune --bundle " + bundle +
+                   " --job nexmark:Q1 --chaos-deploy-fail 1.5"));
+  EXPECT_NE(0, RunCli(Cli() + " tune --bundle " + bundle +
+                   " --job nexmark:Q1 --chaos-metric-drop -0.3"));
 }
 
 TEST(CliTest, FailsCleanlyOnBadInput) {

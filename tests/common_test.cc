@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/math_util.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
@@ -30,6 +31,8 @@ TEST(StatusTest, FactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -51,6 +54,109 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("hello"));
   std::string s = std::move(r).value();
   EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ValueIfOk) {
+  Result<int> good(42);
+  ASSERT_NE(good.value_if_ok(), nullptr);
+  EXPECT_EQ(*good.value_if_ok(), 42);
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_EQ(bad.value_if_ok(), nullptr);
+}
+
+TEST(ResultTest, ValueOrMovesFallback) {
+  Result<std::string> bad(Status::NotFound("missing"));
+  EXPECT_EQ(std::move(bad).value_or(std::string("fb")), "fb");
+  Result<std::string> good(std::string("hi"));
+  EXPECT_EQ(std::move(good).value_or(std::string("fb")), "hi");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsInAllBuildTypes) {
+  // Hardened Result: accessing the value of an errored Result must abort
+  // with the status message, even in release builds.
+  Result<int> r(Status::NotFound("the-missing-thing"));
+  EXPECT_DEATH({ (void)r.value(); }, "the-missing-thing");
+  EXPECT_DEATH({ (void)*r; }, "the-missing-thing");
+}
+
+TEST(RetryTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryable(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("x")));
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  RetryStats stats;
+  double charged = 0;
+  Status st = RetryWithBackoff(
+      RetryOptions{},
+      [&]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      [&](double minutes) { charged += minutes; }, &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.retries, 2);
+  // Exponential: 0.5 then 1.0 virtual minutes.
+  EXPECT_DOUBLE_EQ(charged, 1.5);
+  EXPECT_DOUBLE_EQ(stats.backoff_minutes, 1.5);
+}
+
+TEST(RetryTest, NonRetryableFailsImmediately) {
+  int calls = 0;
+  Status st = RetryWithBackoff(RetryOptions{}, [&]() {
+    ++calls;
+    return Status::InvalidArgument("bad");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsBudgetAndReturnsLastError) {
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  int calls = 0;
+  Status st = RetryWithBackoff(opts, [&]() {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, BackoffIsCapped) {
+  RetryOptions opts;
+  opts.max_attempts = 6;
+  opts.initial_backoff_minutes = 4.0;
+  opts.backoff_multiplier = 4.0;
+  opts.max_backoff_minutes = 8.0;
+  double charged = 0;
+  (void)RetryWithBackoff(
+      opts, []() { return Status::Unavailable("down"); },
+      [&](double minutes) { charged += minutes; });
+  // 4 + 8 + 8 + 8 + 8: every sleep after the first hits the cap.
+  EXPECT_DOUBLE_EQ(charged, 36.0);
+}
+
+TEST(RetryTest, ResultFlavorReturnsValue) {
+  int calls = 0;
+  RetryStats stats;
+  Result<int> r = RetryResultWithBackoff<int>(
+      RetryOptions{},
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::Unavailable("flaky");
+        return 42;
+      },
+      nullptr, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(stats.retries, 1);
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

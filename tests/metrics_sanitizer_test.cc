@@ -1,0 +1,280 @@
+// Metric validation, frozen detection, and median-of-k replacement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "sim/metrics_sanitizer.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+
+namespace streamtune::sim {
+namespace {
+
+JobMetrics PlausibleMetrics(int n_ops = 3) {
+  JobMetrics m;
+  m.lambda = 1.0;
+  m.total_parallelism = n_ops;
+  m.used_cores = 0.5 * n_ops;
+  m.ops.resize(n_ops);
+  for (int v = 0; v < n_ops; ++v) {
+    OperatorMetrics& om = m.ops[v];
+    om.busy_frac = 0.5;
+    om.idle_frac = 0.5;
+    om.backpressured_frac = 0.0;
+    om.cpu_load = 0.5;
+    om.input_rate = 100.0 + v;
+    om.output_rate = 90.0 + v;
+    om.desired_input_rate = 100.0 + v;
+    om.useful_time_frac_observed = 0.5;
+  }
+  return m;
+}
+
+TEST(ValidateTest, AcceptsPlausibleMetrics) {
+  EXPECT_TRUE(ValidateJobMetrics(PlausibleMetrics()).ok());
+  EXPECT_TRUE(PlausibleMetrics().Validate().ok());
+}
+
+TEST(ValidateTest, RejectsNaN) {
+  JobMetrics m = PlausibleMetrics();
+  m.ops[1].busy_frac = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(m.Validate().ok());
+  m = PlausibleMetrics();
+  m.lambda = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(ValidateTest, RejectsNegativeRates) {
+  JobMetrics m = PlausibleMetrics();
+  m.ops[0].input_rate = -5.0;
+  EXPECT_FALSE(m.Validate().ok());
+  m = PlausibleMetrics();
+  m.ops[2].output_rate = -1.0;
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(ValidateTest, RejectsOutOfRangeFractions) {
+  JobMetrics m = PlausibleMetrics();
+  m.ops[0].busy_frac = 1.5;
+  EXPECT_FALSE(m.Validate().ok());
+  m = PlausibleMetrics();
+  m.ops[1].backpressured_frac = -0.2;
+  EXPECT_FALSE(m.Validate().ok());
+  m = PlausibleMetrics();
+  m.lambda = 0.0;  // lambda lives in (0, 1]
+  EXPECT_FALSE(m.Validate().ok());
+  m = PlausibleMetrics();
+  m.lambda = 1.2;
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(SanitizerTest, FlagsFrozenSamples) {
+  MetricsSanitizer sanitizer;
+  JobMetrics m = PlausibleMetrics();
+  EXPECT_EQ(MetricsSanitizer::Verdict::kOk, sanitizer.Check(m));
+  sanitizer.Accept(m);
+  // Bitwise-identical to the accepted baseline: frozen.
+  EXPECT_EQ(MetricsSanitizer::Verdict::kFrozen, sanitizer.Check(m));
+  EXPECT_EQ(1, sanitizer.stats().frozen);
+  // Any field change unfreezes it.
+  m.ops[0].busy_frac += 1e-9;
+  EXPECT_EQ(MetricsSanitizer::Verdict::kOk, sanitizer.Check(m));
+}
+
+TEST(SanitizerTest, InvalidVerdictCarriesDetail) {
+  MetricsSanitizer sanitizer;
+  JobMetrics m = PlausibleMetrics();
+  m.ops[0].input_rate = -1.0;
+  Status detail;
+  EXPECT_EQ(MetricsSanitizer::Verdict::kInvalid, sanitizer.Check(m, &detail));
+  EXPECT_FALSE(detail.ok());
+  EXPECT_EQ(1, sanitizer.stats().rejected);
+}
+
+TEST(MedianTest, ComponentWiseMedian) {
+  JobMetrics a = PlausibleMetrics(1), b = PlausibleMetrics(1),
+             c = PlausibleMetrics(1);
+  a.ops[0].busy_frac = 0.2;
+  b.ops[0].busy_frac = 0.9;
+  c.ops[0].busy_frac = 0.4;
+  a.lambda = 0.8;
+  b.lambda = 1.0;
+  c.lambda = 0.9;
+  a.job_backpressure = true;
+  b.job_backpressure = true;
+  c.job_backpressure = false;
+  JobMetrics med = MedianOfSamples({a, b, c});
+  EXPECT_DOUBLE_EQ(0.4, med.ops[0].busy_frac);
+  EXPECT_DOUBLE_EQ(0.9, med.lambda);
+  EXPECT_TRUE(med.job_backpressure);  // 2-of-3 majority
+}
+
+/// Scripted engine: serves a fixed queue of Measure results.
+class ScriptedEngine : public StreamEngine {
+ public:
+  explicit ScriptedEngine(JobGraph graph) : graph_(std::move(graph)) {
+    parallelism_.assign(graph_.num_operators(), 1);
+  }
+
+  void Push(Result<JobMetrics> r) { script_.push_back(std::move(r)); }
+
+  const JobGraph& graph() const override { return graph_; }
+  int max_parallelism() const override { return 100; }
+  Status Deploy(const std::vector<int>& p) override {
+    if (!deploy_status_.ok()) {
+      Status st = deploy_status_;
+      if (--deploy_failures_left_ <= 0) deploy_status_ = Status::OK();
+      return st;
+    }
+    parallelism_ = p;
+    ++reconfigurations_;
+    return Status::OK();
+  }
+  Result<JobMetrics> Measure() override {
+    ++measure_calls_;
+    if (script_.empty()) return PlausibleMetrics(graph_.num_operators());
+    Result<JobMetrics> r = std::move(script_.front());
+    script_.pop_front();
+    return r;
+  }
+  const std::vector<int>& parallelism() const override {
+    return parallelism_;
+  }
+  void ScaleAllSources(double) override {}
+  std::vector<double> current_source_rates() const override {
+    return std::vector<double>(graph_.num_operators(), 0.0);
+  }
+  int reconfiguration_count() const override { return reconfigurations_; }
+  int deployment_count() const override { return reconfigurations_; }
+  double virtual_minutes() const override { return virtual_minutes_; }
+  void ResetCounters() override { reconfigurations_ = 0; }
+  void AdvanceVirtualMinutes(double minutes) override {
+    virtual_minutes_ += minutes;
+  }
+  std::vector<int> OracleParallelism() const override { return parallelism_; }
+
+  void FailDeploys(int count, Status status) {
+    deploy_failures_left_ = count;
+    deploy_status_ = std::move(status);
+  }
+
+  int measure_calls() const { return measure_calls_; }
+
+ private:
+  JobGraph graph_;
+  std::vector<int> parallelism_;
+  std::deque<Result<JobMetrics>> script_;
+  Status deploy_status_ = Status::OK();
+  int deploy_failures_left_ = 0;
+  int reconfigurations_ = 0;
+  int measure_calls_ = 0;
+  double virtual_minutes_ = 0;
+};
+
+JobGraph Q3() {
+  return workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                    workloads::Engine::kFlink);
+}
+
+TEST(MeasureSanitizedTest, CleanSampleCostsExactlyOneCall) {
+  ScriptedEngine engine(Q3());
+  MetricsSanitizer sanitizer;
+  auto r = MeasureSanitized(&engine, &sanitizer, RetryOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(1, engine.measure_calls());
+  EXPECT_EQ(0, sanitizer.stats().rejected);
+  EXPECT_EQ(0, sanitizer.stats().remeasures);
+}
+
+TEST(MeasureSanitizedTest, RetriesTransientDropoutsAndChargesClock) {
+  ScriptedEngine engine(Q3());
+  engine.Push(Status::Unavailable("dropped"));
+  engine.Push(Status::Unavailable("dropped"));
+  MetricsSanitizer sanitizer;
+  RetryStats stats;
+  auto r = MeasureSanitized(&engine, &sanitizer, RetryOptions{}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(3, engine.measure_calls());
+  EXPECT_EQ(2, stats.retries);
+  // Default backoff: 0.5 + 1.0 virtual minutes charged to the engine.
+  EXPECT_DOUBLE_EQ(1.5, engine.virtual_minutes());
+}
+
+TEST(MeasureSanitizedTest, NonRetryableErrorPropagatesImmediately) {
+  ScriptedEngine engine(Q3());
+  engine.Push(Status::FailedPrecondition("job not deployed"));
+  MetricsSanitizer sanitizer;
+  auto r = MeasureSanitized(&engine, &sanitizer, RetryOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(StatusCode::kFailedPrecondition, r.status().code());
+  EXPECT_EQ(1, engine.measure_calls());
+}
+
+TEST(MeasureSanitizedTest, CorruptedSampleReplacedByMedian) {
+  const JobGraph g = Q3();
+  const int n = g.num_operators();
+  ScriptedEngine engine(g);
+  JobMetrics bad = PlausibleMetrics(n);
+  bad.ops[0].busy_frac = std::numeric_limits<double>::quiet_NaN();
+  engine.Push(bad);
+  JobMetrics s1 = PlausibleMetrics(n), s2 = PlausibleMetrics(n),
+             s3 = PlausibleMetrics(n);
+  s1.lambda = 0.7;
+  s2.lambda = 0.9;
+  s3.lambda = 0.8;
+  engine.Push(s1);
+  engine.Push(s2);
+  engine.Push(s3);
+
+  MetricsSanitizer sanitizer;
+  auto r = MeasureSanitized(&engine, &sanitizer, RetryOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(0.8, r->lambda);  // median of the fresh samples
+  EXPECT_TRUE(r->Validate().ok());
+  EXPECT_EQ(1, sanitizer.stats().rejected);
+  EXPECT_EQ(3, sanitizer.stats().remeasures);
+}
+
+TEST(MeasureSanitizedTest, AllSamplesCorruptedReturnsError) {
+  const JobGraph g = Q3();
+  const int n = g.num_operators();
+  ScriptedEngine engine(g);
+  for (int i = 0; i < 8; ++i) {
+    JobMetrics bad = PlausibleMetrics(n);
+    bad.ops[0].input_rate = -1.0;
+    engine.Push(bad);
+  }
+  MetricsSanitizer sanitizer;
+  auto r = MeasureSanitized(&engine, &sanitizer, RetryOptions{});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DeployWithRetryTest, RetriesTransientFailures) {
+  ScriptedEngine engine(Q3());
+  engine.FailDeploys(2, Status::Unavailable("injected"));
+  RetryStats stats;
+  std::vector<int> p(engine.graph().num_operators(), 2);
+  Status st = DeployWithRetry(&engine, p, RetryOptions{}, &stats);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(2, stats.retries);
+  EXPECT_EQ(p, engine.parallelism());
+  EXPECT_EQ(1, engine.reconfiguration_count());
+}
+
+TEST(DeployWithRetryTest, GivesUpAfterBudget) {
+  ScriptedEngine engine(Q3());
+  engine.FailDeploys(100, Status::Unavailable("injected"));
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  std::vector<int> p(engine.graph().num_operators(), 2);
+  Status st = DeployWithRetry(&engine, p, retry);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, st.code());
+  EXPECT_EQ(0, engine.reconfiguration_count());
+}
+
+}  // namespace
+}  // namespace streamtune::sim

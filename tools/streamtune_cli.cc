@@ -19,6 +19,8 @@
 
 #include "common/table_printer.h"
 #include "core/history.h"
+#include "sim/chaos_engine.h"
+#include "sim/metrics_sanitizer.h"
 #include "core/pretrain.h"
 #include "core/serialization.h"
 #include "core/streamtune_tuner.h"
@@ -43,6 +45,10 @@ int Usage() {
       "[--epochs N] --out FILE\n"
       "  streamtune_cli tune     --bundle FILE --job SPEC [--rate M] "
       "[--engine flink|timely] [--model xgboost|svm|nn]\n"
+      "                          [--chaos-seed S] [--chaos-deploy-fail P]\n"
+      "                          [--chaos-metric-drop P] "
+      "[--chaos-straggler P]\n"
+      "                          [--chaos-corrupt P] [--chaos-spike P]\n"
       "  streamtune_cli simulate --job SPEC [--rate M] "
       "[--parallelism p1,p2,...]\n"
       "  streamtune_cli inspect  --history FILE | --bundle FILE\n"
@@ -208,6 +214,32 @@ int CmdPretrain(const std::map<std::string, std::string>& flags) {
 int CmdTune(const std::map<std::string, std::string>& flags) {
   if (!flags.count("bundle") || !flags.count("job")) return Usage();
   bool timely = flags.count("engine") && flags.at("engine") == "timely";
+
+  sim::FaultPlan plan;
+  if (flags.count("chaos-seed")) {
+    plan.seed = std::strtoull(flags.at("chaos-seed").c_str(), nullptr, 10);
+  }
+  if (flags.count("chaos-deploy-fail")) {
+    plan.deploy_failure_prob = std::atof(flags.at("chaos-deploy-fail").c_str());
+  }
+  if (flags.count("chaos-metric-drop")) {
+    plan.measure_dropout_prob = std::atof(flags.at("chaos-metric-drop").c_str());
+  }
+  if (flags.count("chaos-straggler")) {
+    plan.straggler_prob = std::atof(flags.at("chaos-straggler").c_str());
+  }
+  if (flags.count("chaos-corrupt")) {
+    plan.metric_corruption_prob = std::atof(flags.at("chaos-corrupt").c_str());
+  }
+  if (flags.count("chaos-spike")) {
+    plan.rate_spike_prob = std::atof(flags.at("chaos-spike").c_str());
+  }
+  Status plan_ok = plan.Validate();
+  if (!plan_ok.ok()) {
+    std::fprintf(stderr, "bad fault plan: %s\n", plan_ok.ToString().c_str());
+    return 2;
+  }
+
   auto bundle_res = core::LoadBundle(flags.at("bundle"));
   if (!bundle_res.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -224,9 +256,17 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
   double rate = flags.count("rate") ? std::atof(flags.at("rate").c_str())
                                     : 10.0;
 
-  auto engine = MakeEngine(*job, timely, 7);
+  auto bare_engine = MakeEngine(*job, timely, 7);
+  sim::StreamEngine* engine = bare_engine.get();
+  std::unique_ptr<sim::ChaosEngine> chaos;
+  if (!plan.Empty()) {
+    chaos = std::make_unique<sim::ChaosEngine>(bare_engine.get(), plan);
+    engine = chaos.get();
+  }
   std::vector<int> ones(job->num_operators(), 1);
-  (void)engine->Deploy(ones);
+  // Retried so an injected fault cannot leave the job undeployed before
+  // tuning even starts (a single call when chaos is off).
+  (void)sim::DeployWithRetry(engine, ones, RetryOptions{});
   engine->ScaleAllSources(rate);
 
   core::StreamTuneOptions opts;
@@ -236,7 +276,7 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
     if (m == "nn") opts.model = core::FineTuneModel::kNn;
   }
   core::StreamTuneTuner tuner(bundle, opts);
-  auto outcome = tuner.Tune(engine.get());
+  auto outcome = tuner.Tune(engine);
   if (!outcome.ok()) {
     std::fprintf(stderr, "tuning failed: %s\n",
                  outcome.status().ToString().c_str());
@@ -255,6 +295,18 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
       outcome->total_parallelism, outcome->reconfigurations,
       outcome->tuning_minutes,
       outcome->ended_with_backpressure ? "NO (backpressure!)" : "yes");
+  if (chaos) {
+    const sim::ChaosStats& cs = chaos->stats();
+    std::printf(
+        "chaos: injected=%d (deploy_failures=%d dropouts=%d corrupted=%d "
+        "frozen=%d stragglers=%d spikes=%d)\n",
+        cs.total(), cs.deploy_failures, cs.measure_dropouts,
+        cs.corrupted_samples, cs.frozen_replays, cs.stragglers,
+        cs.rate_spikes);
+    std::printf("survived: faults=%d retries=%d rollbacks=%d\n",
+                outcome->faults_survived, outcome->retries,
+                outcome->rollbacks);
+  }
   return 0;
 }
 
