@@ -1,0 +1,200 @@
+// Knowledge-base warm-start benchmark.
+//
+// Part 1 — recommendation quality: tune every Nexmark query cold (KB holds
+// only the pre-training corpus), admit the converged session, then tune the
+// same query again warm (the KB seeds the job's own fine-tune feedback).
+// The paper's thesis is that learning from the past cuts the number of
+// reconfigurations needed to reach the target rate; the JSON records the
+// cold-vs-warm comparison per query.
+//
+// Part 2 — multi-job tuning throughput: N threads run tune+admit sessions
+// concurrently against one KbService (snapshot-isolated reads, serialized
+// admissions) and we report sessions/second and the final KB version.
+//
+// Emits BENCH_kb.json.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "kb/kb_service.h"
+
+using namespace streamtune;
+using namespace streamtune::bench;
+
+namespace {
+
+struct SessionStats {
+  bool ok = false;
+  int reconfigurations = 0;
+  double tuning_minutes = 0;
+  int total_parallelism = 0;
+};
+
+/// One tune+admit session for `job` against the service's current snapshot.
+SessionStats RunSession(kb::KbService* service, const JobGraph& job,
+                        uint64_t seed, double rate, bool admit) {
+  SessionStats stats;
+  auto engine = MakeFlinkEngine(job, seed);
+  std::vector<int> ones(job.num_operators(), 1);
+  if (!engine->Deploy(ones).ok()) return stats;
+  engine->ScaleAllSources(rate);
+
+  auto tuner = service->Snapshot()->NewTuner(job.name());
+  auto outcome = tuner->Tune(engine.get());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "tune %s failed: %s\n", job.name().c_str(),
+                 outcome.status().ToString().c_str());
+    return stats;
+  }
+  stats.ok = true;
+  stats.reconfigurations = outcome->reconfigurations;
+  stats.tuning_minutes = outcome->tuning_minutes;
+  stats.total_parallelism = outcome->total_parallelism;
+  if (!admit) return stats;
+
+  kb::AdmissionRecord rec;
+  rec.record.graph = job;
+  rec.record.parallelism = engine->parallelism();
+  rec.record.source_rates = engine->current_source_rates();
+  auto metrics = engine->Measure();
+  if (!metrics.ok()) {
+    stats.ok = false;
+    return stats;
+  }
+  rec.record.labels = core::LabelBottlenecks(job, *metrics);
+  rec.record.job_cost = core::JobCost(*metrics);
+  rec.record.backpressure = metrics->job_backpressure;
+  rec.feedback = tuner->FeedbackFor(job.name());
+  auto admitted = service->Admit(rec);
+  if (!admitted.ok()) {
+    std::fprintf(stderr, "admit %s failed: %s\n", job.name().c_str(),
+                 admitted.status().ToString().c_str());
+    stats.ok = false;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const double kRate = 8.0;
+  auto corpus = CollectFlinkCorpus();
+  auto bundle = Pretrain(corpus);
+  auto service = kb::KbService::FromBundle(bundle);
+
+  std::vector<JobGraph> queries;
+  for (auto q : workloads::AllNexmarkQueries()) {
+    queries.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+
+  bool all_ok = true;
+
+  // Part 1: cold session (admitting) then warm session per query.
+  std::vector<SessionStats> cold(queries.size()), warm(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    cold[i] = RunSession(service.get(), queries[i], 7, kRate, true);
+    warm[i] = RunSession(service.get(), queries[i], 7, kRate, false);
+    all_ok = all_ok && cold[i].ok && warm[i].ok;
+  }
+  double cold_reconfigs = 0, warm_reconfigs = 0;
+  double cold_minutes = 0, warm_minutes = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    cold_reconfigs += cold[i].reconfigurations;
+    warm_reconfigs += warm[i].reconfigurations;
+    cold_minutes += cold[i].tuning_minutes;
+    warm_minutes += warm[i].tuning_minutes;
+  }
+  const double n = static_cast<double>(queries.size());
+
+  TablePrinter table("KB warm start at 8x W_u (reconfigs | minutes)",
+                     {"query", "cold", "warm"});
+  for (size_t i = 0; i < queries.size(); ++i) {
+    table.AddRow({queries[i].name(),
+                  std::to_string(cold[i].reconfigurations) + " | " +
+                      TablePrinter::Fmt(cold[i].tuning_minutes, 0),
+                  std::to_string(warm[i].reconfigurations) + " | " +
+                      TablePrinter::Fmt(warm[i].tuning_minutes, 0)});
+  }
+  table.Print();
+
+  // Part 2: concurrent multi-job tune+admit throughput against one service.
+  const int kThreads = 4;
+  const int kSessionsPerThread = 2;
+  std::vector<int> thread_ok(kThreads, 0);
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kSessionsPerThread; ++i) {
+          const JobGraph& job = queries[(t + i) % queries.size()];
+          uint64_t seed = 100 + static_cast<uint64_t>(t * 10 + i);
+          if (RunSession(service.get(), job, seed, kRate, true).ok) {
+            ++thread_ok[t];
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  int concurrent_ok = 0;
+  for (int t = 0; t < kThreads; ++t) concurrent_ok += thread_ok[t];
+  const int concurrent_total = kThreads * kSessionsPerThread;
+  all_ok = all_ok && concurrent_ok == concurrent_total;
+  const double throughput = seconds > 0 ? concurrent_ok / seconds : 0;
+
+  std::printf(
+      "concurrent: %d/%d sessions ok across %d threads in %.1fs "
+      "(%.2f sessions/s), kb v%lld\n",
+      concurrent_ok, concurrent_total, kThreads, seconds, throughput,
+      service->version());
+
+  FILE* f = std::fopen("BENCH_kb.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"queries\": [\n");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::fprintf(
+          f,
+          "%s    {\"query\": \"%s\", \"cold_reconfigurations\": %d, "
+          "\"warm_reconfigurations\": %d, \"cold_tuning_minutes\": %.1f, "
+          "\"warm_tuning_minutes\": %.1f, \"cold_parallelism\": %d, "
+          "\"warm_parallelism\": %d}",
+          i == 0 ? "" : ",\n", queries[i].name().c_str(),
+          cold[i].reconfigurations, warm[i].reconfigurations,
+          cold[i].tuning_minutes, warm[i].tuning_minutes,
+          cold[i].total_parallelism, warm[i].total_parallelism);
+    }
+    std::fprintf(
+        f,
+        "\n  ],\n"
+        "  \"avg_cold_reconfigurations\": %.2f,\n"
+        "  \"avg_warm_reconfigurations\": %.2f,\n"
+        "  \"avg_cold_tuning_minutes\": %.1f,\n"
+        "  \"avg_warm_tuning_minutes\": %.1f,\n"
+        "  \"warm_fewer_reconfigurations\": %s,\n"
+        "  \"concurrent\": {\"threads\": %d, \"sessions\": %d, \"ok\": %d, "
+        "\"seconds\": %.2f, \"sessions_per_second\": %.2f, "
+        "\"final_kb_version\": %lld},\n"
+        "  \"all_ok\": %s\n}\n",
+        cold_reconfigs / n, warm_reconfigs / n, cold_minutes / n,
+        warm_minutes / n, warm_reconfigs <= cold_reconfigs ? "true" : "false",
+        kThreads, concurrent_total, concurrent_ok, seconds, throughput,
+        service->version(), all_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_kb.json\n");
+  }
+
+  std::printf(
+      "\nShape check: every session must finish ok(), and the warm runs "
+      "(seeded with the job's own admitted feedback) should reach the "
+      "target rate with no more reconfigurations than the cold runs.\n");
+  return all_ok ? 0 : 1;
+}

@@ -5,6 +5,24 @@
 
 namespace streamtune::baselines {
 
+std::vector<GpSample> ContTuneTuner::ExportHistory() const {
+  std::vector<GpSample> samples;
+  for (const auto& [op, h] : history_) {
+    for (size_t i = 0; i < h.parallelism.size(); ++i) {
+      samples.push_back({op, h.parallelism[i], h.ability[i]});
+    }
+  }
+  return samples;
+}
+
+void ContTuneTuner::ImportHistory(const std::vector<GpSample>& samples) {
+  for (const GpSample& s : samples) {
+    OpHistory& h = history_[s.op];
+    h.parallelism.push_back(s.parallelism);
+    h.ability.push_back(s.ability);
+  }
+}
+
 std::vector<int> ContTuneTuner::Recommend(const sim::StreamEngine& engine,
                                           const sim::JobMetrics& metrics) {
   const JobGraph& g = engine.graph();

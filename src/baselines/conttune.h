@@ -32,6 +32,16 @@ struct ContTuneOptions {
   RobustnessOptions robustness;
 };
 
+/// One (operator, parallelism) -> processing-ability observation, the unit
+/// the per-operator GP surrogates are fitted on. Exported/imported so a
+/// knowledge base can persist a job's accumulated observations across
+/// tuning sessions (the way ContTune keeps reusing them within a session).
+struct GpSample {
+  int op = 0;
+  double parallelism = 0;
+  double ability = 0;
+};
+
 /// The ContTune conservative-BO controller.
 class ContTuneTuner : public Tuner {
  public:
@@ -42,6 +52,12 @@ class ContTuneTuner : public Tuner {
 
   /// Clears the accumulated per-operator tuning history (a new job).
   void ResetHistory() { history_.clear(); }
+
+  /// All accumulated observations, flattened in operator order.
+  std::vector<GpSample> ExportHistory() const;
+  /// Appends previously exported observations (e.g. loaded from a
+  /// knowledge base) to the per-operator histories.
+  void ImportHistory(const std::vector<GpSample>& samples);
 
  private:
   /// Observations for one operator: parallelism -> processing abilities.

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the knowledge-base store to checksum each file section so that
+// bit flips and truncation in persisted state are detected at load time
+// instead of silently corrupting models.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace streamtune {
+
+/// CRC-32 of `len` bytes starting at `data`. `seed` allows incremental
+/// computation: pass a previous return value to continue a running checksum.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// CRC-32 of a string's bytes.
+inline uint32_t Crc32(const std::string& s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace streamtune

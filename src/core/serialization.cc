@@ -1,23 +1,46 @@
 #include "core/serialization.h"
 
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace streamtune::core {
 
-namespace {
+CheckedFileWriter::CheckedFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      os_(tmp_path_, std::ios::trunc) {}
 
-constexpr const char* kHistoryMagic = "STHISTORY";
-constexpr const char* kBundleMagic = "STBUNDLE";
-constexpr int kVersion = 1;
-
-bool HasWhitespace(const std::string& s) {
-  for (char c : s) {
-    if (std::isspace(static_cast<unsigned char>(c))) return true;
+CheckedFileWriter::~CheckedFileWriter() {
+  if (!committed_) {
+    os_.close();
+    std::remove(tmp_path_.c_str());
   }
-  return false;
 }
+
+Status CheckedFileWriter::Commit() {
+  if (!os_.is_open()) {
+    return Status::Internal("cannot open '" + tmp_path_ + "' for writing");
+  }
+  os_.flush();
+  if (!os_) {
+    return Status::Internal("write to '" + tmp_path_ + "' failed");
+  }
+  os_.close();
+  if (os_.fail()) {
+    return Status::Internal("closing '" + tmp_path_ + "' failed");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal("cannot rename '" + tmp_path_ + "' to '" + path_ +
+                            "'");
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+namespace io {
 
 // Reads the next whitespace-separated token; fails at EOF.
 Result<std::string> Token(std::istream& is) {
@@ -57,6 +80,26 @@ Result<double> DoubleToken(std::istream& is) {
   } catch (...) {
     return Status::InvalidArgument("expected number, got '" + t + "'");
   }
+}
+
+}  // namespace io
+
+namespace {
+
+constexpr const char* kHistoryMagic = "STHISTORY";
+constexpr const char* kBundleMagic = "STBUNDLE";
+constexpr int kVersion = 1;
+
+using io::DoubleToken;
+using io::ExpectToken;
+using io::IntToken;
+using io::Token;
+
+bool HasWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
 }
 
 Result<unsigned long long> UIntToken(std::istream& is) {
@@ -205,9 +248,21 @@ Result<JobGraph> ReadJobGraph(std::istream& is) {
   return graph;
 }
 
-namespace {
+Status ValidateGraphNames(const JobGraph& graph) {
+  if (HasWhitespace(graph.name())) {
+    return Status::InvalidArgument("graph name contains whitespace: '" +
+                                   graph.name() + "'");
+  }
+  for (const OperatorSpec& op : graph.operators()) {
+    if (HasWhitespace(op.name)) {
+      return Status::InvalidArgument("operator name contains whitespace: '" +
+                                     op.name + "'");
+    }
+  }
+  return Status::OK();
+}
 
-void WriteRecord(std::ostream& os, const HistoryRecord& rec) {
+void WriteHistoryRecord(std::ostream& os, const HistoryRecord& rec) {
   WriteJobGraph(os, rec.graph);
   os << "parallelism";
   for (int p : rec.parallelism) os << ' ' << p;
@@ -220,7 +275,7 @@ void WriteRecord(std::ostream& os, const HistoryRecord& rec) {
      << (rec.backpressure ? 1 : 0) << '\n';
 }
 
-Result<HistoryRecord> ReadRecord(std::istream& is) {
+Result<HistoryRecord> ReadHistoryRecord(std::istream& is) {
   HistoryRecord rec;
   ST_ASSIGN_OR_RETURN(rec.graph, ReadJobGraph(is));
   const int n = rec.graph.num_operators();
@@ -248,35 +303,17 @@ Result<HistoryRecord> ReadRecord(std::istream& is) {
   return rec;
 }
 
-Status ValidateNames(const JobGraph& graph) {
-  if (HasWhitespace(graph.name())) {
-    return Status::InvalidArgument("graph name contains whitespace: '" +
-                                   graph.name() + "'");
-  }
-  for (const OperatorSpec& op : graph.operators()) {
-    if (HasWhitespace(op.name)) {
-      return Status::InvalidArgument("operator name contains whitespace: '" +
-                                     op.name + "'");
-    }
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Status SaveHistory(const std::vector<HistoryRecord>& records,
                    const std::string& path) {
   for (const HistoryRecord& rec : records) {
-    ST_RETURN_NOT_OK(ValidateNames(rec.graph));
+    ST_RETURN_NOT_OK(ValidateGraphNames(rec.graph));
   }
-  std::ofstream os(path);
-  if (!os) return Status::Internal("cannot open '" + path + "' for writing");
+  CheckedFileWriter writer(path);
+  std::ostream& os = writer.stream();
   os << kHistoryMagic << ' ' << kVersion << '\n';
   os << "count " << records.size() << '\n';
-  for (const HistoryRecord& rec : records) WriteRecord(os, rec);
-  os.flush();
-  if (!os) return Status::Internal("write to '" + path + "' failed");
-  return Status::OK();
+  for (const HistoryRecord& rec : records) WriteHistoryRecord(os, rec);
+  return writer.Commit();
 }
 
 Result<std::vector<HistoryRecord>> LoadHistory(const std::string& path) {
@@ -295,20 +332,16 @@ Result<std::vector<HistoryRecord>> LoadHistory(const std::string& path) {
   std::vector<HistoryRecord> records;
   records.reserve(count);
   for (long long i = 0; i < count; ++i) {
-    ST_ASSIGN_OR_RETURN(HistoryRecord rec, ReadRecord(is));
+    ST_ASSIGN_OR_RETURN(HistoryRecord rec, ReadHistoryRecord(is));
     records.push_back(std::move(rec));
   }
   return records;
 }
 
-Status SaveBundle(const PretrainedBundle& bundle, const std::string& path) {
+Status WriteBundleBody(std::ostream& os, const PretrainedBundle& bundle) {
   for (const HistoryRecord& rec : bundle.records()) {
-    ST_RETURN_NOT_OK(ValidateNames(rec.graph));
+    ST_RETURN_NOT_OK(ValidateGraphNames(rec.graph));
   }
-  std::ofstream os(path);
-  if (!os) return Status::Internal("cannot open '" + path + "' for writing");
-  os << kBundleMagic << ' ' << kVersion << '\n';
-
   os << "clusters " << bundle.num_clusters() << '\n';
   for (int c = 0; c < bundle.num_clusters(); ++c) {
     const ClusterModel& cm = bundle.cluster(c);
@@ -326,21 +359,13 @@ Status SaveBundle(const PretrainedBundle& bundle, const std::string& path) {
   }
 
   os << "corpus " << bundle.records().size() << '\n';
-  for (const HistoryRecord& rec : bundle.records()) WriteRecord(os, rec);
-  os.flush();
-  if (!os) return Status::Internal("write to '" + path + "' failed");
+  for (const HistoryRecord& rec : bundle.records()) {
+    WriteHistoryRecord(os, rec);
+  }
   return Status::OK();
 }
 
-Result<PretrainedBundle> LoadBundle(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) return Status::NotFound("cannot open '" + path + "'");
-  ST_RETURN_NOT_OK(ExpectToken(is, kBundleMagic).status());
-  ST_ASSIGN_OR_RETURN(long long version, IntToken(is));
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported bundle version");
-  }
-
+Result<PretrainedBundle> ReadBundleBody(std::istream& is) {
   ST_RETURN_NOT_OK(ExpectToken(is, "clusters").status());
   ST_ASSIGN_OR_RETURN(long long k, IntToken(is));
   if (k < 1 || k > 1000) {
@@ -411,7 +436,7 @@ Result<PretrainedBundle> LoadBundle(const std::string& path) {
   std::vector<HistoryRecord> records;
   records.reserve(count);
   for (long long i = 0; i < count; ++i) {
-    ST_ASSIGN_OR_RETURN(HistoryRecord rec, ReadRecord(is));
+    ST_ASSIGN_OR_RETURN(HistoryRecord rec, ReadHistoryRecord(is));
     records.push_back(std::move(rec));
   }
   for (const ClusterModel& cm : clusters) {
@@ -423,6 +448,24 @@ Result<PretrainedBundle> LoadBundle(const std::string& path) {
   }
   return PretrainedBundle(std::move(clusters), std::move(records),
                           FeatureEncoder{});
+}
+
+Status SaveBundle(const PretrainedBundle& bundle, const std::string& path) {
+  CheckedFileWriter writer(path);
+  writer.stream() << kBundleMagic << ' ' << kVersion << '\n';
+  ST_RETURN_NOT_OK(WriteBundleBody(writer.stream(), bundle));
+  return writer.Commit();
+}
+
+Result<PretrainedBundle> LoadBundle(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open '" + path + "'");
+  ST_RETURN_NOT_OK(ExpectToken(is, kBundleMagic).status());
+  ST_ASSIGN_OR_RETURN(long long version, IntToken(is));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported bundle version");
+  }
+  return ReadBundleBody(is);
 }
 
 }  // namespace streamtune::core

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -17,6 +18,51 @@
 
 namespace streamtune::core {
 
+// ---- Durable file writing --------------------------------------------------
+
+/// Checked, atomic file writer shared by every Save* entry point (histories,
+/// bundles, the knowledge-base store). Streams into `<path>.tmp`; Commit()
+/// flushes, verifies the stream, closes, and atomically renames onto `path`,
+/// so readers never observe a partially written file and a failed save
+/// leaves any previous file intact. An uncommitted writer removes its temp
+/// file on destruction.
+class CheckedFileWriter {
+ public:
+  explicit CheckedFileWriter(std::string path);
+  ~CheckedFileWriter();
+
+  CheckedFileWriter(const CheckedFileWriter&) = delete;
+  CheckedFileWriter& operator=(const CheckedFileWriter&) = delete;
+
+  /// The output stream (writes go to the temp file until Commit).
+  std::ostream& stream() { return os_; }
+
+  /// True while no stream error has been observed.
+  bool ok() const { return static_cast<bool>(os_); }
+
+  /// Flush + verify + rename. Returns an error (and removes the temp file)
+  /// if the stream failed at any point, including open failure.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+// ---- Low-level token parsing ----------------------------------------------
+
+// Strict whitespace-separated token readers shared by every loader in this
+// file and by the knowledge-base store. Each fails with InvalidArgument on
+// EOF or on a token that does not parse exactly.
+namespace io {
+Result<std::string> Token(std::istream& is);
+Result<std::string> ExpectToken(std::istream& is, const std::string& want);
+Result<long long> IntToken(std::istream& is);
+Result<double> DoubleToken(std::istream& is);
+}  // namespace io
+
 // ---- Job graphs -----------------------------------------------------------
 
 /// Writes one job graph block to `os`.
@@ -24,9 +70,19 @@ void WriteJobGraph(std::ostream& os, const JobGraph& graph);
 /// Reads one job graph block from `is`.
 Result<JobGraph> ReadJobGraph(std::istream& is);
 
+/// Rejects graph/operator names the whitespace-separated format cannot
+/// round-trip. Every writer validates before emitting anything.
+Status ValidateGraphNames(const JobGraph& graph);
+
 // ---- Histories ------------------------------------------------------------
 
-/// Saves history records to `path` (overwrites).
+/// Writes one history record block (graph + parallelism + rates + labels +
+/// cost) to `os`.
+void WriteHistoryRecord(std::ostream& os, const HistoryRecord& rec);
+/// Reads one history record block from `is`.
+Result<HistoryRecord> ReadHistoryRecord(std::istream& is);
+
+/// Saves history records to `path` (atomic temp-file + rename).
 Status SaveHistory(const std::vector<HistoryRecord>& records,
                    const std::string& path);
 /// Loads history records from `path`.
@@ -34,7 +90,14 @@ Result<std::vector<HistoryRecord>> LoadHistory(const std::string& path);
 
 // ---- Pre-trained bundles ---------------------------------------------------
 
-/// Saves a pre-trained bundle (clusters, encoder/head weights, corpus).
+/// Writes the bundle payload (clusters with encoder/head weights + corpus)
+/// without any file header. Shared by SaveBundle and the knowledge-base
+/// store, which embeds the same payload as a checksummed section.
+Status WriteBundleBody(std::ostream& os, const PretrainedBundle& bundle);
+/// Reads a bundle payload written by WriteBundleBody.
+Result<PretrainedBundle> ReadBundleBody(std::istream& is);
+
+/// Saves a pre-trained bundle (atomic temp-file + rename).
 Status SaveBundle(const PretrainedBundle& bundle, const std::string& path);
 /// Loads a bundle saved with SaveBundle.
 Result<PretrainedBundle> LoadBundle(const std::string& path);

@@ -43,6 +43,22 @@ std::unique_ptr<ml::BottleneckModel> StreamTuneTuner::MakeModel(
   return nullptr;
 }
 
+void StreamTuneTuner::SeedFeedback(const std::string& job,
+                                   std::vector<ml::LabeledSample> samples) {
+  if (samples.size() > kMaxAccumulatedSamples) {
+    samples.erase(samples.begin(),
+                  samples.begin() + (samples.size() - kMaxAccumulatedSamples));
+  }
+  accumulated_[job] = std::move(samples);
+}
+
+const std::vector<ml::LabeledSample>& StreamTuneTuner::FeedbackFor(
+    const std::string& job) const {
+  static const std::vector<ml::LabeledSample> kEmpty;
+  auto it = accumulated_.find(job);
+  return it == accumulated_.end() ? kEmpty : it->second;
+}
+
 int StreamTuneTuner::MinSafeParallelism(const ml::BottleneckModel& model,
                                         const std::vector<double>& embedding,
                                         int p_max) const {

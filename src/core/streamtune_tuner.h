@@ -70,6 +70,19 @@ class StreamTuneTuner : public baselines::Tuner {
   /// Fresh, unfitted M_f of the configured family.
   std::unique_ptr<ml::BottleneckModel> MakeModel(int embedding_dim) const;
 
+  /// Seeds the per-job feedback accumulator with samples from earlier
+  /// tuning sessions (e.g. a knowledge base), so a fresh process
+  /// warm-starts with the job's own fine-tune data instead of only the
+  /// cluster's generic warm-up corpus. Replaces any existing accumulation
+  /// for `job`; truncated FIFO to the accumulator bound.
+  void SeedFeedback(const std::string& job,
+                    std::vector<ml::LabeledSample> samples);
+
+  /// The fine-tune samples accumulated for `job` across this tuner's
+  /// sessions — the payload a knowledge-base admission persists.
+  const std::vector<ml::LabeledSample>& FeedbackFor(
+      const std::string& job) const;
+
  private:
   /// Minimum p in [1, p_max] with P(bottleneck) below the threshold; p_max
   /// if none qualifies. Binary search (monotonic models) — the same search

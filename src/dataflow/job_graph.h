@@ -75,6 +75,15 @@ class JobGraph {
   /// True if the graph contains a directed cycle.
   bool HasCycle() const;
 
+  /// Forces the lazy adjacency caches to be built now. The first call to
+  /// upstream()/downstream() mutates the mutable cache members, so a graph
+  /// shared read-only across threads (e.g. a knowledge-base snapshot) must
+  /// be warmed once before publication; afterwards every access is a pure
+  /// read. Copies of a warmed graph are themselves warm.
+  void WarmAdjacency() const {
+    if (adjacency_dirty_) RebuildAdjacency();
+  }
+
  private:
   void RebuildAdjacency() const;
 

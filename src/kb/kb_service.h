@@ -1,0 +1,105 @@
+// Concurrent knowledge-base service: snapshot-isolated reads, one writer.
+//
+// Many tuning sessions run at once against one KB. Readers must never see a
+// torn state (a bundle from one pre-training with appearance counts from
+// another), and admissions must not block in-flight sessions. The classic
+// answer is copy-on-write snapshot isolation:
+//
+//   - the service holds a shared_ptr to an immutable KbSnapshot; Snapshot()
+//     hands out that pointer under a brief mutex, so a session keeps one
+//     consistent view for as long as it likes, no matter what writers do;
+//   - Admit() is the single writer path: it copies the current state,
+//     applies the admission (and, when the drift trigger fires, a full
+//     re-pre-training) to the private copy, then publishes the copy with a
+//     pointer swap. Writers serialize among themselves; readers never wait
+//     on a writer and vice versa.
+//
+// The snapshot's job graphs are adjacency-warmed and its models are frozen,
+// so concurrent sessions can run inference against one snapshot safely.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/streamtune_tuner.h"
+#include "kb/kb_store.h"
+#include "kb/kb_updater.h"
+
+namespace streamtune::kb {
+
+/// One immutable, versioned view of the knowledge base.
+class KbSnapshot {
+ public:
+  const KnowledgeBase& kb() const { return kb_; }
+  /// Monotonically increasing publication counter (0 = initial state).
+  long long version() const { return version_; }
+  std::shared_ptr<const core::PretrainedBundle> bundle() const {
+    return kb_.bundle;
+  }
+  /// What the KB knows about `job`; nullptr when it was never admitted.
+  const JobKnowledge* job(const std::string& name) const;
+
+  /// A StreamTune tuner over this snapshot's bundle, with `job`'s
+  /// accumulated fine-tune feedback pre-seeded (the warm start).
+  std::unique_ptr<core::StreamTuneTuner> NewTuner(
+      const std::string& job, core::StreamTuneOptions options = {}) const;
+
+ private:
+  friend class KbService;
+  KnowledgeBase kb_;
+  long long version_ = 0;
+};
+
+/// The multi-session KB server. Thread-safe: any number of threads may call
+/// Snapshot()/Admit()/Save() concurrently.
+class KbService {
+ public:
+  /// Opens a KB previously written with Save()/SaveKb().
+  static Result<std::unique_ptr<KbService>> Open(const std::string& path,
+                                                 KbUpdateOptions options = {});
+
+  /// Builds a fresh KB by pre-training over `records` (options.pretrain).
+  static Result<std::unique_ptr<KbService>> Build(
+      std::vector<core::HistoryRecord> records, KbUpdateOptions options = {});
+
+  /// Wraps an already pre-trained bundle (e.g. LoadBundle output).
+  static std::unique_ptr<KbService> FromBundle(
+      std::shared_ptr<const core::PretrainedBundle> bundle,
+      KbUpdateOptions options = {});
+
+  /// The current immutable snapshot. Never blocks on writers beyond a
+  /// pointer copy; the returned view stays valid and consistent for the
+  /// lifetime of the shared_ptr.
+  std::shared_ptr<const KbSnapshot> Snapshot() const;
+
+  /// Admits one converged tuning session. Serialized with other writers;
+  /// runs drift-triggered re-pre-training inline when due (the outcome's
+  /// `repretrained` flag reports it) and publishes a new snapshot.
+  Result<AdmissionOutcome> Admit(const AdmissionRecord& rec);
+
+  /// Durably saves the latest snapshot (atomic temp-file + rename).
+  Status Save(const std::string& path) const;
+
+  /// The latest published version.
+  long long version() const { return Snapshot()->version(); }
+
+  const KbUpdateOptions& options() const { return updater_.options(); }
+  graph::GedCache* ged_cache() { return &cache_; }
+
+ private:
+  KbService(KnowledgeBase kb, KbUpdateOptions options);
+
+  graph::GedCache cache_;
+  KbUpdater updater_;
+
+  /// Serializes Admit() writers (copy -> mutate -> publish).
+  std::mutex writer_mu_;
+  /// Guards only the snapshot pointer swap/read.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const KbSnapshot> snapshot_;
+};
+
+}  // namespace streamtune::kb

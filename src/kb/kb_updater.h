@@ -1,0 +1,95 @@
+// Incremental knowledge-base admission — the paper's feedback edge.
+//
+// When an online tuning session converges, its artifacts re-enter the KB so
+// the next process tuning a similar (or the same) job starts warmer:
+//   1. the session's labeled execution record joins the corpus and is
+//      assigned to the nearest cluster by GED (reusing the shared GedCache);
+//   2. the cluster's appearance count and the job's fine-tune / GP
+//      accumulations grow (bounded FIFO);
+//   3. a drift trigger — assignment distance above a threshold, relative
+//      corpus growth, or too many drifted admissions — schedules
+//      re-clustering + re-pre-training over the accumulated corpus on the
+//      existing thread pool (PretrainOptions::num_threads).
+//
+// The updater mutates a KnowledgeBase in place and is intentionally
+// single-writer: concurrency is provided one level up by KbService, which
+// applies admissions to a private copy and publishes immutable snapshots.
+
+#pragma once
+
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "graph/ged_cache.h"
+#include "kb/kb_store.h"
+
+namespace streamtune::kb {
+
+/// Admission / drift knobs.
+struct KbUpdateOptions {
+  /// GED to the assigned center beyond which an admission counts as
+  /// drifted (the cluster structure no longer represents the job well).
+  double drift_distance = 6.0;
+  /// Re-pretrain when the corpus grew by this fraction since the last
+  /// pre-training...
+  double growth_fraction = 0.5;
+  /// ...and at least this many records were admitted since then.
+  int min_new_records = 6;
+  /// Alternative trigger: this many drifted admissions since the last
+  /// pre-training force a re-pretrain regardless of growth.
+  int drifted_trigger = 3;
+  /// FIFO bounds for the per-job accumulations.
+  size_t max_feedback_per_job = 1500;
+  size_t max_gp_per_job = 4096;
+  /// Settings for drift-triggered re-pre-training (epochs, k, threads...).
+  core::PretrainOptions pretrain;
+};
+
+/// One converged tuning session, ready for admission.
+struct AdmissionRecord {
+  /// The session's final deployment, labeled by Algorithm 1.
+  core::HistoryRecord record;
+  /// Fine-tune samples the session accumulated (StreamTuneTuner feedback).
+  std::vector<ml::LabeledSample> feedback;
+  /// GP observations the session accumulated (ContTune surrogate).
+  std::vector<GpObservation> gp_observations;
+};
+
+/// What one admission did.
+struct AdmissionOutcome {
+  int cluster = -1;          ///< cluster the record was assigned to
+  double distance = 0;       ///< exact GED to the assigned center
+  bool drifted = false;      ///< distance exceeded the drift threshold
+  bool repretrained = false; ///< the admission triggered re-pre-training
+};
+
+/// Applies admissions and drift-triggered re-pre-training to a
+/// KnowledgeBase. Stateless apart from options and the shared GED cache;
+/// callers must serialize writers.
+class KbUpdater {
+ public:
+  KbUpdater(KbUpdateOptions options, graph::GedCache* cache)
+      : options_(options), cache_(cache) {}
+
+  /// Admits one session into `kb`: validates the record, assigns the
+  /// nearest cluster, appends to the corpus (replacing kb->bundle with a
+  /// new one sharing the existing cluster models), and accumulates the
+  /// per-job artifacts. Does NOT re-pretrain; check NeedsRepretrain.
+  Result<AdmissionOutcome> Admit(KnowledgeBase* kb,
+                                 const AdmissionRecord& rec) const;
+
+  /// True when the drift trigger says the clusters + encoders are stale.
+  bool NeedsRepretrain(const KnowledgeBase& kb) const;
+
+  /// Re-clusters and re-pretrains over the full accumulated corpus,
+  /// resetting the drift counters. Runs on the thread pool configured by
+  /// options.pretrain.num_threads.
+  Status Repretrain(KnowledgeBase* kb) const;
+
+  const KbUpdateOptions& options() const { return options_; }
+
+ private:
+  KbUpdateOptions options_;
+  graph::GedCache* cache_;
+};
+
+}  // namespace streamtune::kb

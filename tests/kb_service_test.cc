@@ -1,0 +1,279 @@
+// Concurrency, snapshot-isolation and drift-trigger tests for KbService.
+//
+// The concurrent test is the TSan target: N reader threads run inference
+// against live snapshots while a writer admits sessions and re-pretrains.
+// Build with -DSTREAMTUNE_SANITIZE=thread to check it race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "kb/kb_service.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::kb {
+namespace {
+
+std::vector<core::HistoryRecord> SampleCorpus(int samples_per_job = 5) {
+  std::vector<JobGraph> jobs;
+  jobs.push_back(workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                            workloads::Engine::kFlink));
+  jobs.push_back(workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                            workloads::Engine::kFlink));
+  jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 1));
+  core::HistoryOptions opts;
+  opts.samples_per_job = samples_per_job;
+  return core::CollectHistory(jobs, opts);
+}
+
+KbUpdateOptions SmallOptions() {
+  KbUpdateOptions o;
+  o.pretrain.k = 2;
+  o.pretrain.epochs = 2;
+  o.pretrain.hidden_dim = 16;
+  o.min_new_records = 1000;
+  return o;
+}
+
+AdmissionRecord MakeAdmission(const JobGraph& job, uint64_t seed) {
+  std::vector<JobGraph> jobs{job};
+  core::HistoryOptions opts;
+  opts.samples_per_job = 1;
+  opts.seed = seed;
+  AdmissionRecord rec;
+  rec.record = core::CollectHistory(jobs, opts).front();
+  return rec;
+}
+
+std::unique_ptr<sim::StreamEngine> MakeEngine(const JobGraph& job,
+                                              uint64_t seed) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::SimConfig cfg;
+  cfg.noise_seed = seed;
+  return std::make_unique<sim::FlinkEngine>(job, model, cfg);
+}
+
+TEST(KbServiceTest, SnapshotIsolation) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  auto before = (*service)->Snapshot();
+  const size_t corpus_before = before->bundle()->records().size();
+  EXPECT_EQ(before->version(), 0);
+
+  JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                           workloads::Engine::kFlink);
+  auto outcome = (*service)->Admit(MakeAdmission(q8, 41));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // The old snapshot is untouched; the new one sees the admission.
+  EXPECT_EQ(before->version(), 0);
+  EXPECT_EQ(before->bundle()->records().size(), corpus_before);
+  EXPECT_EQ(before->job(q8.name()), nullptr);
+  auto after = (*service)->Snapshot();
+  EXPECT_EQ(after->version(), 1);
+  EXPECT_EQ(after->bundle()->records().size(), corpus_before + 1);
+  ASSERT_NE(after->job(q8.name()), nullptr);
+  EXPECT_EQ(after->job(q8.name())->admissions, 1);
+}
+
+TEST(KbServiceTest, DriftTriggerRepretrains) {
+  KbUpdateOptions o = SmallOptions();
+  o.min_new_records = 2;
+  o.drifted_trigger = 2;
+  o.drift_distance = 0.0;     // every admission counts as drifted
+  o.growth_fraction = 1e9;    // growth alone never triggers
+  auto service = KbService::Build(SampleCorpus(), o);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                           workloads::Engine::kFlink);
+  auto first = (*service)->Admit(MakeAdmission(q8, 51));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->drifted);
+  EXPECT_FALSE(first->repretrained);
+
+  auto second = (*service)->Admit(MakeAdmission(q8, 52));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->repretrained);
+
+  const KnowledgeBase& kb = (*service)->Snapshot()->kb();
+  EXPECT_EQ(kb.drifted_since_pretrain, 0);
+  EXPECT_EQ(kb.pretrain_corpus_size,
+            static_cast<long long>(kb.bundle->records().size()));
+  long long total = 0;
+  for (long long a : kb.appearance) total += a;
+  EXPECT_EQ(total, static_cast<long long>(kb.bundle->records().size()));
+}
+
+TEST(KbServiceTest, GrowthTriggerRepretrains) {
+  KbUpdateOptions o = SmallOptions();
+  o.min_new_records = 2;
+  o.drift_distance = 1e9;     // nothing counts as drifted
+  o.growth_fraction = 0.1;    // two admissions into a 15-record corpus
+  auto service = KbService::Build(SampleCorpus(), o);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                           workloads::Engine::kFlink);
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(q8, 61)).ok());
+  auto second = (*service)->Admit(MakeAdmission(q8, 62));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->drifted);
+  EXPECT_TRUE(second->repretrained);
+}
+
+TEST(KbServiceTest, NewTunerSeedsAdmittedFeedback) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  AdmissionRecord rec = MakeAdmission(q5, 71);
+  auto snapshot = (*service)->Snapshot();
+  int c = snapshot->bundle()->AssignCluster(q5);
+  rec.feedback = snapshot->bundle()->WarmUpDataset(c, 5, 71);
+  ASSERT_FALSE(rec.feedback.empty());
+  ASSERT_TRUE((*service)->Admit(rec).ok());
+
+  auto tuner = (*service)->Snapshot()->NewTuner(q5.name());
+  EXPECT_EQ(tuner->FeedbackFor(q5.name()).size(), rec.feedback.size());
+  // A job the KB has never seen starts cold.
+  auto cold = (*service)->Snapshot()->NewTuner("never-admitted");
+  EXPECT_TRUE(cold->FeedbackFor("never-admitted").empty());
+}
+
+TEST(KbServiceTest, RejectsMalformedAdmission) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  AdmissionRecord rec = MakeAdmission(q5, 81);
+  rec.record.parallelism.pop_back();  // wrong operator count
+  EXPECT_FALSE((*service)->Admit(rec).ok());
+  AdmissionRecord bad_label = MakeAdmission(q5, 82);
+  bad_label.record.labels[0] = 7;
+  EXPECT_FALSE((*service)->Admit(bad_label).ok());
+  // Nothing was published.
+  EXPECT_EQ((*service)->Snapshot()->version(), 0);
+}
+
+// The TSan target: concurrent readers run GNN inference against whatever
+// snapshot is current while one writer admits sessions, repeatedly swapping
+// the published state and re-pretraining mid-stream. Any unsynchronized
+// mutation of shared graphs/models/state is a data race here.
+TEST(KbServiceTest, ConcurrentReadersSeeConsistentSnapshots) {
+  KbUpdateOptions o = SmallOptions();
+  o.min_new_records = 3;
+  o.drifted_trigger = 3;
+  o.drift_distance = 0.0;  // admissions drift -> re-pretrain mid-test
+  auto service_res = KbService::Build(SampleCorpus(3), o);
+  ASSERT_TRUE(service_res.ok()) << service_res.status().ToString();
+  KbService* service = service_res->get();
+
+  JobGraph probe = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                              workloads::Engine::kFlink);
+  // The readers share this query graph; like every graph shared across
+  // threads it must be adjacency-warmed first (the KB warms its own).
+  probe.WarmAdjacency();
+  std::vector<double> rates(probe.num_operators(), 0.0);
+  for (int v = 0; v < probe.num_operators(); ++v) {
+    if (probe.op(v).is_source()) rates[v] = 1e6;
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerReader = 12;
+  constexpr int kAdmissions = 6;
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        auto snapshot = service->Snapshot();
+        // Internal consistency of whatever state is published.
+        if (!ValidateKb(snapshot->kb()).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto bundle = snapshot->bundle();
+        for (int c = 0; c < bundle->num_clusters(); ++c) {
+          ml::Matrix emb = bundle->AgnosticEmbeddings(c, probe, rates);
+          if (emb.rows() != probe.num_operators()) failures.fetch_add(1);
+          auto warmup =
+              bundle->WarmUpDataset(c, 4, static_cast<uint64_t>(t * 100 + i));
+          for (const ml::LabeledSample& s : warmup) {
+            if (s.embedding.size() != static_cast<size_t>(emb.cols())) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                             workloads::Engine::kFlink);
+    for (int i = 0; i < kAdmissions; ++i) {
+      auto outcome =
+          service->Admit(MakeAdmission(q8, 900 + static_cast<uint64_t>(i)));
+      if (!outcome.ok()) failures.fetch_add(1);
+    }
+    writer_done.store(true);
+  });
+  for (auto& t : threads) t.join();
+  writer.join();
+
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service->version(), kAdmissions);
+  // The drift trigger fired at least once mid-test.
+  const KnowledgeBase& kb = service->Snapshot()->kb();
+  EXPECT_LT(kb.drifted_since_pretrain, kAdmissions);
+}
+
+TEST(KbServiceTest, WarmStartTunesNoWorseThanCold) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q3 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                           workloads::Engine::kFlink);
+  std::vector<int> ones(q3.num_operators(), 1);
+
+  // Cold session.
+  auto cold_engine = MakeEngine(q3, 7);
+  ASSERT_TRUE(cold_engine->Deploy(ones).ok());
+  cold_engine->ScaleAllSources(6.0);
+  auto cold_tuner = (*service)->Snapshot()->NewTuner(q3.name());
+  auto cold = cold_tuner->Tune(cold_engine.get());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // Admit the converged session's artifacts.
+  AdmissionRecord rec;
+  rec.record.graph = q3;
+  rec.record.parallelism = cold_engine->parallelism();
+  rec.record.source_rates = cold_engine->current_source_rates();
+  auto metrics = cold_engine->Measure();
+  ASSERT_TRUE(metrics.ok());
+  rec.record.labels = core::LabelBottlenecks(q3, *metrics);
+  rec.record.backpressure = metrics->job_backpressure;
+  rec.feedback = cold_tuner->FeedbackFor(q3.name());
+  ASSERT_TRUE((*service)->Admit(rec).ok());
+
+  // Warm session on a fresh engine: the seeded feedback must not hurt.
+  auto warm_engine = MakeEngine(q3, 7);
+  ASSERT_TRUE(warm_engine->Deploy(ones).ok());
+  warm_engine->ScaleAllSources(6.0);
+  auto warm_tuner = (*service)->Snapshot()->NewTuner(q3.name());
+  EXPECT_FALSE(warm_tuner->FeedbackFor(q3.name()).empty());
+  auto warm = warm_tuner->Tune(warm_engine.get());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_FALSE(warm->ended_with_backpressure);
+  EXPECT_LE(warm->reconfigurations, cold->reconfigurations + 3);
+}
+
+}  // namespace
+}  // namespace streamtune::kb

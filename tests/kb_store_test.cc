@@ -1,0 +1,255 @@
+// Round-trip, corruption and durability tests for the knowledge-base store.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "kb/kb_service.h"
+#include "kb/kb_store.h"
+#include "kb/kb_updater.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::kb {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/streamtune_kb_" + tag + "_" +
+         std::to_string(::getpid()) + ".txt";
+}
+
+std::vector<core::HistoryRecord> SampleCorpus() {
+  std::vector<JobGraph> jobs;
+  jobs.push_back(workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                            workloads::Engine::kFlink));
+  jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 1));
+  core::HistoryOptions opts;
+  opts.samples_per_job = 5;
+  return core::CollectHistory(jobs, opts);
+}
+
+KbUpdateOptions SmallOptions() {
+  KbUpdateOptions o;
+  o.pretrain.k = 2;
+  o.pretrain.epochs = 3;
+  o.pretrain.hidden_dim = 16;
+  // Keep drift-triggered re-pre-training out of these persistence tests.
+  o.min_new_records = 1000;
+  return o;
+}
+
+/// One converged-session admission for `job`, with feedback drawn from the
+/// service's own warm-up corpus (realistic embedding widths).
+AdmissionRecord MakeAdmission(const KbService& service, const JobGraph& job,
+                              uint64_t seed) {
+  std::vector<JobGraph> jobs{job};
+  core::HistoryOptions opts;
+  opts.samples_per_job = 1;
+  opts.seed = seed;
+  AdmissionRecord rec;
+  rec.record = core::CollectHistory(jobs, opts).front();
+  auto snapshot = service.Snapshot();
+  int c = snapshot->bundle()->AssignCluster(job);
+  rec.feedback = snapshot->bundle()->WarmUpDataset(c, 6, seed);
+  rec.gp_observations = {{0, 2.0, 5.5}, {1, 3.0, 7.25}};
+  return rec;
+}
+
+std::unique_ptr<sim::StreamEngine> MakeEngine(const JobGraph& job,
+                                              uint64_t seed) {
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::SimConfig cfg;
+  cfg.noise_seed = seed;
+  return std::make_unique<sim::FlinkEngine>(job, model, cfg);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << content;
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(KbStoreTest, RoundTripPreservesState) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  JobGraph pqp = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 2);
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, q5, 11)).ok());
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, pqp, 12)).ok());
+
+  std::string path = TempPath("roundtrip");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  auto back = LoadKb(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const KnowledgeBase& orig = (*service)->Snapshot()->kb();
+  EXPECT_EQ(back->bundle->num_clusters(), orig.bundle->num_clusters());
+  EXPECT_EQ(back->bundle->records().size(), orig.bundle->records().size());
+  EXPECT_EQ(back->appearance, orig.appearance);
+  EXPECT_EQ(back->pretrain_corpus_size, orig.pretrain_corpus_size);
+  EXPECT_EQ(back->drifted_since_pretrain, orig.drifted_since_pretrain);
+  EXPECT_EQ(back->admissions_total, 2);
+  ASSERT_EQ(back->jobs.size(), 2u);
+  for (const auto& [name, job] : orig.jobs) {
+    auto it = back->jobs.find(name);
+    ASSERT_NE(it, back->jobs.end()) << name;
+    EXPECT_EQ(it->second.admissions, job.admissions);
+    ASSERT_EQ(it->second.feedback.size(), job.feedback.size());
+    for (size_t i = 0; i < job.feedback.size(); ++i) {
+      EXPECT_EQ(it->second.feedback[i].parallelism,
+                job.feedback[i].parallelism);
+      EXPECT_EQ(it->second.feedback[i].label, job.feedback[i].label);
+      ASSERT_EQ(it->second.feedback[i].embedding.size(),
+                job.feedback[i].embedding.size());
+      for (size_t d = 0; d < job.feedback[i].embedding.size(); ++d) {
+        EXPECT_DOUBLE_EQ(it->second.feedback[i].embedding[d],
+                         job.feedback[i].embedding[d]);
+      }
+    }
+    ASSERT_EQ(it->second.gp_observations.size(),
+              job.gp_observations.size());
+    for (size_t i = 0; i < job.gp_observations.size(); ++i) {
+      EXPECT_EQ(it->second.gp_observations[i].op, job.gp_observations[i].op);
+      EXPECT_DOUBLE_EQ(it->second.gp_observations[i].parallelism,
+                       job.gp_observations[i].parallelism);
+      EXPECT_DOUBLE_EQ(it->second.gp_observations[i].ability,
+                       job.gp_observations[i].ability);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, ReloadedKbReproducesRecommendationsAllModels) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q3 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                           workloads::Engine::kFlink);
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, q3, 21)).ok());
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, q5, 22)).ok());
+
+  std::string path = TempPath("rec");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  auto fresh = KbService::Open(path, SmallOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  // Every fine-tune family must recommend bit-identically from the
+  // reloaded KB: same warm-start feedback, same weights, same seeds.
+  for (core::FineTuneModel model :
+       {core::FineTuneModel::kXgboost, core::FineTuneModel::kSvm,
+        core::FineTuneModel::kNn}) {
+    core::StreamTuneOptions opts;
+    opts.model = model;
+    std::vector<int> a, b;
+    for (KbService* svc : {service->get(), fresh->get()}) {
+      auto engine = MakeEngine(q3, 7);
+      std::vector<int> ones(q3.num_operators(), 1);
+      ASSERT_TRUE(engine->Deploy(ones).ok());
+      engine->ScaleAllSources(6.0);
+      auto tuner = svc->Snapshot()->NewTuner(q3.name(), opts);
+      auto outcome = tuner->Tune(engine.get());
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      (svc == service->get() ? a : b) = outcome->final_parallelism;
+    }
+    EXPECT_EQ(a, b) << "model " << core::FineTuneModelName(model);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, EveryBitFlipIsRejected) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, q5, 31)).ok());
+
+  std::string path = TempPath("flip");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+  ASSERT_FALSE(content.empty());
+
+  // Sweep single-bit flips across the file (stride keeps runtime sane).
+  // The length-prefixed, CRC-checksummed section format must reject every
+  // one of them with an error Status — never crash, never load silently.
+  int flips = 0;
+  for (size_t pos = 0; pos < content.size(); pos += 53) {
+    std::string corrupted = content;
+    corrupted[pos] = static_cast<char>(
+        corrupted[pos] ^ (1 << (pos % 8)));
+    WriteAll(path, corrupted);
+    auto loaded = LoadKb(path);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at byte " << pos << " loaded";
+    ++flips;
+  }
+  EXPECT_GT(flips, 10);
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, TruncationIsRejected) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("trunc");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+  for (size_t keep : {content.size() / 4, content.size() / 2,
+                      3 * content.size() / 4, content.size() - 1}) {
+    WriteAll(path, content.substr(0, keep));
+    EXPECT_FALSE(LoadKb(path).ok()) << "truncated to " << keep << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, SaveIsAtomicAndLeavesNoTempFile) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("atomic");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  EXPECT_TRUE(Exists(path));
+  EXPECT_FALSE(Exists(path + ".tmp"));
+
+  // A failed save (invalid state) must not clobber the existing file.
+  KnowledgeBase broken = (*service)->Snapshot()->kb();
+  broken.appearance.push_back(0);  // size no longer matches cluster count
+  EXPECT_FALSE(SaveKb(broken, path).ok());
+  EXPECT_FALSE(Exists(path + ".tmp"));
+  EXPECT_TRUE(LoadKb(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, SaveToUnwritablePathFails) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  Status st = (*service)->Save("/nonexistent/dir/kb.txt");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(KbStoreTest, LoadRejectsMissingAndForeignFiles) {
+  EXPECT_FALSE(LoadKb("/nonexistent/dir/kb.txt").ok());
+  std::string path = TempPath("foreign");
+  WriteAll(path, "STHISTORY 1\ncount 0\n");
+  EXPECT_FALSE(LoadKb(path).ok());
+  WriteAll(path, "STKB 99\nsections 3\n");
+  EXPECT_FALSE(LoadKb(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamtune::kb

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "core/serialization.h"
 #include "workloads/nexmark.h"
@@ -145,6 +147,68 @@ TEST(SerializationTest, BundleRoundTripPreservesModelOutputs) {
   }
   // Cluster assignment is preserved (same centers).
   EXPECT_EQ(back->AssignCluster(probe), bundle->AssignCluster(probe));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveFailsCleanlyWhenUnwritable) {
+  auto corpus = SampleCorpus();
+  // Unwritable temp path: the checked writer reports the open failure.
+  EXPECT_FALSE(SaveHistory(corpus, "/nonexistent/dir/x.txt").ok());
+  // A collision at <path>.tmp (here: a directory) must fail the save
+  // without ever creating the destination file.
+  std::string path = TempPath("collide");
+  ASSERT_EQ(::mkdir((path + ".tmp").c_str(), 0755), 0);
+  EXPECT_FALSE(SaveHistory(corpus, path).ok());
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0);
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(SerializationTest, SaveLeavesNoTempFileBehind) {
+  auto corpus = SampleCorpus();
+  std::string path = TempPath("notmp");
+  ASSERT_TRUE(SaveHistory(corpus, path).ok());
+  struct stat st;
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BundleBitFlipsNeverCrashTheLoader) {
+  auto corpus = SampleCorpus();
+  PretrainOptions pre;
+  pre.use_clustering = false;
+  pre.epochs = 2;
+  pre.hidden_dim = 16;
+  auto bundle = Pretrainer(pre).Run(corpus);
+  ASSERT_TRUE(bundle.ok());
+  std::string path = TempPath("bundleflip");
+  ASSERT_TRUE(SaveBundle(*bundle, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  in.close();
+
+  // The bundle format has no checksum, so a flip inside a numeric literal
+  // may still parse — but every flip must come back as either ok() or an
+  // error Status, never a crash or an uncaught exception.
+  int rejected = 0;
+  for (size_t pos = 0; pos < content.size(); pos += 101) {
+    std::string corrupted = content;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << (pos % 8)));
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os << corrupted;
+    }
+    auto loaded = LoadBundle(path);
+    if (!loaded.ok()) {
+      ++rejected;
+    } else {
+      EXPECT_GE(loaded->num_clusters(), 1);
+    }
+  }
+  EXPECT_GT(rejected, 0);
   std::remove(path.c_str());
 }
 

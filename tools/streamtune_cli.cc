@@ -3,13 +3,19 @@
 //   streamtune_cli collect  --workload nexmark-flink|nexmark-timely|pqp|all
 //                           [--samples N] [--seed S] --out history.txt
 //   streamtune_cli pretrain --history history.txt [--no-cluster] [--k K]
-//                           [--epochs N] --out bundle.txt
-//   streamtune_cli tune     --bundle bundle.txt --job <spec> [--rate M]
+//                           [--epochs N] --out bundle.txt | --kb-path kb.txt
+//   streamtune_cli tune     --bundle bundle.txt | --kb-path kb.txt [--admit]
+//                           --job <spec> [--rate M]
 //                           [--engine flink|timely] [--model xgboost|svm|nn]
+//   streamtune_cli admit    --kb-path kb.txt --history history.txt
 //   streamtune_cli simulate --job <spec> [--rate M] [--parallelism p1,p2,..]
-//   streamtune_cli inspect  --history history.txt | --bundle bundle.txt
+//   streamtune_cli inspect  --history h.txt | --bundle b.txt | --kb kb.txt
 //
 // Job specs: nexmark:Q1|Q2|Q3|Q5|Q8  or  pqp:linear|2way|3way:<variant>.
+//
+// The knowledge-base flow (--kb-path) persists the full StreamTune loop:
+// pretrain writes a KB, tune reads it (warm-starting from the job's own
+// admitted feedback) and --admit folds the converged session back in.
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include "core/pretrain.h"
 #include "core/serialization.h"
 #include "core/streamtune_tuner.h"
+#include "kb/kb_service.h"
 #include "sim/engine.h"
 #include "sim/event_simulator.h"
 #include "timelysim/timely_simulator.h"
@@ -42,16 +49,18 @@ int Usage() {
       "  streamtune_cli collect  --workload nexmark-flink|nexmark-timely|"
       "pqp|all [--samples N] [--seed S] --out FILE\n"
       "  streamtune_cli pretrain --history FILE [--no-cluster] [--k K] "
-      "[--epochs N] --out FILE\n"
-      "  streamtune_cli tune     --bundle FILE --job SPEC [--rate M] "
+      "[--epochs N] --out FILE | --kb-path FILE\n"
+      "  streamtune_cli tune     --bundle FILE | --kb-path FILE [--admit] "
+      "--job SPEC [--rate M] "
       "[--engine flink|timely] [--model xgboost|svm|nn]\n"
       "                          [--chaos-seed S] [--chaos-deploy-fail P]\n"
       "                          [--chaos-metric-drop P] "
       "[--chaos-straggler P]\n"
       "                          [--chaos-corrupt P] [--chaos-spike P]\n"
+      "  streamtune_cli admit    --kb-path FILE --history FILE\n"
       "  streamtune_cli simulate --job SPEC [--rate M] "
       "[--parallelism p1,p2,...]\n"
-      "  streamtune_cli inspect  --history FILE | --bundle FILE\n"
+      "  streamtune_cli inspect  --history FILE | --bundle FILE | --kb FILE\n"
       "job SPEC: nexmark:Q1|Q2|Q3|Q5|Q8 or pqp:linear|2way|3way:VARIANT\n");
   return 2;
 }
@@ -181,7 +190,10 @@ int CmdCollect(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdPretrain(const std::map<std::string, std::string>& flags) {
-  if (!flags.count("history") || !flags.count("out")) return Usage();
+  if (!flags.count("history") ||
+      (!flags.count("out") && !flags.count("kb-path"))) {
+    return Usage();
+  }
   auto records = core::LoadHistory(flags.at("history"));
   if (!records.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -201,18 +213,38 @@ int CmdPretrain(const std::map<std::string, std::string>& flags) {
                  bundle.status().ToString().c_str());
     return 1;
   }
-  Status st = core::SaveBundle(*bundle, flags.at("out"));
-  if (!st.ok()) {
-    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-    return 1;
+  if (flags.count("out")) {
+    Status st = core::SaveBundle(*bundle, flags.at("out"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("pre-trained %d cluster(s) -> %s\n", bundle->num_clusters(),
+                flags.at("out").c_str());
   }
-  std::printf("pre-trained %d cluster(s) -> %s\n", bundle->num_clusters(),
-              flags.at("out").c_str());
+  if (flags.count("kb-path")) {
+    auto service = kb::KbService::FromBundle(
+        std::make_shared<const core::PretrainedBundle>(std::move(*bundle)));
+    Status st = service->Save(flags.at("kb-path"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "kb save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("knowledge base initialized -> %s\n",
+                flags.at("kb-path").c_str());
+  }
   return 0;
 }
 
 int CmdTune(const std::map<std::string, std::string>& flags) {
-  if (!flags.count("bundle") || !flags.count("job")) return Usage();
+  if ((!flags.count("bundle") && !flags.count("kb-path")) ||
+      !flags.count("job")) {
+    return Usage();
+  }
+  if (flags.count("admit") && !flags.count("kb-path")) {
+    std::fprintf(stderr, "--admit requires --kb-path\n");
+    return 2;
+  }
   bool timely = flags.count("engine") && flags.at("engine") == "timely";
 
   sim::FaultPlan plan;
@@ -240,14 +272,29 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
-  auto bundle_res = core::LoadBundle(flags.at("bundle"));
-  if (!bundle_res.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 bundle_res.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<kb::KbService> service;
+  std::shared_ptr<const kb::KbSnapshot> snapshot;
+  std::shared_ptr<const core::PretrainedBundle> bundle;
+  if (flags.count("kb-path")) {
+    auto svc = kb::KbService::Open(flags.at("kb-path"));
+    if (!svc.ok()) {
+      std::fprintf(stderr, "kb load failed: %s\n",
+                   svc.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(*svc);
+    snapshot = service->Snapshot();
+    bundle = snapshot->bundle();
+  } else {
+    auto bundle_res = core::LoadBundle(flags.at("bundle"));
+    if (!bundle_res.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   bundle_res.status().ToString().c_str());
+      return 1;
+    }
+    bundle = std::make_shared<const core::PretrainedBundle>(
+        std::move(*bundle_res));
   }
-  auto bundle =
-      std::make_shared<core::PretrainedBundle>(std::move(*bundle_res));
   auto job = ParseJobSpec(flags.at("job"), timely);
   if (!job.ok()) {
     std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
@@ -275,14 +322,21 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
     if (m == "svm") opts.model = core::FineTuneModel::kSvm;
     if (m == "nn") opts.model = core::FineTuneModel::kNn;
   }
-  core::StreamTuneTuner tuner(bundle, opts);
-  auto outcome = tuner.Tune(engine);
+  std::unique_ptr<core::StreamTuneTuner> tuner =
+      snapshot ? snapshot->NewTuner(job->name(), opts)
+               : std::make_unique<core::StreamTuneTuner>(bundle, opts);
+  if (snapshot && snapshot->job(job->name())) {
+    std::printf("warm start: %zu admitted feedback sample(s) for %s\n",
+                snapshot->job(job->name())->feedback.size(),
+                job->name().c_str());
+  }
+  auto outcome = tuner->Tune(engine);
   if (!outcome.ok()) {
     std::fprintf(stderr, "tuning failed: %s\n",
                  outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s tuned %s at %.1fx W_u on %s\n", tuner.name().c_str(),
+  std::printf("%s tuned %s at %.1fx W_u on %s\n", tuner->name().c_str(),
               job->name().c_str(), rate, timely ? "Timely" : "Flink");
   TablePrinter table("recommendation", {"operator", "parallelism"});
   for (int v = 0; v < job->num_operators(); ++v) {
@@ -307,6 +361,77 @@ int CmdTune(const std::map<std::string, std::string>& flags) {
                 outcome->faults_survived, outcome->retries,
                 outcome->rollbacks);
   }
+
+  if (flags.count("admit")) {
+    kb::AdmissionRecord rec;
+    rec.record.graph = *job;
+    rec.record.parallelism = engine->parallelism();
+    rec.record.source_rates = engine->current_source_rates();
+    auto metrics = engine->Measure();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "final measurement failed: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    rec.record.labels = core::LabelBottlenecks(*job, *metrics);
+    rec.record.job_cost = core::JobCost(*metrics);
+    rec.record.backpressure = metrics->job_backpressure;
+    rec.feedback = tuner->FeedbackFor(job->name());
+    auto admitted = service->Admit(rec);
+    if (!admitted.ok()) {
+      std::fprintf(stderr, "admission failed: %s\n",
+                   admitted.status().ToString().c_str());
+      return 1;
+    }
+    Status st = service->Save(flags.at("kb-path"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "kb save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "admitted into cluster %d (distance %.1f%s%s), kb v%lld -> %s\n",
+        admitted->cluster, admitted->distance,
+        admitted->drifted ? ", drifted" : "",
+        admitted->repretrained ? ", re-pretrained" : "", service->version(),
+        flags.at("kb-path").c_str());
+  }
+  return 0;
+}
+
+int CmdAdmit(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("kb-path") || !flags.count("history")) return Usage();
+  auto service = kb::KbService::Open(flags.at("kb-path"));
+  if (!service.ok()) {
+    std::fprintf(stderr, "kb load failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  auto records = core::LoadHistory(flags.at("history"));
+  if (!records.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  int repretrains = 0;
+  for (auto& r : *records) {
+    kb::AdmissionRecord rec;
+    rec.record = std::move(r);
+    auto outcome = (*service)->Admit(rec);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "admission failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (outcome->repretrained) ++repretrains;
+  }
+  Status st = (*service)->Save(flags.at("kb-path"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "kb save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("admitted %zu record(s), %d re-pretrain(s), kb v%lld -> %s\n",
+              records->size(), repretrains, (*service)->version(),
+              flags.at("kb-path").c_str());
   return 0;
 }
 
@@ -403,6 +528,35 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
     }
     return 0;
   }
+  if (flags.count("kb")) {
+    auto loaded = kb::LoadKb(flags.at("kb"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "kb: %d cluster(s), %zu corpus records (%lld at last pre-train), "
+        "%lld admission(s), %lld drifted\n",
+        loaded->bundle->num_clusters(), loaded->bundle->records().size(),
+        loaded->pretrain_corpus_size, loaded->admissions_total,
+        loaded->drifted_since_pretrain);
+    for (size_t c = 0; c < loaded->appearance.size(); ++c) {
+      std::printf("  cluster %zu: center=%s, appearance=%lld\n", c,
+                  loaded->bundle->cluster(static_cast<int>(c))
+                      .center.name()
+                      .c_str(),
+                  loaded->appearance[c]);
+    }
+    for (const auto& [name, job] : loaded->jobs) {
+      std::printf(
+          "  job %s: %lld admission(s), %zu feedback sample(s), %zu GP "
+          "observation(s)\n",
+          name.c_str(), job.admissions, job.feedback.size(),
+          job.gp_observations.size());
+    }
+    return 0;
+  }
   return Usage();
 }
 
@@ -415,6 +569,7 @@ int main(int argc, char** argv) {
   if (cmd == "collect") return CmdCollect(flags);
   if (cmd == "pretrain") return CmdPretrain(flags);
   if (cmd == "tune") return CmdTune(flags);
+  if (cmd == "admit") return CmdAdmit(flags);
   if (cmd == "simulate") return CmdSimulate(flags);
   if (cmd == "inspect") return CmdInspect(flags);
   return Usage();
