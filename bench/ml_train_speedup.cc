@@ -1,0 +1,391 @@
+// ML-core speedup: the Var-graph engine (shared_ptr node per op, fresh
+// allocations every step) versus the tape engine (arena-allocated records,
+// reused value/grad buffers, transpose-free backward kernels).
+//
+// Three measurements, all over the real training/inference paths:
+//
+//   1. GNN training-epoch throughput (the refactor's headline metric):
+//      epochs of forward + backward over the Nexmark history corpus. The
+//      pre-refactor step rebuilds features/targets/parallelism column and
+//      re-derives the normalized adjacencies per sample per epoch and runs
+//      the Var engine; the tape step uses hoisted per-sample inputs, a
+//      cached GraphContext, and one persistent tape. The engine-independent
+//      Adam update is excluded from both sides. Losses are checked
+//      bit-identical sample by sample.
+//   2. Full Pretrainer::Run wall time (GED clustering + training + the
+//      shared Adam optimizer) with use_tape=false vs true at 1/4/8 worker
+//      threads; serialized bundles must be byte-identical across every
+//      engine x thread-count combination — the refactor is a pure
+//      performance change.
+//   3. Single-graph inference latency: parallelism-agnostic embeddings of
+//      one DAG, Var path (re-derives adjacency, allocates a fresh graph per
+//      call) vs tape path (prebuilt GraphContext, persistent tape), also
+//      checked bit-identical.
+//
+// Emits BENCH_mltrain.json. Exits 1 only on an identity mismatch.
+//
+// Environment knobs:
+//   ST_BENCH_EPOCH_ITERS  epochs for the epoch-throughput section (default 50).
+//   ST_BENCH_REPS         timing repetitions; best-of is reported (default 7).
+//   ST_BENCH_EPOCHS       Pretrainer epochs per full run (default 40).
+//   ST_BENCH_SAMPLES      history samples per job (default 6).
+//   ST_BENCH_INFER        inference iterations per engine (default 2000).
+//   ST_BENCH_HIDDEN       GNN hidden width (default 32).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/serialization.h"
+#include "ml/gnn.h"
+#include "ml/nn.h"
+#include "ml/tape.h"
+#include "workloads/nexmark.h"
+
+using namespace streamtune;
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int Hidden() { return EnvInt("ST_BENCH_HIDDEN", 32); }
+int Reps() { return EnvInt("ST_BENCH_REPS", 7); }
+
+core::PretrainOptions BenchOptions(int epochs, bool use_tape, int threads) {
+  core::PretrainOptions opts;
+  opts.k = 2;
+  opts.epochs = epochs;
+  opts.hidden_dim = Hidden();
+  opts.gnn_layers = 3;
+  opts.use_tape = use_tape;
+  opts.num_threads = threads;
+  return opts;
+}
+
+std::string SerializedBundle(const core::PretrainedBundle& bundle) {
+  std::ostringstream os;
+  Status s = core::WriteBundleBody(os, bundle);
+  if (!s.ok()) {
+    std::fprintf(stderr, "WriteBundleBody failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return os.str();
+}
+
+struct TrainRun {
+  double ms = 0;
+  std::string serialized;
+};
+
+TrainRun RunTraining(const std::vector<core::HistoryRecord>& corpus,
+                     int epochs, bool use_tape, int threads) {
+  core::Pretrainer trainer(BenchOptions(epochs, use_tape, threads));
+  TrainRun out;
+  double t0 = NowMs();
+  auto bundle = trainer.Run(corpus);
+  out.ms = NowMs() - t0;
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "Pretrainer::Run failed: %s\n",
+                 bundle.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.serialized = SerializedBundle(*bundle);
+  return out;
+}
+
+ml::Matrix FeatureMatrix(const FeatureEncoder& fe, const JobGraph& g,
+                         const std::vector<double>& rates) {
+  return ml::Matrix::FromRows(fe.EncodeGraphWithRates(g, rates));
+}
+
+ml::Matrix ParallelismColumn(const FeatureEncoder& fe,
+                             const std::vector<int>& p) {
+  ml::Matrix col(static_cast<int>(p.size()), 1);
+  for (size_t i = 0; i < p.size(); ++i) {
+    col.at(static_cast<int>(i), 0) = fe.ScaleParallelism(p[i]);
+  }
+  return col;
+}
+
+struct EpochBench {
+  double var_ms = 0;
+  double tape_ms = 0;
+  int samples = 0;
+  bool identical = true;
+};
+
+// Epoch throughput: the per-sample forward + backward step exactly as the
+// two training loops in Pretrainer::Run perform it, minus opt.Step() (Adam
+// is shared by both engines and unchanged by the refactor). Both sides run
+// against the same frozen weights, so per-sample losses must match bitwise.
+EpochBench RunEpochBench(const std::vector<core::HistoryRecord>& corpus,
+                         int iters) {
+  EpochBench out;
+  FeatureEncoder fe;
+  ml::GnnConfig gcfg;
+  gcfg.feature_dim = FeatureEncoder::FeatureDim();
+  gcfg.hidden_dim = Hidden();
+  gcfg.num_layers = 3;
+  gcfg.seed = 777;
+  ml::GnnEncoder encoder(gcfg);
+  Rng head_rng(778);
+  ml::Mlp head({Hidden(), 16, 1}, ml::Activation::kRelu, &head_rng);
+
+  // Tape-path inputs: prepared once, reused every epoch (what the refactor
+  // hoisted out of the epoch loop).
+  struct Prepared {
+    ml::GraphContext ctx;
+    ml::Matrix features, pcol, targets, mask;
+    bool any = false;
+  };
+  std::vector<Prepared> prepared(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const core::HistoryRecord& rec = corpus[i];
+    Prepared& ps = prepared[i];
+    ps.ctx = ml::GraphContext::Build(rec.graph);
+    ps.features = FeatureMatrix(fe, rec.graph, rec.source_rates);
+    ps.pcol = ParallelismColumn(fe, rec.parallelism);
+    const int n = rec.graph.num_operators();
+    ps.targets = ml::Matrix(n, 1);
+    ps.mask = ml::Matrix(n, 1);
+    for (int v = 0; v < n; ++v) {
+      if (rec.labels[v] >= 0) {
+        ps.targets.at(v, 0) = rec.labels[v];
+        ps.mask.at(v, 0) = 1.0;
+        ps.any = true;
+      }
+    }
+    if (ps.any) ++out.samples;
+  }
+
+  std::vector<double> var_losses;
+  ml::Tape tape;
+
+  // Reps interleave the two engines and report best-of so a background noise
+  // spike on a shared machine cannot skew one side's measurement.
+  for (int rep = 0; rep < Reps(); ++rep) {
+    // Pre-refactor epoch: rebuild every per-sample input and re-derive the
+    // adjacencies each time, then run the Var engine (the verbatim old loop
+    // body from Pretrainer::Run).
+    double t0 = NowMs();
+    for (int it = 0; it < iters; ++it) {
+      for (const core::HistoryRecord& rec : corpus) {
+        const int n = rec.graph.num_operators();
+        ml::Matrix targets(n, 1), mask(n, 1);
+        bool any = false;
+        for (int v = 0; v < n; ++v) {
+          if (rec.labels[v] >= 0) {
+            targets.at(v, 0) = rec.labels[v];
+            mask.at(v, 0) = 1.0;
+            any = true;
+          }
+        }
+        if (!any) continue;
+        ml::Var emb = encoder.Forward(
+            rec.graph, FeatureMatrix(fe, rec.graph, rec.source_rates),
+            ParallelismColumn(fe, rec.parallelism));
+        ml::Var logits = head.Forward(emb);
+        ml::Var loss = ml::BceWithLogitsMasked(logits, targets, mask);
+        ml::Backward(loss);
+        if (rep == 0 && it == 0) var_losses.push_back(loss->value.at(0, 0));
+      }
+    }
+    const double var_ms = NowMs() - t0;
+    if (rep == 0 || var_ms < out.var_ms) out.var_ms = var_ms;
+
+    // Tape epoch: hoisted inputs + one persistent tape.
+    size_t li = 0;
+    double t1 = NowMs();
+    for (int it = 0; it < iters; ++it) {
+      for (const Prepared& ps : prepared) {
+        if (!ps.any) continue;
+        tape.Reset();
+        ml::Tape::Ref emb =
+            encoder.Forward(&tape, ps.ctx, ps.features, ps.pcol);
+        ml::Tape::Ref logits = head.Forward(&tape, emb);
+        ml::Tape::Ref loss =
+            tape.BceWithLogitsMasked(logits, &ps.targets, &ps.mask);
+        tape.Backward(loss);
+        if (rep == 0 && it == 0 &&
+            tape.value(loss).at(0, 0) != var_losses[li++]) {
+          out.identical = false;
+        }
+      }
+    }
+    const double tape_ms = NowMs() - t1;
+    if (rep == 0 || tape_ms < out.tape_ms) out.tape_ms = tape_ms;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int epoch_iters = EnvInt("ST_BENCH_EPOCH_ITERS", 50);
+  const int epochs = EnvInt("ST_BENCH_EPOCHS", 40);
+  const int samples = EnvInt("ST_BENCH_SAMPLES", 6);
+  const int infer_iters = EnvInt("ST_BENCH_INFER", 2000);
+  const std::vector<int> thread_counts = {1, 4, 8};
+
+  std::vector<JobGraph> jobs;
+  for (workloads::NexmarkQuery q : workloads::AllNexmarkQueries()) {
+    jobs.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+  core::HistoryOptions hopts;
+  hopts.samples_per_job = samples;
+  std::vector<core::HistoryRecord> corpus = core::CollectHistory(jobs, hopts);
+  std::printf("corpus: %zu records over %zu jobs (hidden=%d)\n", corpus.size(),
+              jobs.size(), Hidden());
+
+  bool identical = true;
+
+  // --- 1. GNN training-epoch throughput -------------------------------
+  EpochBench eb = RunEpochBench(corpus, epoch_iters);
+  const double epoch_speedup = eb.tape_ms > 0 ? eb.var_ms / eb.tape_ms : 0.0;
+  std::printf(
+      "[epoch] %d epochs x %d samples: Var %.0f ms -> tape %.0f ms (%.2fx)\n",
+      epoch_iters, eb.samples, eb.var_ms, eb.tape_ms, epoch_speedup);
+  if (!eb.identical) {
+    identical = false;
+    std::fprintf(stderr, "EPOCH LOSS IDENTITY MISMATCH\n");
+  }
+
+  // --- 2. Full Pretrainer::Run ----------------------------------------
+  std::string reference;
+  std::vector<double> var_ms(thread_counts.size());
+  std::vector<double> tape_ms(thread_counts.size());
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const int t = thread_counts[i];
+    std::printf("[run]   Var engine,  %d thread(s)... ", t);
+    std::fflush(stdout);
+    TrainRun var_run = RunTraining(corpus, epochs, /*use_tape=*/false, t);
+    var_ms[i] = var_run.ms;
+    std::printf("%.0f ms\n", var_run.ms);
+
+    std::printf("[run]   tape engine, %d thread(s)... ", t);
+    std::fflush(stdout);
+    TrainRun tape_run = RunTraining(corpus, epochs, /*use_tape=*/true, t);
+    tape_ms[i] = tape_run.ms;
+    std::printf("%.0f ms  (%.2fx)\n", tape_run.ms,
+                tape_run.ms > 0 ? var_run.ms / tape_run.ms : 0.0);
+
+    if (reference.empty()) reference = var_run.serialized;
+    if (var_run.serialized != reference || tape_run.serialized != reference) {
+      identical = false;
+      std::fprintf(stderr, "RUN IDENTITY MISMATCH at %d thread(s)\n", t);
+    }
+  }
+
+  // --- 3. Single-graph inference latency ------------------------------
+  JobGraph graph = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                              workloads::Engine::kFlink);
+  ml::GnnConfig gcfg;
+  gcfg.feature_dim = FeatureEncoder::FeatureDim();
+  gcfg.hidden_dim = Hidden();
+  gcfg.num_layers = 3;
+  gcfg.seed = 17;
+  ml::GnnEncoder encoder(gcfg);
+  FeatureEncoder fe;
+  ml::Matrix features = ml::Matrix::FromRows(fe.EncodeGraph(graph));
+
+  ml::GraphContext ctx = ml::GraphContext::Build(graph);
+  ml::Tape tape;
+  ml::Matrix var_emb, tape_emb;
+  double var_infer_us = 0, tape_infer_us = 0;
+  for (int rep = 0; rep < Reps(); ++rep) {
+    // Var path: exactly what AgnosticEmbeddings did before the refactor —
+    // fresh node graph and re-derived adjacency on every call.
+    double t0 = NowMs();
+    for (int i = 0; i < infer_iters; ++i) {
+      ml::Var emb = encoder.ForwardAgnostic(graph, features);
+      var_emb = emb->value;
+    }
+    const double var_us = (NowMs() - t0) * 1000.0 / infer_iters;
+    if (rep == 0 || var_us < var_infer_us) var_infer_us = var_us;
+
+    // Tape path: prebuilt GraphContext + one persistent tape.
+    double t1 = NowMs();
+    for (int i = 0; i < infer_iters; ++i) {
+      tape.Reset();
+      ml::Tape::Ref emb = encoder.ForwardAgnostic(&tape, ctx, features);
+      tape_emb = tape.value(emb);
+    }
+    const double tape_us = (NowMs() - t1) * 1000.0 / infer_iters;
+    if (rep == 0 || tape_us < tape_infer_us) tape_infer_us = tape_us;
+  }
+
+  bool infer_identical = var_emb.same_shape(tape_emb);
+  if (infer_identical) {
+    for (size_t i = 0; i < var_emb.size(); ++i) {
+      if (var_emb.data()[i] != tape_emb.data()[i]) {
+        infer_identical = false;
+        break;
+      }
+    }
+  }
+  if (!infer_identical) {
+    identical = false;
+    std::fprintf(stderr, "INFERENCE IDENTITY MISMATCH\n");
+  }
+  const double infer_speedup =
+      tape_infer_us > 0 ? var_infer_us / tape_infer_us : 0.0;
+  std::printf(
+      "[infer] Var %.1f us/graph -> tape %.1f us/graph  (%.2fx, %d iters)\n",
+      var_infer_us, tape_infer_us, infer_speedup, infer_iters);
+
+  std::printf("\ntrain-epoch speedup: %.2fx; inference speedup: %.2fx; "
+              "bit-identical: %s\n",
+              epoch_speedup, infer_speedup, identical ? "yes" : "NO (BUG)");
+
+  FILE* f = std::fopen("BENCH_mltrain.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"corpus_records\": %zu,\n"
+                 "  \"hidden_dim\": %d,\n"
+                 "  \"epoch\": {\"iters\": %d, \"samples\": %d, "
+                 "\"var_ms\": %.1f, \"tape_ms\": %.1f},\n"
+                 "  \"train_epoch_speedup\": %.3f,\n"
+                 "  \"pretrain_run\": [\n",
+                 corpus.size(), Hidden(), epoch_iters, eb.samples, eb.var_ms,
+                 eb.tape_ms, epoch_speedup);
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(
+          f,
+          "    {\"threads\": %d, \"var_ms\": %.1f, \"tape_ms\": %.1f, "
+          "\"speedup\": %.3f}%s\n",
+          thread_counts[i], var_ms[i], tape_ms[i],
+          tape_ms[i] > 0 ? var_ms[i] / tape_ms[i] : 0.0,
+          i + 1 < thread_counts.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"pretrain_epochs\": %d,\n"
+                 "  \"inference_iters\": %d,\n"
+                 "  \"var_infer_us\": %.2f,\n"
+                 "  \"tape_infer_us\": %.2f,\n"
+                 "  \"inference_speedup\": %.3f,\n"
+                 "  \"identical_results\": %s\n"
+                 "}\n",
+                 epochs, infer_iters, var_infer_us, tape_infer_us,
+                 infer_speedup, identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_mltrain.json\n");
+  }
+  return identical ? 0 : 1;
+}

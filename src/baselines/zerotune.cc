@@ -61,16 +61,29 @@ Status ZeroTuneTuner::Train(const std::vector<ZeroTuneExample>& data) {
   for (const ml::Var& p : readout_.Params()) params.push_back(p);
   ml::Adam opt(params, options_.learning_rate);
 
+  // Per-example inputs are fixed across epochs: prepare once, then drive
+  // one persistent tape (allocation-free from the second epoch on).
+  struct Prepared {
+    ml::GraphContext ctx;
+    ml::Matrix features, pcol, target;
+  };
+  std::vector<Prepared> prepared(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    prepared[i].ctx = ml::GraphContext::Build(data[i].graph);
+    prepared[i].features = FeatureMatrix(encoder_, data[i].graph);
+    prepared[i].pcol = ParallelismColumn(encoder_, data[i].parallelism);
+    prepared[i].target = ml::Matrix(1, 1);
+    prepared[i].target.at(0, 0) = (logc[i] - mean) / stddev;
+  }
+
+  ml::Tape tape;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (size_t i = 0; i < data.size(); ++i) {
-      const ZeroTuneExample& ex = data[i];
-      ml::Var emb = gnn_.Forward(ex.graph, FeatureMatrix(encoder_, ex.graph),
-                                 ParallelismColumn(encoder_, ex.parallelism));
-      ml::Var pred = readout_.Forward(ml::MeanRows(emb));
-      ml::Matrix target(1, 1);
-      target.at(0, 0) = (logc[i] - mean) / stddev;
-      ml::Var loss = ml::MseLoss(pred, target);
-      ml::Backward(loss);
+    for (const Prepared& p : prepared) {
+      tape.Reset();
+      ml::Tape::Ref emb = gnn_.Forward(&tape, p.ctx, p.features, p.pcol);
+      ml::Tape::Ref pred = readout_.Forward(&tape, tape.MeanRows(emb));
+      ml::Tape::Ref loss = tape.MseLoss(pred, &p.target);
+      tape.Backward(loss);
       opt.Step();
     }
   }
@@ -84,10 +97,14 @@ Result<double> ZeroTuneTuner::PredictCost(
   if (static_cast<int>(parallelism.size()) != graph.num_operators()) {
     return Status::InvalidArgument("parallelism size mismatch");
   }
-  ml::Var emb = gnn_.Forward(graph, FeatureMatrix(encoder_, graph),
-                             ParallelismColumn(encoder_, parallelism));
-  ml::Var pred = readout_.Forward(ml::MeanRows(emb));
-  return pred->value.at(0, 0);
+  ml::Matrix features = FeatureMatrix(encoder_, graph);
+  ml::Matrix pcol = ParallelismColumn(encoder_, parallelism);
+  ml::GraphContext ctx = ml::GraphContext::Build(graph);
+  thread_local ml::Tape tape;
+  tape.Reset();
+  ml::Tape::Ref emb = gnn_.Forward(&tape, ctx, features, pcol);
+  ml::Tape::Ref pred = readout_.Forward(&tape, tape.MeanRows(emb));
+  return tape.value(pred).at(0, 0);
 }
 
 Result<TuningOutcome> ZeroTuneTuner::Tune(sim::StreamEngine* engine) {

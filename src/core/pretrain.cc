@@ -26,6 +26,17 @@ ml::Matrix ParallelismColumn(const FeatureEncoder& encoder,
   return col;
 }
 
+/// Everything the tape training loop needs for one history record,
+/// prepared once before the epoch loop and reused every epoch.
+struct PreparedSample {
+  const ml::GraphContext* ctx = nullptr;  ///< shared per unique graph
+  ml::Matrix features;  ///< static features + source rates
+  ml::Matrix pcol;      ///< scaled recorded parallelism column
+  ml::Matrix targets;   ///< Algorithm-1 labels (masked BCE targets)
+  ml::Matrix mask;      ///< 1.0 where the operator is labeled
+  bool any_label = false;
+};
+
 }  // namespace
 
 int PretrainedBundle::AssignCluster(const JobGraph& g) const {
@@ -38,7 +49,14 @@ int PretrainedBundle::AssignCluster(const JobGraph& g) const {
 ml::Matrix PretrainedBundle::AgnosticEmbeddings(
     int c, const JobGraph& g, const std::vector<double>& rates) const {
   ml::Matrix features = FeatureMatrix(feature_encoder_, g, rates);
-  ml::Var emb = clusters_[c].encoder.ForwardAgnostic(g, features);
+  ml::GraphContext ctx = ml::GraphContext::Build(g);
+  // thread_local: kb_service calls this concurrently; each thread reuses
+  // its own warmed-up tape.
+  thread_local ml::Tape tape;
+  tape.Reset();
+  ml::Tape::Ref emb_ref =
+      clusters_[c].encoder.ForwardAgnostic(&tape, ctx, features);
+  const ml::Matrix& emb = tape.value(emb_ref);
 
   // Skip connection for the fine-tuned model: append the job's mean source-
   // rate encoding to every row. The message-passing output carries the rate
@@ -56,13 +74,13 @@ ml::Matrix PretrainedBundle::AgnosticEmbeddings(
   }
   for (double& m : mean_rate) m /= n;
 
-  ml::Matrix out(n, emb->value.cols() + r_dim);
+  ml::Matrix out(n, emb.cols() + r_dim);
   for (int v = 0; v < n; ++v) {
-    for (int j = 0; j < emb->value.cols(); ++j) {
-      out.at(v, j) = emb->value.at(v, j);
+    for (int j = 0; j < emb.cols(); ++j) {
+      out.at(v, j) = emb.at(v, j);
     }
     for (int j = 0; j < r_dim; ++j) {
-      out.at(v, emb->value.cols() + j) = mean_rate[j];
+      out.at(v, emb.cols() + j) = mean_rate[j];
     }
   }
   return out;
@@ -72,13 +90,17 @@ std::vector<double> PretrainedBundle::PretrainHeadProbabilities(
     int c, const JobGraph& g, const std::vector<double>& rates,
     const std::vector<int>& parallelism) const {
   const ClusterModel& cm = clusters_[c];
-  ml::Var emb = cm.encoder.Forward(g, FeatureMatrix(feature_encoder_, g, rates),
-                                   ParallelismColumn(feature_encoder_,
-                                                     parallelism));
-  ml::Var logits = cm.head.Forward(emb);
+  ml::Matrix features = FeatureMatrix(feature_encoder_, g, rates);
+  ml::Matrix pcol = ParallelismColumn(feature_encoder_, parallelism);
+  ml::GraphContext ctx = ml::GraphContext::Build(g);
+  thread_local ml::Tape tape;
+  tape.Reset();
+  ml::Tape::Ref emb = cm.encoder.Forward(&tape, ctx, features, pcol);
+  ml::Tape::Ref logits = cm.head.Forward(&tape, emb);
+  const ml::Matrix& lv = tape.value(logits);
   std::vector<double> probs(g.num_operators());
   for (int v = 0; v < g.num_operators(); ++v) {
-    probs[v] = Sigmoid(logits->value.at(v, 0));
+    probs[v] = Sigmoid(lv.at(v, 0));
   }
   return probs;
 }
@@ -123,6 +145,14 @@ Result<PretrainedBundle> Pretrainer::Run(
         records[i].graph.name(), static_cast<int>(unique_graphs.size()));
     if (inserted) unique_graphs.push_back(records[i].graph);
     record_graph[i] = it->second;
+  }
+
+  // Normalized adjacency is a pure function of the (deduplicated) graph
+  // structure: build each GraphContext once and share it read-only across
+  // every cluster worker, epoch, and sample.
+  std::vector<ml::GraphContext> graph_contexts(unique_graphs.size());
+  for (size_t gi = 0; gi < unique_graphs.size(); ++gi) {
+    graph_contexts[gi] = ml::GraphContext::Build(unique_graphs[gi]);
   }
 
   // ---- Clustering (Sec. IV-C) ----
@@ -205,28 +235,79 @@ Result<PretrainedBundle> Pretrainer::Run(
 
     std::vector<int> order = cm.record_indices;
     Rng shuffle_rng(shuffle_seeds[c]);
-    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-      shuffle_rng.Shuffle(&order);
-      for (int ri : order) {
-        const HistoryRecord& rec = records[ri];
-        const int n = rec.graph.num_operators();
-        ml::Matrix targets(n, 1), mask(n, 1);
-        bool any = false;
-        for (int v = 0; v < n; ++v) {
-          if (rec.labels[v] >= 0) {
-            targets.at(v, 0) = rec.labels[v];
-            mask.at(v, 0) = 1.0;
-            any = true;
+
+    if (!options_.use_tape) {
+      // Original Var-graph loop, kept verbatim while the shim lasts so the
+      // equivalence test and the ml-train bench have an honest baseline.
+      for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+        shuffle_rng.Shuffle(&order);
+        for (int ri : order) {
+          const HistoryRecord& rec = records[ri];
+          const int n = rec.graph.num_operators();
+          ml::Matrix targets(n, 1), mask(n, 1);
+          bool any = false;
+          for (int v = 0; v < n; ++v) {
+            if (rec.labels[v] >= 0) {
+              targets.at(v, 0) = rec.labels[v];
+              mask.at(v, 0) = 1.0;
+              any = true;
+            }
           }
+          if (!any) continue;
+          ml::Var emb = cm.encoder.Forward(
+              rec.graph, FeatureMatrix(feature_encoder, rec.graph,
+                                       rec.source_rates),
+              ParallelismColumn(feature_encoder, rec.parallelism));
+          ml::Var logits = cm.head.Forward(emb);
+          ml::Var loss = ml::BceWithLogitsMasked(logits, targets, mask);
+          ml::Backward(loss);
+          opt.Step();
         }
-        if (!any) continue;
-        ml::Var emb = cm.encoder.Forward(
-            rec.graph, FeatureMatrix(feature_encoder, rec.graph,
-                                     rec.source_rates),
-            ParallelismColumn(feature_encoder, rec.parallelism));
-        ml::Var logits = cm.head.Forward(emb);
-        ml::Var loss = ml::BceWithLogitsMasked(logits, targets, mask);
-        ml::Backward(loss);
+      }
+      return;
+    }
+
+    // Tape path: per-sample inputs are a pure function of the record, so
+    // prepare them once (aligned with cm.record_indices) instead of
+    // rebuilding them every epoch.
+    std::vector<PreparedSample> prepared(cm.record_indices.size());
+    for (size_t i = 0; i < cm.record_indices.size(); ++i) {
+      const HistoryRecord& rec = records[cm.record_indices[i]];
+      PreparedSample& ps = prepared[i];
+      ps.ctx = &graph_contexts[record_graph[cm.record_indices[i]]];
+      ps.features = FeatureMatrix(feature_encoder, rec.graph,
+                                  rec.source_rates);
+      ps.pcol = ParallelismColumn(feature_encoder, rec.parallelism);
+      const int n = rec.graph.num_operators();
+      ps.targets = ml::Matrix(n, 1);
+      ps.mask = ml::Matrix(n, 1);
+      for (int v = 0; v < n; ++v) {
+        if (rec.labels[v] >= 0) {
+          ps.targets.at(v, 0) = rec.labels[v];
+          ps.mask.at(v, 0) = 1.0;
+          ps.any_label = true;
+        }
+      }
+    }
+
+    // Shuffling positions applies the identical Fisher-Yates permutation
+    // the old loop applied to record indices (the draws are value-
+    // independent), so the sample visit order is unchanged.
+    std::vector<int> positions(prepared.size());
+    std::iota(positions.begin(), positions.end(), 0);
+    ml::Tape tape;  // persistent: epoch 2+ run allocation-free
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      shuffle_rng.Shuffle(&positions);
+      for (int pos : positions) {
+        const PreparedSample& ps = prepared[pos];
+        if (!ps.any_label) continue;
+        tape.Reset();
+        ml::Tape::Ref emb =
+            cm.encoder.Forward(&tape, *ps.ctx, ps.features, ps.pcol);
+        ml::Tape::Ref logits = cm.head.Forward(&tape, emb);
+        ml::Tape::Ref loss =
+            tape.BceWithLogitsMasked(logits, &ps.targets, &ps.mask);
+        tape.Backward(loss);
         opt.Step();
       }
     }

@@ -41,6 +41,12 @@ struct PretrainOptions {
   /// up front in cluster order, so trained weights are bit-identical for
   /// any thread count.
   int num_threads = 0;
+  /// When true (default), train on the allocation-free tape engine with
+  /// per-sample inputs prepared once and reused across epochs. When false,
+  /// run the original Var-graph loop. Both produce bit-identical weights
+  /// (asserted by the equivalence test); the flag exists only so tests and
+  /// benches can compare against the old engine while the Var shim lasts.
+  bool use_tape = true;
 };
 
 /// One cluster's trained artifacts.

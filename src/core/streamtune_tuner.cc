@@ -59,6 +59,22 @@ const std::vector<ml::LabeledSample>& StreamTuneTuner::FeedbackFor(
   return it == accumulated_.end() ? kEmpty : it->second;
 }
 
+const ml::Matrix& StreamTuneTuner::CachedAgnosticEmbeddings(
+    int cluster, const JobGraph& g, const std::vector<double>& rates) const {
+  EmbeddingCache& c = embedding_cache_;
+  if (c.valid && c.cluster == cluster && c.graph_name == g.name() &&
+      c.num_operators == g.num_operators() && c.rates == rates) {
+    return c.embeddings;
+  }
+  c.embeddings = bundle_->AgnosticEmbeddings(cluster, g, rates);
+  c.cluster = cluster;
+  c.graph_name = g.name();
+  c.num_operators = g.num_operators();
+  c.rates = rates;
+  c.valid = true;
+  return c.embeddings;
+}
+
 int StreamTuneTuner::MinSafeParallelism(const ml::BottleneckModel& model,
                                         const std::vector<double>& embedding,
                                         int p_max) const {
@@ -81,8 +97,8 @@ std::vector<int> StreamTuneTuner::Recommend(const sim::StreamEngine& engine,
                                             const ml::BottleneckModel& model,
                                             int cluster) const {
   const JobGraph& g = engine.graph();
-  ml::Matrix emb = bundle_->AgnosticEmbeddings(cluster, g,
-                                               engine.current_source_rates());
+  const ml::Matrix& emb =
+      CachedAgnosticEmbeddings(cluster, g, engine.current_source_rates());
   std::vector<int> rec(g.num_operators(), 1);
   auto order = g.TopologicalOrder();
   for (int v : order.value()) {
@@ -259,7 +275,7 @@ Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
             std::max(bracket_lo[v], std::min(bracket_hi[v], rec[v]));
       }
     }
-    ml::Matrix emb = bundle_->AgnosticEmbeddings(
+    const ml::Matrix& emb = CachedAgnosticEmbeddings(
         cluster, engine->graph(), engine->current_source_rates());
     const int p_max = engine->max_parallelism();
     for (int v = 0; v < engine->graph().num_operators(); ++v) {

@@ -92,8 +92,29 @@ class StreamTuneTuner : public baselines::Tuner {
                          const std::vector<double>& embedding,
                          int p_max) const;
 
+  /// Returns the cached agnostic embeddings when (cluster, graph, rates)
+  /// are unchanged since the previous call; re-encodes otherwise. Within a
+  /// tuning session the graph never changes and the rates rarely do, yet
+  /// every Recommend and every feedback fold used to re-run the frozen
+  /// encoder from scratch.
+  const ml::Matrix& CachedAgnosticEmbeddings(
+      int cluster, const JobGraph& g,
+      const std::vector<double>& rates) const;
+
   std::shared_ptr<const PretrainedBundle> bundle_;
   StreamTuneOptions options_;
+
+  struct EmbeddingCache {
+    bool valid = false;
+    int cluster = -1;
+    std::string graph_name;
+    int num_operators = 0;
+    std::vector<double> rates;
+    ml::Matrix embeddings;
+  };
+  /// mutable: a pure memo — Recommend() is logically const. The tuner is
+  /// single-threaded (like its accumulated_ state).
+  mutable EmbeddingCache embedding_cache_;
 
   /// Per-job feedback collected across tuning processes (keyed by job
   /// name); bounded so long schedules cannot grow the fit unboundedly.

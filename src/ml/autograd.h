@@ -36,7 +36,8 @@ class Node {
   /// Adds `g` into this node's gradient, allocating on first use.
   void AccumGrad(const Matrix& g);
   bool has_grad() const { return grad.rows() > 0; }
-  /// Clears the gradient (kept allocated).
+  /// Drops the gradient (buffer released; the tape engine clears
+  /// capacity-retainingly via grad.Clear() instead).
   void ZeroGrad();
 };
 

@@ -24,6 +24,15 @@ GnnEncoder::GnnEncoder(const GnnConfig& config) : config_(config) {
   b_fuse_ = Param(Matrix::Zeros(1, config.hidden_dim));
 }
 
+GraphContext GraphContext::Build(const JobGraph& graph) {
+  GraphContext ctx;
+  ctx.a_up = GnnEncoder::NormalizedUpstreamAdj(graph);
+  ctx.a_dn = GnnEncoder::NormalizedDownstreamAdj(graph);
+  ctx.a_up_t = ctx.a_up.Transpose();
+  ctx.a_dn_t = ctx.a_dn.Transpose();
+  return ctx;
+}
+
 Matrix GnnEncoder::NormalizedUpstreamAdj(const JobGraph& graph) {
   int n = graph.num_operators();
   Matrix a(n, n);
@@ -80,6 +89,43 @@ Var GnnEncoder::Fuse(const Var& agnostic,
 Var GnnEncoder::Forward(const JobGraph& graph, const Matrix& features,
                         const Matrix& parallelism_scaled) const {
   return Fuse(ForwardAgnostic(graph, features), parallelism_scaled);
+}
+
+Tape::Ref GnnEncoder::ForwardAgnostic(Tape* tape, const GraphContext& ctx,
+                                      const Matrix& features) const {
+  assert(features.rows() == ctx.a_up.rows());
+  assert(features.cols() == config_.feature_dim);
+
+  Tape::Ref x = tape->Constant(&features);
+
+  Tape::Ref h = tape->RmsNormRows(tape->Relu(input_proj_.Forward(tape, x)));
+  for (const MessageLayer& layer : layers_) {
+    Tape::Ref msg_up = tape->MatMul(
+        tape->MatMulConst(&ctx.a_up, &ctx.a_up_t, h), tape->Param(layer.w_up));
+    Tape::Ref msg_dn = tape->MatMul(
+        tape->MatMulConst(&ctx.a_dn, &ctx.a_dn_t, h), tape->Param(layer.w_dn));
+    Tape::Ref self = tape->MatMul(h, tape->Param(layer.w_self));
+    Tape::Ref m = tape->AddRowBroadcast(
+        tape->Add(tape->Add(msg_up, msg_dn), self), tape->Param(layer.bias));
+    h = tape->RmsNormRows(tape->Relu(m));
+  }
+  return h;
+}
+
+Tape::Ref GnnEncoder::Fuse(Tape* tape, Tape::Ref agnostic,
+                           const Matrix& parallelism_scaled) const {
+  assert(parallelism_scaled.rows() == tape->value(agnostic).rows());
+  assert(parallelism_scaled.cols() == 1);
+  Tape::Ref p_col = tape->Constant(&parallelism_scaled);
+  Tape::Ref fused =
+      tape->MatMul(tape->ConcatCols(agnostic, p_col), tape->Param(w_fuse_));
+  return tape->Tanh(tape->AddRowBroadcast(fused, tape->Param(b_fuse_)));
+}
+
+Tape::Ref GnnEncoder::Forward(Tape* tape, const GraphContext& ctx,
+                              const Matrix& features,
+                              const Matrix& parallelism_scaled) const {
+  return Fuse(tape, ForwardAgnostic(tape, ctx, features), parallelism_scaled);
 }
 
 std::vector<Var> GnnEncoder::Params() const {

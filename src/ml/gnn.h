@@ -28,6 +28,7 @@
 #include "dataflow/job_graph.h"
 #include "ml/autograd.h"
 #include "ml/nn.h"
+#include "ml/tape.h"
 
 namespace streamtune::ml {
 
@@ -37,6 +38,20 @@ struct GnnConfig {
   int hidden_dim = 32;
   int num_layers = 3;
   uint64_t seed = 7;
+};
+
+/// Per-graph encoder inputs that never change across epochs or fine-tune
+/// iterations: the row-normalized adjacency matrices. Build once per unique
+/// graph and reuse — the Var path used to re-derive both on every
+/// ForwardAgnostic call.
+struct GraphContext {
+  Matrix a_up;    ///< row-normalized upstream adjacency
+  Matrix a_dn;    ///< row-normalized downstream adjacency
+  Matrix a_up_t;  ///< a_up transposed, for the backward pass (see
+                  ///< Tape::MatMulConst: hoists the transpose out of training)
+  Matrix a_dn_t;  ///< a_dn transposed
+
+  static GraphContext Build(const JobGraph& graph);
 };
 
 /// The dataflow-DAG encoder: per-operator embeddings of width hidden_dim.
@@ -57,6 +72,18 @@ class GnnEncoder {
 
   /// Applies only the FUSE step to precomputed agnostic embeddings.
   Var Fuse(const Var& agnostic, const Matrix& parallelism_scaled) const;
+
+  // Tape variants. Each records the identical op sequence as its Var
+  // counterpart, so values and parameter gradients are bit-identical; the
+  // caller owns `ctx`, `features`, and `parallelism_scaled`, which must
+  // outlive the tape recording (see Tape's lifetime contract).
+  Tape::Ref ForwardAgnostic(Tape* tape, const GraphContext& ctx,
+                            const Matrix& features) const;
+  Tape::Ref Fuse(Tape* tape, Tape::Ref agnostic,
+                 const Matrix& parallelism_scaled) const;
+  Tape::Ref Forward(Tape* tape, const GraphContext& ctx,
+                    const Matrix& features,
+                    const Matrix& parallelism_scaled) const;
 
   std::vector<Var> Params() const;
   const GnnConfig& config() const { return config_; }

@@ -19,12 +19,31 @@ Var Activate(const Var& x, Activation act) {
   return x;
 }
 
+Tape::Ref Activate(Tape* tape, Tape::Ref x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return tape->Relu(x);
+    case Activation::kTanh:
+      return tape->Tanh(x);
+    case Activation::kSigmoid:
+      return tape->Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
 LinearLayer::LinearLayer(int in_dim, int out_dim, Rng* rng)
     : W_(Param(Matrix::GlorotUniform(in_dim, out_dim, rng))),
       b_(Param(Matrix::Zeros(1, out_dim))) {}
 
 Var LinearLayer::Forward(const Var& x) const {
   return AddRowBroadcast(MatMul(x, W_), b_);
+}
+
+Tape::Ref LinearLayer::Forward(Tape* tape, Tape::Ref x) const {
+  return tape->AddRowBroadcast(tape->MatMul(x, tape->Param(W_)),
+                               tape->Param(b_));
 }
 
 Mlp::Mlp(const std::vector<int>& dims, Activation hidden_act, Rng* rng)
@@ -42,6 +61,15 @@ Var Mlp::Forward(const Var& x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(h);
     if (i + 1 < layers_.size()) h = Activate(h, hidden_act_);
+  }
+  return h;
+}
+
+Tape::Ref Mlp::Forward(Tape* tape, Tape::Ref x) const {
+  Tape::Ref h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(tape, h);
+    if (i + 1 < layers_.size()) h = Activate(tape, h, hidden_act_);
   }
   return h;
 }
@@ -66,28 +94,37 @@ Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
 
 void Adam::Step() {
   ++t_;
-  double bc1 = 1.0 - std::pow(beta1_, t_);
-  double bc2 = 1.0 - std::pow(beta2_, t_);
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  const double b1 = beta1_, one_minus_b1 = 1.0 - beta1_;
+  const double b2 = beta2_, one_minus_b2 = 1.0 - beta2_;
+  const double lr = lr_, eps = eps_;
   for (size_t i = 0; i < params_.size(); ++i) {
     Var& p = params_[i];
     if (!p->has_grad()) continue;
-    auto& g = p->grad.data();
-    auto& m = m_[i].data();
-    auto& v = v_[i].data();
-    auto& w = p->value.data();
-    for (size_t k = 0; k < w.size(); ++k) {
-      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g[k];
-      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g[k] * g[k];
-      double mhat = m[k] / bc1;
-      double vhat = v[k] / bc2;
-      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    // Restrict-qualified raw spans so the div/sqrt chain vectorizes; the
+    // per-element expressions are unchanged (same values, same rounding).
+    const double* __restrict g = p->grad.data().data();
+    double* __restrict m = m_[i].data().data();
+    double* __restrict v = v_[i].data().data();
+    double* __restrict w = p->value.data().data();
+    const size_t n = p->value.size();
+    for (size_t k = 0; k < n; ++k) {
+      m[k] = b1 * m[k] + one_minus_b1 * g[k];
+      v[k] = b2 * v[k] + one_minus_b2 * g[k] * g[k];
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      w[k] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
   }
   ZeroGrad();
 }
 
 void Adam::ZeroGrad() {
-  for (Var& p : params_) p->ZeroGrad();
+  // Capacity-retaining (unlike Node::ZeroGrad) so tape-driven training
+  // rewrites param grads each step without allocating. The Var engine's
+  // Backward releases every node grad itself, so it is unaffected.
+  for (Var& p : params_) p->grad.Clear();
 }
 
 }  // namespace streamtune::ml

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "ml/autograd.h"
+#include "ml/tape.h"
 
 namespace streamtune::ml {
 
@@ -15,6 +16,8 @@ enum class Activation { kRelu, kTanh, kSigmoid, kNone };
 
 /// Applies the chosen activation as an autograd op.
 Var Activate(const Var& x, Activation act);
+/// Tape variant of Activate; same ops, same numerics.
+Tape::Ref Activate(Tape* tape, Tape::Ref x, Activation act);
 
 /// A fully connected layer y = x W + b.
 class LinearLayer {
@@ -23,6 +26,8 @@ class LinearLayer {
   LinearLayer(int in_dim, int out_dim, Rng* rng);
 
   Var Forward(const Var& x) const;
+  /// Tape variant; records the identical op sequence onto `tape`.
+  Tape::Ref Forward(Tape* tape, Tape::Ref x) const;
   std::vector<Var> Params() const { return {W_, b_}; }
 
   const Var& weight() const { return W_; }
@@ -40,6 +45,8 @@ class Mlp {
   Mlp(const std::vector<int>& dims, Activation hidden_act, Rng* rng);
 
   Var Forward(const Var& x) const;
+  /// Tape variant; records the identical op sequence onto `tape`.
+  Tape::Ref Forward(Tape* tape, Tape::Ref x) const;
   std::vector<Var> Params() const;
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }

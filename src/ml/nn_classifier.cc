@@ -37,11 +37,14 @@ Status NnClassifier::Fit(const std::vector<LabeledSample>& data) {
   mlp_ = Mlp({embedding_dim_ + 1, config_.hidden_dim, config_.hidden_dim, 1},
              Activation::kRelu, &rng);
   Adam opt(mlp_.Params(), config_.learning_rate);
-  Var xs = Constant(x);
+  // One tape for the whole training run: after the first epoch records the
+  // op sequence, later epochs reuse every buffer (zero allocations).
+  Tape tape;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    Var logits = mlp_.Forward(xs);
-    Var loss = BceWithLogitsMasked(logits, y, mask);
-    Backward(loss);
+    tape.Reset();
+    Tape::Ref logits = mlp_.Forward(&tape, tape.Constant(&x));
+    Tape::Ref loss = tape.BceWithLogitsMasked(logits, &y, &mask);
+    tape.Backward(loss);
     opt.Step();
   }
   return Status::OK();
@@ -49,11 +52,16 @@ Status NnClassifier::Fit(const std::vector<LabeledSample>& data) {
 
 double NnClassifier::PredictProbability(const std::vector<double>& h,
                                         int parallelism) const {
-  Matrix x(1, embedding_dim_ + 1);
+  // thread_local so concurrent predictions (kb_service) each reuse their
+  // own buffers; the tape never allocates once warmed up.
+  thread_local Tape tape;
+  thread_local Matrix x;
+  x.SetShape(1, embedding_dim_ + 1);
   for (int j = 0; j < embedding_dim_; ++j) x.at(0, j) = h[j];
   x.at(0, embedding_dim_) = parallelism / config_.parallelism_scale;
-  Var out = mlp_.Forward(Constant(x));
-  return Sigmoid(out->value.at(0, 0));
+  tape.Reset();
+  Tape::Ref out = mlp_.Forward(&tape, tape.Constant(&x));
+  return Sigmoid(tape.value(out).at(0, 0));
 }
 
 }  // namespace streamtune::ml

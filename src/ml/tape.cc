@@ -1,0 +1,626 @@
+#include "ml/tape.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace streamtune::ml {
+
+void Tape::Reset() {
+  // Rewind the arena only; the index-aligned value/grad/aux slots keep both
+  // their entries and each entry's heap capacity, so re-recording the same
+  // op sequence touches the allocator zero times.
+  nodes_.clear();
+}
+
+Tape::Ref Tape::Push(const NodeRec& rec) {
+  const Ref id = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(rec);
+  if (val_.size() < nodes_.size()) {
+    val_.emplace_back();
+    grad_.emplace_back();
+    aux_.emplace_back();
+  }
+  return id;
+}
+
+Tape::Ref Tape::Constant(const Matrix* value) {
+  assert(value != nullptr);
+  NodeRec rec{Op::kConstant};
+  rec.ext = value;
+  return Push(rec);
+}
+
+Tape::Ref Tape::Param(const Var& param) {
+  assert(param != nullptr);
+  NodeRec rec{Op::kParam};
+  rec.param = param.get();
+  rec.requires_grad = param->requires_grad;
+  return Push(rec);
+}
+
+Tape::Ref Tape::Binary(Op op, Ref a, Ref b) {
+  NodeRec rec{op};
+  rec.a = a;
+  rec.b = b;
+  rec.requires_grad = Requires(a) || Requires(b);
+  return Push(rec);
+}
+
+Tape::Ref Tape::Unary(Op op, Ref a) {
+  NodeRec rec{op};
+  rec.a = a;
+  rec.requires_grad = Requires(a);
+  return Push(rec);
+}
+
+Tape::Ref Tape::MatMul(Ref a, Ref b) {
+  const Ref id = Binary(Op::kMatMul, a, b);
+  MatMulInto(value(a), value(b), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::MatMulConst(const Matrix* a, const Matrix* at, Ref b) {
+  assert(a != nullptr && at != nullptr);
+  assert(at->rows() == a->cols() && at->cols() == a->rows());
+  NodeRec rec{Op::kMatMulConst};
+  rec.b = b;
+  rec.ext = a;
+  rec.ext2 = at;
+  rec.requires_grad = Requires(b);
+  const Ref id = Push(rec);
+  MatMulInto(*a, value(b), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Add(Ref a, Ref b) {
+  const Ref id = Binary(Op::kAdd, a, b);
+  AddMatInto(value(a), value(b), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Sub(Ref a, Ref b) {
+  const Ref id = Binary(Op::kSub, a, b);
+  SubInto(value(a), value(b), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Hadamard(Ref a, Ref b) {
+  const Ref id = Binary(Op::kHadamard, a, b);
+  HadamardInto(value(a), value(b), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Scale(Ref a, double s) {
+  const Ref id = Unary(Op::kScale, a);
+  nodes_[id].scalar = s;
+  ScaleInto(value(a), s, &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::AddRowBroadcast(Ref a, Ref row) {
+  const Ref id = Binary(Op::kAddRowBroadcast, a, row);
+  AddRowBroadcastInto(value(a), value(row), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Relu(Ref a) {
+  const Ref id = Unary(Op::kRelu, a);
+  ReluInto(value(a), &val_[id]);
+  return id;
+}
+
+Tape::Ref Tape::Tanh(Ref a) {
+  const Ref id = Unary(Op::kTanh, a);
+  const Matrix& x = value(a);
+  Matrix& v = val_[id];
+  v.SetShapeUninit(x.rows(), x.cols());
+  const double* xs = x.data().data();
+  double* vs = v.data().data();
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) vs[i] = std::tanh(xs[i]);
+  return id;
+}
+
+Tape::Ref Tape::Sigmoid(Ref a) {
+  const Ref id = Unary(Op::kSigmoid, a);
+  const Matrix& x = value(a);
+  Matrix& v = val_[id];
+  v.SetShapeUninit(x.rows(), x.cols());
+  const double* xs = x.data().data();
+  double* vs = v.data().data();
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Stable branch, identical to SigmoidOp in autograd.cc.
+    vs[i] = xs[i] >= 0 ? 1.0 / (1.0 + std::exp(-xs[i]))
+                       : std::exp(xs[i]) / (1.0 + std::exp(xs[i]));
+  }
+  return id;
+}
+
+Tape::Ref Tape::ConcatCols(Ref a, Ref b) {
+  const Ref id = Binary(Op::kConcatCols, a, b);
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  assert(av.rows() == bv.rows());
+  Matrix& v = val_[id];
+  v.SetShapeUninit(av.rows(), av.cols() + bv.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    double* orow = v.row_span(r);
+    const double* arow = av.row_span(r);
+    const double* brow = bv.row_span(r);
+    for (int c = 0; c < av.cols(); ++c) orow[c] = arow[c];
+    for (int c = 0; c < bv.cols(); ++c) orow[av.cols() + c] = brow[c];
+  }
+  return id;
+}
+
+Tape::Ref Tape::MeanRows(Ref a) {
+  const Ref id = Unary(Op::kMeanRows, a);
+  const Matrix& av = value(a);
+  const int n = av.rows();
+  assert(n > 0);
+  nodes_[id].scalar = static_cast<double>(n);
+  // Like the Var engine: SumRows, then scale by the precomputed 1/n.
+  SumRowsInto(av, &val_[id]);
+  const double s = 1.0 / n;
+  for (double& v : val_[id].data()) v *= s;
+  return id;
+}
+
+Tape::Ref Tape::RmsNormRows(Ref a, double eps) {
+  const Ref id = Unary(Op::kRmsNormRows, a);
+  nodes_[id].scalar = eps;
+  const Matrix& x = value(a);
+  const int rows = x.rows(), cols = x.cols();
+  Matrix& v = val_[id];
+  v.SetShapeUninit(rows, cols);
+  std::vector<double>& inv_rms = aux_[id];
+  inv_rms.resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    const double* xrow = x.row_span(r);
+    double ms = 0;
+    for (int c = 0; c < cols; ++c) ms += xrow[c] * xrow[c];
+    ms = ms / cols + eps;
+    inv_rms[r] = 1.0 / std::sqrt(ms);
+    double* vrow = v.row_span(r);
+    for (int c = 0; c < cols; ++c) vrow[c] = xrow[c] * inv_rms[r];
+  }
+  return id;
+}
+
+Tape::Ref Tape::SumAll(Ref a) {
+  const Ref id = Unary(Op::kSumAll, a);
+  Matrix& v = val_[id];
+  v.SetShape(1, 1);
+  double s = 0;
+  for (double x : value(a).data()) s += x;
+  v.at(0, 0) = s;
+  return id;
+}
+
+Tape::Ref Tape::BceWithLogitsMasked(Ref logits, const Matrix* targets,
+                                    const Matrix* mask) {
+  assert(targets != nullptr && mask != nullptr);
+  const Matrix& z = value(logits);
+  assert(z.same_shape(*targets));
+  assert(z.same_shape(*mask));
+  const Ref id = Unary(Op::kBce, logits);
+  nodes_[id].ext = targets;
+  nodes_[id].ext2 = mask;
+  double count = 0;
+  for (double m : mask->data()) {
+    if (m != 0.0) count += 1.0;
+  }
+  nodes_[id].scalar = count;
+  Matrix& v = val_[id];
+  v.SetShape(1, 1);
+  if (count > 0) {
+    double total = 0;
+    const auto& zs = z.data();
+    const auto& ys = targets->data();
+    const auto& ms = mask->data();
+    for (size_t i = 0; i < zs.size(); ++i) {
+      if (ms[i] == 0.0) continue;
+      // Stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+      total += std::max(zs[i], 0.0) - zs[i] * ys[i] +
+               std::log1p(std::exp(-std::fabs(zs[i])));
+    }
+    v.at(0, 0) = total / count;
+  }
+  return id;
+}
+
+Tape::Ref Tape::MseLoss(Ref pred, const Matrix* target) {
+  assert(target != nullptr);
+  const Matrix& p = value(pred);
+  assert(p.same_shape(*target));
+  const Ref id = Unary(Op::kMse, pred);
+  nodes_[id].ext = target;
+  const double n = static_cast<double>(p.size());
+  nodes_[id].scalar = n;
+  SubInto(p, *target, &scratch_);
+  Matrix& v = val_[id];
+  v.SetShape(1, 1);
+  v.at(0, 0) = scratch_.SquaredNorm() / n;
+  return id;
+}
+
+const Matrix& Tape::value(Ref r) const {
+  const NodeRec& rec = nodes_[r];
+  switch (rec.op) {
+    case Op::kConstant:
+      return *rec.ext;
+    case Op::kParam:
+      return rec.param->value;
+    default:
+      return val_[r];
+  }
+}
+
+const Matrix& Tape::grad(Ref r) const {
+  if (nodes_[r].op == Op::kParam) return nodes_[r].param->grad;
+  return grad_[r];
+}
+
+void Tape::Contribute(Ref input, const Matrix& g) {
+  NodeRec& in = nodes_[input];
+  if (in.op == Op::kParam) {
+    in.param->AccumGrad(g);
+    return;
+  }
+  // Var engine AccumGrad semantics: the first contribution copies, later
+  // ones add. (Copy-assign reuses the slot's existing heap capacity.)
+  if (!has_grad_[input]) {
+    grad_[input] = g;
+    has_grad_[input] = 1;
+  } else {
+    AddInto(g, &grad_[input]);
+  }
+}
+
+void Tape::PassThrough(Ref i, Ref input) {
+  NodeRec& in = nodes_[input];
+  if (in.op != Op::kParam && !has_grad_[input]) {
+    // grad_[i] is dead once this BackwardStep returns (the reverse loop only
+    // descends), so hand its buffer to the input instead of copying. The
+    // moved values are bit-for-bit what AccumGrad's copy would have stored.
+    std::swap(grad_[input], grad_[i]);
+    has_grad_[input] = 1;
+    return;
+  }
+  Contribute(input, grad_[i]);
+}
+
+Matrix* Tape::BeginContribution(Ref input) {
+  NodeRec& in = nodes_[input];
+  // First contribution: let the backward kernel write straight into the
+  // gradient slot (same values AccumGrad's copy would have produced, minus
+  // the scratch round trip). Later contributions stage in scratch_ and add.
+  if (in.op == Op::kParam) {
+    return in.param->has_grad() ? &scratch_ : &in.param->grad;
+  }
+  return has_grad_[input] ? &scratch_ : &grad_[input];
+}
+
+void Tape::EndContribution(Ref input, Matrix* dest) {
+  NodeRec& in = nodes_[input];
+  if (in.op == Op::kParam) {
+    // A freshly written param->grad is non-empty, so has_grad() now reports
+    // true by itself — exactly AccumGrad's first-contribution state.
+    if (dest == &scratch_) in.param->AccumGrad(scratch_);
+    return;
+  }
+  if (dest == &scratch_) {
+    AddInto(scratch_, &grad_[input]);
+  } else {
+    has_grad_[input] = 1;
+  }
+}
+
+void Tape::BackwardStep(Ref i) {
+  const NodeRec& rec = nodes_[i];
+  const Matrix& g = grad_[i];
+  switch (rec.op) {
+    case Op::kConstant:
+    case Op::kParam:
+      break;
+    case Op::kMatMul:
+      if (Requires(rec.a)) {
+        Matrix* d = BeginContribution(rec.a);
+        MatMulNTInto(g, value(rec.b), d);
+        EndContribution(rec.a, d);
+      }
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        MatMulTNInto(value(rec.a), g, d);
+        EndContribution(rec.b, d);
+      }
+      break;
+    case Op::kMatMulConst:
+      // The constant side gets no gradient (it never requires one); the
+      // b side uses the hoisted transpose: MatMulInto(a^T, g) runs the
+      // identical addition chains as MatMulTNInto(a, g) would.
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        MatMulInto(*rec.ext2, g, d);
+        EndContribution(rec.b, d);
+      }
+      break;
+    case Op::kAdd:
+      // The swap-based PassThrough consumes grad_[i], so it must come last;
+      // with two requiring inputs the other side takes the copy. (If both
+      // inputs are the same node, the copy lands first and the pass-through
+      // degrades to the accumulate path — still two contributions.)
+      if (Requires(rec.a) && Requires(rec.b)) {
+        Contribute(rec.b, g);
+        PassThrough(i, rec.a);
+      } else if (Requires(rec.a)) {
+        PassThrough(i, rec.a);
+      } else if (Requires(rec.b)) {
+        PassThrough(i, rec.b);
+      }
+      break;
+    case Op::kSub:
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        ScaleInto(g, -1.0, d);
+        EndContribution(rec.b, d);
+      }
+      if (Requires(rec.a)) PassThrough(i, rec.a);
+      break;
+    case Op::kHadamard:
+      if (Requires(rec.a)) {
+        Matrix* d = BeginContribution(rec.a);
+        HadamardInto(g, value(rec.b), d);
+        EndContribution(rec.a, d);
+      }
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        HadamardInto(g, value(rec.a), d);
+        EndContribution(rec.b, d);
+      }
+      break;
+    case Op::kScale:
+      if (Requires(rec.a)) {
+        Matrix* d = BeginContribution(rec.a);
+        ScaleInto(g, rec.scalar, d);
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kAddRowBroadcast:
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        SumRowsInto(g, d);
+        EndContribution(rec.b, d);
+      }
+      if (Requires(rec.a)) PassThrough(i, rec.a);
+      break;
+    case Op::kRelu:
+      if (Requires(rec.a)) {
+        const Matrix& x = value(rec.a);
+        // First contribution to a tape node: mask grad_[i] in place (writing
+        // only the zeroed entries — untouched entries already hold the exact
+        // pass-through values) and move the buffer into the input's slot.
+        // Like PassThrough, the swap must be the last use of grad_[i].
+        if (nodes_[rec.a].op != Op::kParam && !has_grad_[rec.a]) {
+          const double* xs = x.data().data();
+          double* gs = grad_[i].data().data();
+          for (size_t k = 0; k < x.size(); ++k) {
+            if (xs[k] <= 0.0) gs[k] = 0.0;
+          }
+          std::swap(grad_[rec.a], grad_[i]);
+          has_grad_[rec.a] = 1;
+          break;
+        }
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(x.rows(), x.cols());
+        const double* xs = x.data().data();
+        const double* gs = g.data().data();
+        double* ss = d->data().data();
+        for (size_t k = 0; k < x.size(); ++k) {
+          ss[k] = xs[k] <= 0.0 ? 0.0 : gs[k];
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kTanh:
+      if (Requires(rec.a)) {
+        const Matrix& y = val_[i];
+        // In-place first contribution + buffer move, as in kRelu above; the
+        // per-element expression is unchanged.
+        if (nodes_[rec.a].op != Op::kParam && !has_grad_[rec.a]) {
+          const double* ys = y.data().data();
+          double* gs = grad_[i].data().data();
+          for (size_t k = 0; k < y.size(); ++k) {
+            gs[k] = gs[k] * (1.0 - ys[k] * ys[k]);
+          }
+          std::swap(grad_[rec.a], grad_[i]);
+          has_grad_[rec.a] = 1;
+          break;
+        }
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(y.rows(), y.cols());
+        const double* ys = y.data().data();
+        const double* gs = g.data().data();
+        double* ss = d->data().data();
+        for (size_t k = 0; k < y.size(); ++k) {
+          ss[k] = gs[k] * (1.0 - ys[k] * ys[k]);
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kSigmoid:
+      if (Requires(rec.a)) {
+        const Matrix& y = val_[i];
+        // In-place first contribution + buffer move, as in kRelu above.
+        if (nodes_[rec.a].op != Op::kParam && !has_grad_[rec.a]) {
+          const double* ys = y.data().data();
+          double* gs = grad_[i].data().data();
+          for (size_t k = 0; k < y.size(); ++k) {
+            gs[k] = gs[k] * (ys[k] * (1.0 - ys[k]));
+          }
+          std::swap(grad_[rec.a], grad_[i]);
+          has_grad_[rec.a] = 1;
+          break;
+        }
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(y.rows(), y.cols());
+        const double* ys = y.data().data();
+        const double* gs = g.data().data();
+        double* ss = d->data().data();
+        for (size_t k = 0; k < y.size(); ++k) {
+          ss[k] = gs[k] * (ys[k] * (1.0 - ys[k]));
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kConcatCols: {
+      const int ac = value(rec.a).cols();
+      if (Requires(rec.a)) {
+        Matrix* d = BeginContribution(rec.a);
+        SliceColsInto(g, 0, ac, d);
+        EndContribution(rec.a, d);
+      }
+      if (Requires(rec.b)) {
+        Matrix* d = BeginContribution(rec.b);
+        SliceColsInto(g, ac, g.cols(), d);
+        EndContribution(rec.b, d);
+      }
+      break;
+    }
+    case Op::kMeanRows:
+      if (Requires(rec.a)) {
+        const Matrix& x = value(rec.a);
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(x.rows(), x.cols());
+        const double* gs = g.data().data();
+        for (int r = 0; r < x.rows(); ++r) {
+          double* srow = d->row_span(r);
+          for (int c = 0; c < x.cols(); ++c) srow[c] = gs[c] / rec.scalar;
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kRmsNormRows:
+      if (Requires(rec.a)) {
+        const Matrix& y = val_[i];
+        const std::vector<double>& inv_rms = aux_[i];
+        const int rows = y.rows(), cols = y.cols();
+        // In-place first contribution + buffer move, as in kRelu above: each
+        // row's scaling factor m is read out before its entries are
+        // overwritten, so the per-element expressions are unchanged.
+        if (nodes_[rec.a].op != Op::kParam && !has_grad_[rec.a]) {
+          for (int r = 0; r < rows; ++r) {
+            double* grow = grad_[i].row_span(r);
+            const double* yrow = y.row_span(r);
+            double m = 0;
+            for (int c = 0; c < cols; ++c) m += grow[c] * yrow[c];
+            m /= cols;
+            for (int c = 0; c < cols; ++c) {
+              grow[c] = inv_rms[r] * (grow[c] - yrow[c] * m);
+            }
+          }
+          std::swap(grad_[rec.a], grad_[i]);
+          has_grad_[rec.a] = 1;
+          break;
+        }
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(rows, cols);
+        for (int r = 0; r < rows; ++r) {
+          const double* grow = g.row_span(r);
+          const double* yrow = y.row_span(r);
+          double* srow = d->row_span(r);
+          // dL/dx_c = inv_rms * (g_c - y_c * m), m = mean_c(g_c * y_c).
+          double m = 0;
+          for (int c = 0; c < cols; ++c) m += grow[c] * yrow[c];
+          m /= cols;
+          for (int c = 0; c < cols; ++c) {
+            srow[c] = inv_rms[r] * (grow[c] - yrow[c] * m);
+          }
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kSumAll:
+      if (Requires(rec.a)) {
+        const Matrix& x = value(rec.a);
+        Matrix* d = BeginContribution(rec.a);
+        d->SetShapeUninit(x.rows(), x.cols());
+        const double gv = g.at(0, 0);
+        for (double& v : d->data()) v = gv;
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kBce:
+      if (rec.scalar == 0.0) break;  // all-masked loss contributes nothing
+      if (Requires(rec.a)) {
+        const Matrix& z = value(rec.a);
+        Matrix* d = BeginContribution(rec.a);
+        // Zero-filling SetShape is load-bearing here: masked-out entries are
+        // skipped below and must read as exactly 0.0.
+        d->SetShape(z.rows(), z.cols());
+        const double* zs = z.data().data();
+        const double* ys = rec.ext->data().data();
+        const double* ms = rec.ext2->data().data();
+        double* ss = d->data().data();
+        const double gseed = g.at(0, 0);
+        for (size_t k = 0; k < z.size(); ++k) {
+          if (ms[k] == 0.0) continue;
+          const double s =
+              zs[k] >= 0 ? 1.0 / (1.0 + std::exp(-zs[k]))
+                         : std::exp(zs[k]) / (1.0 + std::exp(zs[k]));
+          ss[k] = gseed * (s - ys[k]) / rec.scalar;
+        }
+        EndContribution(rec.a, d);
+      }
+      break;
+    case Op::kMse:
+      if (Requires(rec.a)) {
+        const double s = 2.0 / rec.scalar * g.at(0, 0);
+        Matrix* d = BeginContribution(rec.a);
+        SubInto(value(rec.a), *rec.ext, d);
+        for (double& v : d->data()) v *= s;
+        EndContribution(rec.a, d);
+      }
+      break;
+  }
+}
+
+void Tape::Backward(Ref root) {
+  assert(root >= 0 && root < static_cast<Ref>(nodes_.size()));
+  assert(value(root).rows() == 1 && value(root).cols() == 1);
+  const size_t n = nodes_.size();
+  has_grad_.assign(n, 0);
+  // Like the Var engine's Backward, clear parameter grads before
+  // accumulating. Not ZeroGrad(): that releases the buffer (Var shim
+  // semantics), while Clear() retains capacity so steady-state steps
+  // rewrite param grads without allocating.
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes_[i].op == Op::kParam) nodes_[i].param->grad.Clear();
+  }
+  grad_[root].SetShape(1, 1);
+  grad_[root].at(0, 0) = 1.0;
+  has_grad_[root] = 1;
+  // Reverse recording order is a valid topological order (every op is
+  // recorded after its inputs). Gradients flow only along paths that reach
+  // a parameter; the Var engine's dead gradients into constants are never
+  // read, so skipping them cannot change any parameter gradient bit.
+  for (Ref i = root; i >= 0; --i) {
+    if (!has_grad_[i] || !nodes_[i].requires_grad) continue;
+    BackwardStep(i);
+  }
+}
+
+Tape::Stats Tape::ArenaStats() const {
+  Stats s;
+  s.node_capacity = nodes_.capacity();
+  s.matrix_slots = val_.size();
+  s.buffer_doubles = scratch_.capacity();
+  for (const Matrix& m : val_) s.buffer_doubles += m.capacity();
+  for (const Matrix& m : grad_) s.buffer_doubles += m.capacity();
+  for (const std::vector<double>& v : aux_) s.buffer_doubles += v.capacity();
+  return s;
+}
+
+}  // namespace streamtune::ml

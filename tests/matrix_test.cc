@@ -111,5 +111,93 @@ TEST(MatrixTest, GlorotUniformWithinLimit) {
   EXPECT_GT(m.MaxAbs(), 0.0);  // not all zero
 }
 
+// ---- Kernel layer ----------------------------------------------------------
+
+Matrix RandomMatrix(int r, int c, Rng* rng) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = 2 * rng->Uniform() - 1;
+  // Sprinkle exact zeros so the kernels' zero-skip path is exercised.
+  for (int i = 0; i < r * c; i += 5) m.data()[i] = 0.0;
+  return m;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(MatrixKernelTest, MatMulIntoBitIdenticalToMatMul) {
+  Rng rng(21);
+  Matrix a = RandomMatrix(5, 7, &rng);
+  Matrix b = RandomMatrix(7, 4, &rng);
+  Matrix out;
+  MatMulInto(a, b, &out);
+  ExpectBitIdentical(out, a.MatMul(b));
+}
+
+TEST(MatrixKernelTest, MatMulNTIntoBitIdenticalToTransposedComposition) {
+  Rng rng(22);
+  Matrix a = RandomMatrix(5, 7, &rng);
+  Matrix b = RandomMatrix(4, 7, &rng);  // out = a * b^T -> 5x4
+  Matrix out;
+  MatMulNTInto(a, b, &out);
+  ExpectBitIdentical(out, a.MatMul(b.Transpose()));
+}
+
+TEST(MatrixKernelTest, MatMulTNIntoBitIdenticalToTransposedComposition) {
+  Rng rng(23);
+  Matrix a = RandomMatrix(7, 5, &rng);
+  Matrix b = RandomMatrix(7, 4, &rng);  // out = a^T * b -> 5x4
+  Matrix out;
+  MatMulTNInto(a, b, &out);
+  ExpectBitIdentical(out, a.Transpose().MatMul(b));
+}
+
+TEST(MatrixKernelTest, ElementwiseKernelsBitIdentical) {
+  Rng rng(24);
+  Matrix a = RandomMatrix(4, 6, &rng);
+  Matrix b = RandomMatrix(4, 6, &rng);
+  Matrix row = RandomMatrix(1, 6, &rng);
+  Matrix out;
+  AddMatInto(a, b, &out);
+  ExpectBitIdentical(out, a.Add(b));
+  SubInto(a, b, &out);
+  ExpectBitIdentical(out, a.Sub(b));
+  HadamardInto(a, b, &out);
+  ExpectBitIdentical(out, a.Hadamard(b));
+  ScaleInto(a, -1.75, &out);
+  ExpectBitIdentical(out, a.Scale(-1.75));
+  AddRowBroadcastInto(a, row, &out);
+  ExpectBitIdentical(out, a.AddRowBroadcast(row));
+  SumRowsInto(a, &out);
+  ExpectBitIdentical(out, a.SumRows());
+  SliceColsInto(a, 1, 4, &out);
+  ExpectBitIdentical(out, a.SliceCols(1, 4));
+
+  Matrix acc = a;
+  AddInto(b, &acc);
+  ExpectBitIdentical(acc, a.Add(b));
+  acc = a;
+  AxpyInto(0.5, b, &acc);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_EQ(acc.data()[i], a.data()[i] + 0.5 * b.data()[i]);
+  }
+}
+
+TEST(MatrixKernelTest, SetShapeRetainsCapacity) {
+  Matrix m(8, 8, 1.0);
+  const size_t cap = m.capacity();
+  ASSERT_GE(cap, 64u);
+  m.SetShape(4, 4);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.capacity(), cap);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);  // zero-filled
+  m.Clear();
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.capacity(), cap);
+  m.SetShape(8, 8);  // back to the watermark: still no reallocation
+  EXPECT_EQ(m.capacity(), cap);
+}
+
 }  // namespace
 }  // namespace streamtune::ml

@@ -1,0 +1,177 @@
+// Old-vs-new engine equivalence: the tape refactor must be a pure
+// performance change. Every test here asserts BIT-identical numerics
+// between the Var shim and the tape engine — full Pretrainer::Run output
+// (serialized weights round-trip doubles exactly at precision 17), the
+// classifier training loop, and the bundle's inference paths — serial and
+// multi-threaded.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/serialization.h"
+#include "ml/nn_classifier.h"
+#include "workloads/nexmark.h"
+
+namespace streamtune::core {
+namespace {
+
+std::vector<HistoryRecord> NexmarkCorpus() {
+  std::vector<JobGraph> jobs;
+  for (workloads::NexmarkQuery q : workloads::AllNexmarkQueries()) {
+    jobs.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+  HistoryOptions opts;
+  opts.samples_per_job = 4;
+  return CollectHistory(jobs, opts);
+}
+
+PretrainOptions FastOptions() {
+  PretrainOptions opts;
+  opts.k = 2;
+  opts.epochs = 4;
+  opts.hidden_dim = 12;
+  opts.gnn_layers = 2;
+  return opts;
+}
+
+std::string SerializedBundle(const PretrainedBundle& bundle) {
+  std::ostringstream os;
+  Status s = WriteBundleBody(os, bundle);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return os.str();
+}
+
+// The acceptance gate of the refactor: a full pre-training run — GED
+// clustering, per-cluster GNN+head training, every epoch and Adam step —
+// produces byte-identical serialized weights on the old Var engine and on
+// the tape engine, at any thread count.
+TEST(MlEquivalenceTest, PretrainerRunBitIdenticalOldVsTape) {
+  std::vector<HistoryRecord> corpus = NexmarkCorpus();
+
+  PretrainOptions old_opts = FastOptions();
+  old_opts.use_tape = false;
+  old_opts.num_threads = 1;
+  auto old_bundle = Pretrainer(old_opts).Run(corpus);
+  ASSERT_TRUE(old_bundle.ok());
+  const std::string reference = SerializedBundle(*old_bundle);
+  ASSERT_FALSE(reference.empty());
+
+  for (int threads : {1, 8}) {
+    PretrainOptions tape_opts = FastOptions();
+    tape_opts.use_tape = true;
+    tape_opts.num_threads = threads;
+    auto tape_bundle = Pretrainer(tape_opts).Run(corpus);
+    ASSERT_TRUE(tape_bundle.ok());
+    EXPECT_EQ(SerializedBundle(*tape_bundle), reference)
+        << "tape engine diverged from the Var engine at num_threads="
+        << threads;
+  }
+}
+
+// The Var shim itself must also be thread-count independent, so the two
+// engines can be compared at any parallelism (guards the test above).
+TEST(MlEquivalenceTest, OldEngineThreadCountIndependent) {
+  std::vector<HistoryRecord> corpus = NexmarkCorpus();
+  PretrainOptions opts = FastOptions();
+  opts.use_tape = false;
+  opts.num_threads = 1;
+  auto serial = Pretrainer(opts).Run(corpus);
+  ASSERT_TRUE(serial.ok());
+  opts.num_threads = 8;
+  auto parallel = Pretrainer(opts).Run(corpus);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(SerializedBundle(*serial), SerializedBundle(*parallel));
+}
+
+// AgnosticEmbeddings went from the Var engine to a thread-local tape: the
+// embeddings must match the Var path bit-for-bit.
+TEST(MlEquivalenceTest, AgnosticEmbeddingsMatchVarPath) {
+  std::vector<HistoryRecord> corpus = NexmarkCorpus();
+  PretrainOptions opts = FastOptions();
+  auto bundle = Pretrainer(opts).Run(corpus);
+  ASSERT_TRUE(bundle.ok());
+
+  const FeatureEncoder& fe = bundle->feature_encoder();
+  for (const HistoryRecord& rec : bundle->records()) {
+    const int c = bundle->AssignCluster(rec.graph);
+    ml::Matrix got =
+        bundle->AgnosticEmbeddings(c, rec.graph, rec.source_rates);
+
+    // Var-engine reference, including the mean-rate skip connection.
+    ml::Matrix features = ml::Matrix::FromRows(
+        fe.EncodeGraphWithRates(rec.graph, rec.source_rates));
+    ml::Var emb =
+        bundle->cluster(c).encoder.ForwardAgnostic(rec.graph, features);
+    const int n = rec.graph.num_operators();
+    const int r_dim = FeatureEncoder::kRateFeatures;
+    ASSERT_EQ(got.rows(), n);
+    ASSERT_EQ(got.cols(), emb->value.cols() + r_dim);
+    for (int v = 0; v < n; ++v) {
+      for (int j = 0; j < emb->value.cols(); ++j) {
+        EXPECT_EQ(got.at(v, j), emb->value.at(v, j))
+            << rec.graph.name() << " op " << v << " dim " << j;
+      }
+    }
+  }
+}
+
+// NnClassifier::Fit moved to a persistent tape; replicating the original
+// Var training loop must land on bit-identical predictions.
+TEST(MlEquivalenceTest, NnClassifierFitMatchesVarLoop) {
+  const int dim = 6;
+  ml::NnClassifierConfig cfg;
+  cfg.hidden_dim = 10;
+  cfg.epochs = 30;
+  std::vector<ml::LabeledSample> data;
+  Rng rng(3);
+  for (int i = 0; i < 24; ++i) {
+    ml::LabeledSample s;
+    for (int j = 0; j < dim; ++j) s.embedding.push_back(rng.Uniform());
+    s.parallelism = 1 + static_cast<int>(i % 8);
+    s.label = s.parallelism < 4 ? 1 : 0;
+    data.push_back(std::move(s));
+  }
+  ml::NnClassifier classifier(dim, cfg);
+  ASSERT_TRUE(classifier.Fit(data).ok());
+
+  // Reference: the pre-refactor Fit, verbatim, on the Var engine.
+  const int n = static_cast<int>(data.size());
+  ml::Matrix x(n, dim + 1);
+  ml::Matrix y(n, 1);
+  ml::Matrix mask(n, 1, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) x.at(i, j) = data[i].embedding[j];
+    x.at(i, dim) = data[i].parallelism / cfg.parallelism_scale;
+    y.at(i, 0) = data[i].label == 1 ? 1.0 : 0.0;
+  }
+  Rng init(cfg.seed);
+  ml::Mlp mlp({dim + 1, cfg.hidden_dim, cfg.hidden_dim, 1},
+              ml::Activation::kRelu, &init);
+  ml::Adam opt(mlp.Params(), cfg.learning_rate);
+  ml::Var xs = ml::Constant(x);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    ml::Var logits = mlp.Forward(xs);
+    ml::Var loss = ml::BceWithLogitsMasked(logits, y, mask);
+    ml::Backward(loss);
+    opt.Step();
+  }
+
+  for (const ml::LabeledSample& s : data) {
+    ml::Matrix probe(1, dim + 1);
+    for (int j = 0; j < dim; ++j) probe.at(0, j) = s.embedding[j];
+    probe.at(0, dim) = s.parallelism / cfg.parallelism_scale;
+    ml::Var out = mlp.Forward(ml::Constant(probe));
+    double expected = Sigmoid(out->value.at(0, 0));
+    EXPECT_EQ(classifier.PredictProbability(s.embedding, s.parallelism),
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::core

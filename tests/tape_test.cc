@@ -1,0 +1,422 @@
+// The tape autograd engine: finite-difference verification of every op,
+// bit-identity against the Var engine, and the allocation-free reuse
+// guarantees (Reset retains capacity; steady-state epochs do not grow the
+// arena).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "ml/autograd.h"
+#include "ml/gnn.h"
+#include "ml/nn.h"
+#include "ml/tape.h"
+#include "workloads/nexmark.h"
+
+namespace streamtune::ml {
+namespace {
+
+Matrix RandomMatrix(int r, int c, Rng* rng, double scale = 1.0) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = scale * (2 * rng->Uniform() - 1);
+  return m;
+}
+
+// Checks d(loss)/d(param) against central finite differences, where the
+// loss is recorded by `make_loss` from the parameter's tape ref.
+void CheckTapeGradient(
+    Var param,
+    const std::function<Tape::Ref(Tape*, Tape::Ref)>& make_loss,
+    double tol = 1e-5) {
+  auto eval = [&](Tape* tape) {
+    tape->Reset();
+    return make_loss(tape, tape->Param(param));
+  };
+  Tape tape;
+  Tape::Ref loss = eval(&tape);
+  tape.Backward(loss);
+  ASSERT_TRUE(param->has_grad());
+  Matrix analytic = param->grad;
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < param->value.size(); ++i) {
+    double saved = param->value.data()[i];
+    param->value.data()[i] = saved + eps;
+    double up = tape.value(eval(&tape)).at(0, 0);
+    param->value.data()[i] = saved - eps;
+    double down = tape.value(eval(&tape)).at(0, 0);
+    param->value.data()[i] = saved;
+    double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tol)
+        << "entry " << i << " of " << param->value.size();
+  }
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b,
+                        const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << what << " entry " << i;
+  }
+}
+
+TEST(TapeTest, MatMulGradient) {
+  Rng rng(1);
+  Var a = Param(RandomMatrix(3, 4, &rng));
+  Matrix b_val = RandomMatrix(4, 2, &rng);
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->MatMul(p, t->Constant(&b_val)));
+  });
+  Var b = Param(b_val);
+  Matrix a_val = RandomMatrix(3, 4, &rng);
+  CheckTapeGradient(b, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->MatMul(t->Constant(&a_val), p));
+  });
+}
+
+TEST(TapeTest, AddSubGradient) {
+  Rng rng(2);
+  Matrix other = RandomMatrix(2, 3, &rng);
+  Var a = Param(RandomMatrix(2, 3, &rng));
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Add(p, t->Constant(&other)));
+  });
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Sub(t->Constant(&other), p));
+  });
+}
+
+TEST(TapeTest, HadamardAndScaleGradient) {
+  Rng rng(3);
+  Matrix other = RandomMatrix(2, 2, &rng);
+  Var a = Param(RandomMatrix(2, 2, &rng));
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Hadamard(p, t->Constant(&other)));
+  });
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Scale(p, -2.5));
+  });
+}
+
+TEST(TapeTest, RowBroadcastGradient) {
+  Rng rng(4);
+  Matrix big = RandomMatrix(4, 3, &rng);
+  Var bias = Param(RandomMatrix(1, 3, &rng));
+  CheckTapeGradient(bias, [&](Tape* t, Tape::Ref p) {
+    // Square so the bias gradient is input-dependent.
+    Tape::Ref x = t->AddRowBroadcast(t->Constant(&big), p);
+    return t->SumAll(t->Hadamard(x, x));
+  });
+}
+
+TEST(TapeTest, ActivationGradients) {
+  Rng rng(5);
+  // Keep away from ReLU's kink for finite differences.
+  Matrix val = RandomMatrix(3, 3, &rng);
+  for (double& v : val.data()) {
+    if (std::fabs(v) < 0.05) v = 0.1;
+  }
+  Var a = Param(val);
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Relu(p));
+  });
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Tanh(p));
+  });
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    return t->SumAll(t->Sigmoid(p));
+  });
+}
+
+TEST(TapeTest, ConcatColsGradient) {
+  Rng rng(6);
+  Matrix right = RandomMatrix(3, 2, &rng);
+  Var a = Param(RandomMatrix(3, 4, &rng));
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    Tape::Ref cat = t->ConcatCols(p, t->Constant(&right));
+    return t->SumAll(t->Hadamard(cat, cat));
+  });
+  Var b = Param(right);
+  Matrix left = RandomMatrix(3, 4, &rng);
+  CheckTapeGradient(b, [&](Tape* t, Tape::Ref p) {
+    Tape::Ref cat = t->ConcatCols(t->Constant(&left), p);
+    return t->SumAll(t->Hadamard(cat, cat));
+  });
+}
+
+TEST(TapeTest, MeanRowsGradient) {
+  Rng rng(7);
+  Var a = Param(RandomMatrix(5, 3, &rng));
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    Tape::Ref m = t->MeanRows(p);
+    return t->SumAll(t->Hadamard(m, m));
+  });
+}
+
+TEST(TapeTest, RmsNormRowsGradient) {
+  Rng rng(8);
+  Var a = Param(RandomMatrix(4, 6, &rng));
+  Rng wrng(99);
+  Matrix weights = RandomMatrix(4, 6, &wrng);
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    // Weighted sum so per-entry gradients are distinguishable.
+    return t->SumAll(t->Hadamard(t->RmsNormRows(p), t->Constant(&weights)));
+  });
+}
+
+TEST(TapeTest, BceWithLogitsGradientAndValue) {
+  Rng rng(10);
+  Matrix targets(4, 1);
+  targets.at(0, 0) = 1;
+  targets.at(2, 0) = 1;
+  Matrix mask(4, 1, 1.0);
+  mask.at(3, 0) = 0.0;  // one unlabeled entry
+  Var logits = Param(RandomMatrix(4, 1, &rng, 2.0));
+  CheckTapeGradient(logits, [&](Tape* t, Tape::Ref p) {
+    return t->BceWithLogitsMasked(p, &targets, &mask);
+  });
+
+  // Value check: logit 0 with any target gives log(2).
+  Matrix zero(1, 1, 0.0);
+  Matrix t1(1, 1, 1.0), m1(1, 1, 1.0);
+  Tape tape;
+  Tape::Ref loss =
+      tape.BceWithLogitsMasked(tape.Constant(&zero), &t1, &m1);
+  EXPECT_NEAR(tape.value(loss).at(0, 0), std::log(2.0), 1e-12);
+}
+
+TEST(TapeTest, BceAllMaskedIsZeroLoss) {
+  Matrix targets(2, 1), mask(2, 1, 0.0);
+  Var logits = Param(Matrix(2, 1, 3.0));
+  Tape tape;
+  Tape::Ref loss =
+      tape.BceWithLogitsMasked(tape.Param(logits), &targets, &mask);
+  EXPECT_DOUBLE_EQ(tape.value(loss).at(0, 0), 0.0);
+  tape.Backward(loss);  // must not crash
+  // Like the Var engine, an all-masked loss propagates no gradient at all.
+  EXPECT_FALSE(logits->has_grad());
+}
+
+TEST(TapeTest, MseLossGradient) {
+  Rng rng(11);
+  Matrix target = RandomMatrix(3, 2, &rng);
+  Var pred = Param(RandomMatrix(3, 2, &rng));
+  CheckTapeGradient(pred, [&](Tape* t, Tape::Ref p) {
+    return t->MseLoss(p, &target);
+  });
+  // Zero loss at the target itself.
+  Tape tape;
+  Var exact = Param(target);
+  Tape::Ref loss = tape.MseLoss(tape.Param(exact), &target);
+  EXPECT_DOUBLE_EQ(tape.value(loss).at(0, 0), 0.0);
+}
+
+TEST(TapeTest, SumAllGradient) {
+  Rng rng(12);
+  Var a = Param(RandomMatrix(2, 5, &rng));
+  CheckTapeGradient(a, [&](Tape* t, Tape::Ref p) {
+    Tape::Ref s = t->SumAll(p);
+    return t->SumAll(t->Hadamard(s, s));
+  });
+}
+
+TEST(TapeTest, SharedSubexpressionAccumulatesGradient) {
+  // loss = sum(x + x) => dloss/dx = 2.
+  Var x = Param(Matrix(2, 2, 1.0));
+  Tape tape;
+  Tape::Ref xr = tape.Param(x);
+  Tape::Ref loss = tape.SumAll(tape.Add(xr, xr));
+  tape.Backward(loss);
+  for (double g : x->grad.data()) EXPECT_DOUBLE_EQ(g, 2.0);
+}
+
+TEST(TapeTest, BackwardClearsStaleGradients) {
+  Var x = Param(Matrix(1, 1, 2.0));
+  Tape tape;
+  Tape::Ref loss1 = tape.SumAll(tape.Scale(tape.Param(x), 3.0));
+  tape.Backward(loss1);
+  EXPECT_DOUBLE_EQ(x->grad.at(0, 0), 3.0);
+  // A fresh recording + backward over the same parameter must not
+  // accumulate on top of the previous gradient.
+  tape.Reset();
+  Tape::Ref loss2 = tape.SumAll(tape.Scale(tape.Param(x), 5.0));
+  tape.Backward(loss2);
+  EXPECT_DOUBLE_EQ(x->grad.at(0, 0), 5.0);
+}
+
+// Every op, Var engine vs tape: identical expression, bit-identical value
+// and parameter gradient.
+TEST(TapeTest, PerOpBitIdentityWithVarEngine) {
+  Rng rng(20);
+  Matrix av = RandomMatrix(4, 5, &rng);
+  Matrix bv = RandomMatrix(5, 3, &rng);
+  Matrix cv = RandomMatrix(4, 5, &rng);
+  Matrix rowv = RandomMatrix(1, 5, &rng);
+  Matrix catv = RandomMatrix(4, 2, &rng);
+
+  struct Case {
+    const char* name;
+    std::function<Var(const Var&)> old_loss;
+    std::function<Tape::Ref(Tape*, Tape::Ref)> tape_loss;
+  };
+  std::vector<Case> cases = {
+      {"matmul",
+       [&](const Var& p) { return SumAll(MatMul(p, Constant(bv))); },
+       [&](Tape* t, Tape::Ref p) {
+         return t->SumAll(t->MatMul(p, t->Constant(&bv)));
+       }},
+      {"add+sub+hadamard",
+       [&](const Var& p) {
+         return SumAll(Hadamard(Add(p, Constant(cv)), Sub(p, Constant(cv))));
+       },
+       [&](Tape* t, Tape::Ref p) {
+         return t->SumAll(t->Hadamard(t->Add(p, t->Constant(&cv)),
+                                      t->Sub(p, t->Constant(&cv))));
+       }},
+      {"scale+relu+tanh+sigmoid",
+       [&](const Var& p) {
+         return SumAll(SigmoidOp(TanhOp(Relu(Scale(p, 1.7)))));
+       },
+       [&](Tape* t, Tape::Ref p) {
+         return t->SumAll(t->Sigmoid(t->Tanh(t->Relu(t->Scale(p, 1.7)))));
+       }},
+      {"rowbroadcast+rmsnorm",
+       [&](const Var& p) {
+         return SumAll(RmsNormRows(AddRowBroadcast(p, Constant(rowv))));
+       },
+       [&](Tape* t, Tape::Ref p) {
+         return t->SumAll(
+             t->RmsNormRows(t->AddRowBroadcast(p, t->Constant(&rowv))));
+       }},
+      {"concat+meanrows",
+       [&](const Var& p) {
+         Var cat = ConcatCols(p, Constant(catv));
+         Var m = MeanRows(cat);
+         return SumAll(Hadamard(m, m));
+       },
+       [&](Tape* t, Tape::Ref p) {
+         Tape::Ref cat = t->ConcatCols(p, t->Constant(&catv));
+         Tape::Ref m = t->MeanRows(cat);
+         return t->SumAll(t->Hadamard(m, m));
+       }},
+  };
+
+  for (const Case& c : cases) {
+    Var old_p = Param(av);
+    Var old_loss = c.old_loss(old_p);
+    Backward(old_loss);
+
+    Var new_p = Param(av);
+    Tape tape;
+    Tape::Ref loss = c.tape_loss(&tape, tape.Param(new_p));
+    tape.Backward(loss);
+
+    ExpectBitIdentical(old_loss->value, tape.value(loss), c.name);
+    ASSERT_TRUE(old_p->has_grad() && new_p->has_grad()) << c.name;
+    ExpectBitIdentical(old_p->grad, new_p->grad, c.name);
+  }
+}
+
+// The full GNN encoder (the realistic multi-consumer graph: h feeds three
+// message paths per layer): Var engine and tape must agree bit-for-bit on
+// values and every parameter gradient.
+TEST(TapeTest, GnnForwardBackwardBitIdentity) {
+  JobGraph g = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                          workloads::Engine::kFlink);
+  const int n = g.num_operators();
+  Rng rng(33);
+  GnnConfig cfg;
+  cfg.feature_dim = 7;
+  cfg.hidden_dim = 12;
+  cfg.num_layers = 2;
+  cfg.seed = 42;
+  GnnEncoder encoder(cfg);
+  Matrix features = RandomMatrix(n, cfg.feature_dim, &rng);
+  Matrix pcol = RandomMatrix(n, 1, &rng, 0.5);
+  Matrix targets(n, 1), mask(n, 1);
+  for (int v = 0; v < n; ++v) {
+    targets.at(v, 0) = v % 2;
+    mask.at(v, 0) = v % 3 == 0 ? 0.0 : 1.0;
+  }
+  Rng head_rng(7);
+  Mlp head({cfg.hidden_dim, 8, 1}, Activation::kRelu, &head_rng);
+
+  // Old engine.
+  Var emb_old = encoder.Forward(g, features, pcol);
+  Var loss_old = BceWithLogitsMasked(head.Forward(emb_old), targets, mask);
+  Backward(loss_old);
+  std::vector<Matrix> grads_old;
+  std::vector<Var> params = encoder.Params();
+  for (const Var& p : head.Params()) params.push_back(p);
+  for (const Var& p : params) {
+    ASSERT_TRUE(p->has_grad());
+    grads_old.push_back(p->grad);
+  }
+
+  // Tape engine on the same parameters.
+  GraphContext ctx = GraphContext::Build(g);
+  Tape tape;
+  Tape::Ref emb = encoder.Forward(&tape, ctx, features, pcol);
+  Tape::Ref loss =
+      tape.BceWithLogitsMasked(head.Forward(&tape, emb), &targets, &mask);
+  tape.Backward(loss);
+
+  ExpectBitIdentical(loss_old->value, tape.value(loss), "loss");
+  ExpectBitIdentical(emb_old->value, tape.value(emb), "embeddings");
+  for (size_t i = 0; i < params.size(); ++i) {
+    ASSERT_TRUE(params[i]->has_grad()) << "param " << i;
+    ExpectBitIdentical(grads_old[i], params[i]->grad, "param grad");
+  }
+}
+
+// Steady-state training must not allocate: once warmup epochs settle every
+// buffer at its final size and slot (the backward pass moves first-
+// contribution gradient buffers between slots, so the assignment takes a
+// few epochs to stabilize), the arena capacities never change again — and
+// re-recording the same graph yields the same node count.
+TEST(TapeTest, SteadyStateEpochsDoNotGrowArena) {
+  JobGraph g = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ3,
+                                          workloads::Engine::kFlink);
+  const int n = g.num_operators();
+  Rng rng(55);
+  GnnConfig cfg;
+  cfg.feature_dim = 5;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 3;
+  cfg.seed = 9;
+  GnnEncoder encoder(cfg);
+  Rng head_rng(10);
+  Mlp head({cfg.hidden_dim, 8, 1}, Activation::kRelu, &head_rng);
+  Matrix features = RandomMatrix(n, cfg.feature_dim, &rng);
+  Matrix pcol = RandomMatrix(n, 1, &rng, 0.5);
+  Matrix targets(n, 1), mask(n, 1, 1.0);
+  GraphContext ctx = GraphContext::Build(g);
+  std::vector<Var> params = encoder.Params();
+  for (const Var& p : head.Params()) params.push_back(p);
+  Adam opt(params, 1e-3);
+
+  Tape tape;
+  auto epoch = [&] {
+    tape.Reset();
+    Tape::Ref emb = encoder.Forward(&tape, ctx, features, pcol);
+    Tape::Ref loss =
+        tape.BceWithLogitsMasked(head.Forward(&tape, emb), &targets, &mask);
+    tape.Backward(loss);
+    opt.Step();
+  };
+
+  for (int e = 0; e < 8; ++e) epoch();
+  const Tape::Stats warm = tape.ArenaStats();
+  const int warm_nodes = tape.num_nodes();
+  ASSERT_GT(warm.buffer_doubles, 0u);
+  for (int e = 0; e < 20; ++e) {
+    epoch();
+    EXPECT_TRUE(tape.ArenaStats() == warm) << "epoch " << e;
+    EXPECT_EQ(tape.num_nodes(), warm_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::ml
