@@ -1,0 +1,163 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/project_index.h"
+#include "analysis/rules.h"
+
+namespace streamtune::analysis {
+
+namespace fs = std::filesystem;
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string Finding::Key() const {
+  return file + ":" + std::to_string(line) + ":" + rule;
+}
+
+namespace {
+
+bool IsAnalyzableFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+// Directories never walked into: fixture corpora hold deliberate
+// violations, build trees hold generated code.
+bool IsSkippedDir(const std::string& name) {
+  return name == "analysis_fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+std::string ToRelative(const fs::path& p, const fs::path& root) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+Status CollectFiles(const fs::path& root, const std::string& rel_path,
+                    std::vector<std::string>* out) {
+  fs::path full = root / rel_path;
+  std::error_code ec;
+  if (fs::is_regular_file(full, ec)) {
+    out->push_back(rel_path);
+    return Status::OK();
+  }
+  if (!fs::is_directory(full, ec)) {
+    return Status::NotFound("no such file or directory: " + full.string());
+  }
+  std::vector<std::string> found;
+  fs::recursive_directory_iterator it(full, ec), end;
+  if (ec) return Status::Internal("cannot walk " + full.string());
+  for (; it != end; ++it) {
+    if (it->is_directory(ec)) {
+      if (IsSkippedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file(ec) && IsAnalyzableFile(it->path())) {
+      found.push_back(ToRelative(it->path(), root));
+    }
+  }
+  std::sort(found.begin(), found.end());
+  out->insert(out->end(), found.begin(), found.end());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::set<std::string>> LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open baseline " + path);
+  std::set<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim trailing CR and surrounding whitespace.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    keys.insert(line.substr(start));
+  }
+  return keys;
+}
+
+Status WriteBaseline(const std::string& path,
+                     const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write baseline " + path);
+  out << "# st_analyze baseline: one accepted finding per line "
+         "(file:line:rule).\n";
+  for (const Finding& f : findings) out << f.Key() << "\n";
+  out.flush();
+  if (!out) return Status::Internal("short write to baseline " + path);
+  return Status::OK();
+}
+
+Result<AnalysisReport> RunAnalyzer(const AnalyzerOptions& options) {
+  fs::path root =
+      options.root.empty() ? fs::current_path() : fs::path(options.root);
+
+  std::vector<std::string> rel_files;
+  for (const std::string& p : options.paths) {
+    ST_RETURN_NOT_OK(CollectFiles(root, p, &rel_files));
+  }
+  // De-duplicate while preserving first-seen order.
+  std::set<std::string> seen;
+  std::vector<std::string> unique_files;
+  for (std::string& f : rel_files) {
+    if (seen.insert(f).second) unique_files.push_back(std::move(f));
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(unique_files.size());
+  for (const std::string& rel : unique_files) {
+    ST_ASSIGN_OR_RETURN(SourceFile f,
+                        SourceFile::Load(root.string(), rel));
+    files.push_back(std::move(f));
+  }
+
+  // Pass 1: cross-file declarations.
+  ProjectIndex index;
+  for (const SourceFile& f : files) index.AddFile(f);
+
+  // Pass 2: rules.
+  std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
+  AnalysisReport report;
+  report.files_analyzed = static_cast<int>(files.size());
+  std::vector<Finding> raw;
+  for (const SourceFile& f : files) {
+    for (const std::unique_ptr<Rule>& rule : rules) {
+      if (!options.enabled_rules.empty() &&
+          options.enabled_rules.count(rule->name()) == 0) {
+        continue;
+      }
+      rule->Check(f, index, &raw);
+    }
+    // Collapse findings with identical (file, line, rule) BEFORE the
+    // suppression filters: two `.value()` calls on one line are one defect,
+    // one baseline key, and one suppression tally.
+    std::sort(raw.begin(), raw.end());
+    raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+    for (Finding& finding : raw) {
+      if (f.Suppressed(finding.line, finding.rule)) {
+        ++report.suppressed_nolint;
+      } else if (options.baseline.count(finding.Key()) > 0) {
+        ++report.suppressed_baseline;
+      } else {
+        report.findings.push_back(std::move(finding));
+      }
+    }
+    raw.clear();
+  }
+  std::sort(report.findings.begin(), report.findings.end());
+  return report;
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,48 @@
+// Analyzer driver: collects files, builds the cross-file ProjectIndex,
+// runs every rule, applies NOLINT suppressions and the baseline, and
+// reports findings in a stable order.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.h"
+#include "common/status.h"
+
+namespace streamtune::analysis {
+
+struct AnalyzerOptions {
+  /// Repository root; analyzed paths are resolved and reported relative to
+  /// it. Empty = current working directory.
+  std::string root;
+  /// Files or directories (root-relative). Directories are walked
+  /// recursively for *.h / *.cc, skipping `analysis_fixtures` and build
+  /// trees; explicitly named files are always analyzed, fixtures included.
+  std::vector<std::string> paths;
+  /// When non-empty, only rules whose name is listed run.
+  std::set<std::string> enabled_rules;
+  /// Baseline findings (by Key()) to subtract from the report.
+  std::set<std::string> baseline;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;    // sorted, post-NOLINT, post-baseline
+  int files_analyzed = 0;
+  int suppressed_nolint = 0;   // dropped by NOLINT markers
+  int suppressed_baseline = 0; // dropped by the baseline file
+};
+
+/// Runs the analyzer. Fails only on environment errors (unreadable root or
+/// explicitly named file); findings are data, not errors.
+Result<AnalysisReport> RunAnalyzer(const AnalyzerOptions& options);
+
+/// Loads a baseline file (one Finding::Key() per line, '#' comments).
+Result<std::set<std::string>> LoadBaseline(const std::string& path);
+
+/// Writes `findings` as a baseline file.
+Status WriteBaseline(const std::string& path,
+                     const std::vector<Finding>& findings);
+
+}  // namespace streamtune::analysis

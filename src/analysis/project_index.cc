@@ -1,0 +1,116 @@
+#include "analysis/project_index.h"
+
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+// Registers functions declared as `Status Name(` / `Result<...> Name(`.
+// Qualified return types (`streamtune::Status`) work because the pattern
+// keys on the last type token before the name.
+void CollectStatusFunctions(const SourceFile& file,
+                            std::set<std::string>* out) {
+  const std::vector<Token>& toks = file.src.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    // `x.status()` / `obj->Result` member accesses are not return types.
+    if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")))
+      continue;
+    size_t name_idx = 0;
+    if (t.text == "Status") {
+      name_idx = i + 1;
+    } else if (t.text == "Result" && toks[i + 1].IsPunct("<")) {
+      // Skip the template argument list (tracking <> depth; good enough for
+      // declarations, which contain no comparison operators).
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].IsPunct("<")) ++depth;
+        if (toks[j].IsPunct(">") && --depth == 0) break;
+        if (toks[j].IsPunct(">>")) {
+          depth -= 2;
+          if (depth <= 0) break;
+        }
+        if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) break;  // bail
+      }
+      if (j >= toks.size() || depth > 0) continue;
+      name_idx = j + 1;
+    } else {
+      continue;
+    }
+    if (name_idx + 1 >= toks.size()) continue;
+    const Token& name = toks[name_idx];
+    if (name.kind != TokenKind::kIdent) continue;
+    if (!toks[name_idx + 1].IsPunct("(")) continue;
+    out->insert(name.text);
+  }
+}
+
+// Registers `Type member STREAMTUNE_GUARDED_BY(mu);` declarations.
+void CollectGuardedMembers(const SourceFile& file,
+                           std::vector<GuardedMember>* out) {
+  const std::vector<Token>& toks = file.src.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("STREAMTUNE_GUARDED_BY")) continue;
+    if (!toks[i + 1].IsPunct("(")) continue;
+    int close = MatchForward(toks, i + 1);
+    if (close < 0) continue;
+    // Mutex = last identifier inside the parens (handles `shard.mu`).
+    std::string mutex;
+    for (int j = static_cast<int>(i) + 2; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdent) mutex = toks[j].text;
+    }
+    // Member = identifier immediately before the macro (skipping a
+    // possible array extent `name[N]`).
+    int m = static_cast<int>(i) - 1;
+    if (m >= 0 && toks[m].IsPunct("]")) m = MatchBackward(toks, m) - 1;
+    if (m < 0 || toks[m].kind != TokenKind::kIdent || mutex.empty()) continue;
+    GuardedMember g;
+    g.member = toks[m].text;
+    g.mutex = mutex;
+    g.file_stem = PathStem(file.path);
+    g.decl_file = file.path;
+    g.decl_line = toks[i].line;
+    out->push_back(std::move(g));
+  }
+}
+
+// Registers `... Name(...) STREAMTUNE_REQUIRES(mu)` on declarations or
+// definitions, in headers or .cc files.
+void CollectRequires(const SourceFile& file,
+                     std::map<std::string, std::set<std::string>>* out) {
+  const std::vector<Token>& toks = file.src.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("STREAMTUNE_REQUIRES")) continue;
+    if (!toks[i + 1].IsPunct("(")) continue;
+    int close = MatchForward(toks, i + 1);
+    if (close < 0) continue;
+    std::string mutex;
+    for (int j = static_cast<int>(i) + 2; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdent) mutex = toks[j].text;
+    }
+    // The macro follows the parameter list: `)` [qualifiers] REQUIRES(...).
+    int j = static_cast<int>(i) - 1;
+    while (j >= 0 && toks[j].kind == TokenKind::kIdent &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override" || toks[j].text == "final")) {
+      --j;
+    }
+    if (j < 0 || !toks[j].IsPunct(")")) continue;
+    int o = MatchBackward(toks, j);
+    if (o <= 0 || toks[o - 1].kind != TokenKind::kIdent) continue;
+    if (!mutex.empty()) (*out)[toks[o - 1].text].insert(mutex);
+  }
+}
+
+}  // namespace
+
+void ProjectIndex::AddFile(const SourceFile& file) {
+  CollectStatusFunctions(file, &status_functions);
+  CollectGuardedMembers(file, &guarded_members);
+  CollectRequires(file, &requires_mutexes);
+}
+
+}  // namespace streamtune::analysis

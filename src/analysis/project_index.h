@@ -1,0 +1,39 @@
+// Cross-file facts gathered in a first pass over every analyzed file:
+// which functions return Status/Result (for the ignored-return rule), which
+// members are lock-annotated, and which functions require a held mutex.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+
+/// One STREAMTUNE_GUARDED_BY(mu) member declaration.
+struct GuardedMember {
+  std::string member;     // member identifier, e.g. "snapshot_" or "map"
+  std::string mutex;      // final identifier of the mutex expression
+  std::string file_stem;  // stem of the declaring file ("kb_service");
+                          // the rule only checks files with this stem
+  std::string decl_file;
+  int decl_line = 0;
+};
+
+struct ProjectIndex {
+  /// Names of functions whose declared return type is Status or Result<T>.
+  std::set<std::string> status_functions;
+
+  std::vector<GuardedMember> guarded_members;
+
+  /// Function name -> mutex names it declares via STREAMTUNE_REQUIRES.
+  std::map<std::string, std::set<std::string>> requires_mutexes;
+
+  /// Scans one file and folds its declarations into the index.
+  void AddFile(const SourceFile& file);
+};
+
+}  // namespace streamtune::analysis

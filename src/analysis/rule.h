@@ -1,0 +1,49 @@
+// Rule interface and finding model for the self-hosted analyzer.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+
+struct ProjectIndex;
+
+/// One diagnostic: where, which rule, and a human-readable message.
+struct Finding {
+  std::string file;  // root-relative path
+  int line = 0;
+  std::string rule;     // e.g. "st-determinism-random"
+  std::string message;  // one sentence, no trailing period needed
+
+  /// "file:line: [rule] message" — the CLI output line.
+  std::string ToString() const;
+  /// "file:line:rule" — the stable identity used by baselines and goldens.
+  std::string Key() const;
+
+  bool operator==(const Finding& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+/// A single invariant check. Rules are stateless: Check() may be called for
+/// any number of files in any order, and must emit findings deterministically
+/// (the driver sorts, but messages must not depend on iteration order).
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable rule id, used in output, NOLINT lists, and baselines. All rule
+  /// ids start with "st-".
+  virtual const char* name() const = 0;
+  virtual void Check(const SourceFile& file, const ProjectIndex& index,
+                     std::vector<Finding>* out) const = 0;
+};
+
+}  // namespace streamtune::analysis

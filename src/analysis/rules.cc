@@ -1,0 +1,18 @@
+#include "analysis/rules.h"
+
+namespace streamtune::analysis {
+
+std::vector<std::unique_ptr<Rule>> BuildAllRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(MakeDeterminismRandomRule());
+  rules.push_back(MakeDeterminismUnorderedIterRule());
+  rules.push_back(MakeStatusIgnoredRule());
+  rules.push_back(MakeStatusValueRule());
+  rules.push_back(MakeLockGuardedByRule());
+  rules.push_back(MakeBannedEndlRule());
+  rules.push_back(MakeBannedPrintfRule());
+  rules.push_back(MakePragmaOnceRule());
+  return rules;
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,36 @@
+// Rule catalogue for st_analyze. Each factory returns one freshly
+// constructed rule; BuildAllRules() returns the full set in stable order.
+//
+// The catalogue (see DESIGN.md §10 for rationale and examples):
+//   st-determinism-random        std::random_device / rand / wall clocks
+//   st-determinism-unordered-iter  order-sensitive loops over unordered
+//                                  containers
+//   st-status-ignored            Status/Result return value dropped
+//   st-status-value              .value() not dominated by an ok() check
+//   st-lock-guarded-by           GUARDED_BY member touched without the lock
+//   st-banned-endl               std::endl in library code
+//   st-banned-printf             printf/puts outside tools/ and bench/
+//   st-pragma-once               header missing #pragma once
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace streamtune::analysis {
+
+std::unique_ptr<Rule> MakeDeterminismRandomRule();
+std::unique_ptr<Rule> MakeDeterminismUnorderedIterRule();
+std::unique_ptr<Rule> MakeStatusIgnoredRule();
+std::unique_ptr<Rule> MakeStatusValueRule();
+std::unique_ptr<Rule> MakeLockGuardedByRule();
+std::unique_ptr<Rule> MakeBannedEndlRule();
+std::unique_ptr<Rule> MakeBannedPrintfRule();
+std::unique_ptr<Rule> MakePragmaOnceRule();
+
+/// All rules, in the catalogue order above.
+std::vector<std::unique_ptr<Rule>> BuildAllRules();
+
+}  // namespace streamtune::analysis

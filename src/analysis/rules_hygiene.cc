@@ -1,0 +1,91 @@
+// Banned-API and include-hygiene rules.
+//
+//   st-banned-endl    std::endl flushes on every use; library code (src/)
+//                     must use '\n' and flush explicitly when needed.
+//   st-banned-printf  printf/puts bypass the project's stream-based output
+//                     discipline; allowed only in tools/ (the CLI) and
+//                     bench/ (throwaway progress output).
+//   st-pragma-once    every header starts with #pragma once (before any
+//                     code token) so double inclusion cannot happen.
+
+#include "analysis/project_index.h"
+#include "analysis/rules.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+class BannedEndlRule : public Rule {
+ public:
+  const char* name() const override { return "st-banned-endl"; }
+
+  void Check(const SourceFile& file, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (file.origin != FileOrigin::kSrc) return;
+    for (const Token& t : file.src.tokens) {
+      if (t.IsIdent("endl")) {
+        out->push_back(Finding{
+            file.path, t.line, name(),
+            "std::endl flushes the stream on every call (a hot-path hazard);"
+            " use '\\n' and flush explicitly where needed"});
+      }
+    }
+  }
+};
+
+class BannedPrintfRule : public Rule {
+ public:
+  const char* name() const override { return "st-banned-printf"; }
+
+  void Check(const SourceFile& file, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (file.origin != FileOrigin::kSrc && file.origin != FileOrigin::kTests)
+      return;
+    const std::vector<Token>& toks = file.src.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdent) continue;
+      if (t.text != "printf" && t.text != "puts") continue;
+      // Member calls (`logger.printf(...)`) are someone else's API.
+      if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")))
+        continue;
+      out->push_back(Finding{
+          file.path, t.line, name(),
+          t.text + " is reserved for tools/ and bench/; library code "
+                   "returns strings or writes to a caller-supplied stream"});
+    }
+  }
+};
+
+class PragmaOnceRule : public Rule {
+ public:
+  const char* name() const override { return "st-pragma-once"; }
+
+  void Check(const SourceFile& file, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    if (!file.is_header || file.src.tokens.empty()) return;
+    const Token& first = file.src.tokens.front();
+    bool ok = first.kind == TokenKind::kPreproc &&
+              first.text.find("#pragma") != std::string::npos &&
+              first.text.find("once") != std::string::npos;
+    if (!ok) {
+      out->push_back(Finding{
+          file.path, 1, name(),
+          "header must start with #pragma once (before any code token)"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeBannedEndlRule() {
+  return std::make_unique<BannedEndlRule>();
+}
+std::unique_ptr<Rule> MakeBannedPrintfRule() {
+  return std::make_unique<BannedPrintfRule>();
+}
+std::unique_ptr<Rule> MakePragmaOnceRule() {
+  return std::make_unique<PragmaOnceRule>();
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,156 @@
+// Lock-discipline rule: every member declared STREAMTUNE_GUARDED_BY(mu)
+// may only be touched in scopes that (syntactically) hold a
+// lock_guard/unique_lock/shared_lock/scoped_lock on `mu`, inside functions
+// annotated STREAMTUNE_REQUIRES(mu), or inside constructors/destructors
+// (where the object cannot be shared yet / anymore).
+//
+// Scoping: a guarded member declared in foo.h is only enforced in files
+// with stem "foo" (foo.h + foo.cc) — token-level analysis cannot resolve
+// which class an identifier belongs to across translation units, and in
+// this codebase every mutex-protected class keeps its accesses in its own
+// header/source pair.
+
+#include "analysis/project_index.h"
+#include "analysis/rules.h"
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+struct LockSite {
+  size_t pos = 0;             // token index of the lock declaration
+  int scope = -1;             // innermost '{' containing the declaration
+  std::vector<std::string> mutexes;  // final idents of the lock arguments
+};
+
+bool IsLockType(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "shared_lock" ||
+         s == "scoped_lock";
+}
+
+std::vector<LockSite> CollectLockSites(const std::vector<Token>& toks,
+                                       const std::vector<int>& encl) {
+  std::vector<LockSite> sites;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent || !IsLockType(toks[i].text))
+      continue;
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].IsPunct("<")) {  // template args
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].IsPunct("<")) ++depth;
+        if (toks[j].IsPunct(">") && --depth == 0) break;
+      }
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    // Declaration form: `lock_guard<...> name(args);` — skip the variable
+    // name, then harvest the argument identifiers.
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdent) continue;
+    ++j;
+    if (j >= toks.size() || !toks[j].IsPunct("(")) continue;
+    int close = MatchForward(toks, j);
+    if (close < 0) continue;
+    LockSite site;
+    site.pos = i;
+    site.scope = encl[i];
+    std::string last;
+    for (int k = static_cast<int>(j) + 1; k < close; ++k) {
+      if (toks[k].kind == TokenKind::kIdent) last = toks[k].text;
+      if (toks[k].IsPunct(",")) {
+        if (!last.empty()) site.mutexes.push_back(last);
+        last.clear();
+      }
+    }
+    if (!last.empty()) site.mutexes.push_back(last);
+    if (!site.mutexes.empty()) sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+bool ChainContains(const std::vector<int>& encl, size_t use, int scope) {
+  for (int b = encl[use]; b != -1; b = encl[b]) {
+    if (b == scope) return true;
+  }
+  return scope == -1;  // file scope encloses everything
+}
+
+class LockGuardedByRule : public Rule {
+ public:
+  const char* name() const override { return "st-lock-guarded-by"; }
+
+  void Check(const SourceFile& file, const ProjectIndex& index,
+             std::vector<Finding>* out) const override {
+    std::string stem = PathStem(file.path);
+    std::vector<const GuardedMember*> members;
+    for (const GuardedMember& g : index.guarded_members) {
+      if (g.file_stem == stem) members.push_back(&g);
+    }
+    if (members.empty()) return;
+
+    const std::vector<Token>& toks = file.src.tokens;
+    std::vector<int> encl = EnclosingBraces(toks);
+    std::vector<LockSite> locks = CollectLockSites(toks, encl);
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdent) continue;
+      for (const GuardedMember* g : members) {
+        if (toks[i].text != g->member) continue;
+        // The declaration itself (and its annotation) is not a use.
+        if (file.path == g->decl_file && toks[i].line == g->decl_line)
+          continue;
+        if (Held(toks, encl, locks, index, i, *g)) continue;
+        out->push_back(Finding{
+            file.path, toks[i].line, name(),
+            "'" + g->member + "' is STREAMTUNE_GUARDED_BY(" + g->mutex +
+                ") but this access holds no lock on it; take a lock_guard "
+                "or annotate the function STREAMTUNE_REQUIRES(" + g->mutex +
+                ")"});
+      }
+    }
+  }
+
+ private:
+  static bool Held(const std::vector<Token>& toks,
+                   const std::vector<int>& encl,
+                   const std::vector<LockSite>& locks,
+                   const ProjectIndex& index, size_t use,
+                   const GuardedMember& g) {
+    // Outside any function body: a declaration-ish mention (e.g. sizeof in
+    // a static_assert), not a runtime access.
+    int outer = OutermostFunctionBody(toks, encl, use);
+    if (outer < 0) return true;
+    // Constructors/destructors are exempt.
+    if (IsCtorOrDtorBody(toks, encl, outer)) return true;
+    // STREAMTUNE_REQUIRES on any enclosing function (incl. out-of-line
+    // definitions found via the declaration in the header).
+    for (int b = encl[use]; b != -1; b = encl[b]) {
+      if (!IsFunctionBody(toks, b)) continue;
+      std::string fn = FunctionNameForBody(toks, b);
+      auto it = index.requires_mutexes.find(fn);
+      if (it != index.requires_mutexes.end() &&
+          it->second.count(g.mutex) > 0) {
+        return true;
+      }
+    }
+    // A lock on the right mutex, declared earlier, in a still-open scope.
+    for (const LockSite& l : locks) {
+      if (l.pos >= use) continue;
+      bool names_mutex = false;
+      for (const std::string& m : l.mutexes) {
+        if (m == g.mutex) names_mutex = true;
+      }
+      if (names_mutex && ChainContains(encl, use, l.scope)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLockGuardedByRule() {
+  return std::make_unique<LockGuardedByRule>();
+}
+
+}  // namespace streamtune::analysis

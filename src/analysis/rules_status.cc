@@ -1,0 +1,227 @@
+// Status-discipline rules. The chaos-hardening contract (DESIGN.md §7)
+// requires every fallible deploy/save/measure outcome to be inspected;
+// these rules machine-check the two ways that contract erodes: dropping a
+// Status/Result on the floor, and reading .value() without proving ok().
+
+#include "analysis/project_index.h"
+#include "analysis/rules.h"
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+// True when toks[i] begins a statement (previous significant token ends a
+// statement or opens a block, or closes an if/while/for/switch condition).
+bool IsStatementStart(const std::vector<Token>& toks, size_t i) {
+  // Skip preprocessor tokens when looking backwards.
+  int p = static_cast<int>(i) - 1;
+  while (p >= 0 && toks[p].kind == TokenKind::kPreproc) --p;
+  if (p < 0) return true;
+  const Token& prev = toks[p];
+  if (prev.IsPunct(";") || prev.IsPunct("{") || prev.IsPunct("}")) return true;
+  if (prev.IsIdent("else") || prev.IsIdent("do")) return true;
+  if (prev.IsPunct(")")) {
+    int o = MatchBackward(toks, p);
+    if (o > 0 && toks[o - 1].kind == TokenKind::kIdent) {
+      const std::string& k = toks[o - 1].text;
+      return k == "if" || k == "while" || k == "for" || k == "switch";
+    }
+  }
+  return false;
+}
+
+// Parses a call-chain expression starting at i: `a::b(...).c(...)->d(...)`.
+// On success returns the index one past the terminating ')' and stores the
+// final callee name; returns -1 when the shape doesn't match.
+int ParseCallChain(const std::vector<Token>& toks, size_t i,
+                   std::string* final_callee) {
+  size_t j = i;
+  std::string callee;
+  while (true) {
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdent) return -1;
+    callee = toks[j].text;
+    ++j;
+    // Qualifiers: ns::ns2::Name
+    while (j + 1 < toks.size() && toks[j].IsPunct("::") &&
+           toks[j + 1].kind == TokenKind::kIdent) {
+      callee = toks[j + 1].text;
+      j += 2;
+    }
+    if (j >= toks.size() || !toks[j].IsPunct("(")) {
+      // `obj.member(...)`: allow member hops before the call parens.
+      if (j < toks.size() &&
+          (toks[j].IsPunct(".") || toks[j].IsPunct("->"))) {
+        ++j;
+        continue;
+      }
+      return -1;
+    }
+    int close = MatchForward(toks, j);
+    if (close < 0) return -1;
+    j = static_cast<size_t>(close) + 1;
+    if (j < toks.size() &&
+        (toks[j].IsPunct(".") || toks[j].IsPunct("->"))) {
+      ++j;  // chained call, keep going
+      continue;
+    }
+    *final_callee = callee;
+    return static_cast<int>(j);
+  }
+}
+
+class StatusIgnoredRule : public Rule {
+ public:
+  const char* name() const override { return "st-status-ignored"; }
+
+  void Check(const SourceFile& file, const ProjectIndex& index,
+             std::vector<Finding>* out) const override {
+    const std::vector<Token>& toks = file.src.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdent) continue;
+      if (!IsStatementStart(toks, i)) continue;
+      std::string callee;
+      int end = ParseCallChain(toks, i, &callee);
+      if (end < 0 || static_cast<size_t>(end) >= toks.size()) continue;
+      if (!toks[end].IsPunct(";")) continue;  // not an expression-statement
+      if (index.status_functions.count(callee) == 0) continue;
+      out->push_back(Finding{
+          file.path, toks[i].line, name(),
+          "return value of '" + callee +
+              "' (Status/Result) is ignored; check it, propagate it with "
+              "ST_RETURN_NOT_OK, or document the discard with (void)"});
+    }
+  }
+};
+
+// Extracts the receiver chain (as token texts, e.g. {"order"} or
+// {"m", ".", "res"}) ending right before the `.value` at dot_idx. Returns
+// an empty string when the receiver is not a simple chain. Sets *is_move
+// when the receiver is wrapped in std::move(...).
+std::string ReceiverChain(const std::vector<Token>& toks, int dot_idx,
+                          bool* is_temporary) {
+  *is_temporary = false;
+  int j = dot_idx - 1;
+  if (j >= 0 && toks[j].IsPunct(")")) {
+    int o = MatchBackward(toks, j);
+    if (o <= 0) return "";
+    // std::move(x).value(): recurse into the argument.
+    if (toks[o - 1].IsIdent("move")) {
+      std::string inner;
+      for (int k = o + 1; k < j; ++k) {
+        if (toks[k].kind == TokenKind::kPreproc) continue;
+        inner += toks[k].text;
+      }
+      return inner;
+    }
+    *is_temporary = true;  // Foo().value(): no name to have checked
+    return "";
+  }
+  // Walk back over `ident`, `.`, `->`, `::` chains.
+  std::string chain;
+  bool want_ident = true;
+  while (j >= 0) {
+    const Token& t = toks[j];
+    if (want_ident) {
+      if (t.kind != TokenKind::kIdent) break;
+      chain = t.text + chain;
+      want_ident = false;
+      --j;
+    } else if (t.IsPunct(".") || t.IsPunct("->") || t.IsPunct("::")) {
+      chain = t.text + chain;
+      want_ident = true;
+      --j;
+    } else {
+      break;
+    }
+  }
+  if (want_ident) return "";  // dangling separator; malformed
+  return chain;
+}
+
+class StatusValueRule : public Rule {
+ public:
+  const char* name() const override { return "st-status-value"; }
+
+  void Check(const SourceFile& file, const ProjectIndex&,
+             std::vector<Finding>* out) const override {
+    const std::vector<Token>& toks = file.src.tokens;
+    std::vector<int> encl = EnclosingBraces(toks);
+    for (size_t i = 2; i + 2 < toks.size(); ++i) {
+      if (!toks[i].IsIdent("value")) continue;
+      if (!toks[i - 1].IsPunct(".")) continue;
+      if (!toks[i + 1].IsPunct("(") || !toks[i + 2].IsPunct(")")) continue;
+
+      bool is_temporary = false;
+      std::string receiver =
+          ReceiverChain(toks, static_cast<int>(i) - 1, &is_temporary);
+      if (is_temporary) {
+        out->push_back(Finding{
+            file.path, toks[i].line, name(),
+            ".value() on a temporary Result cannot be ok()-checked; bind "
+            "it to a local and check before accessing"});
+        continue;
+      }
+      if (receiver.empty()) continue;  // unrecognized shape; stay silent
+
+      int body = OutermostFunctionBody(toks, encl, i);
+      size_t window_begin = body < 0 ? 0 : static_cast<size_t>(body);
+      if (!DominatedByCheck(toks, window_begin, i, receiver)) {
+        out->push_back(Finding{
+            file.path, toks[i].line, name(),
+            "'" + receiver +
+                ".value()' is not dominated by an ok()/has_value() check "
+                "in this function; add one (or assert(ok()))"});
+      }
+    }
+  }
+
+ private:
+  // Looks for `receiver.ok(`, `receiver.has_value(`, `receiver.status(`,
+  // `if (receiver)` or `if (!receiver)` between window_begin and use.
+  static bool DominatedByCheck(const std::vector<Token>& toks,
+                               size_t window_begin, size_t use,
+                               const std::string& receiver) {
+    for (size_t j = window_begin; j < use; ++j) {
+      if (toks[j].kind != TokenKind::kIdent) continue;
+      // Try to match the receiver chain ending at token j.
+      bool dummy = false;
+      // Reuse chain extraction: pretend toks[j+1] is the '.' of a call.
+      if (j + 2 < use && toks[j + 1].IsPunct(".") &&
+          toks[j + 2].kind == TokenKind::kIdent) {
+        const std::string& m = toks[j + 2].text;
+        if ((m == "ok" || m == "has_value" || m == "status") &&
+            j + 3 < toks.size() && toks[j + 3].IsPunct("(")) {
+          std::string chain = ReceiverChain(toks, static_cast<int>(j) + 1,
+                                            &dummy);
+          if (chain == receiver) return true;
+        }
+      }
+      // `if (receiver)` / `if (!receiver)` — optional-style truthiness.
+      if (toks[j].IsIdent("if") && j + 1 < use && toks[j + 1].IsPunct("(")) {
+        size_t k = j + 2;
+        if (k < use && toks[k].IsPunct("!")) ++k;
+        std::string chain;
+        while (k < use && (toks[k].kind == TokenKind::kIdent ||
+                           toks[k].IsPunct(".") || toks[k].IsPunct("->") ||
+                           toks[k].IsPunct("::"))) {
+          chain += toks[k].text;
+          ++k;
+        }
+        if (k < use && toks[k].IsPunct(")") && chain == receiver) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeStatusIgnoredRule() {
+  return std::make_unique<StatusIgnoredRule>();
+}
+std::unique_ptr<Rule> MakeStatusValueRule() {
+  return std::make_unique<StatusValueRule>();
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,49 @@
+#include "analysis/source_file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace streamtune::analysis {
+
+FileOrigin ClassifyPath(const std::string& rel_path) {
+  auto has_prefix = [&](const char* p) {
+    return rel_path.rfind(p, 0) == 0;
+  };
+  if (has_prefix("src/")) return FileOrigin::kSrc;
+  if (has_prefix("tests/")) return FileOrigin::kTests;
+  if (has_prefix("tools/")) return FileOrigin::kTools;
+  if (has_prefix("bench/")) return FileOrigin::kBench;
+  if (has_prefix("examples/")) return FileOrigin::kExamples;
+  return FileOrigin::kOther;
+}
+
+std::string PathStem(const std::string& rel_path) {
+  size_t slash = rel_path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+SourceFile SourceFile::FromContent(const std::string& rel_path,
+                                   std::string_view content) {
+  SourceFile f;
+  f.path = rel_path;
+  f.origin = ClassifyPath(rel_path);
+  f.is_header = rel_path.size() >= 2 &&
+                rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+  f.src = Tokenize(content);
+  return f;
+}
+
+Result<SourceFile> SourceFile::Load(const std::string& root,
+                                    const std::string& rel_path) {
+  std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + full);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromContent(rel_path, buf.str());
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,48 @@
+// One analyzed file: its tokens, suppressions, and path classification.
+
+#pragma once
+
+#include <string>
+
+#include "analysis/tokenizer.h"
+#include "common/status.h"
+
+namespace streamtune::analysis {
+
+/// Which top-level tree a file lives in; several rules scope by origin
+/// (e.g. printf is fine in the CLI and benches, banned in library code).
+enum class FileOrigin {
+  kSrc,
+  kTests,
+  kTools,
+  kBench,
+  kExamples,
+  kOther,
+};
+
+FileOrigin ClassifyPath(const std::string& rel_path);
+
+/// Basename without directory or extension ("src/kb/kb_service.h" ->
+/// "kb_service"). The lock rule uses it to pair a header with its .cc.
+std::string PathStem(const std::string& rel_path);
+
+struct SourceFile {
+  std::string path;  // root-relative, '/'-separated
+  FileOrigin origin = FileOrigin::kOther;
+  bool is_header = false;
+  TokenizedSource src;
+
+  /// Reads and tokenizes `root`/`rel_path`.
+  static Result<SourceFile> Load(const std::string& root,
+                                 const std::string& rel_path);
+
+  /// Builds a SourceFile from in-memory content (fixture tests).
+  static SourceFile FromContent(const std::string& rel_path,
+                                std::string_view content);
+
+  bool Suppressed(int line, const std::string& rule) const {
+    return IsSuppressed(src.nolint, line, rule);
+  }
+};
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,36 @@
+// Token model for the self-hosted analyzer (see DESIGN.md §10).
+//
+// The analyzer never builds an AST: every rule works on a flat token stream
+// with comments stripped (but mined for NOLINT suppressions), string/char
+// literals collapsed into single tokens, and each preprocessor directive
+// collapsed into one kPreproc token. That is deliberately coarse — rules are
+// heuristic pattern matchers tuned to this codebase's idioms — but it keeps
+// the analyzer dependency-free (no libclang in the toolchain).
+
+#pragma once
+
+#include <string>
+
+namespace streamtune::analysis {
+
+enum class TokenKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (including suffixes / exponents)
+  kString,   // string or character literal, text includes the quotes
+  kPunct,    // operators and punctuation, multi-char ops are one token
+  kPreproc,  // one whole preprocessor directive (continuations folded in)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+
+  bool Is(TokenKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdent, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,227 @@
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+bool IsOpener(const Token& t, char* close) {
+  if (t.kind != TokenKind::kPunct || t.text.size() != 1) return false;
+  switch (t.text[0]) {
+    case '(':
+      *close = ')';
+      return true;
+    case '[':
+      *close = ']';
+      return true;
+    case '{':
+      *close = '}';
+      return true;
+  }
+  return false;
+}
+
+bool IsQualifierIdent(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+         s == "mutable" || s == "try" || s == "volatile" || s == "&&";
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch";
+}
+
+// Annotation-style macros that may sit between a parameter list and the
+// function body; their argument group is skipped when walking backwards.
+bool IsAnnotationMacro(const std::string& s) {
+  return s == "noexcept" || s == "STREAMTUNE_REQUIRES" ||
+         s == "STREAMTUNE_GUARDED_BY";
+}
+
+// Steps backward over one (possibly qualified) name: `k` points at the
+// token before the name ident on return. Handles `Ns::Class::~Name`.
+int SkipNameBackward(const std::vector<Token>& toks, int name_idx) {
+  int k = name_idx - 1;
+  if (k >= 0 && toks[k].IsPunct("~")) --k;
+  while (k >= 1 && toks[k].IsPunct("::") &&
+         toks[k - 1].kind == TokenKind::kIdent) {
+    k -= 2;
+    if (k >= 0 && toks[k].IsPunct("~")) --k;
+  }
+  return k;
+}
+
+// Shared backward walk from a `{` at `b`. On success sets *param_close to
+// the index of the `)` closing the parameter list and returns true.
+bool FindParamList(const std::vector<Token>& toks, int b, int* param_close) {
+  int j = b - 1;
+  while (j >= 0) {
+    const Token& t = toks[j];
+    if (t.kind == TokenKind::kPreproc) {
+      --j;
+      continue;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (IsQualifierIdent(t.text)) {
+        --j;
+        continue;
+      }
+      return false;  // namespace / class name, else, do, enum, ...
+    }
+    if (t.IsPunct("&") || t.IsPunct("&&")) {  // ref-qualified member fn
+      --j;
+      continue;
+    }
+    if (t.IsPunct(")")) {
+      int o = MatchBackward(toks, j);
+      if (o <= 0) return false;
+      const Token& before = toks[o - 1];
+      if (before.kind == TokenKind::kIdent) {
+        if (IsControlKeyword(before.text)) return false;
+        if (IsAnnotationMacro(before.text)) {
+          j = o - 2;  // skip the macro call and keep walking
+          continue;
+        }
+        int k = SkipNameBackward(toks, o - 1);
+        if (k >= 0 && (toks[k].IsPunct(",") || toks[k].IsPunct(":"))) {
+          j = k - 1;  // constructor-initializer item; keep walking left
+          continue;
+        }
+        *param_close = j;
+        return true;
+      }
+      if (before.IsPunct("]") || before.IsPunct(">")) {
+        *param_close = j;  // lambda or templated name
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int MatchForward(const std::vector<Token>& toks, size_t i) {
+  char close = 0;
+  if (i >= toks.size() || !IsOpener(toks[i], &close)) return -1;
+  const std::string open = toks[i].text;
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].kind != TokenKind::kPunct || toks[j].text.size() != 1) continue;
+    if (toks[j].text[0] == open[0]) ++depth;
+    if (toks[j].text[0] == close && --depth == 0) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+int MatchBackward(const std::vector<Token>& toks, size_t i) {
+  if (i >= toks.size() || toks[i].kind != TokenKind::kPunct ||
+      toks[i].text.size() != 1) {
+    return -1;
+  }
+  char close = toks[i].text[0];
+  char open = close == ')' ? '(' : close == ']' ? '[' : close == '}' ? '{' : 0;
+  if (open == 0) return -1;
+  int depth = 0;
+  for (int j = static_cast<int>(i); j >= 0; --j) {
+    if (toks[j].kind != TokenKind::kPunct || toks[j].text.size() != 1) continue;
+    if (toks[j].text[0] == close) ++depth;
+    if (toks[j].text[0] == open && --depth == 0) return j;
+  }
+  return -1;
+}
+
+std::vector<int> EnclosingBraces(const std::vector<Token>& toks) {
+  std::vector<int> encl(toks.size(), -1);
+  std::vector<int> stack;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].IsPunct("}") && !stack.empty()) stack.pop_back();
+    encl[i] = stack.empty() ? -1 : stack.back();
+    if (toks[i].IsPunct("{")) stack.push_back(static_cast<int>(i));
+  }
+  return encl;
+}
+
+bool IsFunctionBody(const std::vector<Token>& toks, int b) {
+  int param_close = -1;
+  return FindParamList(toks, b, &param_close);
+}
+
+int OutermostFunctionBody(const std::vector<Token>& toks,
+                          const std::vector<int>& encl, size_t i) {
+  int result = -1;
+  for (int b = encl[i]; b != -1; b = encl[b]) {
+    if (IsFunctionBody(toks, b)) result = b;
+  }
+  return result;
+}
+
+std::string FunctionNameForBody(const std::vector<Token>& toks, int b) {
+  int param_close = -1;
+  if (!FindParamList(toks, b, &param_close)) return "";
+  int o = MatchBackward(toks, param_close);
+  if (o <= 0) return "";
+  const Token& name = toks[o - 1];
+  if (name.kind != TokenKind::kIdent) return "";  // lambda
+  if (o >= 2 && toks[o - 2].IsPunct("~")) return "~" + name.text;
+  return name.text;
+}
+
+std::string EnclosingClassName(const std::vector<Token>& toks,
+                               const std::vector<int>& encl, size_t i) {
+  for (int b = encl[i]; b != -1; b = encl[b]) {
+    // Walk back from the brace looking for `class|struct Name [: bases]`.
+    int j = b - 1;
+    while (j >= 0) {
+      const Token& t = toks[j];
+      if (t.kind == TokenKind::kIdent) {
+        if (t.text == "class" || t.text == "struct") {
+          // Name = first plain ident after the keyword (skips attributes).
+          for (int k = j + 1; k < b; ++k) {
+            if (toks[k].kind == TokenKind::kIdent &&
+                toks[k].text != "final" && toks[k].text != "alignas") {
+              return toks[k].text;
+            }
+          }
+          return "";
+        }
+        --j;
+        continue;
+      }
+      if (t.IsPunct(":") || t.IsPunct(",") || t.IsPunct("::") ||
+          t.IsPunct("<") || t.IsPunct(">") || t.kind == TokenKind::kNumber ||
+          t.kind == TokenKind::kPreproc) {
+        --j;
+        continue;
+      }
+      break;  // `;`, `{`, `)`, `=`, ... — not a class head
+    }
+  }
+  return "";
+}
+
+bool IsCtorOrDtorBody(const std::vector<Token>& toks,
+                      const std::vector<int>& encl, int b) {
+  std::string name = FunctionNameForBody(toks, b);
+  if (name.empty()) return false;
+  bool dtor = name[0] == '~';
+  std::string plain = dtor ? name.substr(1) : name;
+
+  // Qualified out-of-line definition: `T::T(` or `T::~T(`.
+  int param_close = -1;
+  if (FindParamList(toks, b, &param_close)) {
+    int o = MatchBackward(toks, param_close);
+    int k = o - 2;  // before the name ident
+    if (k >= 0 && toks[k].IsPunct("~")) --k;
+    if (k >= 1 && toks[k].IsPunct("::") &&
+        toks[k - 1].kind == TokenKind::kIdent && toks[k - 1].text == plain) {
+      return true;
+    }
+  }
+  // Inline definition inside the class body.
+  return !plain.empty() &&
+         EnclosingClassName(toks, encl, static_cast<size_t>(b)) == plain;
+}
+
+}  // namespace streamtune::analysis

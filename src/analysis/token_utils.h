@@ -1,0 +1,54 @@
+// Shared structural helpers over the flat token stream: bracket matching,
+// scope chains, and function-body recognition. All positions are indices
+// into a SourceFile's token vector.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace streamtune::analysis {
+
+/// Index of the closer matching the opener at `i` (one of ( [ {), or -1
+/// when unbalanced. Preprocessor tokens are opaque and ignored.
+int MatchForward(const std::vector<Token>& toks, size_t i);
+
+/// Index of the opener matching the closer at `i`, or -1.
+int MatchBackward(const std::vector<Token>& toks, size_t i);
+
+/// For every token, the index of the innermost `{` strictly enclosing it
+/// (-1 at file scope). For a `{` token the entry is its parent brace, so
+/// walking `encl[b]` repeatedly climbs the scope chain.
+std::vector<int> EnclosingBraces(const std::vector<Token>& toks);
+
+/// True when the `{` at `b` opens a function (or lambda) body rather than a
+/// class / namespace / enum / initializer. Recognizes parameter lists,
+/// constructor initializer lists, and trailing qualifiers
+/// (const/noexcept/override/final plus annotation macros).
+bool IsFunctionBody(const std::vector<Token>& toks, int b);
+
+/// The outermost function-body `{` enclosing token `i` (skips lambda bodies
+/// nested inside a real function), or -1 when `i` is not inside a function.
+int OutermostFunctionBody(const std::vector<Token>& toks,
+                          const std::vector<int>& encl, size_t i);
+
+/// Unqualified name of the function whose body opens at `b` ("" when it
+/// cannot be determined, e.g. a lambda). For "KbService::Admit" returns
+/// "Admit"; for a destructor returns "~KbService".
+std::string FunctionNameForBody(const std::vector<Token>& toks, int b);
+
+/// Name of the innermost class/struct whose body encloses token `i`, or ""
+/// (used to exempt constructors/destructors declared inline in the class).
+std::string EnclosingClassName(const std::vector<Token>& toks,
+                               const std::vector<int>& encl, size_t i);
+
+/// True when the function whose body opens at `b` is a constructor or
+/// destructor: its name matches its qualifier ("T::T", "T::~T") or the
+/// enclosing class name.
+bool IsCtorOrDtorBody(const std::vector<Token>& toks,
+                      const std::vector<int>& encl, int b);
+
+}  // namespace streamtune::analysis

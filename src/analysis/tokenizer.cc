@@ -1,0 +1,260 @@
+#include "analysis/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace streamtune::analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first so greedy matching is correct.
+constexpr std::array<std::string_view, 36> kMultiOps = {
+    "<<=", ">>=", "...", "->*", "<=>",                            //
+    "::",  "->",  "++",  "--",  "<<",  ">>", "<=", ">=", "==",    //
+    "!=",  "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "&=",    //
+    "|=",  "^=",  ".*",  "##",                                    //
+    // single-char fallthroughs are handled by the default branch
+    "",    "",    "",    "",    "",    "",   "",   ""};
+
+// Records a NOLINT-style marker found in comment text starting at the line
+// the comment begins on.
+void MineNolint(std::string_view comment, int line, NolintMap* nolint) {
+  for (size_t pos = comment.find("NOLINT"); pos != std::string_view::npos;
+       pos = comment.find("NOLINT", pos + 1)) {
+    size_t after = pos + 6;  // past "NOLINT"
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      target = line + 1;
+      after = pos + 14;
+    }
+    std::set<std::string>& rules = (*nolint)[target];
+    if (after < comment.size() && comment[after] == '(') {
+      size_t close = comment.find(')', after);
+      std::string_view list = comment.substr(
+          after + 1,
+          close == std::string_view::npos ? comment.size() : close - after - 1);
+      std::string current;
+      for (char c : list) {
+        if (c == ',') {
+          if (!current.empty()) rules.insert(current);
+          current.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          current += c;
+        }
+      }
+      if (!current.empty()) rules.insert(current);
+    } else {
+      // Bare NOLINT: empty set = suppress everything on the target line.
+      rules.clear();
+      // Mark "all" by leaving the set empty; ensure the entry exists.
+    }
+  }
+}
+
+}  // namespace
+
+bool IsSuppressed(const NolintMap& nolint, int line, const std::string& rule) {
+  auto it = nolint.find(line);
+  if (it == nolint.end()) return false;
+  return it->second.empty() || it->second.count(rule) > 0;
+}
+
+TokenizedSource Tokenize(std::string_view content) {
+  TokenizedSource out;
+  size_t i = 0;
+  const size_t n = content.size();
+  int line = 1;
+
+  auto advance_over = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (content[i] == '\n') ++line;
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      MineNolint(content.substr(i, end - i), line, &out.nolint);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      int start_line = line;
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      MineNolint(content.substr(i, end - i), start_line, &out.nolint);
+      advance_over(end + 2 - i);
+      continue;
+    }
+
+    // Preprocessor directive: only when '#' is the first non-space char of
+    // the line; folded into one token, honoring backslash continuations.
+    if (c == '#') {
+      size_t ls = content.rfind('\n', i == 0 ? 0 : i - 1);
+      ls = (ls == std::string_view::npos) ? 0 : ls + 1;
+      bool first_on_line = true;
+      for (size_t k = ls; k < i; ++k) {
+        if (!std::isspace(static_cast<unsigned char>(content[k]))) {
+          first_on_line = false;
+          break;
+        }
+      }
+      if (first_on_line) {
+        int start_line = line;
+        size_t j = i;
+        while (j < n) {
+          size_t eol = content.find('\n', j);
+          if (eol == std::string_view::npos) {
+            j = n;
+            break;
+          }
+          // Continuation if the last non-CR char before the newline is '\'.
+          size_t last = eol;
+          while (last > j && (content[last - 1] == '\r')) --last;
+          if (last > j && content[last - 1] == '\\') {
+            j = eol + 1;
+            continue;
+          }
+          j = eol;
+          break;
+        }
+        Token t;
+        t.kind = TokenKind::kPreproc;
+        t.text = std::string(content.substr(i, j - i));
+        t.line = start_line;
+        out.tokens.push_back(std::move(t));
+        advance_over(j - i);
+        continue;
+      }
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t dstart = i + 2;
+      size_t dend = content.find('(', dstart);
+      if (dend != std::string_view::npos) {
+        std::string closer;
+        closer.reserve(dend - dstart + 2);
+        closer.push_back(')');
+        closer.append(content.substr(dstart, dend - dstart));
+        closer.push_back('"');
+        size_t end = content.find(closer, dend + 1);
+        size_t stop = (end == std::string_view::npos) ? n : end + closer.size();
+        Token t;
+        t.kind = TokenKind::kString;
+        t.text = std::string(content.substr(i, stop - i));
+        t.line = line;
+        out.tokens.push_back(std::move(t));
+        advance_over(stop - i);
+        continue;
+      }
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      // Digit separators ('): a quote directly after an alnum inside a
+      // number is not a char literal; the number scanner below owns it, so
+      // we only get here for genuine literals.
+      size_t j = i + 1;
+      while (j < n && content[j] != c) {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        if (content[j] == '\n') break;  // unterminated; stop at EOL
+        ++j;
+      }
+      size_t stop = (j < n && content[j] == c) ? j + 1 : j;
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::string(content.substr(i, stop - i));
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      advance_over(stop - i);
+      continue;
+    }
+
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      size_t j = i;
+      while (j < n) {
+        char d = content[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          ++j;
+          continue;
+        }
+        // Exponent sign: 1e-5, 0x1p+3.
+        if ((d == '+' || d == '-') && j > i &&
+            (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+             content[j - 1] == 'p' || content[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(content.substr(i, j - i));
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(content.substr(i, j - i));
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    // Punctuation: longest multi-char operator first.
+    std::string_view rest = content.substr(i);
+    std::string_view matched;
+    for (std::string_view op : kMultiOps) {
+      if (!op.empty() && rest.substr(0, op.size()) == op) {
+        matched = op;
+        break;
+      }
+    }
+    Token t;
+    t.kind = TokenKind::kPunct;
+    t.text = matched.empty() ? std::string(1, c) : std::string(matched);
+    t.line = line;
+    out.tokens.push_back(std::move(t));
+    i += matched.empty() ? 1 : matched.size();
+  }
+
+  out.num_lines = line;
+  return out;
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,38 @@
+// C++ tokenizer with comment/string/preprocessor awareness.
+//
+// Produces the flat token stream every rule consumes, plus the per-line
+// NOLINT suppression map mined from comments:
+//   // NOLINT                      suppress every rule on this line
+//   // NOLINT(st-rule-a, st-b)     suppress only the listed rules
+//   // NOLINTNEXTLINE(...)         same, but applies to the following line
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace streamtune::analysis {
+
+/// Per-line suppressions. A line mapped to an empty set suppresses all
+/// rules; otherwise only the named rules are suppressed.
+using NolintMap = std::map<int, std::set<std::string>>;
+
+struct TokenizedSource {
+  std::vector<Token> tokens;
+  NolintMap nolint;
+  int num_lines = 0;
+};
+
+/// Tokenizes one translation unit. Never fails: unterminated constructs are
+/// closed at end-of-file (rules on a file that garbled are best-effort).
+TokenizedSource Tokenize(std::string_view content);
+
+/// True when `rule` is suppressed on `line`.
+bool IsSuppressed(const NolintMap& nolint, int line, const std::string& rule);
+
+}  // namespace streamtune::analysis

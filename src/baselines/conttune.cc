@@ -1,6 +1,7 @@
 #include "baselines/conttune.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace streamtune::baselines {
@@ -37,6 +38,7 @@ std::vector<int> ContTuneTuner::Recommend(const sim::StreamEngine& engine,
     sel[v] = m.input_rate > 1e-9 ? m.output_rate / m.input_rate : 1.0;
   }
   auto order = g.TopologicalOrder();
+  assert(order.ok() && "deployed job graphs are acyclic");
   std::vector<double> target_in(n, 0.0), target_out(n, 0.0);
   for (int v : order.value()) {
     if (g.upstream(v).empty()) {

@@ -1,6 +1,7 @@
 #include "baselines/ds2.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace streamtune::baselines {
@@ -21,6 +22,7 @@ std::vector<int> Ds2Tuner::Recommend(const sim::StreamEngine& engine,
 
   // Propagate target (unthrottled) rates from the sources downstream.
   auto order = g.TopologicalOrder();
+  assert(order.ok() && "deployed job graphs are acyclic");
   std::vector<double> target_in(n, 0.0), target_out(n, 0.0);
   for (int v : order.value()) {
     if (g.upstream(v).empty()) {

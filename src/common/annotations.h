@@ -1,0 +1,32 @@
+// Thread-safety annotation macros checked by the self-hosted analyzer.
+//
+// The project toolchain is g++, which has no -Wthread-safety, so these
+// macros expand to nothing at compile time (or to the real Clang attributes
+// when a Clang build shows up). Their teeth come from `st_analyze`
+// (src/analysis/): the `st-lock-guarded-by` rule verifies that every member
+// declared STREAMTUNE_GUARDED_BY(mu) is only touched in scopes that hold a
+// lock_guard / unique_lock / shared_lock / scoped_lock on `mu`, or inside
+// functions annotated STREAMTUNE_REQUIRES(mu).
+//
+// Usage:
+//   std::mutex mu_;
+//   int counter_ STREAMTUNE_GUARDED_BY(mu_);
+//   void Drain() STREAMTUNE_REQUIRES(mu_);  // caller must hold mu_
+//
+// Constructors and destructors are exempt (no concurrent access can exist
+// before the object is shared or after teardown begins); anything else that
+// is safe for a non-obvious reason takes // NOLINT(st-lock-guarded-by).
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define STREAMTUNE_GUARDED_BY(mu) __attribute__((guarded_by(mu)))
+#define STREAMTUNE_REQUIRES(mu) __attribute__((exclusive_locks_required(mu)))
+#endif
+#endif
+
+#ifndef STREAMTUNE_GUARDED_BY
+#define STREAMTUNE_GUARDED_BY(mu)
+#define STREAMTUNE_REQUIRES(mu)
+#endif

@@ -54,7 +54,7 @@ inline const char* StatusCodeName(StatusCode code) {
 
 /// Outcome of an operation that produces no value: OK or an error with a
 /// code and message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -122,7 +122,7 @@ namespace internal {
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result aborts with the status message (all build types).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

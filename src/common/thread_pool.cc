@@ -85,11 +85,11 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   Job job;
   job.fn = &fn;
   job.end = end;
-  job.next = begin;
 
   std::unique_lock<std::mutex> lock(mu_);
   // One range at a time; concurrent external callers queue up here.
   done_cv_.wait(lock, [&] { return job_ == nullptr; });
+  job.next = begin;
   job_ = &job;
   ++job_gen_;
   work_cv_.notify_all();
@@ -103,10 +103,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
     return job.active_workers == 0 && (job.failed || job.next >= job.end);
   });
   job_ = nullptr;
+  // Snapshot the outcome while still holding mu_ — after the unlock the
+  // annotations no longer permit touching the guarded Job fields.
+  bool failed = job.failed;
+  std::exception_ptr error = job.error;
   lock.unlock();
   done_cv_.notify_all();  // release any queued external caller
 
-  if (job.failed) std::rethrow_exception(job.error);
+  if (failed) std::rethrow_exception(error);
 }
 
 }  // namespace streamtune

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace streamtune {
 
 /// A fixed set of background workers executing ParallelFor index ranges.
@@ -60,25 +62,32 @@ class ThreadPool {
 
  private:
   struct Job {
+    // fn/end are set once before the job is published and read-only after.
     const std::function<void(int64_t)>* fn = nullptr;
     int64_t end = 0;
-    std::int64_t next = 0;       // guarded by mu_
-    int active_workers = 0;      // workers still inside RunJob
-    bool failed = false;         // an exception was recorded
-    int64_t error_index = -1;    // lowest failing index so far
-    std::exception_ptr error;    // exception at error_index
+    std::int64_t next STREAMTUNE_GUARDED_BY(mu_) = 0;
+    // Workers still inside RunJob.
+    int active_workers STREAMTUNE_GUARDED_BY(mu_) = 0;
+    // An exception was recorded.
+    bool failed STREAMTUNE_GUARDED_BY(mu_) = false;
+    // Lowest failing index so far.
+    int64_t error_index STREAMTUNE_GUARDED_BY(mu_) = -1;
+    // Exception raised at error_index.
+    std::exception_ptr error STREAMTUNE_GUARDED_BY(mu_);
   };
 
   void WorkerLoop();
   // Claims and runs indices of the current job until exhausted or failed.
-  void RunJob(std::unique_lock<std::mutex>& lock);
+  void RunJob(std::unique_lock<std::mutex>& lock) STREAMTUNE_REQUIRES(mu_);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for a job / shutdown
   std::condition_variable done_cv_;  // caller waits for job completion
-  Job* job_ = nullptr;               // non-null while a ParallelFor runs
-  uint64_t job_gen_ = 0;             // bumps when a new job is published
-  bool shutdown_ = false;
+  // Non-null while a ParallelFor runs.
+  Job* job_ STREAMTUNE_GUARDED_BY(mu_) = nullptr;
+  // Bumps when a new job is published.
+  uint64_t job_gen_ STREAMTUNE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ STREAMTUNE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

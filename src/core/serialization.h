@@ -83,7 +83,7 @@ void WriteHistoryRecord(std::ostream& os, const HistoryRecord& rec);
 Result<HistoryRecord> ReadHistoryRecord(std::istream& is);
 
 /// Saves history records to `path` (atomic temp-file + rename).
-Status SaveHistory(const std::vector<HistoryRecord>& records,
+[[nodiscard]] Status SaveHistory(const std::vector<HistoryRecord>& records,
                    const std::string& path);
 /// Loads history records from `path`.
 Result<std::vector<HistoryRecord>> LoadHistory(const std::string& path);
@@ -98,8 +98,8 @@ Status WriteBundleBody(std::ostream& os, const PretrainedBundle& bundle);
 Result<PretrainedBundle> ReadBundleBody(std::istream& is);
 
 /// Saves a pre-trained bundle (atomic temp-file + rename).
-Status SaveBundle(const PretrainedBundle& bundle, const std::string& path);
+[[nodiscard]] Status SaveBundle(const PretrainedBundle& bundle, const std::string& path);
 /// Loads a bundle saved with SaveBundle.
-Result<PretrainedBundle> LoadBundle(const std::string& path);
+[[nodiscard]] Result<PretrainedBundle> LoadBundle(const std::string& path);
 
 }  // namespace streamtune::core

@@ -1,6 +1,7 @@
 #include "core/streamtune_tuner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "baselines/ds2.h"
@@ -101,6 +102,7 @@ std::vector<int> StreamTuneTuner::Recommend(const sim::StreamEngine& engine,
       CachedAgnosticEmbeddings(cluster, g, engine.current_source_rates());
   std::vector<int> rec(g.num_operators(), 1);
   auto order = g.TopologicalOrder();
+  assert(order.ok() && "deployed job graphs are acyclic");
   for (int v : order.value()) {
     rec[v] = MinSafeParallelism(model, emb.Row(v), engine.max_parallelism());
   }

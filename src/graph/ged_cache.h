@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "graph/ged.h"
 
 namespace streamtune::graph {
@@ -94,7 +95,7 @@ class GedCache {
   static constexpr int kNumShards = 16;
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, Entry, KeyHash> map;
+    std::unordered_map<Key, Entry, KeyHash> map STREAMTUNE_GUARDED_BY(mu);
   };
 
   static Key MakeKey(const JobGraph& a, const JobGraph& b);

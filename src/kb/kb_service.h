@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/streamtune_tuner.h"
 #include "kb/kb_store.h"
 #include "kb/kb_updater.h"
@@ -99,7 +100,8 @@ class KbService {
   std::mutex writer_mu_;
   /// Guards only the snapshot pointer swap/read.
   mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const KbSnapshot> snapshot_;
+  std::shared_ptr<const KbSnapshot> snapshot_
+      STREAMTUNE_GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace streamtune::kb

@@ -72,13 +72,13 @@ struct KnowledgeBase {
 Status ValidateKb(const KnowledgeBase& kb);
 
 /// Saves `kb` to `path`: temp file + atomic rename, per-section CRC-32.
-Status SaveKb(const KnowledgeBase& kb, const std::string& path);
+[[nodiscard]] Status SaveKb(const KnowledgeBase& kb, const std::string& path);
 
 /// Loads a KB saved with SaveKb. Strict: version mismatches, truncation,
 /// checksum failures and malformed bodies all return an error Status (never
 /// abort). All contained job graphs are adjacency-warmed, so the returned
 /// state can be shared read-only across threads.
-Result<KnowledgeBase> LoadKb(const std::string& path);
+[[nodiscard]] Result<KnowledgeBase> LoadKb(const std::string& path);
 
 /// Warms the lazy adjacency caches of every graph reachable from `bundle`
 /// (cluster centers + corpus records). Must run before a bundle is shared

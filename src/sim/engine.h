@@ -24,9 +24,9 @@ class StreamEngine {
   virtual int max_parallelism() const = 0;
 
   /// Stop-and-restart reconfiguration with new parallelism degrees.
-  virtual Status Deploy(const std::vector<int>& parallelism) = 0;
+  [[nodiscard]] virtual Status Deploy(const std::vector<int>& parallelism) = 0;
   /// Samples runtime metrics for the current deployment.
-  virtual Result<JobMetrics> Measure() = 0;
+  [[nodiscard]] virtual Result<JobMetrics> Measure() = 0;
   virtual const std::vector<int>& parallelism() const = 0;
 
   /// Scales every source to `factor` times its base rate.

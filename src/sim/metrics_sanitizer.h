@@ -88,13 +88,13 @@ class MetricsSanitizer {
 /// `sanitizer->options().median_samples` fresh valid samples; if none can
 /// be obtained the last validation error is returned and the caller
 /// degrades gracefully.
-Result<JobMetrics> MeasureSanitized(StreamEngine* engine,
+[[nodiscard]] Result<JobMetrics> MeasureSanitized(StreamEngine* engine,
                                     MetricsSanitizer* sanitizer,
                                     const RetryOptions& retry,
                                     RetryStats* retry_stats = nullptr);
 
 /// Deploys through `engine` with retry+backoff on transient failures.
-Status DeployWithRetry(StreamEngine* engine,
+[[nodiscard]] Status DeployWithRetry(StreamEngine* engine,
                        const std::vector<int>& parallelism,
                        const RetryOptions& retry,
                        RetryStats* retry_stats = nullptr);

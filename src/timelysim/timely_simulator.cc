@@ -103,6 +103,7 @@ Result<sim::JobMetrics> TimelySimulator::Measure() {
   // Synthesized cascading view so Algorithm 1 applies unchanged: operators
   // with a bottleneck strict descendant report "backpressured".
   auto order = graph_.TopologicalOrder();
+  assert(order.ok() && "timely job graphs are validated acyclic");
   std::vector<bool> blocked(n, false);
   for (auto it = order.value().rbegin(); it != order.value().rend(); ++it) {
     int v = *it;
@@ -168,6 +169,7 @@ Result<EpochTrace> TimelySimulator::RunEpochs(int num_epochs) {
       sim::SolveFlow(graph_, huge, selectivity_, source_rates_);
 
   auto order = graph_.TopologicalOrder();
+  assert(order.ok() && "timely job graphs are validated acyclic");
   EpochTrace trace;
   trace.latencies.reserve(num_epochs);
   std::vector<double> finish_prev(n, 0.0);

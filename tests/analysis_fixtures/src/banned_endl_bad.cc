@@ -1,0 +1,10 @@
+// Fixture: std::endl in library code — st-banned-endl must fire.
+#include <iostream>
+
+namespace fixture {
+
+void ReportProgress(int pct) {
+  std::cout << "progress: " << pct << std::endl;  // line 7: endl in src/
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: printf/puts in library code — st-banned-printf must fire.
+#include <cstdio>
+
+namespace fixture {
+
+void Debug(int x) {
+  printf("x = %d\n", x);  // line 7: printf in src/
+  puts("done");           // line 8: puts in src/
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: member calls named printf and '\n'-terminated streams are fine —
+// st-banned-printf / st-banned-endl stay silent.
+#include <iostream>
+
+#include "fake_logger.h"
+
+namespace fixture {
+
+void Report(fake::Logger& log, int x) {
+  log.printf("x = %d", x);       // member printf: someone else's API
+  std::cout << "x=" << x << '\n';  // newline without a flush
+}
+
+}  // namespace fixture

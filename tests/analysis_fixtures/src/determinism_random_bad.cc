@@ -1,0 +1,20 @@
+// Fixture: st-determinism-random must fire on every nondeterminism source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int EntropySeed() {
+  std::random_device rd;  // line 8: random_device
+  return static_cast<int>(rd());
+}
+
+int WallClockNow() {
+  auto t = std::chrono::system_clock::now();  // line 13: system_clock
+  return static_cast<int>(t.time_since_epoch().count());
+}
+
+int LegacyRandom() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // line 18: srand+time
+  return std::rand();  // line 19: rand
+}

@@ -1,0 +1,13 @@
+// Fixture: seeded generators, member calls, and foreign-qualified calls
+// named like banned APIs are fine — st-determinism-random stays silent.
+#include <random>
+
+#include "fake_entropy.h"
+
+int SeededDraw(unsigned seed, const fake::Sampler& s) {
+  std::mt19937_64 gen(seed);  // explicit seed: reproducible
+  int member_call = s.rand();            // member named rand: not ::rand
+  int foreign_call = fake::time(0);      // fake::time: not std::time
+  int rand_like_name = member_call + 1;  // identifier merely contains "rand"
+  return static_cast<int>(gen()) + foreign_call + rand_like_name;
+}

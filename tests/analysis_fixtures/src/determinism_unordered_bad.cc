@@ -1,0 +1,22 @@
+// Fixture: range-for over an unordered container feeding an order-sensitive
+// reduction — st-determinism-unordered-iter must fire.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double SumCosts(const std::unordered_map<std::string, double>& costs) {
+  double total = 0.0;
+  for (const auto& kv : costs) {
+    total += kv.second;  // line 10: += over unordered iteration order
+  }
+  return total;
+}
+
+std::vector<std::string> CollectKeys(
+    const std::unordered_map<std::string, double>& costs) {
+  std::vector<std::string> keys;
+  for (const auto& kv : costs) {
+    keys.push_back(kv.first);  // line 19: push_back in unordered order
+  }
+  return keys;
+}

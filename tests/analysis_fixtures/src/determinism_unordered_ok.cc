@@ -1,0 +1,19 @@
+// Fixture: ordered containers may feed reductions, and unordered iteration
+// is fine when the loop body is order-insensitive (per-slot writes).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double SumCostsOrdered(const std::map<std::string, double>& ordered_costs) {
+  double total = 0.0;
+  for (const auto& kv : ordered_costs) {
+    total += kv.second;  // std::map iterates in key order: deterministic
+  }
+  return total;
+}
+
+void Normalize(std::unordered_map<std::string, double>* costs) {
+  for (auto& kv : *costs) {
+    kv.second = kv.second / 2.0;  // per-slot write: order-insensitive
+  }
+}

@@ -1,0 +1,24 @@
+// Fixture: a STREAMTUNE_GUARDED_BY member touched with no lock held —
+// st-lock-guarded-by must fire.
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    total_ += 1;  // line 12: no lock on mu_
+  }
+
+  long long Peek() const {
+    return total_;  // line 16: read is still an access
+  }
+
+ private:
+  mutable std::mutex mu_;
+  long long total_ STREAMTUNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: guarded accesses under a lock_guard, via STREAMTUNE_REQUIRES,
+// or inside the constructor — st-lock-guarded-by stays silent.
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class SafeCounter {
+ public:
+  SafeCounter() {
+    total_ = 0;  // constructor: the object is not shared yet
+  }
+
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += 1;  // covered by the lock_guard above
+  }
+
+  long long DrainLocked() STREAMTUNE_REQUIRES(mu_) {
+    return total_;  // caller holds mu_ per the annotation
+  }
+
+ private:
+  mutable std::mutex mu_;
+  long long total_ STREAMTUNE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: real violations silenced by NOLINT markers — the analyzer must
+// report zero findings here but count the suppressions.
+#include <cstdio>
+#include <random>
+
+namespace fixture {
+
+int Entropy() {
+  std::random_device rd;  // NOLINT(st-determinism-random)
+  // NOLINTNEXTLINE(st-banned-printf)
+  printf("entropy source engaged\n");
+  // A bare NOLINT suppresses every rule on its line.
+  std::random_device rd2;  // NOLINT
+  return static_cast<int>(rd()) + static_cast<int>(rd2());
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: include-guard style without #pragma once — st-pragma-once must
+// fire (anchored at line 1).
+#ifndef FIXTURE_PRAGMA_ONCE_BAD_H_
+#define FIXTURE_PRAGMA_ONCE_BAD_H_
+
+namespace fixture {
+inline int Seven() { return 7; }
+}  // namespace fixture
+
+#endif  // FIXTURE_PRAGMA_ONCE_BAD_H_

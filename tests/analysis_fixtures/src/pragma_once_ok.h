@@ -1,0 +1,6 @@
+// Fixture: header leading with #pragma once — st-pragma-once stays silent.
+#pragma once
+
+namespace fixture {
+inline int Eight() { return 8; }
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a Status / Result return value dropped on the floor —
+// st-status-ignored must fire.
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Status WriteCheckpoint(int id);
+streamtune::Result<int> ReadCheckpoint(int id);
+
+void Sloppy() {
+  WriteCheckpoint(7);  // line 11: Status discarded
+  ReadCheckpoint(7);   // line 12: Result discarded
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: every Status-returning call is consumed — st-status-ignored
+// stays silent.
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Status FlushJournal(int id);
+
+streamtune::Status Careful() {
+  streamtune::Status s = FlushJournal(1);   // assigned
+  if (!FlushJournal(2).ok()) return s;      // checked inline
+  ST_RETURN_NOT_OK(FlushJournal(3));        // macro-wrapped
+  return FlushJournal(4);                   // returned
+}
+
+}  // namespace fixture

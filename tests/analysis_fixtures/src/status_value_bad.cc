@@ -1,0 +1,18 @@
+// Fixture: Result::value() with no dominating ok() check — st-status-value
+// must fire (value() aborts on an errored Result).
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Result<int> ParseDegree(int raw);
+
+int Reckless(int raw) {
+  streamtune::Result<int> r = ParseDegree(raw);
+  return r.value();  // line 11: no r.ok() check dominates this
+}
+
+int RecklessTemporary(int raw) {
+  return ParseDegree(raw).value();  // line 15: temporary, never checkable
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: value() dominated by an ok() / boolean check — st-status-value
+// stays silent.
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Result<int> ParseDegree(int raw);
+
+int Guarded(int raw) {
+  streamtune::Result<int> r = ParseDegree(raw);
+  if (!r.ok()) return -1;
+  return r.value();  // dominated by the ok() check above
+}
+
+int GuardedBool(int raw) {
+  auto r = ParseDegree(raw);
+  if (r.ok()) {
+    return r.value();  // dominated inside the if
+  }
+  return -1;
+}
+
+}  // namespace fixture

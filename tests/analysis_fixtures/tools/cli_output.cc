@@ -1,0 +1,10 @@
+// Fixture: tools/ may print and flush freely — st-banned-printf and
+// st-banned-endl do not apply here.
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  printf("hello from the CLI\n");
+  std::cout << "flushing is fine here" << std::endl;
+  return 0;
+}

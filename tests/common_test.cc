@@ -52,6 +52,7 @@ TEST(ResultTest, HoldsError) {
 
 TEST(ResultTest, MoveOutValue) {
   Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
   std::string s = std::move(r).value();
   EXPECT_EQ(s, "hello");
 }
@@ -75,6 +76,8 @@ TEST(ResultDeathTest, ValueOnErrorAbortsInAllBuildTypes) {
   // Hardened Result: accessing the value of an errored Result must abort
   // with the status message, even in release builds.
   Result<int> r(Status::NotFound("the-missing-thing"));
+  // The unchecked access is the point here.
+  // NOLINTNEXTLINE(st-status-value)
   EXPECT_DEATH({ (void)r.value(); }, "the-missing-thing");
   EXPECT_DEATH({ (void)*r; }, "the-missing-thing");
 }

@@ -1,0 +1,111 @@
+// st_analyze — the self-hosted invariant checker (DESIGN.md §10).
+//
+// Usage:
+//   st_analyze [--root=DIR] [--baseline=FILE] [--write-baseline=FILE]
+//              [--rule=st-name ...] [--list-rules] PATH...
+//
+// PATHs are files or directories relative to --root (default: cwd).
+// Directories are walked recursively for *.h / *.cc, skipping
+// analysis_fixtures/ and build*/ trees. Exit codes: 0 = clean,
+// 1 = findings, 2 = usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/rules.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: st_analyze [--root=DIR] [--baseline=FILE]\n"
+      "                  [--write-baseline=FILE] [--rule=st-name ...]\n"
+      "                  [--list-rules] PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using streamtune::analysis::AnalyzerOptions;
+  using streamtune::analysis::Finding;
+
+  AnalyzerOptions options;
+  std::string baseline_path;
+  std::string write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      size_t len = std::strlen(flag);
+      if (arg.compare(0, len, flag) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (arg == "--list-rules") {
+      for (const auto& rule : streamtune::analysis::BuildAllRules()) {
+        std::printf("%s\n", rule->name());
+      }
+      return 0;
+    } else if (const char* v = value_of("--root")) {
+      options.root = v;
+    } else if (const char* v = value_of("--baseline")) {
+      baseline_path = v;
+    } else if (const char* v = value_of("--write-baseline")) {
+      write_baseline_path = v;
+    } else if (const char* v = value_of("--rule")) {
+      options.enabled_rules.insert(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      options.paths.push_back(arg);
+    }
+  }
+  if (options.paths.empty()) return Usage();
+
+  if (!baseline_path.empty()) {
+    auto loaded = streamtune::analysis::LoadBaseline(baseline_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "st_analyze: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    options.baseline = std::move(loaded).value();
+  }
+
+  auto report = streamtune::analysis::RunAnalyzer(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "st_analyze: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    auto st = streamtune::analysis::WriteBaseline(write_baseline_path,
+                                                 report->findings);
+    if (!st.ok()) {
+      std::fprintf(stderr, "st_analyze: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %zu finding(s) to %s\n", report->findings.size(),
+                write_baseline_path.c_str());
+    return 0;
+  }
+
+  for (const Finding& f : report->findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  std::printf(
+      "st_analyze: %d file(s), %zu finding(s), %d nolint-suppressed, "
+      "%d baselined\n",
+      report->files_analyzed, report->findings.size(),
+      report->suppressed_nolint, report->suppressed_baseline);
+  return report->findings.empty() ? 0 : 1;
+}
