@@ -1,0 +1,324 @@
+// Cross-job batched GNN inference throughput on the tuner decision path.
+//
+// When many jobs wait for a recommendation at once (KB warm-start of a
+// whole deployment, periodic re-tuning sweeps), the per-job path runs one
+// tape forward per job: mostly small matmuls whose cost is dominated by
+// per-call overhead. BatchedAgnosticEmbeddings instead packs the operator
+// rows of every pending job into one tall matrix per GNN layer and applies
+// the block-diagonal adjacency segment by segment, so each layer is a
+// single wide matmul over the dispatched kernels.
+//
+// This bench sweeps batch sizes 1/8/64/512 over a mixed Nexmark+PQP job
+// pool with randomized source rates (duplicate graphs allowed: the batch
+// path dedups graph contexts by name, exactly like the tuner sees repeated
+// deployments of the same query). Per batch size it times
+//
+//   sequential: per-job AgnosticEmbeddings (fresh GraphContext + tape
+//               forward per job) — the lazy tuner path, and
+//   batched:    cluster-grouped BatchedAgnosticEmbeddings,
+//
+// best-of ST_BENCH_REPS, and reports per-job latency plus decisions/sec.
+// The batched embeddings must be bit-identical to the sequential ones
+// under the active dispatch (the packed kernels process output rows
+// independently), so any numeric drift fails the run.
+//
+// Results are spliced into BENCH_mltrain.json as a "batched_inference"
+// section when ml_train_speedup already wrote it, else emitted standalone.
+//
+// Environment knobs:
+//   ST_BENCH_REPS     timing repetitions; best-of is reported (default 5).
+//   ST_BENCH_SAMPLES  history samples per job for the corpus (default 4).
+//   ST_BENCH_EPOCHS   pre-training epochs (default 20).
+//   ST_BENCH_HIDDEN   GNN hidden width (default 32).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "ml/matrix.h"
+#include "workloads/nexmark.h"
+
+using namespace streamtune;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One pending decision: a job from the pool with its own randomized rates.
+struct Pending {
+  const JobGraph* graph = nullptr;
+  std::vector<double> rates;
+  int cluster = -1;
+};
+
+struct SweepPoint {
+  int batch = 0;
+  double tape_loop_us_per_job = 0;  ///< per-job loop, scalar kernels
+  double seq_us_per_job = 0;        ///< per-job loop, active dispatch
+  double batched_us_per_job = 0;    ///< batched path, active dispatch
+  double batched_decisions_per_sec = 0;
+  double speedup = 0;               ///< tape_loop / batched
+  double speedup_same_dispatch = 0; ///< seq / batched
+};
+
+// Pins the scalar kernel table for the baseline measurements, restoring the
+// process's own dispatch (and any pre-set override) on destruction. Uses
+// the same env + reinit hook as the test suite.
+class ScopedScalarDispatch {
+ public:
+  ScopedScalarDispatch() {
+    const char* prev = std::getenv("STREAMTUNE_FORCE_SCALAR");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("STREAMTUNE_FORCE_SCALAR", "1", 1);
+    ml::ReinitKernelDispatchForTest();
+  }
+  ~ScopedScalarDispatch() {
+    if (had_prev_) {
+      setenv("STREAMTUNE_FORCE_SCALAR", prev_.c_str(), 1);
+    } else {
+      unsetenv("STREAMTUNE_FORCE_SCALAR");
+    }
+    ml::ReinitKernelDispatchForTest();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+bool BitIdentical(const ml::Matrix& a, const ml::Matrix& b) {
+  if (!a.same_shape(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::EnvInt("ST_BENCH_REPS", 5);
+  const std::vector<int> batch_sizes = {1, 8, 64, 512};
+
+  std::vector<JobGraph> pool = bench::FlinkCorpusJobs();
+  core::HistoryOptions hopts;
+  hopts.samples_per_job = bench::EnvInt("ST_BENCH_SAMPLES", 4);
+  std::vector<core::HistoryRecord> corpus =
+      core::CollectHistory(pool, hopts);
+
+  core::PretrainOptions popts;
+  popts.k = 2;
+  popts.epochs = bench::EnvInt("ST_BENCH_EPOCHS", 20);
+  popts.hidden_dim = bench::EnvInt("ST_BENCH_HIDDEN", 32);
+  popts.gnn_layers = 3;
+  auto bundle = core::Pretrainer(popts).Run(corpus);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "pre-training failed: %s\n",
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pool: %zu jobs, %zu records, hidden=%d, dispatch=%s\n",
+              pool.size(), corpus.size(), popts.hidden_dim,
+              ml::ActiveKernelDispatch());
+
+  // Pending jobs for the largest batch; smaller batches are prefixes.
+  // Rates are randomized per pending job so no two decisions are the same
+  // even when the graph repeats. Cluster assignment (GED to the centers)
+  // is precomputed: both paths need it and it is not what this measures.
+  const int max_batch = batch_sizes.back();
+  Rng rng(4242);
+  std::vector<Pending> pending(max_batch);
+  for (int i = 0; i < max_batch; ++i) {
+    Pending& p = pending[i];
+    p.graph = &pool[rng.UniformInt(0, static_cast<int>(pool.size()) - 1)];
+    p.rates.resize(p.graph->num_operators());
+    for (double& r : p.rates) r = 50.0 + 450.0 * rng.Uniform();
+    p.cluster = bundle->AssignCluster(*p.graph);
+  }
+
+  // Correctness first: batched == sequential, bitwise, at the largest size.
+  bool bit_identical = true;
+  {
+    std::vector<std::vector<size_t>> by_cluster(bundle->num_clusters());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      by_cluster[pending[i].cluster].push_back(i);
+    }
+    for (int c = 0; c < bundle->num_clusters(); ++c) {
+      if (by_cluster[c].empty()) continue;
+      std::vector<core::PretrainedBundle::EmbeddingQuery> queries;
+      queries.reserve(by_cluster[c].size());
+      for (size_t i : by_cluster[c]) {
+        queries.push_back({pending[i].graph, &pending[i].rates});
+      }
+      std::vector<ml::Matrix> batched =
+          bundle->BatchedAgnosticEmbeddings(c, queries);
+      for (size_t k = 0; k < by_cluster[c].size(); ++k) {
+        const Pending& p = pending[by_cluster[c][k]];
+        if (!BitIdentical(batched[k], bundle->AgnosticEmbeddings(
+                                          c, *p.graph, p.rates))) {
+          bit_identical = false;
+        }
+      }
+    }
+  }
+  if (!bit_identical) {
+    std::fprintf(stderr, "BATCHED EMBEDDING MISMATCH\n");
+  }
+
+  // The three timed paths per batch size. The headline baseline is the
+  // pre-SIMD decision path — the per-job tape loop on the scalar kernels —
+  // so `speedup` is the full improvement this PR's two changes deliver
+  // together at that batch size; `speedup_same_dispatch` isolates what
+  // packing alone buys once both sides run the vectorized kernels.
+  auto time_seq = [&](int batch) {
+    double best = 1e18;
+    for (int rep = 0; rep < reps; ++rep) {
+      const double t0 = NowMs();
+      for (int i = 0; i < batch; ++i) {
+        const Pending& p = pending[i];
+        ml::Matrix emb =
+            bundle->AgnosticEmbeddings(p.cluster, *p.graph, p.rates);
+        (void)emb;
+      }
+      best = std::min(best, NowMs() - t0);
+    }
+    return best;
+  };
+  auto time_batched = [&](int batch) {
+    double best = 1e18;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Grouped by cluster like the tuner's BatchedInference.
+      const double t0 = NowMs();
+      std::vector<std::vector<size_t>> by_cluster(bundle->num_clusters());
+      for (int i = 0; i < batch; ++i) {
+        by_cluster[pending[i].cluster].push_back(i);
+      }
+      for (int c = 0; c < bundle->num_clusters(); ++c) {
+        if (by_cluster[c].empty()) continue;
+        std::vector<core::PretrainedBundle::EmbeddingQuery> queries;
+        queries.reserve(by_cluster[c].size());
+        for (size_t i : by_cluster[c]) {
+          queries.push_back({pending[i].graph, &pending[i].rates});
+        }
+        std::vector<ml::Matrix> embs =
+            bundle->BatchedAgnosticEmbeddings(c, queries);
+        (void)embs;
+      }
+      best = std::min(best, NowMs() - t0);
+    }
+    return best;
+  };
+
+  std::vector<SweepPoint> points;
+  for (int batch : batch_sizes) {
+    SweepPoint pt;
+    pt.batch = batch;
+    double tape_ms = 0;
+    {
+      ScopedScalarDispatch scalar;
+      tape_ms = time_seq(batch);
+    }
+    const double seq_ms = time_seq(batch);
+    const double bat_ms = time_batched(batch);
+    pt.tape_loop_us_per_job = tape_ms * 1000.0 / batch;
+    pt.seq_us_per_job = seq_ms * 1000.0 / batch;
+    pt.batched_us_per_job = bat_ms * 1000.0 / batch;
+    pt.batched_decisions_per_sec = bat_ms > 0 ? batch / (bat_ms / 1000.0) : 0;
+    pt.speedup = bat_ms > 0 ? tape_ms / bat_ms : 0;
+    pt.speedup_same_dispatch = bat_ms > 0 ? seq_ms / bat_ms : 0;
+    points.push_back(pt);
+    std::printf(
+        "[batch %4d] scalar tape loop %8.1f us/job | simd per-job %7.1f "
+        "us/job | batched %7.1f us/job  (%.2fx total, %.2fx vs simd "
+        "per-job, %.0f decisions/s)\n",
+        pt.batch, pt.tape_loop_us_per_job, pt.seq_us_per_job,
+        pt.batched_us_per_job, pt.speedup, pt.speedup_same_dispatch,
+        pt.batched_decisions_per_sec);
+  }
+
+  double speedup_at_64 = 0;
+  for (const SweepPoint& pt : points) {
+    if (pt.batch == 64) speedup_at_64 = pt.speedup;
+  }
+  std::printf("\nbatch-64 speedup vs per-job tape loop: %.2fx; "
+              "bit-identical: %s\n",
+              speedup_at_64, bit_identical ? "yes" : "NO (BUG)");
+
+  // JSON section, spliced into ml_train_speedup's file when present.
+  std::ostringstream sec;
+  sec << "{\n"
+      << "    \"pool_jobs\": " << pool.size() << ",\n"
+      << "    \"clusters\": " << bundle->num_clusters() << ",\n"
+      << "    \"hidden_dim\": " << popts.hidden_dim << ",\n"
+      << "    \"sweep\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "      {\"batch\": %d, \"tape_loop_us_per_job\": %.2f, "
+                  "\"seq_simd_us_per_job\": %.2f, "
+                  "\"batched_us_per_job\": %.2f, \"speedup\": %.3f, "
+                  "\"speedup_same_dispatch\": %.3f, "
+                  "\"decisions_per_sec\": %.0f}%s\n",
+                  pt.batch, pt.tape_loop_us_per_job, pt.seq_us_per_job,
+                  pt.batched_us_per_job, pt.speedup,
+                  pt.speedup_same_dispatch, pt.batched_decisions_per_sec,
+                  i + 1 < points.size() ? "," : "");
+    sec << line;
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "    ],\n    \"speedup_at_64\": %.3f,\n"
+                "    \"bit_identical\": %s\n  }",
+                speedup_at_64, bit_identical ? "true" : "false");
+  sec << tail;
+
+  std::string existing;
+  {
+    std::ifstream in("BENCH_mltrain.json");
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  std::string out;
+  const std::string key = "\"batched_inference\"";
+  size_t prev = existing.find(key);
+  if (prev != std::string::npos) {
+    // Re-run: drop the stale section (it is always the trailing member).
+    size_t cut = existing.rfind(",\n", prev);
+    if (cut != std::string::npos) existing.erase(cut);
+    existing += "\n}\n";
+  }
+  size_t close = existing.rfind('}');
+  if (close != std::string::npos) {
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += ",\n  \"batched_inference\": " + sec.str() + "\n}\n";
+  } else {
+    out = "{\n  \"host\": " + bench::HostInfoJson() +
+          ",\n  \"batched_inference\": " + sec.str() + "\n}\n";
+  }
+  std::ofstream f("BENCH_mltrain.json", std::ios::trunc);
+  f << out;
+  f.close();
+  std::printf("wrote batched_inference section to BENCH_mltrain.json\n");
+  return bit_identical ? 0 : 1;
+}

@@ -1,7 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <sstream>
+#include <thread>
 
+#include "ml/cpu_features.h"
+#include "ml/matrix.h"
 #include "workloads/random_dag.h"
 
 namespace streamtune::bench {
@@ -10,6 +14,17 @@ int EnvInt(const char* name, int fallback) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   return std::atoi(v);
+}
+
+std::string HostInfoJson() {
+  const ml::CpuFeatures f = ml::HostCpuFeatures();
+  std::ostringstream os;
+  os << "{\"avx2\": " << (f.avx2 ? "true" : "false")
+     << ", \"fma\": " << (f.fma ? "true" : "false")
+     << ", \"kernel_dispatch\": \"" << ml::ActiveKernelDispatch() << "\""
+     << ", \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << "}";
+  return os.str();
 }
 
 int ScheduleLength() { return EnvInt("ST_BENCH_SCHEDULE", 24); }

@@ -135,7 +135,8 @@ int main() {
 
   FILE* f = std::fopen("BENCH_chaos.json", "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\n  \"cells\": [\n");
+    std::fprintf(f, "{\n  \"host\": %s,\n  \"cells\": [\n",
+                 bench::HostInfoJson().c_str());
     bool first = true;
     for (size_t mi = 0; mi < kMethods.size(); ++mi) {
       const Cell& base = cells[mi][0];

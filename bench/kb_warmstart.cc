@@ -159,7 +159,8 @@ int main() {
 
   FILE* f = std::fopen("BENCH_kb.json", "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\n  \"queries\": [\n");
+    std::fprintf(f, "{\n  \"host\": %s,\n  \"queries\": [\n",
+                 bench::HostInfoJson().c_str());
     for (size_t i = 0; i < queries.size(); ++i) {
       std::fprintf(
           f,

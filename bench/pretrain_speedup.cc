@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "graph/ged_cache.h"
 #include "graph/ged_kmeans.h"
@@ -134,6 +135,7 @@ int main() {
     std::fprintf(
         f,
         "{\n"
+        "  \"host\": %s,\n"
         "  \"corpus_graphs\": %zu,\n"
         "  \"threads\": %d,\n"
         "  \"selected_k\": %d,\n"
@@ -149,7 +151,8 @@ int main() {
         "  \"elbow_cache_hit_rate\": %.4f,\n"
         "  \"identical_results\": %s\n"
         "}\n",
-        corpus.size(), threads, parallel.k, serial.elbow_ms,
+        bench::HostInfoJson().c_str(), corpus.size(), threads, parallel.k,
+        serial.elbow_ms,
         serial.cluster_ms, parallel.elbow_ms, parallel.cluster_ms, serial_ms,
         parallel_ms, speedup, static_cast<unsigned long long>(st.hits),
         static_cast<unsigned long long>(st.misses), st.HitRate(),

@@ -26,6 +26,22 @@ ml::Matrix ParallelismColumn(const FeatureEncoder& encoder,
   return col;
 }
 
+/// Mean source-rate encoding over all operator rows of a feature matrix —
+/// the skip-connection block appended to every agnostic embedding row.
+std::vector<double> MeanRateRow(const ml::Matrix& features) {
+  const int n = features.rows();
+  const int f_dim = features.cols();
+  const int r_dim = FeatureEncoder::kRateFeatures;
+  std::vector<double> mean_rate(r_dim, 0.0);
+  for (int v = 0; v < n; ++v) {
+    for (int j = 0; j < r_dim; ++j) {
+      mean_rate[j] += features.at(v, f_dim - r_dim + j);
+    }
+  }
+  for (double& m : mean_rate) m /= n;
+  return mean_rate;
+}
+
 /// Everything the tape training loop needs for one history record,
 /// prepared once before the epoch loop and reused every epoch.
 struct PreparedSample {
@@ -64,15 +80,8 @@ ml::Matrix PretrainedBundle::AgnosticEmbeddings(
   // thresholds scale directly with the rate multiplier, so M_f gets the
   // global rate level verbatim.
   const int n = g.num_operators();
-  const int f_dim = features.cols();
   const int r_dim = FeatureEncoder::kRateFeatures;
-  std::vector<double> mean_rate(r_dim, 0.0);
-  for (int v = 0; v < n; ++v) {
-    for (int j = 0; j < r_dim; ++j) {
-      mean_rate[j] += features.at(v, f_dim - r_dim + j);
-    }
-  }
-  for (double& m : mean_rate) m /= n;
+  const std::vector<double> mean_rate = MeanRateRow(features);
 
   ml::Matrix out(n, emb.cols() + r_dim);
   for (int v = 0; v < n; ++v) {
@@ -81,6 +90,72 @@ ml::Matrix PretrainedBundle::AgnosticEmbeddings(
     }
     for (int j = 0; j < r_dim; ++j) {
       out.at(v, emb.cols() + j) = mean_rate[j];
+    }
+  }
+  return out;
+}
+
+std::vector<ml::Matrix> PretrainedBundle::BatchedAgnosticEmbeddings(
+    int c, const std::vector<EmbeddingQuery>& queries) const {
+  std::vector<ml::Matrix> out(queries.size());
+  if (queries.empty()) return out;
+
+  // Build each unique graph's context once per batch (deduplicated by
+  // graph name, like the pre-trainer does), then encode every query's
+  // feature rows straight into the packed workspace — no per-query feature
+  // matrices, no packing copy.
+  const int f_dim = FeatureEncoder::FeatureDim();
+  std::vector<ml::GraphContext> contexts;
+  contexts.reserve(queries.size());  // pointer stability for `ctxs`
+  std::map<std::string, int> context_index;
+  std::vector<const ml::GraphContext*> ctxs(queries.size());
+  std::vector<int> offsets;
+  offsets.reserve(queries.size() + 1);
+  int total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const EmbeddingQuery& q = queries[i];
+    assert(q.graph != nullptr && q.rates != nullptr);
+    auto [it, inserted] = context_index.try_emplace(
+        q.graph->name(), static_cast<int>(contexts.size()));
+    if (inserted) contexts.push_back(ml::GraphContext::Build(*q.graph));
+    ctxs[i] = &contexts[it->second];
+    offsets.push_back(total);
+    total += q.graph->num_operators();
+  }
+  offsets.push_back(total);
+
+  // thread_local like AgnosticEmbeddings' tape: concurrent callers each
+  // reuse their own warmed-up workspace.
+  thread_local ml::BatchedGnnWorkspace ws;
+  ws.x.SetShapeUninit(total, f_dim);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    feature_encoder_.EncodeGraphWithRatesInto(
+        *queries[i].graph, *queries[i].rates, ws.x.row_span(offsets[i]));
+  }
+  const ml::Matrix& emb =
+      clusters_[c].encoder.ForwardAgnosticBatchedPacked(ctxs, offsets, &ws);
+
+  const int r_dim = FeatureEncoder::kRateFeatures;
+  std::vector<double> mean_rate(r_dim);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int n = queries[i].graph->num_operators();
+    const int off = offsets[i];
+    // Mean source-rate block from the packed rows: same values summed in
+    // the same row order as MeanRateRow on a per-query feature matrix.
+    for (int j = 0; j < r_dim; ++j) mean_rate[j] = 0.0;
+    for (int v = 0; v < n; ++v) {
+      const double* frow = ws.x.row_span(off + v);
+      for (int j = 0; j < r_dim; ++j) {
+        mean_rate[j] += frow[f_dim - r_dim + j];
+      }
+    }
+    for (int j = 0; j < r_dim; ++j) mean_rate[j] /= n;
+    ml::Matrix& m = out[i];
+    m.SetShapeUninit(n, emb.cols() + r_dim);
+    for (int v = 0; v < n; ++v) {
+      const double* erow = emb.row_span(off + v);
+      for (int j = 0; j < emb.cols(); ++j) m.at(v, j) = erow[j];
+      for (int j = 0; j < r_dim; ++j) m.at(v, emb.cols() + j) = mean_rate[j];
     }
   }
   return out;
@@ -233,43 +308,11 @@ Result<PretrainedBundle> Pretrainer::Run(
     for (const ml::Var& p : cm.head.Params()) params.push_back(p);
     ml::Adam opt(params, options_.learning_rate);
 
-    std::vector<int> order = cm.record_indices;
     Rng shuffle_rng(shuffle_seeds[c]);
 
-    if (!options_.use_tape) {
-      // Original Var-graph loop, kept verbatim while the shim lasts so the
-      // equivalence test and the ml-train bench have an honest baseline.
-      for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-        shuffle_rng.Shuffle(&order);
-        for (int ri : order) {
-          const HistoryRecord& rec = records[ri];
-          const int n = rec.graph.num_operators();
-          ml::Matrix targets(n, 1), mask(n, 1);
-          bool any = false;
-          for (int v = 0; v < n; ++v) {
-            if (rec.labels[v] >= 0) {
-              targets.at(v, 0) = rec.labels[v];
-              mask.at(v, 0) = 1.0;
-              any = true;
-            }
-          }
-          if (!any) continue;
-          ml::Var emb = cm.encoder.Forward(
-              rec.graph, FeatureMatrix(feature_encoder, rec.graph,
-                                       rec.source_rates),
-              ParallelismColumn(feature_encoder, rec.parallelism));
-          ml::Var logits = cm.head.Forward(emb);
-          ml::Var loss = ml::BceWithLogitsMasked(logits, targets, mask);
-          ml::Backward(loss);
-          opt.Step();
-        }
-      }
-      return;
-    }
-
-    // Tape path: per-sample inputs are a pure function of the record, so
-    // prepare them once (aligned with cm.record_indices) instead of
-    // rebuilding them every epoch.
+    // Per-sample inputs are a pure function of the record, so prepare them
+    // once (aligned with cm.record_indices) instead of rebuilding them
+    // every epoch.
     std::vector<PreparedSample> prepared(cm.record_indices.size());
     for (size_t i = 0; i < cm.record_indices.size(); ++i) {
       const HistoryRecord& rec = records[cm.record_indices[i]];
@@ -291,8 +334,8 @@ Result<PretrainedBundle> Pretrainer::Run(
     }
 
     // Shuffling positions applies the identical Fisher-Yates permutation
-    // the old loop applied to record indices (the draws are value-
-    // independent), so the sample visit order is unchanged.
+    // the original per-record loop applied to record indices (the draws are
+    // value-independent), so the sample visit order is unchanged.
     std::vector<int> positions(prepared.size());
     std::iota(positions.begin(), positions.end(), 0);
     ml::Tape tape;  // persistent: epoch 2+ run allocation-free

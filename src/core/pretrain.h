@@ -41,12 +41,6 @@ struct PretrainOptions {
   /// up front in cluster order, so trained weights are bit-identical for
   /// any thread count.
   int num_threads = 0;
-  /// When true (default), train on the allocation-free tape engine with
-  /// per-sample inputs prepared once and reused across epochs. When false,
-  /// run the original Var-graph loop. Both produce bit-identical weights
-  /// (asserted by the equivalence test); the flag exists only so tests and
-  /// benches can compare against the old engine while the Var shim lasts.
-  bool use_tape = true;
 };
 
 /// One cluster's trained artifacts.
@@ -85,6 +79,22 @@ class PretrainedBundle {
   /// FeatureEncoder::kRateFeatures).
   ml::Matrix AgnosticEmbeddings(int c, const JobGraph& g,
                                 const std::vector<double>& rates) const;
+
+  /// One job's inputs to BatchedAgnosticEmbeddings (caller-owned, must
+  /// outlive the call).
+  struct EmbeddingQuery {
+    const JobGraph* graph = nullptr;
+    const std::vector<double>* rates = nullptr;
+  };
+
+  /// Batched AgnosticEmbeddings: one GNN-layer matmul for the whole batch
+  /// instead of one per job (see GnnEncoder::ForwardAgnosticBatched), with
+  /// graph contexts deduplicated by graph name within the batch. Element i
+  /// of the result is bit-identical to
+  /// AgnosticEmbeddings(c, *queries[i].graph, *queries[i].rates) under the
+  /// active kernel dispatch.
+  std::vector<ml::Matrix> BatchedAgnosticEmbeddings(
+      int c, const std::vector<EmbeddingQuery>& queries) const;
 
   /// Bottleneck probability from the *pre-training* head (used to sanity-
   /// check pre-training; the online phase swaps in the fine-tuned model).

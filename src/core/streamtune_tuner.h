@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
@@ -59,6 +60,27 @@ class StreamTuneTuner : public baselines::Tuner {
 
   std::string name() const override;
   Result<baselines::TuningOutcome> Tune(sim::StreamEngine* engine) override;
+
+  /// One pending tuning decision for BatchedInference: the tuner about to
+  /// run, the job graph it will tune, and the source rates its first
+  /// recommendation will see. All pointers are caller-owned and must
+  /// outlive the call.
+  struct PendingJob {
+    StreamTuneTuner* tuner = nullptr;
+    const JobGraph* graph = nullptr;
+    const std::vector<double>* rates = nullptr;
+  };
+
+  /// Cross-job batched inference: primes each pending tuner's embedding
+  /// cache with one batched encoder pass per (bundle, cluster) group
+  /// instead of one full GNN forward per job (see
+  /// PretrainedBundle::BatchedAgnosticEmbeddings). Jobs whose cache is
+  /// already valid for (cluster, graph, rates) are skipped; when a tuner
+  /// appears twice the last entry wins. The primed embeddings are
+  /// bit-identical to what the tuner's own lazy path would compute, so this
+  /// is purely a throughput optimization for schedulers that dispatch many
+  /// tuning sessions at once.
+  static void BatchedInference(const std::vector<PendingJob>& jobs);
 
   /// One recommendation pass (Algorithm 2 lines 6-9) with a fitted model:
   /// per operator, the minimum degree predicted bottleneck-free. Exposed

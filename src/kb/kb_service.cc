@@ -37,6 +37,24 @@ std::unique_ptr<core::StreamTuneTuner> KbSnapshot::NewTuner(
   return tuner;
 }
 
+std::vector<std::unique_ptr<core::StreamTuneTuner>>
+KbSnapshot::NewTunersBatched(const std::vector<TunerRequest>& requests,
+                             core::StreamTuneOptions options) const {
+  std::vector<std::unique_ptr<core::StreamTuneTuner>> tuners;
+  tuners.reserve(requests.size());
+  std::vector<core::StreamTuneTuner::PendingJob> pending;
+  pending.reserve(requests.size());
+  for (const TunerRequest& req : requests) {
+    tuners.push_back(NewTuner(req.job, options));
+    if (req.graph != nullptr && req.rates != nullptr) {
+      pending.push_back(core::StreamTuneTuner::PendingJob{
+          tuners.back().get(), req.graph, req.rates});
+    }
+  }
+  core::StreamTuneTuner::BatchedInference(pending);
+  return tuners;
+}
+
 KbService::KbService(KnowledgeBase kb, KbUpdateOptions options)
     : updater_(options, &cache_) {
   auto snapshot = std::make_shared<KbSnapshot>();

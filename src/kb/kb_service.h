@@ -48,6 +48,26 @@ class KbSnapshot {
   std::unique_ptr<core::StreamTuneTuner> NewTuner(
       const std::string& job, core::StreamTuneOptions options = {}) const;
 
+  /// One request to NewTunersBatched: the job to warm-start, plus (when
+  /// known up front) the graph and rates its first recommendation will see,
+  /// so the new tuner's embedding cache can be primed by the batched
+  /// encoder pass. `graph`/`rates` are caller-owned and may be null — such
+  /// tuners are created but skip the batched pass.
+  struct TunerRequest {
+    std::string job;
+    const JobGraph* graph = nullptr;
+    const std::vector<double>* rates = nullptr;
+  };
+
+  /// NewTuner for a whole scheduler wave: creates one warm-started tuner
+  /// per request, then runs core::StreamTuneTuner::BatchedInference over
+  /// every request that supplied its graph and rates — one batched GNN
+  /// forward per cluster instead of one per job. Result order matches
+  /// `requests`.
+  std::vector<std::unique_ptr<core::StreamTuneTuner>> NewTunersBatched(
+      const std::vector<TunerRequest>& requests,
+      core::StreamTuneOptions options = {}) const;
+
  private:
   friend class KbService;
   KnowledgeBase kb_;

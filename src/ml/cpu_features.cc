@@ -1,0 +1,22 @@
+#include "ml/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace streamtune::ml {
+
+CpuFeatures HostCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+bool ForceScalarRequested() {
+  const char* v = std::getenv("STREAMTUNE_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace streamtune::ml

@@ -1,0 +1,27 @@
+// Host CPU feature detection for the kernel dispatch in ml/matrix.cc.
+//
+// Detection is split from dispatch so benches can report *why* a path was
+// selected: bench_common records the raw avx2/fma bits alongside the final
+// dispatch decision (which also folds in whether the SIMD translation unit
+// was compiled for this target at all, and the STREAMTUNE_FORCE_SCALAR
+// override).
+
+#pragma once
+
+namespace streamtune::ml {
+
+/// ISA extensions the running host supports (all false on non-x86 targets).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Queries the running CPU once per call; cheap enough to not cache.
+CpuFeatures HostCpuFeatures();
+
+/// True when the STREAMTUNE_FORCE_SCALAR environment variable is set to a
+/// non-empty value other than "0" — the bit-equality escape hatch that pins
+/// the scalar kernel path regardless of host capability.
+bool ForceScalarRequested();
+
+}  // namespace streamtune::ml

@@ -26,8 +26,8 @@
 
 #include "common/rng.h"
 #include "dataflow/job_graph.h"
-#include "ml/autograd.h"
 #include "ml/nn.h"
+#include "ml/param.h"
 #include "ml/tape.h"
 
 namespace streamtune::ml {
@@ -42,8 +42,7 @@ struct GnnConfig {
 
 /// Per-graph encoder inputs that never change across epochs or fine-tune
 /// iterations: the row-normalized adjacency matrices. Build once per unique
-/// graph and reuse — the Var path used to re-derive both on every
-/// ForwardAgnostic call.
+/// graph and reuse.
 struct GraphContext {
   Matrix a_up;    ///< row-normalized upstream adjacency
   Matrix a_dn;    ///< row-normalized downstream adjacency
@@ -54,36 +53,72 @@ struct GraphContext {
   static GraphContext Build(const JobGraph& graph);
 };
 
+/// One job's inputs to a batched forward pass: its (cached) graph context
+/// and its encoded feature rows. Both are caller-owned and must outlive the
+/// call.
+struct BatchedJobInput {
+  const GraphContext* ctx = nullptr;
+  const Matrix* features = nullptr;  ///< num_operators x feature_dim
+};
+
+/// Reusable tall buffers for ForwardAgnosticBatched. Reuse one workspace
+/// across calls and the steady state allocates nothing (capacities grow to
+/// the largest batch seen, then stay).
+struct BatchedGnnWorkspace {
+  Matrix x;    ///< packed features, sum(n_j) x feature_dim
+  Matrix h;    ///< packed hidden state (the returned embeddings live here)
+  Matrix u;    ///< block-diagonal aggregation staging
+  Matrix msg;  ///< message accumulator
+};
+
 /// The dataflow-DAG encoder: per-operator embeddings of width hidden_dim.
 class GnnEncoder {
  public:
   GnnEncoder() = default;
   explicit GnnEncoder(const GnnConfig& config);
 
+  // Tape forwards. The caller owns `ctx`, `features`, and
+  // `parallelism_scaled`, which must outlive the tape recording (see Tape's
+  // lifetime contract).
+
   /// Parallelism-agnostic embeddings H^(T): pure message passing over the
   /// static features + source rates. `features` is
   /// num_operators x feature_dim.
-  Var ForwardAgnostic(const JobGraph& graph, const Matrix& features) const;
-
-  /// Parallelism-aware embeddings: FUSE(H^(T) | p). `parallelism_scaled` is
-  /// num_operators x 1 with each degree scaled to [0, 1].
-  Var Forward(const JobGraph& graph, const Matrix& features,
-              const Matrix& parallelism_scaled) const;
-
-  /// Applies only the FUSE step to precomputed agnostic embeddings.
-  Var Fuse(const Var& agnostic, const Matrix& parallelism_scaled) const;
-
-  // Tape variants. Each records the identical op sequence as its Var
-  // counterpart, so values and parameter gradients are bit-identical; the
-  // caller owns `ctx`, `features`, and `parallelism_scaled`, which must
-  // outlive the tape recording (see Tape's lifetime contract).
   Tape::Ref ForwardAgnostic(Tape* tape, const GraphContext& ctx,
                             const Matrix& features) const;
+  /// Applies only the FUSE step to precomputed agnostic embeddings:
+  /// tanh([H | p] W_fuse + b_fuse), `parallelism_scaled` num_operators x 1.
   Tape::Ref Fuse(Tape* tape, Tape::Ref agnostic,
                  const Matrix& parallelism_scaled) const;
+  /// Parallelism-aware embeddings: FUSE(ForwardAgnostic(...) | p).
   Tape::Ref Forward(Tape* tape, const GraphContext& ctx,
                     const Matrix& features,
                     const Matrix& parallelism_scaled) const;
+
+  /// Forward-only batched agnostic embeddings: packs every job's feature
+  /// rows into one tall matrix and runs ONE matmul per weight per layer for
+  /// the whole batch; only the cheap n_j x n_j adjacency aggregations stay
+  /// per-job (block-diagonal, via MatMulSegmentInto). Returns the packed
+  /// embeddings (rows [offsets[j], offsets[j+1]) belong to job j; the
+  /// matrix lives in `ws` and is valid until the next call on that
+  /// workspace).
+  ///
+  /// Determinism contract: every kernel involved processes output rows
+  /// independently, so under any single dispatch the returned rows are
+  /// bit-identical to a sequential ForwardAgnostic tape forward per job.
+  const Matrix& ForwardAgnosticBatched(const std::vector<BatchedJobInput>& jobs,
+                                       BatchedGnnWorkspace* ws,
+                                       std::vector<int>* offsets) const;
+
+  /// Pre-packed variant: the caller has already written every job's feature
+  /// rows into ws->x (job j owns rows [offsets[j], offsets[j+1]), and
+  /// offsets.back() == ws->x.rows()); ctxs[j] is job j's graph context.
+  /// Skips the packing copy entirely — the zero-intermediate path used by
+  /// PretrainedBundle::BatchedAgnosticEmbeddings, which encodes features
+  /// straight into the workspace. Same determinism contract as above.
+  const Matrix& ForwardAgnosticBatchedPacked(
+      const std::vector<const GraphContext*>& ctxs,
+      const std::vector<int>& offsets, BatchedGnnWorkspace* ws) const;
 
   std::vector<Var> Params() const;
   const GnnConfig& config() const { return config_; }

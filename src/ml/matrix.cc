@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/cpu_features.h"
+#include "ml/matrix_simd.h"
+
 namespace streamtune::ml {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -146,7 +149,10 @@ double Matrix::MaxAbs() const {
 // ---- Kernel layer ----------------------------------------------------------
 //
 // Inner loops run on raw spans; shape validation stays on the (debug-only,
-// or sanitizer-forced) checked accessors at the kernel boundary.
+// or sanitizer-forced) checked accessors at the kernel boundary. The public
+// wrappers validate shapes and pre-shape `out`, then call through the
+// dispatch table; the raw-pointer cores below are the scalar table entries
+// (AVX2 counterparts live in matrix_simd.cc).
 
 namespace {
 
@@ -160,8 +166,9 @@ constexpr int kColBlock = 16;
 // steady-state training epochs never touch the allocator through it.
 thread_local std::vector<int> tls_nonzero_k;
 
-// Shared accumulation core of MatMulInto / MatMulNTInto:
-// out(r, c) += sum_k a(r, k) * b(k, c), all matrices row-major.
+// Shared accumulation core of MatMulInto / MatMulSegmentInto:
+// out(r, c) += sum_k a(r, k) * b(k, c), all operands row-major with
+// a: m x kk, b: kk x n, out: m x n (pre-shaped, every element written).
 //
 // Each output element accumulates over ascending k with an a(r, k) == 0.0
 // skip, starting from +0.0 — exactly the reference Matrix::MatMul order, so
@@ -176,15 +183,8 @@ thread_local std::vector<int> tls_nonzero_k;
 // ReLU-sparse `a` (~half zeros in this model) costs no mispredicts — and the
 // column blocks then iterate the compact list branch-free. Same terms, same
 // ascending-k order per element, so still bit-identical.
-void AccumulateRowMajor(const Matrix& a, const Matrix& b, Matrix* out) {
-  const int m = a.rows(), kk = a.cols(), n = b.cols();
-  // Hoist the raw base pointers once: recomputing row_span inside the loops
-  // makes the compiler reload the vectors' data pointers on every iteration
-  // (a store through `out` could alias their control blocks), which costs
-  // more than the arithmetic on these small matrices.
-  const double* __restrict ad = a.data().data();
-  const double* __restrict bd = b.data().data();
-  double* __restrict od = out->data().data();
+void MatMulCoreScalar(const double* __restrict ad, const double* __restrict bd,
+                      double* __restrict od, int m, int kk, int n) {
   std::vector<int>& nz = tls_nonzero_k;
   if (static_cast<int>(nz.size()) < kk) nz.resize(kk);
   int* __restrict nzp = nz.data();
@@ -228,33 +228,73 @@ void AccumulateRowMajor(const Matrix& a, const Matrix& b, Matrix* out) {
   }
 }
 
-}  // namespace
-
-void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.rows());
-  assert(out != &a && out != &b);
-  out->SetShapeUninit(a.rows(), b.cols());
-  AccumulateRowMajor(a, b, out);
+// Accumulate form of MatMulCoreScalar: out(r, c) += sum_k a(r, k) * b(k, c).
+// The per-element product chain is byte-for-byte the overwrite kernel's
+// (same compacted nonzero-k list, same ascending-k order, same +0.0 start);
+// only the final store adds the chain to the existing out value — exactly
+// MatMulCoreScalar into a temporary followed by one AddCoreScalar, fused.
+void MatMulAccumCoreScalar(const double* __restrict ad,
+                           const double* __restrict bd, double* __restrict od,
+                           int m, int kk, int n) {
+  std::vector<int>& nz = tls_nonzero_k;
+  if (static_cast<int>(nz.size()) < kk) nz.resize(kk);
+  int* __restrict nzp = nz.data();
+  for (int r = 0; r < m; ++r) {
+    const double* arow = ad + static_cast<size_t>(r) * kk;
+    int cnt = 0;
+    for (int k = 0; k < kk; ++k) {
+      nzp[cnt] = k;
+      cnt += arow[k] != 0.0;
+    }
+    const bool dense = cnt == kk;  // fully dense row: skip the indirection
+    double* orow = od + static_cast<size_t>(r) * n;
+    int c0 = 0;
+    for (; c0 + kColBlock <= n; c0 += kColBlock) {
+      double acc[kColBlock] = {};
+      if (dense) {
+        for (int k = 0; k < kk; ++k) {
+          const double av = arow[k];
+          const double* brow = bd + static_cast<size_t>(k) * n + c0;
+          for (int j = 0; j < kColBlock; ++j) acc[j] += av * brow[j];
+        }
+      } else {
+        for (int t = 0; t < cnt; ++t) {
+          const int k = nzp[t];
+          const double av = arow[k];
+          const double* brow = bd + static_cast<size_t>(k) * n + c0;
+          for (int j = 0; j < kColBlock; ++j) acc[j] += av * brow[j];
+        }
+      }
+      for (int j = 0; j < kColBlock; ++j) orow[c0 + j] += acc[j];
+    }
+    // Tail columns still build each chain from +0.0 in a local accumulator
+    // before the single add — accumulating terms straight onto the existing
+    // value would reassociate (old + t1) + t2 vs old + (t1 + t2).
+    for (int c = c0; c < n; ++c) {
+      double acc = 0.0;
+      for (int t = 0; t < cnt; ++t) {
+        const int k = nzp[t];
+        acc += arow[k] * bd[static_cast<size_t>(k) * n + c];
+      }
+      orow[c] += acc;
+    }
+  }
 }
 
-void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.cols() == b.cols());
-  assert(out != &a && out != &b);
-  // out(r, c) = sum_k a(r, k) * b(c, k): every output element is a dot
-  // product of two contiguous rows, so no transpose is materialized at all.
-  // Per element the terms are added over ascending k starting from +0.0 with
-  // the same a(r, k) == 0 skips — the identical addition chain the reference
-  // composition a.MatMul(b.Transpose()) produces; only the interleaving
-  // across elements differs, which per-element results cannot observe. A
-  // block of kDotBlock output columns shares one pass over a's row (and its
-  // compacted nonzero-k list); the block's independent accumulator chains
-  // hide the FP add latency a single serial chain would expose.
+// Core of MatMulNTInto: out(r, c) = sum_k a(r, k) * b(c, k) with a: m x kk,
+// b: n x kk, out: m x n pre-shaped. Every output element is a dot product of
+// two contiguous rows, so no transpose is materialized at all. Per element
+// the terms are added over ascending k starting from +0.0 with the same
+// a(r, k) == 0 skips — the identical addition chain the reference
+// composition a.MatMul(b.Transpose()) produces; only the interleaving
+// across elements differs, which per-element results cannot observe. A
+// block of kDotBlock output columns shares one pass over a's row (and its
+// compacted nonzero-k list); the block's independent accumulator chains
+// hide the FP add latency a single serial chain would expose.
+void MatMulNTCoreScalar(const double* __restrict ad,
+                        const double* __restrict bd, double* __restrict od,
+                        int m, int kk, int n) {
   constexpr int kDotBlock = 8;
-  const int m = a.rows(), kk = a.cols(), n = b.rows();
-  out->SetShapeUninit(m, n);
-  const double* __restrict ad = a.data().data();
-  const double* __restrict bd = b.data().data();
-  double* __restrict od = out->data().data();
   std::vector<int>& nz = tls_nonzero_k;
   if (static_cast<int>(nz.size()) < kk) nz.resize(kk);
   int* __restrict nzp = nz.data();
@@ -303,23 +343,18 @@ void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out) {
   }
 }
 
-void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(a.rows() == b.rows());
-  assert(out != &a && out != &b);
-  // out(r, c) = sum_k a(k, r) * b(k, c). Every element accumulates over
-  // ascending k with the same a(k, r) == 0 skip as the reference composition
-  // a.Transpose().MatMul(b), so each element sees the identical addition
-  // sequence (only the interleaving across elements differs, which cannot
-  // change per-element results). a's column r is read with stride m — one
-  // scalar load per k — while the register-tiled output block amortizes the
-  // out row traffic exactly as in AccumulateRowMajor, and the zero test is
-  // hoisted into a branchless per-column index compaction the same way.
-  const int kk = a.rows(), m = a.cols(), n = b.cols();
-  out->SetShapeUninit(m, n);
-  // Hoisted raw base pointers, as in AccumulateRowMajor.
-  const double* __restrict ad = a.data().data();
-  const double* __restrict bd = b.data().data();
-  double* __restrict od = out->data().data();
+// Core of MatMulTNInto: out(r, c) = sum_k a(k, r) * b(k, c) with a: kk x m,
+// b: kk x n, out: m x n pre-shaped. Every element accumulates over
+// ascending k with the same a(k, r) == 0 skip as the reference composition
+// a.Transpose().MatMul(b), so each element sees the identical addition
+// sequence (only the interleaving across elements differs, which cannot
+// change per-element results). a's column r is read with stride m — one
+// scalar load per k — while the register-tiled output block amortizes the
+// out row traffic exactly as in MatMulCoreScalar, and the zero test is
+// hoisted into a branchless per-column index compaction the same way.
+void MatMulTNCoreScalar(const double* __restrict ad,
+                        const double* __restrict bd, double* __restrict od,
+                        int m, int kk, int n) {
   std::vector<int>& nz = tls_nonzero_k;
   if (static_cast<int>(nz.size()) < kk) nz.resize(kk);
   int* __restrict nzp = nz.data();
@@ -362,20 +397,141 @@ void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out) {
   }
 }
 
+void AddCoreScalar(const double* __restrict s, double* __restrict a,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += s[i];
+}
+
+void AxpyCoreScalar(double alpha, const double* __restrict xs,
+                    double* __restrict a, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += alpha * xs[i];
+}
+
+void ReluCoreScalar(const double* __restrict av, double* __restrict ov,
+                    size_t n) {
+  for (size_t i = 0; i < n; ++i) ov[i] = std::max(0.0, av[i]);
+}
+
+// relu(a + row broadcast) in one pass: per element max(0, a + rv) — the
+// value AddRowBroadcastInto followed by ReluCoreScalar produces.
+void BiasReluCoreScalar(const double* __restrict av,
+                        const double* __restrict rv, double* __restrict ov,
+                        int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    const double* arow = av + static_cast<size_t>(r) * cols;
+    double* orow = ov + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) orow[c] = std::max(0.0, arow[c] + rv[c]);
+  }
+}
+
+// ---- Runtime dispatch ------------------------------------------------------
+//
+// The hottest kernels route through this table of raw-pointer cores.
+// Shape conventions per slot:
+//   matmul    a: m x kk, b: kk x n, out: m x n   (out = a * b)
+//   matmul_nt a: m x kk, b: n x kk, out: m x n   (out = a * b^T)
+//   matmul_tn a: kk x m, b: kk x n, out: m x n   (out = a^T * b)
+// `out` is always pre-shaped by the wrapper; elementwise slots take flat
+// spans. The table is selected exactly once before main() (constant-
+// initialized to the scalar entries so any kernel call that somehow runs
+// during static initialization of another TU is still correct, then
+// upgraded by a dynamic initializer in this TU).
+struct KernelTable {
+  void (*matmul)(const double*, const double*, double*, int, int, int);
+  void (*matmul_accum)(const double*, const double*, double*, int, int, int);
+  void (*matmul_nt)(const double*, const double*, double*, int, int, int);
+  void (*matmul_tn)(const double*, const double*, double*, int, int, int);
+  void (*add)(const double*, double*, size_t);
+  void (*axpy)(double, const double*, double*, size_t);
+  void (*relu)(const double*, double*, size_t);
+  void (*bias_relu)(const double*, const double*, double*, int, int);
+};
+
+constexpr KernelTable kScalarTable{
+    MatMulCoreScalar, MatMulAccumCoreScalar, MatMulNTCoreScalar,
+    MatMulTNCoreScalar, AddCoreScalar, AxpyCoreScalar, ReluCoreScalar,
+    BiasReluCoreScalar};
+
+constexpr KernelTable kAvx2Table{
+    simd::MatMulCoreAvx2, simd::MatMulAccumCoreAvx2, simd::MatMulNTCoreAvx2,
+    simd::MatMulTNCoreAvx2, simd::AddCoreAvx2, simd::AxpyCoreAvx2,
+    simd::ReluCoreAvx2, simd::BiasReluCoreAvx2};
+
+constinit const char* g_dispatch_name = "scalar";
+constinit KernelTable g_kernels = kScalarTable;
+
+void SelectKernels() {
+  const CpuFeatures f = HostCpuFeatures();
+  if (simd::CompiledIn() && f.avx2 && f.fma && !ForceScalarRequested()) {
+    g_kernels = kAvx2Table;
+    g_dispatch_name = "avx2-fma";
+  } else {
+    g_kernels = kScalarTable;
+    g_dispatch_name = "scalar";
+  }
+}
+
+struct KernelDispatchInit {
+  KernelDispatchInit() { SelectKernels(); }
+};
+KernelDispatchInit g_kernel_dispatch_init;
+
+}  // namespace
+
+const char* ActiveKernelDispatch() { return g_dispatch_name; }
+
+void ReinitKernelDispatchForTest() { SelectKernels(); }
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  assert(out != &a && out != &b);
+  out->SetShapeUninit(a.rows(), b.cols());
+  g_kernels.matmul(a.data().data(), b.data().data(), out->data().data(),
+                   a.rows(), a.cols(), b.cols());
+}
+
+void MatMulSegmentInto(const Matrix& a, const Matrix& b, int b_row0,
+                       Matrix* out, int out_row0) {
+  assert(out != &a && out != &b);
+  assert(out->cols() == b.cols());
+  assert(b_row0 >= 0 && b_row0 + a.cols() <= b.rows());
+  assert(out_row0 >= 0 && out_row0 + a.rows() <= out->rows());
+  g_kernels.matmul(a.data().data(), b.row_span(b_row0), out->row_span(out_row0),
+                   a.rows(), a.cols(), b.cols());
+}
+
+void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix* acc) {
+  assert(a.cols() == b.rows());
+  assert(acc->rows() == a.rows() && acc->cols() == b.cols());
+  assert(acc != &a && acc != &b);
+  g_kernels.matmul_accum(a.data().data(), b.data().data(), acc->data().data(),
+                         a.rows(), a.cols(), b.cols());
+}
+
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  assert(out != &a && out != &b);
+  out->SetShapeUninit(a.rows(), b.rows());
+  g_kernels.matmul_nt(a.data().data(), b.data().data(), out->data().data(),
+                      a.rows(), a.cols(), b.rows());
+}
+
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  assert(out != &a && out != &b);
+  out->SetShapeUninit(a.cols(), b.cols());
+  g_kernels.matmul_tn(a.data().data(), b.data().data(), out->data().data(),
+                      a.cols(), a.rows(), b.cols());
+}
+
 void AddInto(const Matrix& src, Matrix* acc) {
   assert(acc->same_shape(src));
-  double* __restrict a = acc->data().data();
-  const double* __restrict s = src.data().data();
-  const size_t n = src.size();
-  for (size_t i = 0; i < n; ++i) a[i] += s[i];
+  g_kernels.add(src.data().data(), acc->data().data(), src.size());
 }
 
 void AxpyInto(double alpha, const Matrix& x, Matrix* acc) {
   assert(acc->same_shape(x));
-  double* __restrict a = acc->data().data();
-  const double* __restrict xs = x.data().data();
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) a[i] += alpha * xs[i];
+  g_kernels.axpy(alpha, x.data().data(), acc->data().data(), x.size());
 }
 
 namespace {
@@ -426,10 +582,15 @@ void ScaleInto(const Matrix& a, double s, Matrix* out) {
 void ReluInto(const Matrix& a, Matrix* out) {
   assert(out != &a);
   out->SetShapeUninit(a.rows(), a.cols());
-  const double* __restrict av = a.data().data();
-  double* __restrict ov = out->data().data();
-  const size_t n = a.size();
-  for (size_t i = 0; i < n; ++i) ov[i] = std::max(0.0, av[i]);
+  g_kernels.relu(a.data().data(), out->data().data(), a.size());
+}
+
+void BiasReluInto(const Matrix& a, const Matrix& row, Matrix* out) {
+  assert(row.rows() == 1 && row.cols() == a.cols());
+  assert(out != &a && out != &row);
+  out->SetShapeUninit(a.rows(), a.cols());
+  g_kernels.bias_relu(a.data().data(), row.data().data(), out->data().data(),
+                      a.rows(), a.cols());
 }
 
 void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out) {

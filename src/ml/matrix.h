@@ -11,8 +11,23 @@
 //    `MatMulNTInto`, `AddInto`, ...) used by the tape autograd engine
 //    (ml/tape.h). Kernels never allocate when the output buffer already has
 //    capacity, never materialize transposes (the NT/TN variants walk the
-//    untransposed operand), and are bit-compatible with the composed Matrix
-//    methods they replace: same term order, same zero-skip, same roundings.
+//    untransposed operand), and — on the scalar path — are bit-compatible
+//    with the composed Matrix methods they replace: same term order, same
+//    zero-skip, same roundings.
+//
+// Dispatch: the hottest kernels (the three matmuls and their accumulate /
+// fused-activation forms, AddInto, AxpyInto, ReluInto) route through a table
+// selected once at startup. When the binary
+// carries AVX2+FMA code (see ml/matrix_simd.h), the host CPU supports both,
+// and STREAMTUNE_FORCE_SCALAR is not set, the table points at the vectorized
+// cores; otherwise at the scalar ones. The SIMD cores are tolerance-equal
+// (FMA contraction reassociates addition chains), so any run that must be
+// bit-reproducible against the composed Matrix methods pins the scalar path
+// via STREAMTUNE_FORCE_SCALAR. Either way a single process uses a single
+// table, so all within-process determinism guarantees (thread-count
+// independence, batched-vs-sequential equality) hold under both dispatches.
+// Matrix storage is 32-byte aligned so vector loads on row starts of
+// multiple-of-4-column matrices stay aligned.
 //
 // Bounds checks: hot kernel loops run on raw spans; `Matrix::at` keeps its
 // bounds assertion in Debug builds and — via STREAMTUNE_BOUNDS_CHECK, which
@@ -24,6 +39,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,9 +52,43 @@ inline constexpr bool kBoundsChecked = true;
 inline constexpr bool kBoundsChecked = false;
 #endif
 
+/// Minimal stateless over-aligning allocator (alignment in bytes; must be a
+/// power of two and a multiple of alignof(T)). Keeps Matrix buffers on
+/// 32-byte boundaries for the AVX2 kernels.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+};
+
+template <typename T, size_t A, typename U, size_t B>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, B>&) {
+  return A == B;
+}
+
 /// Dense rows x cols matrix of doubles, row-major.
 class Matrix {
  public:
+  /// Backing store: a std::vector with 32-byte-aligned allocations.
+  using Buffer = std::vector<double, AlignedAllocator<double, 32>>;
+
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols, double fill = 0.0)
       : rows_(rows), cols_(cols),
@@ -72,8 +122,8 @@ class Matrix {
     }
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const Buffer& data() const { return data_; }
+  Buffer& data() { return data_; }
 
   /// Raw row-major span of row `r` (bounds-checked like `at`).
   const double* row_span(int r) const {
@@ -142,20 +192,45 @@ class Matrix {
 
  private:
   int rows_, cols_;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 // ---- Kernel layer ----------------------------------------------------------
 //
 // Output-buffer-reusing kernels. Every kernel shapes `out` itself (retaining
 // its capacity) and requires `out` to alias none of its inputs unless noted.
-// Each is bit-identical to the allocating composition it replaces (documented
-// per kernel): identical term values, identical per-element accumulation
-// order, identical zero-skip tests — so swapping a composition for its kernel
-// never changes a single output bit.
+// On the scalar dispatch each is bit-identical to the allocating composition
+// it replaces (documented per kernel): identical term values, identical
+// per-element accumulation order, identical zero-skip tests — so swapping a
+// composition for its kernel never changes a single output bit. The AVX2
+// dispatch keeps the same zero-skips but fuses multiply-adds, making the
+// dispatched kernels tolerance-equal instead (see the header comment).
+
+/// Name of the kernel table the one-time startup dispatch selected:
+/// "avx2-fma" or "scalar". Stable for the life of the process unless
+/// ReinitKernelDispatchForTest() is called.
+const char* ActiveKernelDispatch();
+
+/// Re-runs the dispatch decision, re-reading STREAMTUNE_FORCE_SCALAR.
+/// Test-only: must not race concurrent kernel calls.
+void ReinitKernelDispatchForTest();
 
 /// out = a * b. Bit-identical to a.MatMul(b).
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+/// Block-diagonal building block for batched inference: writes
+///   out rows [out_row0, out_row0 + a.rows())
+///     = a * (b rows [b_row0, b_row0 + a.cols())).
+/// `out` must be pre-shaped with cols() == b.cols() and enough rows; the
+/// written rows are bit-identical (per dispatch) to MatMulInto on the row
+/// slices, rows outside the window are untouched.
+void MatMulSegmentInto(const Matrix& a, const Matrix& b, int b_row0,
+                       Matrix* out, int out_row0);
+/// acc += a * b; `acc` must already be shaped a.rows() x b.cols(). Per
+/// dispatch bit-identical to MatMulInto into a temporary followed by
+/// AddInto(temp, acc): the per-element product chain is the matmul kernel's,
+/// and only the final store adds it to the existing value. Fuses away one
+/// full staging write + read in the batched GNN forward.
+void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix* acc);
 /// out = a * b^T without materializing the transpose. Bit-identical to
 /// a.MatMul(b.Transpose()): per output element the same products are summed
 /// in the same k-order, skipping the same a(r,k) == 0 terms.
@@ -178,6 +253,10 @@ void HadamardInto(const Matrix& a, const Matrix& b, Matrix* out);
 void ScaleInto(const Matrix& a, double s, Matrix* out);
 /// out = max(a, 0) elementwise.
 void ReluInto(const Matrix& a, Matrix* out);
+/// out = relu(a + row broadcast), `row` 1 x a.cols(). Per dispatch
+/// bit-identical to AddRowBroadcastInto followed by ReluInto — one pass
+/// instead of a staging write + read.
+void BiasReluInto(const Matrix& a, const Matrix& row, Matrix* out);
 /// out = a with the 1 x cols `row` added to every row. Bit-identical to
 /// a.AddRowBroadcast(row).
 void AddRowBroadcastInto(const Matrix& a, const Matrix& row, Matrix* out);

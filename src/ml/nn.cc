@@ -5,20 +5,6 @@
 
 namespace streamtune::ml {
 
-Var Activate(const Var& x, Activation act) {
-  switch (act) {
-    case Activation::kRelu:
-      return Relu(x);
-    case Activation::kTanh:
-      return TanhOp(x);
-    case Activation::kSigmoid:
-      return SigmoidOp(x);
-    case Activation::kNone:
-      return x;
-  }
-  return x;
-}
-
 Tape::Ref Activate(Tape* tape, Tape::Ref x, Activation act) {
   switch (act) {
     case Activation::kRelu:
@@ -37,10 +23,6 @@ LinearLayer::LinearLayer(int in_dim, int out_dim, Rng* rng)
     : W_(Param(Matrix::GlorotUniform(in_dim, out_dim, rng))),
       b_(Param(Matrix::Zeros(1, out_dim))) {}
 
-Var LinearLayer::Forward(const Var& x) const {
-  return AddRowBroadcast(MatMul(x, W_), b_);
-}
-
 Tape::Ref LinearLayer::Forward(Tape* tape, Tape::Ref x) const {
   return tape->AddRowBroadcast(tape->MatMul(x, tape->Param(W_)),
                                tape->Param(b_));
@@ -54,15 +36,6 @@ Mlp::Mlp(const std::vector<int>& dims, Activation hidden_act, Rng* rng)
   for (size_t i = 0; i + 1 < dims.size(); ++i) {
     layers_.emplace_back(dims[i], dims[i + 1], rng);
   }
-}
-
-Var Mlp::Forward(const Var& x) const {
-  Var h = x;
-  for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
-    if (i + 1 < layers_.size()) h = Activate(h, hidden_act_);
-  }
-  return h;
 }
 
 Tape::Ref Mlp::Forward(Tape* tape, Tape::Ref x) const {
@@ -121,9 +94,8 @@ void Adam::Step() {
 }
 
 void Adam::ZeroGrad() {
-  // Capacity-retaining (unlike Node::ZeroGrad) so tape-driven training
-  // rewrites param grads each step without allocating. The Var engine's
-  // Backward releases every node grad itself, so it is unaffected.
+  // Capacity-retaining, so tape-driven training rewrites param grads each
+  // step without allocating.
   for (Var& p : params_) p->grad.Clear();
 }
 

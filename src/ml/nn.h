@@ -1,12 +1,12 @@
-// Neural-network building blocks on top of the autograd: linear layers,
-// multilayer perceptrons, and the Adam optimizer.
+// Neural-network building blocks on top of the tape autograd: linear
+// layers, multilayer perceptrons, and the Adam optimizer.
 
 #pragma once
 
 #include <vector>
 
 #include "common/rng.h"
-#include "ml/autograd.h"
+#include "ml/param.h"
 #include "ml/tape.h"
 
 namespace streamtune::ml {
@@ -14,9 +14,7 @@ namespace streamtune::ml {
 /// Activation functions available to Mlp hidden layers.
 enum class Activation { kRelu, kTanh, kSigmoid, kNone };
 
-/// Applies the chosen activation as an autograd op.
-Var Activate(const Var& x, Activation act);
-/// Tape variant of Activate; same ops, same numerics.
+/// Records the chosen activation onto the tape.
 Tape::Ref Activate(Tape* tape, Tape::Ref x, Activation act);
 
 /// A fully connected layer y = x W + b.
@@ -25,8 +23,7 @@ class LinearLayer {
   LinearLayer() = default;
   LinearLayer(int in_dim, int out_dim, Rng* rng);
 
-  Var Forward(const Var& x) const;
-  /// Tape variant; records the identical op sequence onto `tape`.
+  /// Records y = x W + b onto `tape`.
   Tape::Ref Forward(Tape* tape, Tape::Ref x) const;
   std::vector<Var> Params() const { return {W_, b_}; }
 
@@ -44,8 +41,7 @@ class Mlp {
   /// `dims` = {in, hidden..., out}; needs at least {in, out}.
   Mlp(const std::vector<int>& dims, Activation hidden_act, Rng* rng);
 
-  Var Forward(const Var& x) const;
-  /// Tape variant; records the identical op sequence onto `tape`.
+  /// Records the full Linear -> act -> ... -> Linear stack onto `tape`.
   Tape::Ref Forward(Tape* tape, Tape::Ref x) const;
   std::vector<Var> Params() const;
   int in_dim() const { return in_dim_; }

@@ -1,0 +1,58 @@
+// Trainable-parameter handle shared by the tape autograd engine (ml/tape.h)
+// and the optimizers (ml/nn.h).
+//
+// Historically this was the node type of a full Var-based autograd engine;
+// the tape engine replaced that graph walk, and what remains is exactly the
+// state a parameter needs: its value, its accumulated gradient, and the
+// requires_grad flag the tape consults when deciding which backward paths to
+// take. The `Var` alias survives because every model (`Mlp::Params()`,
+// `GnnEncoder::Params()`, serialization) traffics in shared parameter
+// handles.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "ml/matrix.h"
+
+namespace streamtune::ml {
+
+class Node;
+/// Shared handle to a trainable parameter.
+using Var = std::shared_ptr<Node>;
+
+/// One trainable parameter: a value and, after Tape::Backward, its gradient.
+class Node {
+ public:
+  explicit Node(Matrix v, bool requires_grad = false)
+      : value(std::move(v)), requires_grad(requires_grad) {}
+
+  Matrix value;
+  /// d(loss)/d(value); empty until a backward pass reaches this parameter.
+  Matrix grad;
+  bool requires_grad;
+
+  /// Adds `g` into this parameter's gradient. The first contribution copies
+  /// (reusing the buffer's retained capacity), later ones accumulate — the
+  /// same per-element addition order every engine in this repo has used, so
+  /// gradients are reproducible bit-for-bit.
+  void AccumGrad(const Matrix& g) {
+    if (!has_grad()) {
+      grad = g;
+    } else {
+      AddInto(g, &grad);
+    }
+  }
+  bool has_grad() const { return grad.rows() > 0; }
+
+  /// Drops the gradient, retaining the buffer's capacity.
+  void ZeroGrad() { grad.Clear(); }
+};
+
+/// Wraps a trainable parameter.
+inline Var Param(Matrix v) {
+  return std::make_shared<Node>(std::move(v), /*requires_grad=*/true);
+}
+
+}  // namespace streamtune::ml

@@ -131,7 +131,7 @@ Tape::Ref Tape::Sigmoid(Ref a) {
   double* vs = v.data().data();
   const size_t n = x.size();
   for (size_t i = 0; i < n; ++i) {
-    // Stable branch, identical to SigmoidOp in autograd.cc.
+    // Numerically stable branch: never exponentiates a large positive value.
     vs[i] = xs[i] >= 0 ? 1.0 / (1.0 + std::exp(-xs[i]))
                        : std::exp(xs[i]) / (1.0 + std::exp(xs[i]));
   }

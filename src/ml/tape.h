@@ -1,7 +1,8 @@
 // Tape-based reverse-mode autodiff — the allocation-free successor of the
-// dynamic Var graph in ml/autograd.h.
+// dynamic Var-graph engine this repo started with (deleted once every
+// consumer migrated here).
 //
-// The Var engine rebuilds a shared_ptr<Node> graph per training step: one
+// That engine rebuilt a shared_ptr<Node> graph per training step: one
 // heap node, one std::function closure and several transposed temporaries
 // per op, plus a DFS with an unordered_set to order the backward pass. This
 // engine records the same op sequence onto a flat tape instead:
@@ -19,19 +20,18 @@
 //    the transpose-free kernels (MatMulNTInto / MatMulTNInto), so no
 //    transposed temporary is ever materialized.
 //
-// Bit-identity with the Var engine: each op's forward and backward kernels
-// perform the identical floating-point operations in the identical order
-// (see matrix.h kernel contracts), gradient accumulation keeps the Var
-// engine's first-contribution-copies semantics, and reverse recording order
-// executes the consumers of every shared node in the same relative order as
-// the Var engine's reverse post-order DFS for all model graphs in this repo
-// (ops are recorded bottom-up, left-to-right). The old-vs-new equivalence
-// test asserts this end to end on a full Pretrainer::Run.
+// Bit-identity with the retired Var engine (pinned while both coexisted,
+// now the contract of this engine alone): each op's forward and backward
+// kernels perform the identical floating-point operations in the identical
+// order under the scalar kernel dispatch (see matrix.h kernel contracts),
+// gradient accumulation keeps first-contribution-copies semantics, and
+// reverse recording order executes the consumers of every shared node in
+// the same relative order as a reverse post-order DFS for all model graphs
+// in this repo (ops are recorded bottom-up, left-to-right). tape_test pins
+// these numerics against hand-composed Matrix references.
 //
-// Shim note: parameters are still ml::Var nodes (shared_ptr<Node>) so the
-// Var API, Adam, and serialization keep working unchanged while both engines
-// coexist; when the Var shim is deleted, Node shrinks to a plain
-// {value, grad} parameter struct.
+// Parameters are ml::Var handles to the slim {value, grad} Node in
+// ml/param.h — the surviving remnant of the Var engine's node type.
 //
 // Lifetime contract: Constant() and the loss ops store *pointers* to
 // caller-owned matrices — they must outlive the tape ops that reference
@@ -44,8 +44,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "ml/autograd.h"
 #include "ml/matrix.h"
+#include "ml/param.h"
 
 namespace streamtune::ml {
 
@@ -94,7 +94,9 @@ class Tape {
   Ref ConcatCols(Ref a, Ref b);
   /// Mean over rows -> 1 x C.
   Ref MeanRows(Ref a);
-  /// Row-wise RMS normalization (see autograd.h).
+  /// Row-wise RMS normalization: y_r = x_r / sqrt(mean(x_r^2) + eps).
+  /// Keeps hidden activations well-conditioned between GNN layers (prevents
+  /// tanh saturation in the FUSE step).
   Ref RmsNormRows(Ref a, double eps = 1e-6);
   /// Sum of all entries -> 1 x 1.
   Ref SumAll(Ref a);

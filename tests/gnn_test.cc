@@ -2,6 +2,7 @@
 
 #include "dataflow/feature_encoder.h"
 #include "ml/gnn.h"
+#include "ml/tape.h"
 #include "workloads/nexmark.h"
 #include "workloads/pqp.h"
 
@@ -26,6 +27,22 @@ Matrix Features(const JobGraph& g) {
   return Matrix::FromRows(enc.EncodeGraph(g));
 }
 
+// One-shot tape forwards; the returned Matrix is a copy, safe past the
+// tape's lifetime.
+Matrix AgnosticValue(const GnnEncoder& enc, const JobGraph& g,
+                     const Matrix& features) {
+  GraphContext ctx = GraphContext::Build(g);
+  Tape tape;
+  return tape.value(enc.ForwardAgnostic(&tape, ctx, features));
+}
+
+Matrix ForwardValue(const GnnEncoder& enc, const JobGraph& g,
+                    const Matrix& features, const Matrix& p_scaled) {
+  GraphContext ctx = GraphContext::Build(g);
+  Tape tape;
+  return tape.value(enc.Forward(&tape, ctx, features, p_scaled));
+}
+
 TEST(GnnTest, AdjacencyNormalization) {
   JobGraph g = Q3();
   Matrix up = GnnEncoder::NormalizedUpstreamAdj(g);
@@ -44,13 +61,13 @@ TEST(GnnTest, AdjacencyNormalization) {
 TEST(GnnTest, ForwardShapeAndRange) {
   JobGraph g = Q3();
   GnnEncoder enc(SmallConfig());
-  Var h = enc.ForwardAgnostic(g, Features(g));
-  EXPECT_EQ(h->value.rows(), g.num_operators());
-  EXPECT_EQ(h->value.cols(), 16);
+  Matrix h = AgnosticValue(enc, g, Features(g));
+  EXPECT_EQ(h.rows(), g.num_operators());
+  EXPECT_EQ(h.cols(), 16);
   // RMS-normalized rows: mean square of each row is 1.
-  for (int r = 0; r < h->value.rows(); ++r) {
+  for (int r = 0; r < h.rows(); ++r) {
     double ms = 0;
-    for (int c = 0; c < 16; ++c) ms += h->value.at(r, c) * h->value.at(r, c);
+    for (int c = 0; c < 16; ++c) ms += h.at(r, c) * h.at(r, c);
     EXPECT_NEAR(ms / 16, 1.0, 1e-4);
   }
 }
@@ -60,18 +77,19 @@ TEST(GnnTest, FusedEmbeddingsNotSaturated) {
   // per-operator and rate signal).
   JobGraph g = Q3();
   GnnEncoder enc(SmallConfig());
-  Var h = enc.Forward(g, Features(g), Matrix(g.num_operators(), 1, 0.3));
+  Matrix h = ForwardValue(enc, g, Features(g),
+                          Matrix(g.num_operators(), 1, 0.3));
   int interior = 0;
-  for (double v : h->value.data()) {
+  for (double v : h.data()) {
     if (std::fabs(v) < 0.9) ++interior;
   }
-  EXPECT_GT(interior, static_cast<int>(h->value.size()) / 2);
+  EXPECT_GT(interior, static_cast<int>(h.size()) / 2);
 }
 
 TEST(GnnTest, DistinctOperatorsGetDistinctEmbeddings) {
   JobGraph g = Q3();
   GnnEncoder enc(SmallConfig());
-  Matrix h = enc.ForwardAgnostic(g, Features(g))->value;
+  Matrix h = AgnosticValue(enc, g, Features(g));
   // Source (op 0) vs join should differ noticeably.
   int join = -1;
   for (int v = 0; v < g.num_operators(); ++v) {
@@ -98,12 +116,10 @@ TEST(GnnTest, SourceRateChangesEmbeddings) {
       high[v] = 1e6;
     }
   }
-  Matrix h_low =
-      enc.ForwardAgnostic(g, Matrix::FromRows(fenc.EncodeGraphWithRates(
-                                 g, low)))->value;
-  Matrix h_high =
-      enc.ForwardAgnostic(g, Matrix::FromRows(fenc.EncodeGraphWithRates(
-                                 g, high)))->value;
+  Matrix h_low = AgnosticValue(
+      enc, g, Matrix::FromRows(fenc.EncodeGraphWithRates(g, low)));
+  Matrix h_high = AgnosticValue(
+      enc, g, Matrix::FromRows(fenc.EncodeGraphWithRates(g, high)));
   double dist = h_low.Sub(h_high).SquaredNorm();
   EXPECT_GT(dist, 1e-4);
 }
@@ -114,8 +130,8 @@ TEST(GnnTest, ParallelismInjectionChangesEmbeddings) {
   Matrix f = Features(g);
   Matrix p_low(g.num_operators(), 1, 0.01);
   Matrix p_high(g.num_operators(), 1, 0.8);
-  Matrix h1 = enc.Forward(g, f, p_low)->value;
-  Matrix h2 = enc.Forward(g, f, p_high)->value;
+  Matrix h1 = ForwardValue(enc, g, f, p_low);
+  Matrix h2 = ForwardValue(enc, g, f, p_high);
   EXPECT_GT(h1.Sub(h2).SquaredNorm(), 1e-4);
 }
 
@@ -126,12 +142,16 @@ TEST(GnnTest, AgnosticEmbeddingIsParallelismFree) {
   JobGraph g = Q3();
   GnnEncoder enc(SmallConfig());
   Matrix f = Features(g);
-  Var agn = enc.ForwardAgnostic(g, f);
-  Var fused = enc.Fuse(agn, Matrix(g.num_operators(), 1, 0.3));
-  EXPECT_EQ(fused->value.rows(), agn->value.rows());
-  EXPECT_EQ(fused->value.cols(), agn->value.cols());  // width preserved
-  Matrix direct = enc.Forward(g, f, Matrix(g.num_operators(), 1, 0.3))->value;
-  EXPECT_DOUBLE_EQ(direct.Sub(fused->value).SquaredNorm(), 0.0);
+  Matrix pcol(g.num_operators(), 1, 0.3);
+  GraphContext ctx = GraphContext::Build(g);
+  Tape tape;
+  Tape::Ref agn = enc.ForwardAgnostic(&tape, ctx, f);
+  Tape::Ref fused = enc.Fuse(&tape, agn, pcol);
+  EXPECT_EQ(tape.value(fused).rows(), tape.value(agn).rows());
+  EXPECT_EQ(tape.value(fused).cols(),
+            tape.value(agn).cols());  // width preserved
+  Matrix direct = ForwardValue(enc, g, f, pcol);
+  EXPECT_DOUBLE_EQ(direct.Sub(tape.value(fused)).SquaredNorm(), 0.0);
 }
 
 TEST(GnnTest, ParamCount) {
@@ -146,15 +166,48 @@ TEST(GnnTest, DeterministicForSeed) {
   GnnEncoder a(cfg), b(cfg);
   Matrix f = Features(g);
   EXPECT_DOUBLE_EQ(
-      a.ForwardAgnostic(g, f)->value.Sub(b.ForwardAgnostic(g, f)->value)
-          .SquaredNorm(),
-      0.0);
+      AgnosticValue(a, g, f).Sub(AgnosticValue(b, g, f)).SquaredNorm(), 0.0);
   cfg.seed = 1234;
   GnnEncoder c(cfg);
   EXPECT_GT(
-      a.ForwardAgnostic(g, f)->value.Sub(c.ForwardAgnostic(g, f)->value)
-          .SquaredNorm(),
-      0.0);
+      AgnosticValue(a, g, f).Sub(AgnosticValue(c, g, f)).SquaredNorm(), 0.0);
+}
+
+TEST(GnnTest, BatchedForwardMatchesSequential) {
+  // The batched packed forward must reproduce the per-job tape forward
+  // bit-for-bit (rows are independent in every kernel involved).
+  std::vector<JobGraph> graphs;
+  for (workloads::NexmarkQuery q : workloads::AllNexmarkQueries()) {
+    graphs.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+  GnnEncoder enc(SmallConfig());
+  std::vector<Matrix> features;
+  std::vector<GraphContext> contexts;
+  features.reserve(graphs.size());
+  contexts.reserve(graphs.size());
+  for (const JobGraph& g : graphs) {
+    features.push_back(Features(g));
+    contexts.push_back(GraphContext::Build(g));
+  }
+  std::vector<BatchedJobInput> jobs;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    jobs.push_back(BatchedJobInput{&contexts[i], &features[i]});
+  }
+  BatchedGnnWorkspace ws;
+  std::vector<int> offsets;
+  const Matrix& packed = enc.ForwardAgnosticBatched(jobs, &ws, &offsets);
+  ASSERT_EQ(offsets.size(), graphs.size() + 1);
+  ASSERT_EQ(packed.rows(), offsets.back());
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    Matrix seq = AgnosticValue(enc, graphs[i], features[i]);
+    ASSERT_EQ(offsets[i + 1] - offsets[i], seq.rows());
+    for (int r = 0; r < seq.rows(); ++r) {
+      for (int c = 0; c < seq.cols(); ++c) {
+        EXPECT_EQ(packed.at(offsets[i] + r, c), seq.at(r, c))
+            << graphs[i].name() << " op " << r << " dim " << c;
+      }
+    }
+  }
 }
 
 TEST(GnnTest, StructureMatters) {
@@ -193,8 +246,8 @@ TEST(GnnTest, StructureMatters) {
   ASSERT_TRUE(fan.AddEdge(b2, b3).ok());
 
   GnnEncoder enc(SmallConfig());
-  Matrix h_chain = enc.ForwardAgnostic(chain, Features(chain))->value;
-  Matrix h_fan = enc.ForwardAgnostic(fan, Features(fan))->value;
+  Matrix h_chain = AgnosticValue(enc, chain, Features(chain));
+  Matrix h_fan = AgnosticValue(enc, fan, Features(fan));
   EXPECT_GT(h_chain.Sub(h_fan).SquaredNorm(), 1e-6);
 }
 

@@ -1,0 +1,380 @@
+// The SIMD kernel layer and the cross-job batched inference path.
+//
+// Contract under test (see matrix.h):
+//   - the scalar dispatch is the bit-level reference: with
+//     STREAMTUNE_FORCE_SCALAR the dispatched kernels are bit-identical to
+//     the allocating Matrix methods;
+//   - the AVX2 dispatch is tolerance-equal (<= 1e-12 relative) to scalar
+//     for the FMA matmuls and bit-identical for the lane-wise ops;
+//   - batched GNN inference is bit-identical to the sequential per-job
+//     path under ANY single dispatch, including when raced from many
+//     threads (the TSan shard runs this suite).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/history.h"
+#include "core/pretrain.h"
+#include "core/streamtune_tuner.h"
+#include "ml/cpu_features.h"
+#include "ml/matrix.h"
+#include "ml/matrix_simd.h"
+#include "sim/engine.h"
+#include "workloads/cost_config.h"
+#include "workloads/nexmark.h"
+#include "workloads/pqp.h"
+
+namespace streamtune::ml {
+namespace {
+
+Matrix RandomMatrix(int r, int c, Rng* rng) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = 2 * rng->Uniform() - 1;
+  return m;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "entry " << i;
+  }
+}
+
+void ExpectWithinRelTol(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double want = b.data()[i];
+    EXPECT_NEAR(a.data()[i], want, tol * std::max(1.0, std::fabs(want)))
+        << "entry " << i;
+  }
+}
+
+// Pins STREAMTUNE_FORCE_SCALAR=1 and re-resolves the kernel dispatch for
+// the guard's lifetime; restores both on destruction.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar() {
+    const char* prev = std::getenv("STREAMTUNE_FORCE_SCALAR");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("STREAMTUNE_FORCE_SCALAR", "1", 1);
+    ReinitKernelDispatchForTest();
+  }
+  ~ScopedForceScalar() {
+    if (had_prev_) {
+      setenv("STREAMTUNE_FORCE_SCALAR", prev_.c_str(), 1);
+    } else {
+      unsetenv("STREAMTUNE_FORCE_SCALAR");
+    }
+    ReinitKernelDispatchForTest();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(MatrixSimdTest, DispatchMatchesHostCapability) {
+  const CpuFeatures f = HostCpuFeatures();
+  const bool want_avx2 =
+      simd::CompiledIn() && f.avx2 && f.fma && !ForceScalarRequested();
+  EXPECT_STREQ(ActiveKernelDispatch(), want_avx2 ? "avx2-fma" : "scalar");
+}
+
+TEST(MatrixSimdTest, ForceScalarOverridePinsScalarDispatch) {
+  {
+    ScopedForceScalar guard;
+    EXPECT_TRUE(ForceScalarRequested());
+    EXPECT_STREQ(ActiveKernelDispatch(), "scalar");
+  }
+  // Restored: back to whatever the host capability dictates.
+  const CpuFeatures f = HostCpuFeatures();
+  const bool want_avx2 =
+      simd::CompiledIn() && f.avx2 && f.fma && !ForceScalarRequested();
+  EXPECT_STREQ(ActiveKernelDispatch(), want_avx2 ? "avx2-fma" : "scalar");
+}
+
+// Under the forced-scalar dispatch the kernels are the bit-level reference
+// implementation: identical to the allocating Matrix methods on any host.
+TEST(MatrixSimdTest, ForcedScalarKernelsBitIdenticalToReferences) {
+  ScopedForceScalar guard;
+  Rng rng(31);
+  // Odd shapes so every tile width's tail path runs too.
+  Matrix a = RandomMatrix(5, 13, &rng);
+  Matrix b = RandomMatrix(13, 17, &rng);
+  Matrix bt = b.Transpose();
+  Matrix at = a.Transpose();
+  Matrix out;
+  MatMulInto(a, b, &out);
+  ExpectBitIdentical(out, a.MatMul(b));
+  MatMulNTInto(a, bt, &out);
+  ExpectBitIdentical(out, a.MatMul(b));
+  MatMulTNInto(at, b, &out);
+  ExpectBitIdentical(out, a.MatMul(b));
+
+  Matrix x = RandomMatrix(4, 9, &rng);
+  Matrix y = RandomMatrix(4, 9, &rng);
+  Matrix acc = x;
+  AddInto(y, &acc);
+  ExpectBitIdentical(acc, x.Add(y));
+  acc = x;
+  AxpyInto(-1.25, y, &acc);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_EQ(acc.data()[i], x.data()[i] + -1.25 * y.data()[i]);
+  }
+  ReluInto(x, &out);
+  ASSERT_TRUE(out.same_shape(x));
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(out.data()[i], x.data()[i] > 0.0 ? x.data()[i] : 0.0);
+  }
+}
+
+// The default (possibly SIMD) dispatch against the scalar reference: FMA
+// reassociates the matmul reductions, so equality is within 1e-12 relative;
+// the lane-wise add is bit-identical even under AVX2.
+TEST(MatrixSimdTest, DefaultDispatchMatchesScalarWithinTolerance) {
+  struct Shape {
+    int m, k, n;
+  };
+  // Cover the 16-wide, 4-wide, and scalar-tail column paths and the
+  // 8/4/1-step dot-product paths.
+  const std::vector<Shape> shapes = {{1, 1, 1}, {3, 9, 4}, {5, 7, 17},
+                                     {8, 16, 32}, {2, 21, 19}};
+  for (const Shape& s : shapes) {
+    Rng rng(100 + s.m + s.k + s.n);
+    Matrix a = RandomMatrix(s.m, s.k, &rng);
+    Matrix b = RandomMatrix(s.k, s.n, &rng);
+    Matrix bt = b.Transpose();
+    Matrix at = a.Transpose();
+
+    Matrix mm_ref, nt_ref, tn_ref;
+    {
+      ScopedForceScalar guard;
+      MatMulInto(a, b, &mm_ref);
+      MatMulNTInto(a, bt, &nt_ref);
+      MatMulTNInto(at, b, &tn_ref);
+    }
+    Matrix out;
+    MatMulInto(a, b, &out);
+    ExpectWithinRelTol(out, mm_ref, 1e-12);
+    MatMulNTInto(a, bt, &out);
+    ExpectWithinRelTol(out, nt_ref, 1e-12);
+    MatMulTNInto(at, b, &out);
+    ExpectWithinRelTol(out, tn_ref, 1e-12);
+  }
+
+  Rng rng(77);
+  Matrix x = RandomMatrix(3, 23, &rng);  // 5 full lanes + 3-wide tail
+  Matrix y = RandomMatrix(3, 23, &rng);
+  Matrix add_ref = x, relu_ref;
+  {
+    ScopedForceScalar guard;
+    AddInto(y, &add_ref);
+    ReluInto(x, &relu_ref);
+  }
+  Matrix acc = x;
+  AddInto(y, &acc);
+  ExpectBitIdentical(acc, add_ref);  // lane-wise: exact under any dispatch
+  Matrix relu_out;
+  ReluInto(x, &relu_out);
+  ExpectBitIdentical(relu_out, relu_ref);
+  acc = x;
+  Matrix axpy_ref = x;
+  {
+    ScopedForceScalar guard;
+    AxpyInto(0.37, y, &axpy_ref);
+  }
+  AxpyInto(0.37, y, &acc);
+  ExpectWithinRelTol(acc, axpy_ref, 1e-12);
+}
+
+TEST(MatrixSimdTest, MatMulSegmentIntoMatchesSlicedMatMul) {
+  Rng rng(41);
+  Matrix a = RandomMatrix(3, 4, &rng);
+  Matrix b = RandomMatrix(10, 5, &rng);
+  const int b_row0 = 2, out_row0 = 1;
+  // Reference: the same product on a contiguous copy of b's row slice.
+  Matrix b_slice(a.cols(), b.cols());
+  for (int r = 0; r < a.cols(); ++r) {
+    for (int c = 0; c < b.cols(); ++c) {
+      b_slice.at(r, c) = b.at(b_row0 + r, c);
+    }
+  }
+  Matrix ref;
+  MatMulInto(a, b_slice, &ref);
+
+  Matrix out(8, 5, -7.0);  // sentinel fill
+  MatMulSegmentInto(a, b, b_row0, &out, out_row0);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      if (r >= out_row0 && r < out_row0 + a.rows()) {
+        EXPECT_EQ(out.at(r, c), ref.at(r - out_row0, c))
+            << "segment row " << r << " col " << c;
+      } else {
+        EXPECT_EQ(out.at(r, c), -7.0) << "row " << r << " was touched";
+      }
+    }
+  }
+}
+
+TEST(MatrixSimdTest, AlignedStorageIs32ByteAligned) {
+  for (int n : {1, 3, 17, 64}) {
+    Matrix m(n, n, 1.0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data().data()) % 32, 0u)
+        << "rows " << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched inference over real bundles (suite name is part of the TSan CI
+// shard's filter).
+
+Result<core::PretrainedBundle> SmallBundle() {
+  std::vector<JobGraph> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, i));
+  }
+  core::HistoryOptions hist;
+  hist.samples_per_job = 6;
+  core::PretrainOptions pre;
+  pre.k = 2;
+  pre.epochs = 6;
+  pre.hidden_dim = 12;
+  pre.gnn_layers = 2;
+  return core::Pretrainer(pre).Run(core::CollectHistory(jobs, hist));
+}
+
+TEST(BatchedInferenceTest, RandomJobSetsBitIdenticalToSequential) {
+  auto bundle = SmallBundle();
+  ASSERT_TRUE(bundle.ok());
+
+  Rng rng(53);
+  std::vector<JobGraph> pool;
+  for (workloads::NexmarkQuery q : workloads::AllNexmarkQueries()) {
+    pool.push_back(workloads::BuildNexmarkJob(q, workloads::Engine::kFlink));
+  }
+  for (int batch_size : {1, 3, 7}) {
+    // Random job set with random source rates (duplicates allowed, so the
+    // per-batch graph-context dedup is exercised).
+    std::vector<const JobGraph*> graphs;
+    std::vector<std::vector<double>> rates;
+    for (int i = 0; i < batch_size; ++i) {
+      const JobGraph& g =
+          pool[static_cast<size_t>(rng.Uniform() * pool.size()) %
+               pool.size()];
+      graphs.push_back(&g);
+      std::vector<double> r(g.num_operators(), 0.0);
+      for (int v = 0; v < g.num_operators(); ++v) {
+        if (g.op(v).is_source()) r[v] = 1e4 + 9e5 * rng.Uniform();
+      }
+      rates.push_back(std::move(r));
+    }
+    const int c = bundle->AssignCluster(*graphs[0]);
+    std::vector<core::PretrainedBundle::EmbeddingQuery> queries;
+    for (int i = 0; i < batch_size; ++i) {
+      queries.push_back(
+          core::PretrainedBundle::EmbeddingQuery{graphs[i], &rates[i]});
+    }
+    std::vector<Matrix> batched = bundle->BatchedAgnosticEmbeddings(c, queries);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (int i = 0; i < batch_size; ++i) {
+      Matrix seq = bundle->AgnosticEmbeddings(c, *graphs[i], rates[i]);
+      ASSERT_TRUE(batched[i].same_shape(seq));
+      for (size_t k = 0; k < seq.size(); ++k) {
+        EXPECT_EQ(batched[i].data()[k], seq.data()[k])
+            << "batch " << batch_size << " job " << i << " entry " << k;
+      }
+    }
+  }
+}
+
+TEST(BatchedInferenceTest, BatchedPrimingMatchesLazyRecommendations) {
+  auto bundle_result = SmallBundle();
+  ASSERT_TRUE(bundle_result.ok());
+  auto bundle = std::make_shared<const core::PretrainedBundle>(
+      std::move(*bundle_result));
+
+  JobGraph job =
+      workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 9);
+  sim::PerfModel model(job, workloads::CostConfigFor(job));
+  sim::FlinkEngine engine(job, model, sim::SimConfig{});
+  std::vector<int> ones(job.num_operators(), 1);
+  ASSERT_TRUE(engine.Deploy(ones).ok());
+
+  const int cluster = bundle->AssignCluster(job);
+  const int emb_dim = bundle->cluster(cluster).encoder.config().hidden_dim +
+                      FeatureEncoder::kRateFeatures;
+  auto dataset = bundle->WarmUpDataset(cluster, 60, 19);
+  ASSERT_FALSE(dataset.empty());
+
+  core::StreamTuneTuner lazy(bundle), primed(bundle);
+  std::vector<double> rates = engine.current_source_rates();
+  std::vector<core::StreamTuneTuner::PendingJob> pending{
+      {&primed, &job, &rates}};
+  core::StreamTuneTuner::BatchedInference(pending);
+
+  auto fitted = lazy.MakeModel(emb_dim);
+  ASSERT_TRUE(fitted->Fit(dataset).ok());
+  std::vector<int> want = lazy.Recommend(engine, *fitted, cluster);
+  std::vector<int> got = primed.Recommend(engine, *fitted, cluster);
+  EXPECT_EQ(got, want);
+}
+
+TEST(BatchedInferenceTest, ConcurrentBatchedCallsBitIdentical) {
+  auto bundle = SmallBundle();
+  ASSERT_TRUE(bundle.ok());
+
+  JobGraph a = workloads::BuildPqpJob(workloads::PqpTemplate::kLinear, 9);
+  JobGraph b = workloads::BuildPqpJob(workloads::PqpTemplate::kTwoWayJoin, 9);
+  std::vector<double> ra(a.num_operators(), 0.0), rb(b.num_operators(), 0.0);
+  for (int v = 0; v < a.num_operators(); ++v) {
+    if (a.op(v).is_source()) ra[v] = 2e5;
+  }
+  for (int v = 0; v < b.num_operators(); ++v) {
+    if (b.op(v).is_source()) rb[v] = 3e5;
+  }
+  const int c = bundle->AssignCluster(a);
+  std::vector<core::PretrainedBundle::EmbeddingQuery> queries{{&a, &ra},
+                                                              {&b, &rb}};
+  const std::vector<Matrix> reference =
+      bundle->BatchedAgnosticEmbeddings(c, queries);
+
+  // Many threads batching against one frozen bundle at once: results must
+  // be bit-identical to the single-threaded reference (each thread has its
+  // own workspace), and TSan must stay quiet.
+  constexpr int kThreads = 4;
+  std::vector<std::vector<Matrix>> results(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        results[t] = bundle->BatchedAgnosticEmbeddings(c, queries);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), reference.size()) << "thread " << t;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_TRUE(results[t][i].same_shape(reference[i]));
+      for (size_t k = 0; k < reference[i].size(); ++k) {
+        EXPECT_EQ(results[t][i].data()[k], reference[i].data()[k])
+            << "thread " << t << " job " << i << " entry " << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamtune::ml

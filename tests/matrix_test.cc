@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "ml/matrix.h"
 
 namespace streamtune::ml {
@@ -126,31 +130,48 @@ void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
 }
 
-TEST(MatrixKernelTest, MatMulIntoBitIdenticalToMatMul) {
+// The matmul kernels are bit-identical to their composed references on the
+// scalar dispatch; the AVX2-FMA dispatch fuses multiply-adds, so there they
+// are held to the 1e-12 relative tolerance contract instead. (The scalar
+// path's bit-identity is additionally pinned — under an explicit dispatch
+// override — in tests/matrix_simd_test.cc.)
+void ExpectMatchesReference(const Matrix& got, const Matrix& want) {
+  ASSERT_TRUE(got.same_shape(want));
+  if (std::strcmp(ActiveKernelDispatch(), "scalar") == 0) {
+    ExpectBitIdentical(got, want);
+    return;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::fabs(want.data()[i]));
+    EXPECT_NEAR(got.data()[i], want.data()[i], tol) << "entry " << i;
+  }
+}
+
+TEST(MatrixKernelTest, MatMulIntoMatchesMatMul) {
   Rng rng(21);
   Matrix a = RandomMatrix(5, 7, &rng);
   Matrix b = RandomMatrix(7, 4, &rng);
   Matrix out;
   MatMulInto(a, b, &out);
-  ExpectBitIdentical(out, a.MatMul(b));
+  ExpectMatchesReference(out, a.MatMul(b));
 }
 
-TEST(MatrixKernelTest, MatMulNTIntoBitIdenticalToTransposedComposition) {
+TEST(MatrixKernelTest, MatMulNTIntoMatchesTransposedComposition) {
   Rng rng(22);
   Matrix a = RandomMatrix(5, 7, &rng);
   Matrix b = RandomMatrix(4, 7, &rng);  // out = a * b^T -> 5x4
   Matrix out;
   MatMulNTInto(a, b, &out);
-  ExpectBitIdentical(out, a.MatMul(b.Transpose()));
+  ExpectMatchesReference(out, a.MatMul(b.Transpose()));
 }
 
-TEST(MatrixKernelTest, MatMulTNIntoBitIdenticalToTransposedComposition) {
+TEST(MatrixKernelTest, MatMulTNIntoMatchesTransposedComposition) {
   Rng rng(23);
   Matrix a = RandomMatrix(7, 5, &rng);
   Matrix b = RandomMatrix(7, 4, &rng);  // out = a^T * b -> 5x4
   Matrix out;
   MatMulTNInto(a, b, &out);
-  ExpectBitIdentical(out, a.Transpose().MatMul(b));
+  ExpectMatchesReference(out, a.Transpose().MatMul(b));
 }
 
 TEST(MatrixKernelTest, ElementwiseKernelsBitIdentical) {

@@ -1,9 +1,9 @@
-// Old-vs-new engine equivalence: the tape refactor must be a pure
-// performance change. Every test here asserts BIT-identical numerics
-// between the Var shim and the tape engine — full Pretrainer::Run output
-// (serialized weights round-trip doubles exactly at precision 17), the
-// classifier training loop, and the bundle's inference paths — serial and
-// multi-threaded.
+// Numeric-equivalence pins on the ML pipeline: the training and inference
+// paths must be bit-deterministic. Every test here asserts BIT-identical
+// numerics — full Pretrainer::Run output (serialized weights round-trip
+// doubles exactly at precision 17) across thread counts, the classifier
+// training loop against a hand-rolled replica, and the bundle's inference
+// paths — sequential and batched.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +16,7 @@
 #include "core/pretrain.h"
 #include "core/serialization.h"
 #include "ml/nn_classifier.h"
+#include "ml/tape.h"
 #include "workloads/nexmark.h"
 
 namespace streamtune::core {
@@ -47,51 +48,34 @@ std::string SerializedBundle(const PretrainedBundle& bundle) {
   return os.str();
 }
 
-// The acceptance gate of the refactor: a full pre-training run — GED
-// clustering, per-cluster GNN+head training, every epoch and Adam step —
-// produces byte-identical serialized weights on the old Var engine and on
-// the tape engine, at any thread count.
-TEST(MlEquivalenceTest, PretrainerRunBitIdenticalOldVsTape) {
+// A full pre-training run — GED clustering, per-cluster GNN+head training,
+// every epoch and Adam step — produces byte-identical serialized weights at
+// any thread count (every per-cluster RNG stream is drawn up front, and
+// every kernel is deterministic under a fixed dispatch).
+TEST(MlEquivalenceTest, PretrainerRunBitIdenticalAcrossThreadCounts) {
   std::vector<HistoryRecord> corpus = NexmarkCorpus();
 
-  PretrainOptions old_opts = FastOptions();
-  old_opts.use_tape = false;
-  old_opts.num_threads = 1;
-  auto old_bundle = Pretrainer(old_opts).Run(corpus);
-  ASSERT_TRUE(old_bundle.ok());
-  const std::string reference = SerializedBundle(*old_bundle);
+  PretrainOptions serial_opts = FastOptions();
+  serial_opts.num_threads = 1;
+  auto serial = Pretrainer(serial_opts).Run(corpus);
+  ASSERT_TRUE(serial.ok());
+  const std::string reference = SerializedBundle(*serial);
   ASSERT_FALSE(reference.empty());
 
-  for (int threads : {1, 8}) {
-    PretrainOptions tape_opts = FastOptions();
-    tape_opts.use_tape = true;
-    tape_opts.num_threads = threads;
-    auto tape_bundle = Pretrainer(tape_opts).Run(corpus);
-    ASSERT_TRUE(tape_bundle.ok());
-    EXPECT_EQ(SerializedBundle(*tape_bundle), reference)
-        << "tape engine diverged from the Var engine at num_threads="
-        << threads;
+  for (int threads : {2, 8}) {
+    PretrainOptions opts = FastOptions();
+    opts.num_threads = threads;
+    auto bundle = Pretrainer(opts).Run(corpus);
+    ASSERT_TRUE(bundle.ok());
+    EXPECT_EQ(SerializedBundle(*bundle), reference)
+        << "training diverged from the serial run at num_threads=" << threads;
   }
 }
 
-// The Var shim itself must also be thread-count independent, so the two
-// engines can be compared at any parallelism (guards the test above).
-TEST(MlEquivalenceTest, OldEngineThreadCountIndependent) {
-  std::vector<HistoryRecord> corpus = NexmarkCorpus();
-  PretrainOptions opts = FastOptions();
-  opts.use_tape = false;
-  opts.num_threads = 1;
-  auto serial = Pretrainer(opts).Run(corpus);
-  ASSERT_TRUE(serial.ok());
-  opts.num_threads = 8;
-  auto parallel = Pretrainer(opts).Run(corpus);
-  ASSERT_TRUE(parallel.ok());
-  EXPECT_EQ(SerializedBundle(*serial), SerializedBundle(*parallel));
-}
-
-// AgnosticEmbeddings went from the Var engine to a thread-local tape: the
-// embeddings must match the Var path bit-for-bit.
-TEST(MlEquivalenceTest, AgnosticEmbeddingsMatchVarPath) {
+// AgnosticEmbeddings runs on a thread-local tape: the embeddings must match
+// a direct tape forward of the frozen encoder bit-for-bit, with the
+// mean-rate skip connection appended.
+TEST(MlEquivalenceTest, AgnosticEmbeddingsMatchDirectTapeForward) {
   std::vector<HistoryRecord> corpus = NexmarkCorpus();
   PretrainOptions opts = FastOptions();
   auto bundle = Pretrainer(opts).Run(corpus);
@@ -103,27 +87,66 @@ TEST(MlEquivalenceTest, AgnosticEmbeddingsMatchVarPath) {
     ml::Matrix got =
         bundle->AgnosticEmbeddings(c, rec.graph, rec.source_rates);
 
-    // Var-engine reference, including the mean-rate skip connection.
+    // Reference: one fresh tape over the same encoder and features.
     ml::Matrix features = ml::Matrix::FromRows(
         fe.EncodeGraphWithRates(rec.graph, rec.source_rates));
-    ml::Var emb =
-        bundle->cluster(c).encoder.ForwardAgnostic(rec.graph, features);
+    ml::GraphContext ctx = ml::GraphContext::Build(rec.graph);
+    ml::Tape tape;
+    const ml::Matrix& emb = tape.value(
+        bundle->cluster(c).encoder.ForwardAgnostic(&tape, ctx, features));
     const int n = rec.graph.num_operators();
     const int r_dim = FeatureEncoder::kRateFeatures;
     ASSERT_EQ(got.rows(), n);
-    ASSERT_EQ(got.cols(), emb->value.cols() + r_dim);
+    ASSERT_EQ(got.cols(), emb.cols() + r_dim);
     for (int v = 0; v < n; ++v) {
-      for (int j = 0; j < emb->value.cols(); ++j) {
-        EXPECT_EQ(got.at(v, j), emb->value.at(v, j))
+      for (int j = 0; j < emb.cols(); ++j) {
+        EXPECT_EQ(got.at(v, j), emb.at(v, j))
             << rec.graph.name() << " op " << v << " dim " << j;
       }
     }
   }
 }
 
-// NnClassifier::Fit moved to a persistent tape; replicating the original
-// Var training loop must land on bit-identical predictions.
-TEST(MlEquivalenceTest, NnClassifierFitMatchesVarLoop) {
+// The cross-job batched inference path must be a pure throughput change:
+// every embedding matrix it returns — including the appended rate block —
+// is bit-identical to the sequential per-job path.
+TEST(MlEquivalenceTest, BatchedAgnosticEmbeddingsMatchSequential) {
+  std::vector<HistoryRecord> corpus = NexmarkCorpus();
+  PretrainOptions opts = FastOptions();
+  auto bundle = Pretrainer(opts).Run(corpus);
+  ASSERT_TRUE(bundle.ok());
+
+  for (int c = 0; c < bundle->num_clusters(); ++c) {
+    // Batch all records of the cluster at once (duplicate graphs included —
+    // they exercise the context dedup).
+    std::vector<PretrainedBundle::EmbeddingQuery> queries;
+    std::vector<const HistoryRecord*> batched_recs;
+    for (int idx : bundle->cluster(c).record_indices) {
+      const HistoryRecord& rec = bundle->records()[idx];
+      queries.push_back(
+          PretrainedBundle::EmbeddingQuery{&rec.graph, &rec.source_rates});
+      batched_recs.push_back(&rec);
+    }
+    ASSERT_FALSE(queries.empty());
+    std::vector<ml::Matrix> batched =
+        bundle->BatchedAgnosticEmbeddings(c, queries);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const HistoryRecord& rec = *batched_recs[i];
+      ml::Matrix seq =
+          bundle->AgnosticEmbeddings(c, rec.graph, rec.source_rates);
+      ASSERT_TRUE(batched[i].same_shape(seq)) << rec.graph.name();
+      for (size_t k = 0; k < seq.size(); ++k) {
+        EXPECT_EQ(batched[i].data()[k], seq.data()[k])
+            << rec.graph.name() << " entry " << k;
+      }
+    }
+  }
+}
+
+// NnClassifier::Fit runs on a persistent tape; replicating the training
+// loop by hand must land on bit-identical predictions.
+TEST(MlEquivalenceTest, NnClassifierFitMatchesTapeLoop) {
   const int dim = 6;
   ml::NnClassifierConfig cfg;
   cfg.hidden_dim = 10;
@@ -140,7 +163,7 @@ TEST(MlEquivalenceTest, NnClassifierFitMatchesVarLoop) {
   ml::NnClassifier classifier(dim, cfg);
   ASSERT_TRUE(classifier.Fit(data).ok());
 
-  // Reference: the pre-refactor Fit, verbatim, on the Var engine.
+  // Reference: the Fit loop, replicated verbatim on a local tape.
   const int n = static_cast<int>(data.size());
   ml::Matrix x(n, dim + 1);
   ml::Matrix y(n, 1);
@@ -154,11 +177,12 @@ TEST(MlEquivalenceTest, NnClassifierFitMatchesVarLoop) {
   ml::Mlp mlp({dim + 1, cfg.hidden_dim, cfg.hidden_dim, 1},
               ml::Activation::kRelu, &init);
   ml::Adam opt(mlp.Params(), cfg.learning_rate);
-  ml::Var xs = ml::Constant(x);
+  ml::Tape tape;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    ml::Var logits = mlp.Forward(xs);
-    ml::Var loss = ml::BceWithLogitsMasked(logits, y, mask);
-    ml::Backward(loss);
+    tape.Reset();
+    ml::Tape::Ref logits = mlp.Forward(&tape, tape.Constant(&x));
+    ml::Tape::Ref loss = tape.BceWithLogitsMasked(logits, &y, &mask);
+    tape.Backward(loss);
     opt.Step();
   }
 
@@ -166,8 +190,9 @@ TEST(MlEquivalenceTest, NnClassifierFitMatchesVarLoop) {
     ml::Matrix probe(1, dim + 1);
     for (int j = 0; j < dim; ++j) probe.at(0, j) = s.embedding[j];
     probe.at(0, dim) = s.parallelism / cfg.parallelism_scale;
-    ml::Var out = mlp.Forward(ml::Constant(probe));
-    double expected = Sigmoid(out->value.at(0, 0));
+    tape.Reset();
+    ml::Tape::Ref out = mlp.Forward(&tape, tape.Constant(&probe));
+    double expected = Sigmoid(tape.value(out).at(0, 0));
     EXPECT_EQ(classifier.PredictProbability(s.embedding, s.parallelism),
               expected);
   }

@@ -2,6 +2,7 @@
 
 #include "common/math_util.h"
 #include "ml/nn.h"
+#include "ml/tape.h"
 
 namespace streamtune::ml {
 namespace {
@@ -9,10 +10,11 @@ namespace {
 TEST(LinearLayerTest, ShapesAndBias) {
   Rng rng(1);
   LinearLayer layer(4, 3, &rng);
-  Var x = Constant(Matrix(5, 4, 1.0));
-  Var y = layer.Forward(x);
-  EXPECT_EQ(y->value.rows(), 5);
-  EXPECT_EQ(y->value.cols(), 3);
+  Matrix x(5, 4, 1.0);
+  Tape tape;
+  Tape::Ref y = layer.Forward(&tape, tape.Constant(&x));
+  EXPECT_EQ(tape.value(y).rows(), 5);
+  EXPECT_EQ(tape.value(y).cols(), 3);
   EXPECT_EQ(layer.Params().size(), 2u);
 }
 
@@ -22,9 +24,11 @@ TEST(MlpTest, ForwardShape) {
   EXPECT_EQ(mlp.in_dim(), 6);
   EXPECT_EQ(mlp.out_dim(), 1);
   EXPECT_EQ(mlp.Params().size(), 6u);  // 3 layers x (W, b)
-  Var y = mlp.Forward(Constant(Matrix(7, 6, 0.5)));
-  EXPECT_EQ(y->value.rows(), 7);
-  EXPECT_EQ(y->value.cols(), 1);
+  Matrix x(7, 6, 0.5);
+  Tape tape;
+  Tape::Ref y = mlp.Forward(&tape, tape.Constant(&x));
+  EXPECT_EQ(tape.value(y).rows(), 7);
+  EXPECT_EQ(tape.value(y).cols(), 1);
 }
 
 TEST(AdamTest, MinimizesQuadratic) {
@@ -35,9 +39,11 @@ TEST(AdamTest, MinimizesQuadratic) {
   target.at(0, 1) = -2.0;
   target.at(0, 2) = 0.5;
   Adam opt({x}, 0.05);
+  Tape tape;
   for (int i = 0; i < 500; ++i) {
-    Var loss = MseLoss(x, target);
-    Backward(loss);
+    tape.Reset();
+    Tape::Ref loss = tape.MseLoss(tape.Param(x), &target);
+    tape.Backward(loss);
     opt.Step();
   }
   for (int c = 0; c < 3; ++c) {
@@ -48,8 +54,10 @@ TEST(AdamTest, MinimizesQuadratic) {
 TEST(AdamTest, ZeroGradClearsGradients) {
   Var x = Param(Matrix(1, 1, 1.0));
   Adam opt({x}, 0.1);
-  Var loss = MseLoss(x, Matrix(1, 1, 0.0));
-  Backward(loss);
+  Matrix target(1, 1, 0.0);
+  Tape tape;
+  Tape::Ref loss = tape.MseLoss(tape.Param(x), &target);
+  tape.Backward(loss);
   EXPECT_TRUE(x->has_grad());
   opt.ZeroGrad();
   EXPECT_FALSE(x->has_grad());
@@ -63,27 +71,32 @@ TEST(MlpTest, LearnsXor) {
   Matrix y = Matrix::FromRows({{0}, {1}, {1}, {0}});
   Matrix mask(4, 1, 1.0);
   Adam opt(mlp.Params(), 0.02);
+  Tape tape;
   for (int epoch = 0; epoch < 1500; ++epoch) {
-    Var logits = mlp.Forward(Constant(x));
-    Var loss = BceWithLogitsMasked(logits, y, mask);
-    Backward(loss);
+    tape.Reset();
+    Tape::Ref logits = mlp.Forward(&tape, tape.Constant(&x));
+    Tape::Ref loss = tape.BceWithLogitsMasked(logits, &y, &mask);
+    tape.Backward(loss);
     opt.Step();
   }
-  Var logits = mlp.Forward(Constant(x));
+  tape.Reset();
+  Tape::Ref logits = mlp.Forward(&tape, tape.Constant(&x));
   for (int i = 0; i < 4; ++i) {
-    double prob = Sigmoid(logits->value.at(i, 0));
+    double prob = Sigmoid(tape.value(logits).at(i, 0));
     EXPECT_NEAR(prob, y.at(i, 0), 0.2) << "input row " << i;
   }
 }
 
 TEST(ActivateTest, AppliesRequestedFunction) {
-  Var x = Constant(Matrix(1, 1, -1.0));
-  EXPECT_DOUBLE_EQ(Activate(x, Activation::kRelu)->value.at(0, 0), 0.0);
-  EXPECT_NEAR(Activate(x, Activation::kTanh)->value.at(0, 0),
-              std::tanh(-1.0), 1e-12);
-  EXPECT_NEAR(Activate(x, Activation::kSigmoid)->value.at(0, 0),
-              Sigmoid(-1.0), 1e-12);
-  EXPECT_DOUBLE_EQ(Activate(x, Activation::kNone)->value.at(0, 0), -1.0);
+  Matrix x(1, 1, -1.0);
+  auto apply = [&x](Activation act) {
+    Tape tape;
+    return tape.value(Activate(&tape, tape.Constant(&x), act)).at(0, 0);
+  };
+  EXPECT_DOUBLE_EQ(apply(Activation::kRelu), 0.0);
+  EXPECT_NEAR(apply(Activation::kTanh), std::tanh(-1.0), 1e-12);
+  EXPECT_NEAR(apply(Activation::kSigmoid), Sigmoid(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(apply(Activation::kNone), -1.0);
 }
 
 }  // namespace

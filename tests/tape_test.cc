@@ -1,7 +1,7 @@
 // The tape autograd engine: finite-difference verification of every op,
-// bit-identity against the Var engine, and the allocation-free reuse
-// guarantees (Reset retains capacity; steady-state epochs do not grow the
-// arena).
+// bit-identical reproducibility across re-recordings and tape reuse, and
+// the allocation-free reuse guarantees (Reset retains capacity;
+// steady-state epochs do not grow the arena).
 
 #include <gtest/gtest.h>
 
@@ -9,7 +9,6 @@
 #include <functional>
 
 #include "common/rng.h"
-#include "ml/autograd.h"
 #include "ml/gnn.h"
 #include "ml/nn.h"
 #include "ml/tape.h"
@@ -246,9 +245,11 @@ TEST(TapeTest, BackwardClearsStaleGradients) {
   EXPECT_DOUBLE_EQ(x->grad.at(0, 0), 5.0);
 }
 
-// Every op, Var engine vs tape: identical expression, bit-identical value
-// and parameter gradient.
-TEST(TapeTest, PerOpBitIdentityWithVarEngine) {
+// Every op: identical expression recorded on a fresh tape and on a reused
+// (Reset) tape must give bit-identical values and parameter gradients.
+// This is the determinism contract buffer reuse must not violate — a slot
+// assignment leak or a stale-buffer read would show up here.
+TEST(TapeTest, PerOpBitIdentityAcrossReRecordings) {
   Rng rng(20);
   Matrix av = RandomMatrix(4, 5, &rng);
   Matrix bv = RandomMatrix(5, 3, &rng);
@@ -258,44 +259,28 @@ TEST(TapeTest, PerOpBitIdentityWithVarEngine) {
 
   struct Case {
     const char* name;
-    std::function<Var(const Var&)> old_loss;
     std::function<Tape::Ref(Tape*, Tape::Ref)> tape_loss;
   };
   std::vector<Case> cases = {
       {"matmul",
-       [&](const Var& p) { return SumAll(MatMul(p, Constant(bv))); },
        [&](Tape* t, Tape::Ref p) {
          return t->SumAll(t->MatMul(p, t->Constant(&bv)));
        }},
       {"add+sub+hadamard",
-       [&](const Var& p) {
-         return SumAll(Hadamard(Add(p, Constant(cv)), Sub(p, Constant(cv))));
-       },
        [&](Tape* t, Tape::Ref p) {
          return t->SumAll(t->Hadamard(t->Add(p, t->Constant(&cv)),
                                       t->Sub(p, t->Constant(&cv))));
        }},
       {"scale+relu+tanh+sigmoid",
-       [&](const Var& p) {
-         return SumAll(SigmoidOp(TanhOp(Relu(Scale(p, 1.7)))));
-       },
        [&](Tape* t, Tape::Ref p) {
          return t->SumAll(t->Sigmoid(t->Tanh(t->Relu(t->Scale(p, 1.7)))));
        }},
       {"rowbroadcast+rmsnorm",
-       [&](const Var& p) {
-         return SumAll(RmsNormRows(AddRowBroadcast(p, Constant(rowv))));
-       },
        [&](Tape* t, Tape::Ref p) {
          return t->SumAll(
              t->RmsNormRows(t->AddRowBroadcast(p, t->Constant(&rowv))));
        }},
       {"concat+meanrows",
-       [&](const Var& p) {
-         Var cat = ConcatCols(p, Constant(catv));
-         Var m = MeanRows(cat);
-         return SumAll(Hadamard(m, m));
-       },
        [&](Tape* t, Tape::Ref p) {
          Tape::Ref cat = t->ConcatCols(p, t->Constant(&catv));
          Tape::Ref m = t->MeanRows(cat);
@@ -303,25 +288,29 @@ TEST(TapeTest, PerOpBitIdentityWithVarEngine) {
        }},
   };
 
+  // One tape reused across every case (the NnClassifier/Pretrainer usage
+  // pattern); a fresh tape per case is the reference.
+  Tape reused;
   for (const Case& c : cases) {
-    Var old_p = Param(av);
-    Var old_loss = c.old_loss(old_p);
-    Backward(old_loss);
+    Var fresh_p = Param(av);
+    Tape fresh;
+    Tape::Ref fresh_loss = c.tape_loss(&fresh, fresh.Param(fresh_p));
+    fresh.Backward(fresh_loss);
 
-    Var new_p = Param(av);
-    Tape tape;
-    Tape::Ref loss = c.tape_loss(&tape, tape.Param(new_p));
-    tape.Backward(loss);
+    Var reused_p = Param(av);
+    reused.Reset();
+    Tape::Ref loss = c.tape_loss(&reused, reused.Param(reused_p));
+    reused.Backward(loss);
 
-    ExpectBitIdentical(old_loss->value, tape.value(loss), c.name);
-    ASSERT_TRUE(old_p->has_grad() && new_p->has_grad()) << c.name;
-    ExpectBitIdentical(old_p->grad, new_p->grad, c.name);
+    ExpectBitIdentical(fresh.value(fresh_loss), reused.value(loss), c.name);
+    ASSERT_TRUE(fresh_p->has_grad() && reused_p->has_grad()) << c.name;
+    ExpectBitIdentical(fresh_p->grad, reused_p->grad, c.name);
   }
 }
 
 // The full GNN encoder (the realistic multi-consumer graph: h feeds three
-// message paths per layer): Var engine and tape must agree bit-for-bit on
-// values and every parameter gradient.
+// message paths per layer): a fresh tape and a Reset-reused tape must agree
+// bit-for-bit on the loss, the embeddings, and every parameter gradient.
 TEST(TapeTest, GnnForwardBackwardBitIdentity) {
   JobGraph g = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
                                           workloads::Engine::kFlink);
@@ -342,32 +331,42 @@ TEST(TapeTest, GnnForwardBackwardBitIdentity) {
   }
   Rng head_rng(7);
   Mlp head({cfg.hidden_dim, 8, 1}, Activation::kRelu, &head_rng);
-
-  // Old engine.
-  Var emb_old = encoder.Forward(g, features, pcol);
-  Var loss_old = BceWithLogitsMasked(head.Forward(emb_old), targets, mask);
-  Backward(loss_old);
-  std::vector<Matrix> grads_old;
+  GraphContext ctx = GraphContext::Build(g);
   std::vector<Var> params = encoder.Params();
   for (const Var& p : head.Params()) params.push_back(p);
-  for (const Var& p : params) {
-    ASSERT_TRUE(p->has_grad());
-    grads_old.push_back(p->grad);
+
+  // Reference: a single-use tape.
+  Matrix loss_ref, emb_ref;
+  std::vector<Matrix> grads_ref;
+  {
+    Tape tape;
+    Tape::Ref emb = encoder.Forward(&tape, ctx, features, pcol);
+    Tape::Ref loss =
+        tape.BceWithLogitsMasked(head.Forward(&tape, emb), &targets, &mask);
+    tape.Backward(loss);
+    loss_ref = tape.value(loss);
+    emb_ref = tape.value(emb);
+    for (const Var& p : params) {
+      ASSERT_TRUE(p->has_grad());
+      grads_ref.push_back(p->grad);
+    }
   }
 
-  // Tape engine on the same parameters.
-  GraphContext ctx = GraphContext::Build(g);
+  // A reused tape must reproduce the reference exactly on every recording,
+  // including the first ones where buffer slots are still being assigned.
   Tape tape;
-  Tape::Ref emb = encoder.Forward(&tape, ctx, features, pcol);
-  Tape::Ref loss =
-      tape.BceWithLogitsMasked(head.Forward(&tape, emb), &targets, &mask);
-  tape.Backward(loss);
-
-  ExpectBitIdentical(loss_old->value, tape.value(loss), "loss");
-  ExpectBitIdentical(emb_old->value, tape.value(emb), "embeddings");
-  for (size_t i = 0; i < params.size(); ++i) {
-    ASSERT_TRUE(params[i]->has_grad()) << "param " << i;
-    ExpectBitIdentical(grads_old[i], params[i]->grad, "param grad");
+  for (int round = 0; round < 3; ++round) {
+    tape.Reset();
+    Tape::Ref emb = encoder.Forward(&tape, ctx, features, pcol);
+    Tape::Ref loss =
+        tape.BceWithLogitsMasked(head.Forward(&tape, emb), &targets, &mask);
+    tape.Backward(loss);
+    ExpectBitIdentical(loss_ref, tape.value(loss), "loss");
+    ExpectBitIdentical(emb_ref, tape.value(emb), "embeddings");
+    for (size_t i = 0; i < params.size(); ++i) {
+      ASSERT_TRUE(params[i]->has_grad()) << "param " << i;
+      ExpectBitIdentical(grads_ref[i], params[i]->grad, "param grad");
+    }
   }
 }
 
