@@ -48,6 +48,23 @@ void CollectStatusFunctions(const SourceFile& file,
   }
 }
 
+// Registers functions declared as `void Name(`. A name carrying both a
+// Status/Result declaration and a void declaration anywhere in the project
+// cannot be resolved at a call site by name alone.
+void CollectVoidFunctions(const SourceFile& file,
+                          std::set<std::string>* out) {
+  const std::vector<Token>& toks = file.src.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("void")) continue;
+    if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")))
+      continue;
+    const Token& name = toks[i + 1];
+    if (name.kind != TokenKind::kIdent) continue;  // skips `void*` returns
+    if (!toks[i + 2].IsPunct("(")) continue;
+    out->insert(name.text);
+  }
+}
+
 // Registers `Type member STREAMTUNE_GUARDED_BY(mu);` declarations.
 void CollectGuardedMembers(const SourceFile& file,
                            std::vector<GuardedMember>* out) {
@@ -109,6 +126,7 @@ void CollectRequires(const SourceFile& file,
 
 void ProjectIndex::AddFile(const SourceFile& file) {
   CollectStatusFunctions(file, &status_functions);
+  CollectVoidFunctions(file, &void_functions);
   CollectGuardedMembers(file, &guarded_members);
   CollectRequires(file, &requires_mutexes);
 }

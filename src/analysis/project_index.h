@@ -27,6 +27,12 @@ struct ProjectIndex {
   /// Names of functions whose declared return type is Status or Result<T>.
   std::set<std::string> status_functions;
 
+  /// Names also declared somewhere with a `void` return type. Resolution is
+  /// name-based, so such a name is ambiguous at a call site: the
+  /// ignored-status rule stays silent on it rather than flagging calls to
+  /// the void overload.
+  std::set<std::string> void_functions;
+
   std::vector<GuardedMember> guarded_members;
 
   /// Function name -> mutex names it declares via STREAMTUNE_REQUIRES.

@@ -85,6 +85,10 @@ class StatusIgnoredRule : public Rule {
       if (end < 0 || static_cast<size_t>(end) >= toks.size()) continue;
       if (!toks[end].IsPunct(";")) continue;  // not an expression-statement
       if (index.status_functions.count(callee) == 0) continue;
+      // Name-based resolution: a name that also has a void overload
+      // somewhere (e.g. an optimizer's Step() vs a session's
+      // Result-returning Step()) is ambiguous here — stay silent.
+      if (index.void_functions.count(callee) != 0) continue;
       out->push_back(Finding{
           file.path, toks[i].line, name(),
           "return value of '" + callee +

@@ -55,47 +55,74 @@ std::vector<int> Ds2Tuner::Recommend(const sim::StreamEngine& engine,
   return rec;
 }
 
-Result<TuningOutcome> Ds2Tuner::Tune(sim::StreamEngine* engine) {
-  TuningOutcome outcome;
-  RobustLoop loop(engine, options_.robustness);
-  int reconfig_before = engine->reconfiguration_count();
-  double minutes_before = engine->virtual_minutes();
-  bool last_severe = false;
+Ds2Session::Ds2Session(const Ds2Options& options, sim::StreamEngine* engine)
+    : options_(options),
+      engine_(engine),
+      loop_(engine, options.robustness),
+      reconfig_before_(engine->reconfiguration_count()),
+      minutes_before_(engine->virtual_minutes()) {}
 
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    outcome.iterations = iter + 1;
-    Result<sim::JobMetrics> metrics_r = loop.Measure();
-    if (!metrics_r.ok()) {
-      // A failed *initial* measurement on a fault-free engine is a caller
-      // error (e.g. never deployed) and propagates; once faults are in
-      // play the process degrades gracefully and keeps what it has.
-      if (iter == 0 && !loop.hardened()) return metrics_r.status();
-      break;
-    }
-    const sim::JobMetrics& metrics = *metrics_r;
-    last_severe = metrics.severe_backpressure;
-    // The iteration-0 measurement reflects the pre-tuning state shared by
-    // all methods; only backpressure after this tuner's own deployments is
-    // attributed to it (Table III semantics).
-    if (iter > 0 && metrics.job_backpressure) ++outcome.backpressure_events;
-    if (loop.MaybeRollback(metrics)) continue;
-    std::vector<int> rec = Recommend(*engine, metrics);
-    loop.ClampStep(&rec);
-    if (rec == engine->parallelism()) break;
-    if (!loop.Deploy(rec).ok()) break;  // persistent failure: keep current
+Result<bool> Ds2Session::Step() {
+  if (done_) return true;
+  const int iter = outcome_.iterations;
+  if (iter >= options_.max_iterations) {
+    done_ = true;
+    return true;
   }
+  outcome_.iterations = iter + 1;
 
-  outcome.final_parallelism = engine->parallelism();
-  for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
-  outcome.reconfigurations =
-      engine->reconfiguration_count() - reconfig_before;
-  outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
-  Result<sim::JobMetrics> final_metrics = loop.Measure();
-  outcome.ended_with_backpressure = final_metrics.ok()
-                                        ? final_metrics->severe_backpressure
-                                        : last_severe;
-  loop.FillOutcome(&outcome);
-  return outcome;
+  Result<sim::JobMetrics> metrics_r = loop_.Measure();
+  if (!metrics_r.ok()) {
+    done_ = true;
+    // A failed *initial* measurement on a fault-free engine is a caller
+    // error (e.g. never deployed) and propagates; once faults are in
+    // play the process degrades gracefully and keeps what it has.
+    if (iter == 0 && !loop_.hardened()) return metrics_r.status();
+    return true;
+  }
+  const sim::JobMetrics& metrics = *metrics_r;
+  last_severe_ = metrics.severe_backpressure;
+  // The iteration-0 measurement reflects the pre-tuning state shared by
+  // all methods; only backpressure after this tuner's own deployments is
+  // attributed to it (Table III semantics).
+  if (iter > 0 && metrics.job_backpressure) ++outcome_.backpressure_events;
+  if (loop_.MaybeRollback(metrics)) return false;
+  std::vector<int> rec = Ds2Tuner(options_).Recommend(*engine_, metrics);
+  loop_.ClampStep(&rec);
+  if (rec == engine_->parallelism()) {
+    done_ = true;
+    return true;
+  }
+  if (!loop_.Deploy(rec).ok()) {  // persistent failure: keep current
+    done_ = true;
+    return true;
+  }
+  return false;
+}
+
+Result<TuningOutcome> Ds2Session::Finish() {
+  done_ = true;
+  outcome_.final_parallelism = engine_->parallelism();
+  outcome_.total_parallelism = 0;
+  for (int p : outcome_.final_parallelism) outcome_.total_parallelism += p;
+  outcome_.reconfigurations =
+      engine_->reconfiguration_count() - reconfig_before_;
+  outcome_.tuning_minutes = engine_->virtual_minutes() - minutes_before_;
+  Result<sim::JobMetrics> final_metrics = loop_.Measure();
+  outcome_.ended_with_backpressure = final_metrics.ok()
+                                         ? final_metrics->severe_backpressure
+                                         : last_severe_;
+  loop_.FillOutcome(&outcome_);
+  return outcome_;
+}
+
+Result<TuningOutcome> Ds2Tuner::Tune(sim::StreamEngine* engine) {
+  Ds2Session session(options_, engine);
+  while (!session.done()) {
+    ST_ASSIGN_OR_RETURN(bool stopped, session.Step());
+    if (stopped) break;
+  }
+  return session.Finish();
 }
 
 }  // namespace streamtune::baselines

@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <memory>
+
 #include "baselines/robust_loop.h"
 #include "baselines/tuner.h"
 
@@ -26,6 +28,40 @@ struct Ds2Options {
   RobustnessOptions robustness;
 };
 
+/// One resumable DS2 tuning process: each Step() performs exactly one
+/// measure -> recommend -> deploy decision, so an event-driven scheduler can
+/// interleave thousands of processes at decision granularity. Driving
+/// Step() to completion and calling Finish() is bit-identical to the
+/// monolithic Ds2Tuner::Tune() (which is now implemented on top of it).
+class Ds2Session {
+ public:
+  Ds2Session(const Ds2Options& options, sim::StreamEngine* engine);
+
+  /// One policy iteration. Returns true when the process stopped (stable
+  /// recommendation, exhausted iteration budget, or graceful degradation on
+  /// persistent engine failure); errors only propagate for a failed initial
+  /// measurement on a pristine engine (a caller error, as before).
+  Result<bool> Step();
+
+  /// Final accounting (and the trailing measurement for the backpressure
+  /// verdict). Call once, after the last Step().
+  Result<TuningOutcome> Finish();
+
+  bool done() const { return done_; }
+  int iterations() const { return outcome_.iterations; }
+  sim::StreamEngine* engine() { return engine_; }
+
+ private:
+  const Ds2Options options_;
+  sim::StreamEngine* engine_;
+  RobustLoop loop_;
+  TuningOutcome outcome_;
+  int reconfig_before_ = 0;
+  double minutes_before_ = 0;
+  bool last_severe_ = false;
+  bool done_ = false;
+};
+
 /// The DS2 scaling controller.
 class Ds2Tuner : public Tuner {
  public:
@@ -33,6 +69,11 @@ class Ds2Tuner : public Tuner {
 
   std::string name() const override { return "DS2"; }
   Result<TuningOutcome> Tune(sim::StreamEngine* engine) override;
+
+  /// Starts a resumable tuning process (see Ds2Session).
+  std::unique_ptr<Ds2Session> NewSession(sim::StreamEngine* engine) const {
+    return std::make_unique<Ds2Session>(options_, engine);
+  }
 
   /// One DS2 policy step: given metrics of the current deployment, the new
   /// recommended parallelism per operator. Exposed for unit tests.

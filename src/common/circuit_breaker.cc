@@ -1,0 +1,60 @@
+#include "common/circuit_breaker.h"
+
+namespace streamtune {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::TripOpen(double now_minutes) {
+  state_ = BreakerState::kOpen;
+  opened_minutes_ = now_minutes;
+  ++trip_count_;
+}
+
+bool CircuitBreaker::AllowRequest(double now_minutes) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_minutes >= reopen_minutes()) {
+        state_ = BreakerState::kHalfOpen;
+        half_open_probes_left_ = options_.half_open_probes;
+      } else {
+        return false;
+      }
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (half_open_probes_left_ <= 0) return false;
+      --half_open_probes_left_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = BreakerState::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(double now_minutes) {
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    TripOpen(now_minutes);
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    TripOpen(now_minutes);
+  }
+}
+
+}  // namespace streamtune

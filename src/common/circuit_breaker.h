@@ -1,0 +1,76 @@
+// Three-state circuit breaker driven by a virtual clock.
+//
+// The control plane wraps every per-job deploy/measure path in a breaker so
+// a job whose engine endpoint is persistently failing stops burning retry
+// budget and thread-pool time on it. Classic state machine:
+//
+//   closed    — requests flow; `failure_threshold` consecutive failures
+//               trip the breaker open.
+//   open      — requests are refused until `open_minutes` of virtual time
+//               elapse, then the breaker moves to half-open.
+//   half-open — a limited number of probe requests are admitted; one
+//               success closes the breaker, one failure re-opens it (and
+//               re-arms the cooldown).
+//
+// All transitions are functions of (recorded outcomes, virtual timestamps),
+// so breaker behaviour is deterministic and replayable. Not thread-safe:
+// each breaker belongs to exactly one job's state, touched by one decision
+// at a time.
+
+#pragma once
+
+namespace streamtune {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Short human-readable state name ("closed" / "open" / "half-open").
+const char* BreakerStateName(BreakerState s);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures (in closed state) that trip the breaker.
+  int failure_threshold = 3;
+  /// Virtual minutes the breaker stays open before probing.
+  double open_minutes = 30.0;
+  /// Probe requests admitted per half-open episode.
+  int half_open_probes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// True when a request may proceed at virtual time `now_minutes`. An open
+  /// breaker whose cooldown has elapsed transitions to half-open here and
+  /// admits up to `half_open_probes` probes.
+  bool AllowRequest(double now_minutes);
+
+  /// Records a successful request. Closes a half-open breaker and clears
+  /// the consecutive-failure count.
+  void RecordSuccess();
+
+  /// Records a failed request at virtual time `now_minutes`. Trips a closed
+  /// breaker at the threshold; re-opens a half-open breaker immediately.
+  void RecordFailure(double now_minutes);
+
+  BreakerState state() const { return state_; }
+  /// Times the breaker has tripped open (half-open re-opens included) —
+  /// the watchdog's quarantine signal.
+  int trip_count() const { return trip_count_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Virtual time at which an open breaker becomes half-open (meaningless
+  /// unless state() == kOpen).
+  double reopen_minutes() const { return opened_minutes_ + options_.open_minutes; }
+
+ private:
+  void TripOpen(double now_minutes);
+
+  CircuitBreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int trip_count_ = 0;
+  double opened_minutes_ = 0;
+  int half_open_probes_left_ = 0;
+};
+
+}  // namespace streamtune

@@ -1,29 +1,40 @@
 #include "common/retry.h"
 
+#include <algorithm>
+
 namespace streamtune {
 
 bool IsRetryable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
 }
 
+double BackoffMinutes(const RetryOptions& opts, int retry) {
+  // Repeated multiply (not pow) keeps the unsaturated sequence bit-identical
+  // to the historical implementation; the early break saturates the series
+  // so arbitrarily high attempt counts stay O(log) and finite.
+  double backoff = opts.initial_backoff_minutes;
+  for (int i = 0; i < retry; ++i) {
+    if (backoff >= opts.max_backoff_minutes) break;
+    backoff *= opts.backoff_multiplier;
+  }
+  return std::min(backoff, opts.max_backoff_minutes);
+}
+
 Status RetryWithBackoff(const RetryOptions& opts,
                         const std::function<Status()>& attempt,
                         const std::function<void(double)>& charge,
                         RetryStats* stats) {
-  double backoff = opts.initial_backoff_minutes;
+  BackoffSchedule schedule(opts);
   Status last = attempt();
   for (int tries = 1;
        !last.ok() && IsRetryable(last) && tries < opts.max_attempts;
        ++tries) {
-    double sleep = backoff < opts.max_backoff_minutes
-                       ? backoff
-                       : opts.max_backoff_minutes;
+    double sleep = schedule.SleepMinutes(tries - 1);
     if (charge) charge(sleep);
     if (stats) {
       ++stats->retries;
       stats->backoff_minutes += sleep;
     }
-    backoff *= opts.backoff_multiplier;
     last = attempt();
   }
   return last;

@@ -11,6 +11,7 @@
 
 #include <functional>
 
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace streamtune {
@@ -26,7 +27,22 @@ struct RetryOptions {
   double backoff_multiplier = 2.0;
   /// Ceiling on a single backoff sleep.
   double max_backoff_minutes = 8.0;
+  /// Symmetric jitter fraction in [0, 1): each sleep is scaled by a factor
+  /// drawn uniformly from [1 - jitter_frac, 1 + jitter_frac). 0 disables
+  /// jitter (and draws nothing, keeping legacy call sites bit-identical).
+  /// Jitter is deterministic: the draw sequence depends only on
+  /// `jitter_seed`, and jittered sleeps are charged to the virtual clock
+  /// like un-jittered ones.
+  double jitter_frac = 0;
+  uint64_t jitter_seed = 0x7e7a11;
 };
+
+/// The base (pre-jitter) sleep before re-attempt number `retry` (0-based).
+/// Exponential growth clamped against overflow: once the exponent would
+/// exceed `max_backoff_minutes` the value saturates there, so arbitrarily
+/// high attempt counts never produce inf/NaN sleeps or overflow the
+/// accumulated backoff stats.
+double BackoffMinutes(const RetryOptions& opts, int retry);
 
 /// Counters accumulated across retried calls.
 struct RetryStats {
@@ -39,6 +55,30 @@ struct RetryStats {
 /// True when `status` is worth re-attempting: transient conditions only.
 /// Logic errors (InvalidArgument, FailedPrecondition, ...) never retry.
 bool IsRetryable(const Status& status);
+
+/// The per-call backoff sequence: overflow-clamped exponential base plus the
+/// optional deterministic jitter stream. One instance per retried call, so
+/// the jitter draws of concurrent call sites never interleave.
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const RetryOptions& opts)
+      : opts_(opts), rng_(opts.jitter_seed) {}
+
+  /// The (jittered) sleep before re-attempt number `retry` (0-based). Must
+  /// be called with consecutive retry numbers: the jitter stream advances
+  /// one draw per call. Draws nothing when jitter is disabled.
+  double SleepMinutes(int retry) {
+    double sleep = BackoffMinutes(opts_, retry);
+    if (opts_.jitter_frac > 0) {
+      sleep *= 1.0 + opts_.jitter_frac * (2.0 * rng_.Uniform() - 1.0);
+    }
+    return sleep;
+  }
+
+ private:
+  RetryOptions opts_;
+  Rng rng_;
+};
 
 /// Runs `attempt` up to `opts.max_attempts` times. Retryable failures sleep
 /// an exponentially growing virtual backoff between attempts, reported to
@@ -54,20 +94,17 @@ Result<T> RetryResultWithBackoff(
     const RetryOptions& opts, const std::function<Result<T>()>& attempt,
     const std::function<void(double)>& charge = nullptr,
     RetryStats* stats = nullptr) {
-  double backoff = opts.initial_backoff_minutes;
+  BackoffSchedule schedule(opts);
   Result<T> last = attempt();
   for (int tries = 1;
        !last.ok() && IsRetryable(last.status()) && tries < opts.max_attempts;
        ++tries) {
-    double sleep = backoff < opts.max_backoff_minutes
-                       ? backoff
-                       : opts.max_backoff_minutes;
+    double sleep = schedule.SleepMinutes(tries - 1);
     if (charge) charge(sleep);
     if (stats) {
       ++stats->retries;
       stats->backoff_minutes += sleep;
     }
-    backoff *= opts.backoff_multiplier;
     last = attempt();
   }
   return last;

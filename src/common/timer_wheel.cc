@@ -1,0 +1,140 @@
+#include "common/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace streamtune {
+
+TimerWheel::TimerWheel(double tick_minutes, int num_shards, int wheel_ticks)
+    : tick_minutes_(tick_minutes > 0 ? tick_minutes : 0.5),
+      wheel_ticks_(wheel_ticks > 1 ? wheel_ticks : 2),
+      shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.buckets.resize(static_cast<size_t>(wheel_ticks_));
+  }
+}
+
+int64_t TimerWheel::TickFor(double due_minutes) const {
+  double raw = std::floor(due_minutes / tick_minutes_);
+  int64_t tick =
+      raw >= static_cast<double>(std::numeric_limits<int64_t>::max() / 2)
+          ? std::numeric_limits<int64_t>::max() / 2
+          : static_cast<int64_t>(raw);
+  // Virtual time never runs backwards: anything at or before the current
+  // tick fires in the next batch instead.
+  return std::max(tick, now_tick_ + 1);
+}
+
+void TimerWheel::Schedule(int64_t id, double due_minutes) {
+  int64_t tick = TickFor(due_minutes);
+  Shard& shard =
+      shards_[static_cast<size_t>(id < 0 ? -id : id) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (tick - now_tick_ <= wheel_ticks_) {
+    shard.buckets[static_cast<size_t>(tick % wheel_ticks_)].push_back(
+        {tick, id});
+  } else {
+    shard.overflow[tick].push_back(id);
+  }
+  ++shard.count;
+}
+
+size_t TimerWheel::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.count;
+  }
+  return total;
+}
+
+std::vector<int64_t> TimerWheel::PopDueBatch() {
+  // Earliest occupied tick across every shard: near buckets hold ticks
+  // within one wheel revolution of `now`, so the minimum is found by either
+  // scanning buckets (bounded by the revolution) or consulting the ordered
+  // overflow maps. Scanning cost is proportional to the tick gap between
+  // batches — short for decision-interval-sized gaps.
+  int64_t best = std::numeric_limits<int64_t>::max();
+  bool any_near = false;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.count == 0) continue;
+    size_t in_overflow = 0;
+    for (const auto& [tick, ids] : shard.overflow) {
+      in_overflow += ids.size();
+    }
+    if (!shard.overflow.empty()) {
+      best = std::min(best, shard.overflow.begin()->first);
+    }
+    if (in_overflow < shard.count) any_near = true;
+  }
+  if (any_near) {
+    // Some shard has a near event, which by construction lies in
+    // (now, now + wheel_ticks]; scan the revolution for the earliest.
+    for (int64_t tick = now_tick_ + 1;
+         tick <= now_tick_ + wheel_ticks_ && tick < best; ++tick) {
+      bool found = false;
+      for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto& bucket =
+            shard.buckets[static_cast<size_t>(tick % wheel_ticks_)];
+        for (const auto& [entry_tick, id] : bucket) {
+          if (entry_tick == tick) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) {
+        best = tick;
+        break;
+      }
+    }
+  }
+  if (best == std::numeric_limits<int64_t>::max()) return {};
+
+  now_tick_ = best;
+  std::vector<int64_t> due;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& bucket = shard.buckets[static_cast<size_t>(best % wheel_ticks_)];
+    for (size_t i = 0; i < bucket.size();) {
+      if (bucket[i].first == best) {
+        due.push_back(bucket[i].second);
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --shard.count;
+      } else {
+        ++i;
+      }
+    }
+    auto it = shard.overflow.find(best);
+    if (it != shard.overflow.end()) {
+      for (int64_t id : it->second) {
+        due.push_back(id);
+        --shard.count;
+      }
+      shard.overflow.erase(it);
+    }
+    // Cascade: overflow ticks that entered the new revolution move into the
+    // near buckets so future scans see them.
+    while (!shard.overflow.empty() &&
+           shard.overflow.begin()->first - now_tick_ <= wheel_ticks_) {
+      auto first = shard.overflow.begin();
+      auto& target =
+          shard.buckets[static_cast<size_t>(first->first % wheel_ticks_)];
+      for (int64_t id : first->second) target.push_back({first->first, id});
+      shard.overflow.erase(first);
+    }
+  }
+  // Canonical order: batch content is a pure function of the schedule
+  // calls, independent of shard layout or insertion interleaving.
+  std::sort(due.begin(), due.end());
+  return due;
+}
+
+}  // namespace streamtune

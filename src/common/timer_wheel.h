@@ -1,0 +1,78 @@
+// Sharded timer wheel over a virtual clock.
+//
+// The control plane schedules one future "decision due" event per live job
+// and repeatedly asks for the earliest batch of due events. A classic
+// hashed-and-hierarchical timer wheel gives O(1) insertion into the near
+// future plus an overflow map for far-out timers; sharding by id spreads
+// insertion locking so pool workers can schedule follow-up timers straight
+// from decision callbacks.
+//
+// Determinism contract: PopDueBatch drains *all* events of the earliest
+// occupied tick across every shard and returns them sorted by id, so the
+// batch composition and order depend only on the schedule calls made — never
+// on shard layout, insertion interleaving, or thread timing. Virtual time
+// only moves forward: scheduling at or before the current tick lands in the
+// next tick rather than the past.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace streamtune {
+
+/// A sharded virtual-time timer wheel of int64 ids. Schedule() is
+/// thread-safe; PopDueBatch()/now()/size() must be called from the single
+/// scheduler thread with no concurrent Schedule() in flight (the control
+/// plane's event loop alternates a parallel decision phase that schedules
+/// with a serial drain phase that pops).
+class TimerWheel {
+ public:
+  /// `tick_minutes` is the wheel resolution: events inside the same tick are
+  /// one batch. `wheel_ticks` is the span of the O(1) near wheel per shard;
+  /// further-out events go to the overflow map and cascade in lazily.
+  explicit TimerWheel(double tick_minutes = 0.5, int num_shards = 8,
+                      int wheel_ticks = 1024);
+
+  /// Schedules `id` at virtual time `due_minutes` (clamped to the tick after
+  /// `now()` when not in the future). Ids are not deduplicated: scheduling
+  /// twice yields two events.
+  void Schedule(int64_t id, double due_minutes);
+
+  /// Advances the clock to the earliest occupied tick and returns every id
+  /// due there, sorted ascending. Empty result means no timers are pending.
+  std::vector<int64_t> PopDueBatch();
+
+  /// Virtual minutes of the last popped tick (0 before the first pop).
+  double now_minutes() const { return static_cast<double>(now_tick_) * tick_minutes_; }
+
+  /// Pending events across all shards.
+  size_t size() const;
+
+  double tick_minutes() const { return tick_minutes_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Near future: bucket b holds ticks with tick % wheel_ticks == b.
+    std::vector<std::vector<std::pair<int64_t, int64_t>>> buckets
+        STREAMTUNE_GUARDED_BY(mu);  // (tick, id)
+    /// Far future (beyond one wheel revolution from `now`).
+    std::map<int64_t, std::vector<int64_t>> overflow STREAMTUNE_GUARDED_BY(mu);
+    size_t count STREAMTUNE_GUARDED_BY(mu) = 0;
+  };
+
+  int64_t TickFor(double due_minutes) const;
+
+  const double tick_minutes_;
+  const int wheel_ticks_;
+  std::vector<Shard> shards_;
+  /// Tick of the last popped batch; events land strictly after it.
+  int64_t now_tick_ = 0;
+};
+
+}  // namespace streamtune

@@ -167,228 +167,274 @@ std::vector<int> StreamTuneTuner::Recommend(const sim::StreamEngine& engine,
   return rec;
 }
 
-Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
-    sim::StreamEngine* engine) {
-  baselines::TuningOutcome outcome;
-  baselines::RobustLoop loop(engine, options_.robustness);
-  int reconfig_before = engine->reconfiguration_count();
-  double minutes_before = engine->virtual_minutes();
+StreamTuneTuner::Session::Session(StreamTuneTuner* tuner,
+                                  sim::StreamEngine* engine)
+    : tuner_(tuner),
+      engine_(engine),
+      loop_(engine, tuner->options_.robustness),
+      reconfig_before_(engine->reconfiguration_count()),
+      minutes_before_(engine->virtual_minutes()) {}
 
-  const int cluster = bundle_->AssignCluster(engine->graph());
-  const int emb_dim = bundle_->cluster(cluster).encoder.config().hidden_dim +
-                      FeatureEncoder::kRateFeatures;
+Status StreamTuneTuner::Session::Init() {
+  cluster_ = tuner_->bundle_->AssignCluster(engine_->graph());
+  emb_dim_ =
+      tuner_->bundle_->cluster(cluster_).encoder.config().hidden_dim +
+      FeatureEncoder::kRateFeatures;
 
   // Algorithm 2, line 3: warm-up dataset from the cluster's history, plus
   // the feedback this tuner has already accumulated for this job from
   // earlier tuning processes ("iteratively refines ... for the target job").
-  std::vector<ml::LabeledSample> dataset =
-      bundle_->WarmUpDataset(cluster, options_.warmup_records, options_.seed);
-  std::vector<ml::LabeledSample>& accumulated =
-      accumulated_[engine->graph().name()];
-  dataset.insert(dataset.end(), accumulated.begin(), accumulated.end());
+  dataset_ = tuner_->bundle_->WarmUpDataset(
+      cluster_, tuner_->options_.warmup_records, tuner_->options_.seed);
+  accumulated_ = &tuner_->accumulated_[engine_->graph().name()];
+  dataset_.insert(dataset_.end(), accumulated_->begin(), accumulated_->end());
 
   // The pre-tuning state, shared by every method, tells Algorithm 1 where
   // the current bottlenecks are before the first recommendation.
-  ST_ASSIGN_OR_RETURN(sim::JobMetrics last_metrics, loop.Measure());
-  std::vector<int> last_labels =
-      LabelBottlenecks(engine->graph(), last_metrics);
-  bool last_backpressure = last_metrics.job_backpressure;
-  bool last_severe = last_metrics.severe_backpressure;
+  ST_ASSIGN_OR_RETURN(last_metrics_, loop_.Measure());
+  last_labels_ = LabelBottlenecks(engine_->graph(), last_metrics_);
+  last_backpressure_ = last_metrics_.job_backpressure;
+  last_severe_ = last_metrics_.severe_backpressure;
 
-  auto total_of = [](const std::vector<int>& p) {
-    int t = 0;
-    for (int x : p) t += x;
-    return t;
-  };
   // The last deployment observed to run without backpressure; used to
   // revert a failed scale-down probe.
-  std::vector<int> last_clean;
-  if (!last_backpressure) last_clean = engine->parallelism();
+  if (!last_backpressure_) last_clean_ = engine_->parallelism();
 
   // Within-process bracketing from this process's own observations at the
   // current rates: a bottleneck at degree d pins the lower bound above d,
   // a clean run at degree d pins the upper bound at d. Clamping every
   // recommendation into the bracket makes the process converge
   // monotonically instead of ping-ponging across the threshold.
+  const int n_ops = engine_->graph().num_operators();
+  bracket_lo_.assign(n_ops, 1);
+  bracket_hi_.assign(n_ops, engine_->max_parallelism());
+  return Status::OK();
+}
+
+Result<bool> StreamTuneTuner::Session::Step() {
+  if (done_) return true;
+  const int iter = outcome_.iterations;
+  if (iter >= tuner_->options_.max_iterations) {
+    done_ = true;
+    return true;
+  }
+  outcome_.iterations = iter + 1;
+  sim::StreamEngine* engine = engine_;
   const int n_ops = engine->graph().num_operators();
-  std::vector<int> bracket_lo(n_ops, 1);
-  std::vector<int> bracket_hi(n_ops, engine->max_parallelism());
 
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    outcome.iterations = iter + 1;
+  auto total_of = [](const std::vector<int>& p) {
+    int t = 0;
+    for (int x : p) t += x;
+    return t;
+  };
 
-    // Line 5: fit the monotonic model to the dataset.
-    std::unique_ptr<ml::BottleneckModel> model = MakeModel(emb_dim);
-    bool fitted = false;
-    if (!dataset.empty()) {
-      fitted = model->Fit(dataset).ok();
-    }
-
-    // Lines 6-9: recommend in topological order. Graceful degradation:
-    // when M_f cannot be fitted (e.g. a corrupted dataset under faults),
-    // fall back to the DS2-style rate rule for this iteration rather than
-    // aborting the tuning process.
-    std::vector<int> rec;
-    if (fitted) {
-      rec = Recommend(*engine, *model, cluster);
-    } else if (dataset.empty()) {
-      rec = engine->parallelism();
-    } else {
-      rec = baselines::Ds2Tuner().Recommend(*engine, last_metrics);
-    }
-
-    // Progress guard: an operator that was just observed to be a bottleneck
-    // at its current degree must strictly scale up, even if the refitted
-    // model's boundary has not yet moved past it. Guarantees the loop makes
-    // progress toward eliminating backpressure instead of stalling.
-    if (last_backpressure) {
-      const std::vector<int>& cur = engine->parallelism();
-      for (int v = 0; v < engine->graph().num_operators(); ++v) {
-        if (last_labels[v] != 1) continue;
-        if (bracket_hi[v] < engine->max_parallelism()) {
-          // A clean degree is already known above: bisect toward it.
-          rec[v] = std::max(rec[v], (bracket_lo[v] + bracket_hi[v] + 1) / 2);
-        } else {
-          // No upper evidence yet: jump by the observed demand deficit
-          // (unthrottled demand over achieved rate — the same rate logs
-          // Algorithm 1 reads), with a small margin; fall back to doubling
-          // when no rate was observed.
-          const sim::OperatorMetrics& om = last_metrics.ops[v];
-          double factor = om.input_rate > 1e-9
-                              ? om.desired_input_rate / om.input_rate
-                              : 2.0;
-          factor = std::clamp(factor * 1.1, 1.25, 8.0);
-          rec[v] = std::min(engine->max_parallelism(),
-                            static_cast<int>(std::ceil(cur[v] * factor)));
-        }
-      }
-    } else {
-      // Scale-down probes move at most halfway down per step: a drastically
-      // wrong downward recommendation would cost a reconfiguration and a
-      // backpressure episode to discover.
-      const std::vector<int>& cur = engine->parallelism();
-      for (int v = 0; v < engine->graph().num_operators(); ++v) {
-        rec[v] = std::max(rec[v], (cur[v] + 1) / 2);
-      }
-    }
-
-    // Clamp into the bracket established by this process's observations,
-    // then (hardened mode only) into a bounded step from the deployment.
-    for (int v = 0; v < n_ops; ++v) {
-      rec[v] = std::clamp(rec[v], bracket_lo[v], bracket_hi[v]);
-    }
-    loop.ClampStep(&rec);
-
-    // Stop rule (Algorithm 2, line 12): stop when the recommendation no
-    // longer differs from the deployed configuration, with hysteresis —
-    // once the job runs clean, a redeployment is only worth its cost if the
-    // recommendation saves a meaningful amount of parallelism (small +-1
-    // model jitter must not trigger endless reconfigurations).
-    if (rec == engine->parallelism()) break;
-    if (!last_backpressure) {
-      int cur_total = total_of(engine->parallelism());
-      int rec_total = total_of(rec);
-      int margin = std::max(1, cur_total / 20);
-      if (rec_total >= cur_total - margin) break;
-    }
-
-    // Line 10: redeploy and monitor. A persistently failing Deploy or
-    // Measure degrades gracefully: the loop stops and keeps what it has.
-    if (!loop.Deploy(rec).ok()) break;
-    Result<sim::JobMetrics> measured = loop.Measure();
-    if (!measured.ok()) break;
-    last_metrics = *measured;
-    const sim::JobMetrics& metrics = last_metrics;
-    if (metrics.job_backpressure) ++outcome.backpressure_events;
-    if (loop.MaybeRollback(metrics)) {
-      // The regressed deployment was replaced by the last known-good one;
-      // refresh the observation so the next iteration labels the restored
-      // configuration, and skip folding the regressed sample into the
-      // dataset.
-      Result<sim::JobMetrics> restored = loop.Measure();
-      if (!restored.ok()) break;
-      last_metrics = *restored;
-      last_labels = LabelBottlenecks(engine->graph(), last_metrics);
-      last_backpressure = last_metrics.job_backpressure;
-      last_severe = last_metrics.severe_backpressure;
-      if (!last_backpressure) last_clean = engine->parallelism();
-      continue;
-    }
-
-    // Line 11: fold the fresh Algorithm-1 labels into the dataset (and the
-    // per-job accumulator used by future tuning processes). The monotonic
-    // assumption licenses augmentation — a bottleneck at p is a bottleneck
-    // at every p' < p, and a safe degree stays safe at every p' > p — and
-    // job-specific feedback is replicated so it is not drowned out by the
-    // generic warm-up samples.
-    last_labels = LabelBottlenecks(engine->graph(), metrics);
-    last_backpressure = metrics.job_backpressure;
-    last_severe = metrics.severe_backpressure;
-    if (!last_backpressure) last_clean = engine->parallelism();
-    for (int v = 0; v < n_ops; ++v) {
-      if (last_labels[v] == 1) {
-        bracket_lo[v] = std::max(bracket_lo[v], rec[v] + 1);
-        // Bottleneck evidence wins a contradiction (noise can mislabel 0).
-        bracket_hi[v] = std::max(bracket_hi[v], bracket_lo[v]);
-      } else if (last_labels[v] == 0) {
-        bracket_hi[v] =
-            std::max(bracket_lo[v], std::min(bracket_hi[v], rec[v]));
-      }
-    }
-    const ml::Matrix& emb = CachedAgnosticEmbeddings(
-        cluster, engine->graph(), engine->current_source_rates());
-    const int p_max = engine->max_parallelism();
-    for (int v = 0; v < engine->graph().num_operators(); ++v) {
-      if (last_labels[v] < 0) continue;
-      ml::LabeledSample s;
-      s.embedding = emb.Row(v);
-      s.parallelism = rec[v];
-      s.label = last_labels[v];
-      std::vector<ml::LabeledSample> induced{s, s, s};  // 3x weight
-      if (s.label == 1 && s.parallelism > 1) {
-        ml::LabeledSample lower = s;
-        lower.parallelism = std::max(1, s.parallelism / 2);
-        induced.push_back(lower);
-      } else if (s.label == 0 && s.parallelism < p_max) {
-        ml::LabeledSample higher = s;
-        higher.parallelism = std::min(p_max, 2 * s.parallelism);
-        induced.push_back(higher);
-      }
-      for (ml::LabeledSample& is : induced) {
-        dataset.push_back(is);
-        accumulated.push_back(std::move(is));
-      }
-      // FIFO eviction: recent feedback reflects the current workload and
-      // model state; stale scale-up labels must not dominate forever.
-      if (accumulated.size() > kMaxAccumulatedSamples) {
-        accumulated.erase(
-            accumulated.begin(),
-            accumulated.begin() +
-                (accumulated.size() - kMaxAccumulatedSamples));
-      }
-    }
-
+  // Line 5: fit the monotonic model to the dataset.
+  std::unique_ptr<ml::BottleneckModel> model = tuner_->MakeModel(emb_dim_);
+  bool fitted = false;
+  if (!dataset_.empty()) {
+    fitted = model->Fit(dataset_).ok();
   }
 
+  // Lines 6-9: recommend in topological order. Graceful degradation:
+  // when M_f cannot be fitted (e.g. a corrupted dataset under faults),
+  // fall back to the DS2-style rate rule for this iteration rather than
+  // aborting the tuning process.
+  std::vector<int> rec;
+  if (fitted) {
+    rec = tuner_->Recommend(*engine, *model, cluster_);
+  } else if (dataset_.empty()) {
+    rec = engine->parallelism();
+  } else {
+    rec = baselines::Ds2Tuner().Recommend(*engine, last_metrics_);
+  }
+
+  // Progress guard: an operator that was just observed to be a bottleneck
+  // at its current degree must strictly scale up, even if the refitted
+  // model's boundary has not yet moved past it. Guarantees the loop makes
+  // progress toward eliminating backpressure instead of stalling.
+  if (last_backpressure_) {
+    const std::vector<int>& cur = engine->parallelism();
+    for (int v = 0; v < engine->graph().num_operators(); ++v) {
+      if (last_labels_[v] != 1) continue;
+      if (bracket_hi_[v] < engine->max_parallelism()) {
+        // A clean degree is already known above: bisect toward it.
+        rec[v] = std::max(rec[v], (bracket_lo_[v] + bracket_hi_[v] + 1) / 2);
+      } else {
+        // No upper evidence yet: jump by the observed demand deficit
+        // (unthrottled demand over achieved rate — the same rate logs
+        // Algorithm 1 reads), with a small margin; fall back to doubling
+        // when no rate was observed.
+        const sim::OperatorMetrics& om = last_metrics_.ops[v];
+        double factor = om.input_rate > 1e-9
+                            ? om.desired_input_rate / om.input_rate
+                            : 2.0;
+        factor = std::clamp(factor * 1.1, 1.25, 8.0);
+        rec[v] = std::min(engine->max_parallelism(),
+                          static_cast<int>(std::ceil(cur[v] * factor)));
+      }
+    }
+  } else {
+    // Scale-down probes move at most halfway down per step: a drastically
+    // wrong downward recommendation would cost a reconfiguration and a
+    // backpressure episode to discover.
+    const std::vector<int>& cur = engine->parallelism();
+    for (int v = 0; v < engine->graph().num_operators(); ++v) {
+      rec[v] = std::max(rec[v], (cur[v] + 1) / 2);
+    }
+  }
+
+  // Clamp into the bracket established by this process's observations,
+  // then (hardened mode only) into a bounded step from the deployment.
+  for (int v = 0; v < n_ops; ++v) {
+    rec[v] = std::clamp(rec[v], bracket_lo_[v], bracket_hi_[v]);
+  }
+  loop_.ClampStep(&rec);
+
+  // Stop rule (Algorithm 2, line 12): stop when the recommendation no
+  // longer differs from the deployed configuration, with hysteresis —
+  // once the job runs clean, a redeployment is only worth its cost if the
+  // recommendation saves a meaningful amount of parallelism (small +-1
+  // model jitter must not trigger endless reconfigurations).
+  if (rec == engine->parallelism()) {
+    done_ = true;
+    return true;
+  }
+  if (!last_backpressure_) {
+    int cur_total = total_of(engine->parallelism());
+    int rec_total = total_of(rec);
+    int margin = std::max(1, cur_total / 20);
+    if (rec_total >= cur_total - margin) {
+      done_ = true;
+      return true;
+    }
+  }
+
+  // Line 10: redeploy and monitor. A persistently failing Deploy or
+  // Measure degrades gracefully: the loop stops and keeps what it has.
+  if (!loop_.Deploy(rec).ok()) {
+    done_ = true;
+    return true;
+  }
+  Result<sim::JobMetrics> measured = loop_.Measure();
+  if (!measured.ok()) {
+    done_ = true;
+    return true;
+  }
+  last_metrics_ = *measured;
+  const sim::JobMetrics& metrics = last_metrics_;
+  if (metrics.job_backpressure) ++outcome_.backpressure_events;
+  if (loop_.MaybeRollback(metrics)) {
+    // The regressed deployment was replaced by the last known-good one;
+    // refresh the observation so the next iteration labels the restored
+    // configuration, and skip folding the regressed sample into the
+    // dataset.
+    Result<sim::JobMetrics> restored = loop_.Measure();
+    if (!restored.ok()) {
+      done_ = true;
+      return true;
+    }
+    last_metrics_ = *restored;
+    last_labels_ = LabelBottlenecks(engine->graph(), last_metrics_);
+    last_backpressure_ = last_metrics_.job_backpressure;
+    last_severe_ = last_metrics_.severe_backpressure;
+    if (!last_backpressure_) last_clean_ = engine->parallelism();
+    return false;
+  }
+
+  // Line 11: fold the fresh Algorithm-1 labels into the dataset (and the
+  // per-job accumulator used by future tuning processes). The monotonic
+  // assumption licenses augmentation — a bottleneck at p is a bottleneck
+  // at every p' < p, and a safe degree stays safe at every p' > p — and
+  // job-specific feedback is replicated so it is not drowned out by the
+  // generic warm-up samples.
+  last_labels_ = LabelBottlenecks(engine->graph(), metrics);
+  last_backpressure_ = metrics.job_backpressure;
+  last_severe_ = metrics.severe_backpressure;
+  if (!last_backpressure_) last_clean_ = engine->parallelism();
+  for (int v = 0; v < n_ops; ++v) {
+    if (last_labels_[v] == 1) {
+      bracket_lo_[v] = std::max(bracket_lo_[v], rec[v] + 1);
+      // Bottleneck evidence wins a contradiction (noise can mislabel 0).
+      bracket_hi_[v] = std::max(bracket_hi_[v], bracket_lo_[v]);
+    } else if (last_labels_[v] == 0) {
+      bracket_hi_[v] =
+          std::max(bracket_lo_[v], std::min(bracket_hi_[v], rec[v]));
+    }
+  }
+  const ml::Matrix& emb = tuner_->CachedAgnosticEmbeddings(
+      cluster_, engine->graph(), engine->current_source_rates());
+  const int p_max = engine->max_parallelism();
+  for (int v = 0; v < engine->graph().num_operators(); ++v) {
+    if (last_labels_[v] < 0) continue;
+    ml::LabeledSample s;
+    s.embedding = emb.Row(v);
+    s.parallelism = rec[v];
+    s.label = last_labels_[v];
+    std::vector<ml::LabeledSample> induced{s, s, s};  // 3x weight
+    if (s.label == 1 && s.parallelism > 1) {
+      ml::LabeledSample lower = s;
+      lower.parallelism = std::max(1, s.parallelism / 2);
+      induced.push_back(lower);
+    } else if (s.label == 0 && s.parallelism < p_max) {
+      ml::LabeledSample higher = s;
+      higher.parallelism = std::min(p_max, 2 * s.parallelism);
+      induced.push_back(higher);
+    }
+    for (ml::LabeledSample& is : induced) {
+      dataset_.push_back(is);
+      accumulated_->push_back(std::move(is));
+    }
+    // FIFO eviction: recent feedback reflects the current workload and
+    // model state; stale scale-up labels must not dominate forever.
+    if (accumulated_->size() > kMaxAccumulatedSamples) {
+      accumulated_->erase(
+          accumulated_->begin(),
+          accumulated_->begin() +
+              (accumulated_->size() - kMaxAccumulatedSamples));
+    }
+  }
+  return false;
+}
+
+Result<baselines::TuningOutcome> StreamTuneTuner::Session::Finish() {
+  done_ = true;
   // A failed scale-down probe at the iteration limit must not leave the job
   // backpressured: revert to the last configuration known to run clean.
-  if (last_backpressure && !last_clean.empty() &&
-      last_clean != engine->parallelism()) {
-    ST_RETURN_NOT_OK(loop.Deploy(last_clean));
-    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, loop.Measure());
-    last_backpressure = metrics.job_backpressure;
-    last_severe = metrics.severe_backpressure;
-    ++outcome.rollbacks;
+  if (last_backpressure_ && !last_clean_.empty() &&
+      last_clean_ != engine_->parallelism()) {
+    ST_RETURN_NOT_OK(loop_.Deploy(last_clean_));
+    ST_ASSIGN_OR_RETURN(sim::JobMetrics metrics, loop_.Measure());
+    last_backpressure_ = metrics.job_backpressure;
+    last_severe_ = metrics.severe_backpressure;
+    ++outcome_.rollbacks;
   }
 
-  outcome.final_parallelism = engine->parallelism();
-  for (int p : outcome.final_parallelism) outcome.total_parallelism += p;
-  outcome.reconfigurations =
-      engine->reconfiguration_count() - reconfig_before;
-  outcome.tuning_minutes = engine->virtual_minutes() - minutes_before;
-  outcome.ended_with_backpressure = last_severe;
-  loop.FillOutcome(&outcome);
-  return outcome;
+  outcome_.final_parallelism = engine_->parallelism();
+  outcome_.total_parallelism = 0;
+  for (int p : outcome_.final_parallelism) outcome_.total_parallelism += p;
+  outcome_.reconfigurations =
+      engine_->reconfiguration_count() - reconfig_before_;
+  outcome_.tuning_minutes = engine_->virtual_minutes() - minutes_before_;
+  outcome_.ended_with_backpressure = last_severe_;
+  loop_.FillOutcome(&outcome_);
+  return outcome_;
+}
+
+Result<std::unique_ptr<StreamTuneTuner::Session>> StreamTuneTuner::NewSession(
+    sim::StreamEngine* engine) {
+  std::unique_ptr<Session> session(new Session(this, engine));
+  ST_RETURN_NOT_OK(session->Init());
+  return session;
+}
+
+Result<baselines::TuningOutcome> StreamTuneTuner::Tune(
+    sim::StreamEngine* engine) {
+  ST_ASSIGN_OR_RETURN(std::unique_ptr<Session> session, NewSession(engine));
+  while (!session->done()) {
+    ST_ASSIGN_OR_RETURN(bool stopped, session->Step());
+    if (stopped) break;
+  }
+  return session->Finish();
 }
 
 }  // namespace streamtune::core

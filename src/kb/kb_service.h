@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,6 +75,43 @@ class KbSnapshot {
   long long version_ = 0;
 };
 
+/// Writer-side load signals, the control plane's backpressure input. A
+/// consistent sample: counters are monotone across successive Stats() calls
+/// and always satisfy the invariants checked by Consistent().
+struct KbServiceStats {
+  /// Version of the currently published snapshot (one bump per admission).
+  long long snapshot_version = 0;
+  /// Admissions that entered Admit() so far (includes in-flight ones).
+  long long admissions_started = 0;
+  /// Admissions that published a snapshot and returned.
+  long long admissions_completed = 0;
+  /// Admissions that triggered an inline re-pre-training.
+  long long repretrains = 0;
+
+  /// Writers queued or in flight behind the copy-on-write writer lock.
+  long long writer_queue_depth() const {
+    return admissions_started - admissions_completed;
+  }
+  /// Admissions the published snapshot does not yet reflect — how far the
+  /// reader-visible state lags the write stream ("snapshot age").
+  long long snapshot_age() const { return writer_queue_depth(); }
+
+  /// Internal invariants of one sample.
+  bool Consistent() const {
+    return admissions_started >= admissions_completed &&
+           admissions_completed >= 0 && snapshot_version >= 0 &&
+           repretrains >= 0 && repretrains <= admissions_completed &&
+           snapshot_version == admissions_completed;
+  }
+  /// Monotonicity between an earlier sample and this one.
+  bool MonotoneSince(const KbServiceStats& earlier) const {
+    return snapshot_version >= earlier.snapshot_version &&
+           admissions_started >= earlier.admissions_started &&
+           admissions_completed >= earlier.admissions_completed &&
+           repretrains >= earlier.repretrains;
+  }
+};
+
 /// The multi-session KB server. Thread-safe: any number of threads may call
 /// Snapshot()/Admit()/Save() concurrently.
 class KbService {
@@ -104,6 +142,11 @@ class KbService {
   /// Durably saves the latest snapshot (atomic temp-file + rename).
   Status Save(const std::string& path) const;
 
+  /// One consistent sample of the writer-side load counters. Samples taken
+  /// later observe counters at least as large (monotone), and every sample
+  /// satisfies KbServiceStats::Consistent().
+  KbServiceStats Stats() const;
+
   /// The latest published version.
   long long version() const { return Snapshot()->version(); }
 
@@ -112,6 +155,8 @@ class KbService {
 
  private:
   KbService(KnowledgeBase kb, KbUpdateOptions options);
+
+  Result<AdmissionOutcome> AdmitImpl(const AdmissionRecord& rec);
 
   graph::GedCache cache_;
   KbUpdater updater_;
@@ -122,6 +167,13 @@ class KbService {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const KbSnapshot> snapshot_
       STREAMTUNE_GUARDED_BY(snapshot_mu_);
+  /// Bumped on Admit() entry, before the writer lock — the queue-depth
+  /// signal must see writers that are still waiting.
+  std::atomic<long long> admissions_started_{0};
+  /// Completion counters advance together with the snapshot swap, under
+  /// snapshot_mu_, so a Stats() sample is internally consistent.
+  long long admissions_completed_ STREAMTUNE_GUARDED_BY(snapshot_mu_) = 0;
+  long long repretrains_ STREAMTUNE_GUARDED_BY(snapshot_mu_) = 0;
 };
 
 }  // namespace streamtune::kb

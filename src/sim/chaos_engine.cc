@@ -45,6 +45,46 @@ Status FaultPlan::Validate() const {
   return Status::OK();
 }
 
+uint64_t FleetFaultPlan::MixSeed(uint64_t master, uint64_t job_id) {
+  // Two splitmix64 finalizer rounds over the combined state: the golden
+  // ratio stride keeps job 0 / master 0 off the weak all-zeros orbit, and
+  // finalizing twice decorrelates sequential job ids.
+  uint64_t z = master + 0x9e3779b97f4a7c15ULL * (job_id + 1);
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+  }
+  return z;
+}
+
+bool FleetFaultPlan::Faulted(int64_t job_id) const {
+  if (fault_fraction <= 0) return false;
+  if (fault_fraction >= 1) return true;
+  // A second, domain-separated mix decides storm membership so the
+  // membership coin is independent of the fault-stream seed.
+  uint64_t coin = MixSeed(master_seed ^ 0xD15EA5EULL,
+                          static_cast<uint64_t>(job_id));
+  double u = static_cast<double>(coin >> 11) * (1.0 / 9007199254740992.0);
+  return u < fault_fraction;
+}
+
+FaultPlan FleetFaultPlan::PlanFor(int64_t job_id) const {
+  if (!Faulted(job_id)) {
+    FaultPlan none;
+    none.seed = 0;
+    none.deploy_failure_prob = 0;
+    none.measure_dropout_prob = 0;
+    none.metric_corruption_prob = 0;
+    none.straggler_prob = 0;
+    none.rate_spike_prob = 0;
+    return none;
+  }
+  FaultPlan plan = base;
+  plan.seed = MixSeed(master_seed, static_cast<uint64_t>(job_id));
+  return plan;
+}
+
 ChaosEngine::ChaosEngine(StreamEngine* inner, FaultPlan plan)
     : inner_(inner), plan_(plan), rng_(plan.seed) {}
 

@@ -81,6 +81,32 @@ struct FaultPlan {
   }
 };
 
+/// Derives independent per-job fault plans from one master seed, for
+/// fleet-wide chaos storms. Which jobs are hit, and the fault stream each
+/// hit job sees, are pure functions of (master seed, job id): insertion
+/// order, fleet size, and the fate of other jobs cannot perturb a job's
+/// plan. Jobs outside the storm get the strict no-op empty plan, so their
+/// engines stay bit-identical to a chaos-free run.
+struct FleetFaultPlan {
+  uint64_t master_seed = 0xF1EE7;
+  /// Plan template applied to every faulted job (its seed is replaced by
+  /// the per-job derived seed).
+  FaultPlan base = FaultPlan::Standard();
+  /// Fraction of the fleet hit by the storm, in [0, 1].
+  double fault_fraction = 0.3;
+
+  /// Splitmix-style seed mixing of (master_seed, job_id): one finalizer pass
+  /// per component, so nearby job ids yield decorrelated streams.
+  static uint64_t MixSeed(uint64_t master, uint64_t job_id);
+
+  /// True when `job_id` falls inside the storm.
+  bool Faulted(int64_t job_id) const;
+
+  /// The per-job plan: `base` reseeded with the mixed seed when faulted,
+  /// the empty (strict pass-through) plan otherwise.
+  FaultPlan PlanFor(int64_t job_id) const;
+};
+
 /// Faults injected so far.
 struct ChaosStats {
   int deploy_failures = 0;

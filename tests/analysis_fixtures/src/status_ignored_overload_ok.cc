@@ -1,0 +1,20 @@
+// Fixture: `Step` names both a Result-returning session method and a void
+// optimizer method. Name-based resolution cannot tell them apart at a call
+// site, so st-status-ignored must stay silent on the bare call.
+#include "common/status.h"
+
+namespace fixture {
+
+struct Session {
+  streamtune::Result<bool> Step();
+};
+
+struct Optimizer {
+  void Step();
+};
+
+void Train(Optimizer* opt) {
+  opt->Step();  // void overload: not a dropped Result
+}
+
+}  // namespace fixture

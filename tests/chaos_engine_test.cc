@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "baselines/ds2.h"
 #include "sim/chaos_engine.h"
 #include "sim/engine.h"
@@ -215,6 +218,83 @@ TEST(ChaosEngineTest, RateSpikeInflatesSourceDemandOnly) {
                   spiked->ops[v].desired_input_rate, 1e-9);
     }
   }
+}
+
+TEST(FleetFaultPlanTest, PerJobPlansIndependentOfInsertionOrder) {
+  FleetFaultPlan fleet;
+  fleet.master_seed = 42;
+  fleet.fault_fraction = 0.3;
+
+  // Query the same ids in ascending, descending, and interleaved order: a
+  // job's plan is a pure function of (master seed, id), so every traversal
+  // must agree fault-by-fault and seed-by-seed.
+  std::vector<int64_t> asc, desc, shuffled;
+  for (int64_t id = 0; id < 200; ++id) asc.push_back(id);
+  desc.assign(asc.rbegin(), asc.rend());
+  for (int64_t id = 0; id < 200; id += 2) shuffled.push_back(id);
+  for (int64_t id = 1; id < 200; id += 2) shuffled.push_back(id);
+
+  std::map<int64_t, FaultPlan> by_asc;
+  for (int64_t id : asc) by_asc[id] = fleet.PlanFor(id);
+  for (const auto& order : {desc, shuffled}) {
+    for (int64_t id : order) {
+      FaultPlan plan = fleet.PlanFor(id);
+      EXPECT_EQ(plan.seed, by_asc[id].seed) << "job " << id;
+      EXPECT_EQ(plan.Empty(), by_asc[id].Empty()) << "job " << id;
+      EXPECT_EQ(fleet.Faulted(id), !plan.Empty()) << "job " << id;
+    }
+  }
+}
+
+TEST(FleetFaultPlanTest, FaultedJobsGetPairwiseDistinctSeeds) {
+  FleetFaultPlan fleet;
+  fleet.master_seed = 7;
+  fleet.fault_fraction = 1.0;
+  std::set<uint64_t> seeds;
+  for (int64_t id = 0; id < 1000; ++id) {
+    FaultPlan plan = fleet.PlanFor(id);
+    EXPECT_FALSE(plan.Empty());
+    seeds.insert(plan.seed);
+  }
+  // Splitmix mixing: no collisions across 1000 sequential ids.
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(FleetFaultPlanTest, FaultStreamsDecorrelatedAcrossNeighborJobs) {
+  // Sequential job ids must not produce correlated fault streams: drive two
+  // RNGs from neighboring derived seeds and check their Bernoulli draws
+  // disagree a healthy fraction of the time.
+  FleetFaultPlan fleet;
+  fleet.fault_fraction = 1.0;
+  Rng a(fleet.PlanFor(1).seed), b(fleet.PlanFor(2).seed);
+  int disagreements = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    disagreements += a.Bernoulli(0.5) != b.Bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_GT(disagreements, kDraws / 3);
+  EXPECT_LT(disagreements, 2 * kDraws / 3);
+}
+
+TEST(FleetFaultPlanTest, StormFractionRoughlyRespected) {
+  FleetFaultPlan fleet;
+  fleet.master_seed = 1234;
+  fleet.fault_fraction = 0.3;
+  int faulted = 0;
+  const int kFleet = 10000;
+  for (int64_t id = 0; id < kFleet; ++id) faulted += fleet.Faulted(id) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(faulted) / kFleet, 0.3, 0.03);
+}
+
+TEST(FleetFaultPlanTest, UnfaultedJobsGetStrictNoOpPlans) {
+  FleetFaultPlan fleet;
+  fleet.fault_fraction = 0.0;
+  for (int64_t id = 0; id < 50; ++id) {
+    EXPECT_TRUE(fleet.PlanFor(id).Empty());
+    EXPECT_FALSE(fleet.Faulted(id));
+  }
+  fleet.fault_fraction = 1.0;
+  for (int64_t id = 0; id < 50; ++id) EXPECT_TRUE(fleet.Faulted(id));
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "common/circuit_breaker.h"
 #include "common/math_util.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table_printer.h"
+#include "common/timer_wheel.h"
 
 namespace streamtune {
 namespace {
@@ -146,6 +148,66 @@ TEST(RetryTest, BackoffIsCapped) {
   EXPECT_DOUBLE_EQ(charged, 36.0);
 }
 
+TEST(RetryTest, BackoffClampsAtHighAttemptCounts) {
+  // 10k re-attempts of a doubling backoff would overflow a double around
+  // attempt ~1075; the clamp saturates at the ceiling instead.
+  RetryOptions opts;
+  opts.initial_backoff_minutes = 0.5;
+  opts.backoff_multiplier = 2.0;
+  opts.max_backoff_minutes = 8.0;
+  EXPECT_DOUBLE_EQ(BackoffMinutes(opts, 0), 0.5);
+  EXPECT_DOUBLE_EQ(BackoffMinutes(opts, 1), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffMinutes(opts, 4), 8.0);
+  for (int retry : {5, 100, 2000, 1000000000}) {
+    double sleep = BackoffMinutes(opts, retry);
+    EXPECT_TRUE(std::isfinite(sleep));
+    EXPECT_DOUBLE_EQ(sleep, 8.0);
+  }
+}
+
+TEST(RetryTest, JitterBoundedAndDeterministic) {
+  RetryOptions opts;
+  opts.initial_backoff_minutes = 2.0;
+  opts.backoff_multiplier = 1.0;
+  opts.max_backoff_minutes = 8.0;
+  opts.jitter_frac = 0.25;
+  opts.jitter_seed = 99;
+  BackoffSchedule a(opts), b(opts);
+  bool any_jittered = false;
+  for (int i = 0; i < 64; ++i) {
+    double sa = a.SleepMinutes(i);
+    // Bounds: base 2.0 scaled into [1.5, 2.5).
+    EXPECT_GE(sa, 2.0 * (1.0 - opts.jitter_frac));
+    EXPECT_LT(sa, 2.0 * (1.0 + opts.jitter_frac));
+    // Deterministic: an identically-seeded schedule replays exactly.
+    EXPECT_DOUBLE_EQ(sa, b.SleepMinutes(i));
+    any_jittered |= sa != 2.0;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+TEST(RetryTest, ZeroJitterIsBitIdenticalToUnjittered) {
+  RetryOptions opts;  // jitter_frac defaults to 0
+  BackoffSchedule schedule(opts);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(schedule.SleepMinutes(i), BackoffMinutes(opts, i));
+  }
+}
+
+TEST(RetryTest, JitteredSleepsAreChargedToTheClock) {
+  RetryOptions opts;
+  opts.max_attempts = 4;
+  opts.jitter_frac = 0.5;
+  double charged = 0;
+  RetryStats stats;
+  (void)RetryWithBackoff(
+      opts, []() { return Status::Unavailable("down"); },
+      [&](double minutes) { charged += minutes; }, &stats);
+  EXPECT_EQ(stats.retries, 3);
+  EXPECT_DOUBLE_EQ(charged, stats.backoff_minutes);
+  EXPECT_GT(charged, 0.0);
+}
+
 TEST(RetryTest, ResultFlavorReturnsValue) {
   int calls = 0;
   RetryStats stats;
@@ -160,6 +222,113 @@ TEST(RetryTest, ResultFlavorReturnsValue) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(*r, 42);
   EXPECT_EQ(stats.retries, 1);
+}
+
+TEST(TimerWheelTest, PopsBatchesInTimeOrderSortedById) {
+  TimerWheel wheel(0.5, 4);
+  wheel.Schedule(7, 10.0);
+  wheel.Schedule(3, 10.0);
+  wheel.Schedule(11, 10.2);  // same 0.5-minute tick as 10.0
+  wheel.Schedule(5, 4.0);
+  EXPECT_EQ(wheel.size(), 4u);
+
+  std::vector<int64_t> first = wheel.PopDueBatch();
+  EXPECT_EQ(first, (std::vector<int64_t>{5}));
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 4.0);
+
+  std::vector<int64_t> second = wheel.PopDueBatch();
+  EXPECT_EQ(second, (std::vector<int64_t>{3, 7, 11}));
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 10.0);
+
+  EXPECT_TRUE(wheel.PopDueBatch().empty());
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheelTest, PastDueLandsInNextTickNeverBackwards) {
+  TimerWheel wheel(1.0, 2);
+  wheel.Schedule(1, 5.0);
+  (void)wheel.PopDueBatch();
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 5.0);
+  wheel.Schedule(2, 3.0);  // in the past: fires at the next tick instead
+  std::vector<int64_t> due = wheel.PopDueBatch();
+  EXPECT_EQ(due, (std::vector<int64_t>{2}));
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 6.0);
+}
+
+TEST(TimerWheelTest, OverflowBeyondOneRevolutionCascadesIn) {
+  TimerWheel wheel(1.0, 2, /*wheel_ticks=*/8);
+  wheel.Schedule(1, 3.0);
+  wheel.Schedule(2, 100.0);   // far beyond the 8-tick near wheel
+  wheel.Schedule(3, 5000.0);  // far beyond even that
+  EXPECT_EQ(wheel.size(), 3u);
+  EXPECT_EQ(wheel.PopDueBatch(), (std::vector<int64_t>{1}));
+  EXPECT_EQ(wheel.PopDueBatch(), (std::vector<int64_t>{2}));
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 100.0);
+  EXPECT_EQ(wheel.PopDueBatch(), (std::vector<int64_t>{3}));
+  EXPECT_DOUBLE_EQ(wheel.now_minutes(), 5000.0);
+}
+
+TEST(TimerWheelTest, BatchOrderIndependentOfInsertionAndShardLayout) {
+  // Two wheels with different shard counts and reversed insertion order
+  // must pop identical batches: determinism cannot leak scheduling detail.
+  TimerWheel a(0.5, 1), b(0.5, 16);
+  for (int64_t id = 0; id < 100; ++id) a.Schedule(id, 7.0 + (id % 3));
+  for (int64_t id = 99; id >= 0; --id) b.Schedule(id, 7.0 + (id % 3));
+  for (;;) {
+    std::vector<int64_t> ba = a.PopDueBatch();
+    std::vector<int64_t> bb = b.PopDueBatch();
+    EXPECT_EQ(ba, bb);
+    if (ba.empty()) break;
+  }
+}
+
+TEST(CircuitBreakerTest, ClosedTripsOpenAtThreshold) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.open_minutes = 10.0;
+  CircuitBreaker breaker(opts);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1);
+  EXPECT_FALSE(breaker.AllowRequest(5.0));
+  EXPECT_DOUBLE_EQ(breaker.reopen_minutes(), 12.0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_minutes = 10.0;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // Cooldown elapsed: one probe allowed, a second refused.
+  EXPECT_TRUE(breaker.AllowRequest(10.0));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest(10.0));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(10.0));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensAndRearmsCooldown) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_minutes = 10.0;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0.0);
+  EXPECT_TRUE(breaker.AllowRequest(10.0));
+  breaker.RecordFailure(10.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 2);
+  EXPECT_FALSE(breaker.AllowRequest(15.0));
+  EXPECT_DOUBLE_EQ(breaker.reopen_minutes(), 20.0);
+  EXPECT_TRUE(breaker.AllowRequest(20.0));
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

@@ -236,6 +236,84 @@ TEST(KbServiceTest, ConcurrentReadersSeeConsistentSnapshots) {
   EXPECT_LT(kb.drifted_since_pretrain, kAdmissions);
 }
 
+TEST(KbServiceTest, StatsMonotoneAndConsistentAcrossAdmissions) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  KbServiceStats prev = (*service)->Stats();
+  EXPECT_TRUE(prev.Consistent());
+  EXPECT_EQ(prev.snapshot_version, 0);
+  EXPECT_EQ(prev.writer_queue_depth(), 0);
+  EXPECT_EQ(prev.snapshot_age(), 0);
+
+  JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                           workloads::Engine::kFlink);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*service)->Admit(MakeAdmission(q8, 700 + i)).ok());
+    KbServiceStats now = (*service)->Stats();
+    EXPECT_TRUE(now.Consistent());
+    EXPECT_TRUE(now.MonotoneSince(prev));
+    EXPECT_EQ(now.writer_queue_depth(), 0);  // no writer in flight
+    prev = now;
+  }
+  EXPECT_EQ(prev.snapshot_version, 3);
+  EXPECT_EQ(prev.admissions_completed, 3);
+
+  // A rejected admission must not leave a phantom queued writer behind.
+  AdmissionRecord bad;
+  EXPECT_FALSE((*service)->Admit(bad).ok());
+  KbServiceStats after_reject = (*service)->Stats();
+  EXPECT_TRUE(after_reject.Consistent());
+  EXPECT_TRUE(after_reject.MonotoneSince(prev));
+  EXPECT_EQ(after_reject.writer_queue_depth(), 0);
+  EXPECT_EQ(after_reject.admissions_completed, 3);
+}
+
+TEST(KbServiceTest, StatsConsistentUnderConcurrentWriters) {
+  KbUpdateOptions o = SmallOptions();
+  auto service_res = KbService::Build(SampleCorpus(3), o);
+  ASSERT_TRUE(service_res.ok()) << service_res.status().ToString();
+  KbService* service = service_res->get();
+
+  constexpr int kWriters = 3;
+  constexpr int kAdmissionsPerWriter = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  std::thread sampler([&] {
+    KbServiceStats prev = service->Stats();
+    for (int i = 0; i < 200; ++i) {
+      KbServiceStats now = service->Stats();
+      if (!now.Consistent() || !now.MonotoneSince(prev)) failures.fetch_add(1);
+      if (now.writer_queue_depth() < 0 ||
+          now.writer_queue_depth() > kWriters) {
+        failures.fetch_add(1);
+      }
+      prev = now;
+    }
+  });
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                               workloads::Engine::kFlink);
+      for (int i = 0; i < kAdmissionsPerWriter; ++i) {
+        uint64_t seed = 800 + static_cast<uint64_t>(t * 100 + i);
+        if (!service->Admit(MakeAdmission(q8, seed)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  sampler.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  KbServiceStats final = service->Stats();
+  EXPECT_TRUE(final.Consistent());
+  EXPECT_EQ(final.admissions_completed, kWriters * kAdmissionsPerWriter);
+  EXPECT_EQ(final.writer_queue_depth(), 0);
+  EXPECT_EQ(final.snapshot_version, service->version());
+}
+
 TEST(KbServiceTest, WarmStartTunesNoWorseThanCold) {
   auto service = KbService::Build(SampleCorpus(), SmallOptions());
   ASSERT_TRUE(service.ok()) << service.status().ToString();
