@@ -1,0 +1,312 @@
+// KB nearest-center lookup at scale: bit-sliced index vs linear scan.
+//
+// The admission path of the KB service assigns every incoming session to
+// its nearest corpus cluster by GED. The pre-index implementation is
+// graph::DistancesToCenters — one threshold-pruned A* per corpus graph,
+// linear in the corpus. This bench sweeps corpus sizes 10^3 -> 10^5
+// (10^6 opt-in) of generator-random jobs and measures, per size:
+//
+//   survival_rate        fraction of columns the two-stage index still had
+//                        to verify with GED (evaluated / candidates),
+//   ged_calls_avoided    candidates pruned on signature + lower bound,
+//   p50/p99 lookup ms    full two-stage Nearest latency per query,
+//   speedup              total linear-scan time / total indexed time over
+//                        the same query prefix (a throughput ratio),
+//   exact_match          the indexed (center, distance) equals the linear
+//                        scan's on every compared query — the bit-identity
+//                        contract, re-checked on real bench corpora.
+//
+// At 10^6 the corpus is never materialized: graphs are re-generated from
+// per-column seeds on demand (insertion streams one graph at a time, the
+// accessor re-builds only the survivors), exercising the index's
+// graphs-stay-with-the-caller design at a scale where holding the corpus
+// in memory would be the actual bottleneck. The linear baseline is skipped
+// there — that is the point.
+//
+// Environment knobs:
+//   ST_BENCH_QUERIES         queries per size for latency stats (default 64)
+//   ST_BENCH_LINEAR_QUERIES  queries compared against the linear scan
+//                            (default 8; the linear side is the slow one
+//                            at 10^5)
+//   ST_BENCH_MILLION         1 adds the 10^6 streaming point (default 0)
+//   ST_BENCH_GATE            1 enforces the CI gates below, exit 1 on miss
+//   ST_GATE_SURVIVAL_PCT     max survival %% at the largest linear size
+//                            (default 5)
+//   ST_GATE_SPEEDUP          min speedup at the largest linear size
+//                            (default 10)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "graph/ged_cache.h"
+#include "graph/ged_kmeans.h"
+#include "index/nearest_center_index.h"
+#include "workloads/random_dag.h"
+
+using namespace streamtune;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic per-column seed; column i regenerates to the same graph
+/// whether it is built during insertion or re-built by the accessor.
+uint64_t ColumnSeed(uint64_t base, uint64_t i) {
+  return base ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+}
+
+JobGraph ColumnGraph(uint64_t base, uint64_t i) {
+  Rng rng(ColumnSeed(base, i));
+  return workloads::GenerateRandomDag(&rng);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t k = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return v[std::min(k, v.size() - 1)];
+}
+
+struct SweepPoint {
+  long long corpus = 0;
+  bool streamed = false;
+  double insert_graphs_per_sec = 0;
+  double survival_rate = 0;
+  long long ged_calls_avoided = 0;
+  double p50_lookup_ms = 0;
+  double p99_lookup_ms = 0;
+  double indexed_ms_per_query = 0;
+  double linear_ms_per_query = 0;  ///< 0 when the linear side was skipped
+  double speedup = 0;              ///< 0 when the linear side was skipped
+  bool linear_compared = false;
+  bool exact_match = true;
+};
+
+}  // namespace
+
+int main() {
+  const int num_queries = bench::EnvInt("ST_BENCH_QUERIES", 64);
+  const int linear_queries = bench::EnvInt("ST_BENCH_LINEAR_QUERIES", 8);
+  const bool million = bench::EnvInt("ST_BENCH_MILLION", 0) != 0;
+  const uint64_t corpus_seed = 0xC0FFEE;
+
+  std::vector<long long> sizes = {1000, 10000, 100000};
+  if (million) sizes.push_back(1000000);
+
+  std::vector<SweepPoint> points;
+  for (long long n : sizes) {
+    SweepPoint pt;
+    pt.corpus = n;
+    pt.streamed = n > 100000;
+
+    // Build the index. Up to 10^5 the corpus is materialized (the linear
+    // baseline needs it anyway); beyond that insertion streams one graph
+    // at a time from its column seed.
+    index::NearestCenterIndex idx;
+    std::vector<JobGraph> corpus;
+    double insert_ms = 0;
+    if (!pt.streamed) {
+      corpus.reserve(n);
+      for (long long i = 0; i < n; ++i) {
+        corpus.push_back(ColumnGraph(corpus_seed, i));
+      }
+      const double t0 = NowMs();
+      for (const JobGraph& g : corpus) idx.Insert(g);
+      insert_ms = NowMs() - t0;
+    } else {
+      const double t0 = NowMs();
+      for (long long i = 0; i < n; ++i) {
+        idx.Insert(ColumnGraph(corpus_seed, i));
+      }
+      insert_ms = NowMs() - t0;
+    }
+    pt.insert_graphs_per_sec = insert_ms > 0 ? n / (insert_ms / 1000.0) : 0;
+
+    JobGraph scratch("scratch");
+    const index::NearestCenterIndex::GraphAccessor at =
+        [&corpus, &scratch, corpus_seed, &pt](int i) -> const JobGraph& {
+      if (!pt.streamed) return corpus[i];
+      scratch = ColumnGraph(corpus_seed, static_cast<uint64_t>(i));
+      return scratch;
+    };
+
+    const std::vector<JobGraph> queries =
+        workloads::GenerateRandomDags(num_queries, /*seed=*/0xDECAF);
+
+    // Indexed lookups: per-query latency plus the pruning counters.
+    graph::GedCache indexed_cache;
+    std::vector<double> latency_ms;
+    std::vector<index::NearestCenterIndex::NearestResult> indexed_results;
+    latency_ms.reserve(queries.size());
+    indexed_results.reserve(queries.size());
+    long long evaluated = 0;
+    for (const JobGraph& q : queries) {
+      const double t0 = NowMs();
+      indexed_results.push_back(idx.Nearest(q, at, &indexed_cache));
+      latency_ms.push_back(NowMs() - t0);
+      evaluated += indexed_results.back().evaluated;
+    }
+    const long long candidates = n * static_cast<long long>(queries.size());
+    pt.survival_rate =
+        candidates > 0 ? static_cast<double>(evaluated) / candidates : 0;
+    pt.ged_calls_avoided = candidates - evaluated;
+    pt.p50_lookup_ms = Percentile(latency_ms, 0.50);
+    pt.p99_lookup_ms = Percentile(latency_ms, 0.99);
+    double total_ms = 0;
+    for (double l : latency_ms) total_ms += l;
+    pt.indexed_ms_per_query = total_ms / latency_ms.size();
+
+    // Linear baseline on a query prefix (it is the expensive side), with
+    // the bit-identity check against the indexed answers.
+    if (!pt.streamed) {
+      graph::GedCache linear_cache;
+      const int compare = std::min<int>(linear_queries,
+                                        static_cast<int>(queries.size()));
+      double linear_ms = 0;
+      for (int qi = 0; qi < compare; ++qi) {
+        const double t0 = NowMs();
+        const std::vector<double> dist =
+            graph::DistancesToCenters(queries[qi], corpus, &linear_cache);
+        linear_ms += NowMs() - t0;
+        const int linear_idx = static_cast<int>(
+            std::min_element(dist.begin(), dist.end()) - dist.begin());
+        if (indexed_results[qi].index != linear_idx ||
+            std::abs(indexed_results[qi].distance - dist[linear_idx]) >
+                1e-9) {
+          pt.exact_match = false;
+          std::fprintf(stderr,
+                       "MISMATCH n=%lld query=%d indexed=(%d, %.6f) "
+                       "linear=(%d, %.6f)\n",
+                       n, qi, indexed_results[qi].index,
+                       indexed_results[qi].distance, linear_idx,
+                       dist[linear_idx]);
+        }
+      }
+      pt.linear_compared = compare > 0;
+      pt.linear_ms_per_query = compare > 0 ? linear_ms / compare : 0;
+      // Fair throughput ratio: both sides total over the SAME queries.
+      double indexed_prefix_ms = 0;
+      for (int qi = 0; qi < compare; ++qi) indexed_prefix_ms += latency_ms[qi];
+      pt.speedup =
+          indexed_prefix_ms > 0 ? linear_ms / indexed_prefix_ms : 0;
+    }
+
+    points.push_back(pt);
+    std::printf(
+        "[corpus %7lld%s] insert %9.0f graphs/s | survival %8.5f%% | "
+        "avoided %10lld GED calls | p50 %7.3f ms  p99 %7.3f ms | "
+        "linear %8.1f ms/query -> %7.1fx%s\n",
+        pt.corpus, pt.streamed ? " (streamed)" : "",
+        pt.insert_graphs_per_sec, pt.survival_rate * 100.0,
+        pt.ged_calls_avoided, pt.p50_lookup_ms, pt.p99_lookup_ms,
+        pt.linear_ms_per_query, pt.speedup,
+        pt.linear_compared ? (pt.exact_match ? "" : "  MISMATCH (BUG)")
+                           : "  (linear skipped)");
+  }
+
+  // Headline numbers: the largest size with a linear comparison.
+  const SweepPoint* headline = nullptr;
+  for (const SweepPoint& pt : points) {
+    if (pt.linear_compared) headline = &pt;
+  }
+  bool exact_all = true;
+  for (const SweepPoint& pt : points) exact_all &= pt.exact_match;
+
+  std::printf("\ndispatch: %s\n", index::ActiveIndexDispatch());
+  if (headline) {
+    std::printf("at %lld graphs: survival %.5f%%, speedup %.1fx, "
+                "exactness %s\n",
+                headline->corpus, headline->survival_rate * 100.0,
+                headline->speedup, exact_all ? "yes" : "NO (BUG)");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"host\": " << bench::HostInfoJson() << ",\n"
+       << "  \"index_dispatch\": \"" << index::ActiveIndexDispatch()
+       << "\",\n"
+       << "  \"queries_per_size\": " << num_queries << ",\n"
+       << "  \"linear_queries\": " << linear_queries << ",\n"
+       << "  \"sweep\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"corpus\": %lld, \"streamed\": %s, "
+        "\"insert_graphs_per_sec\": %.0f, \"survival_rate\": %.7f, "
+        "\"ged_calls_avoided\": %lld, \"p50_lookup_ms\": %.4f, "
+        "\"p99_lookup_ms\": %.4f, \"indexed_ms_per_query\": %.4f, "
+        "\"linear_ms_per_query\": %.4f, \"speedup\": %.2f, "
+        "\"linear_compared\": %s, \"exact_match\": %s}%s\n",
+        pt.corpus, pt.streamed ? "true" : "false",
+        pt.insert_graphs_per_sec, pt.survival_rate, pt.ged_calls_avoided,
+        pt.p50_lookup_ms, pt.p99_lookup_ms, pt.indexed_ms_per_query,
+        pt.linear_ms_per_query, pt.speedup,
+        pt.linear_compared ? "true" : "false",
+        pt.exact_match ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+    json << line;
+  }
+  json << "  ],\n";
+  if (headline) {
+    char tail[192];
+    std::snprintf(tail, sizeof(tail),
+                  "  \"headline_corpus\": %lld,\n"
+                  "  \"headline_survival_rate\": %.7f,\n"
+                  "  \"headline_speedup\": %.2f,\n",
+                  headline->corpus, headline->survival_rate,
+                  headline->speedup);
+    json << tail;
+  }
+  json << "  \"exactness\": " << (exact_all ? "true" : "false") << "\n}\n";
+  {
+    std::ofstream f("BENCH_kbindex.json", std::ios::trunc);
+    f << json.str();
+  }
+  std::printf("wrote BENCH_kbindex.json\n");
+
+  // Self-enforcing CI gates.
+  if (bench::EnvInt("ST_BENCH_GATE", 0) != 0) {
+    const double max_survival =
+        bench::EnvInt("ST_GATE_SURVIVAL_PCT", 5) / 100.0;
+    const double min_speedup = bench::EnvInt("ST_GATE_SPEEDUP", 10);
+    int failures = 0;
+    if (!exact_all) {
+      std::fprintf(stderr, "GATE: exactness violated\n");
+      ++failures;
+    }
+    if (!headline) {
+      std::fprintf(stderr, "GATE: no linear-compared size\n");
+      ++failures;
+    } else {
+      if (headline->survival_rate > max_survival) {
+        std::fprintf(stderr, "GATE: survival %.5f > %.5f at %lld\n",
+                     headline->survival_rate, max_survival,
+                     headline->corpus);
+        ++failures;
+      }
+      if (headline->speedup < min_speedup) {
+        std::fprintf(stderr, "GATE: speedup %.2f < %.2f at %lld\n",
+                     headline->speedup, min_speedup, headline->corpus);
+        ++failures;
+      }
+    }
+    if (failures > 0) return 1;
+    std::printf("gates: OK (survival <= %.2f%%, speedup >= %.0fx, exact)\n",
+                max_survival * 100.0, min_speedup);
+  }
+  return 0;
+}

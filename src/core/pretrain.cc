@@ -56,10 +56,10 @@ struct PreparedSample {
 }  // namespace
 
 int PretrainedBundle::AssignCluster(const JobGraph& g) const {
-  std::vector<JobGraph> centers;
-  centers.reserve(clusters_.size());
-  for (const ClusterModel& c : clusters_) centers.push_back(c.center);
-  return graph::NearestCenter(g, centers);
+  return center_index_
+      .Nearest(g,
+               [this](int c) -> const JobGraph& { return clusters_[c].center; })
+      .index;
 }
 
 ml::Matrix PretrainedBundle::AgnosticEmbeddings(

@@ -15,6 +15,7 @@
 #include "core/history.h"
 #include "dataflow/feature_encoder.h"
 #include "graph/ged_kmeans.h"
+#include "index/nearest_center_index.h"
 #include "ml/bottleneck_model.h"
 #include "ml/gnn.h"
 #include "ml/nn.h"
@@ -60,7 +61,9 @@ class PretrainedBundle {
                    FeatureEncoder encoder)
       : clusters_(std::move(clusters)),
         records_(std::move(records)),
-        feature_encoder_(encoder) {}
+        feature_encoder_(encoder) {
+    for (const ClusterModel& c : clusters_) center_index_.Insert(c.center);
+  }
 
   int num_clusters() const { return static_cast<int>(clusters_.size()); }
   const ClusterModel& cluster(int c) const { return clusters_[c]; }
@@ -68,8 +71,17 @@ class PretrainedBundle {
   const FeatureEncoder& feature_encoder() const { return feature_encoder_; }
 
   /// Nearest cluster for a target DAG by GED to the cluster centers
-  /// (Algorithm 2, line 1).
+  /// (Algorithm 2, line 1). Served by the two-stage signature index —
+  /// bit-identical to the linear center scan it replaced.
   int AssignCluster(const JobGraph& g) const;
+
+  /// The signature index over the cluster centers, built at construction.
+  /// Admission uses it with the KB's shared GedCache; AssignCluster uses
+  /// it cache-less (both give the same answer — see
+  /// index/nearest_center_index.h on order independence).
+  const index::NearestCenterIndex& center_index() const {
+    return center_index_;
+  }
 
   /// Parallelism-agnostic embeddings of `g`'s operators (rows) under
   /// cluster c's frozen encoder, with `rates` as the current source rates.
@@ -112,6 +124,7 @@ class PretrainedBundle {
   std::vector<ClusterModel> clusters_;
   std::vector<HistoryRecord> records_;
   FeatureEncoder feature_encoder_;
+  index::NearestCenterIndex center_index_;
 };
 
 /// Runs clustering + per-cluster supervised pre-training on a corpus.

@@ -5,9 +5,32 @@
 
 namespace streamtune {
 
+void JobGraph::CopyFrom(const JobGraph& other) {
+  name_ = other.name_;
+  operators_ = other.operators_;
+  edges_ = other.edges_;
+  adjacency_dirty_ = other.adjacency_dirty_;
+  upstream_ = other.upstream_;
+  downstream_ = other.downstream_;
+  canonical_hash_.store(other.canonical_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
+void JobGraph::MoveFrom(JobGraph& other) {
+  name_ = std::move(other.name_);
+  operators_ = std::move(other.operators_);
+  edges_ = std::move(other.edges_);
+  adjacency_dirty_ = other.adjacency_dirty_;
+  upstream_ = std::move(other.upstream_);
+  downstream_ = std::move(other.downstream_);
+  canonical_hash_.store(other.canonical_hash_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
 int JobGraph::AddOperator(OperatorSpec spec) {
   operators_.push_back(std::move(spec));
   adjacency_dirty_ = true;
+  canonical_hash_.store(0, std::memory_order_relaxed);
   return static_cast<int>(operators_.size()) - 1;
 }
 
@@ -23,6 +46,7 @@ Status JobGraph::AddEdge(int from, int to) {
   }
   edges_.emplace_back(from, to);
   adjacency_dirty_ = true;
+  canonical_hash_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -129,7 +153,7 @@ uint64_t Combine(uint64_t h, uint64_t v) {
 
 }  // namespace
 
-uint64_t JobGraph::CanonicalHash() const {
+std::vector<uint64_t> JobGraph::WlColors() const {
   const int n = num_operators();
   // Local adjacency (the lazy member caches are not thread-safe).
   std::vector<std::vector<int>> up(n), down(n);
@@ -165,12 +189,22 @@ uint64_t JobGraph::CanonicalHash() const {
     }
     color.swap(next);
   }
+  return color;
+}
 
-  // Graph hash: multiset of final colors plus global counts.
+uint64_t JobGraph::CanonicalHash() const {
+  uint64_t cached = canonical_hash_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+
+  // Graph hash: multiset of final WL colors plus global counts.
+  std::vector<uint64_t> color = WlColors();
   std::sort(color.begin(), color.end());
-  uint64_t h = Combine(Mix(static_cast<uint64_t>(n)),
+  uint64_t h = Combine(Mix(static_cast<uint64_t>(num_operators())),
                        Mix(static_cast<uint64_t>(num_edges())));
   for (uint64_t c : color) h = Combine(h, c);
+  // h == 0 collides with the "unset" sentinel; don't cache it (recompute
+  // instead — correctness is unaffected, only memoization).
+  if (h != 0) canonical_hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

@@ -6,6 +6,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,20 @@ class JobGraph {
   JobGraph() = default;
   explicit JobGraph(std::string name) : name_(std::move(name)) {}
 
+  // The memoized canonical hash is an atomic, which deletes the default
+  // copy/move special members; these transfer the cached value (the hash is
+  // a pure function of operators + edges, so a copy shares it).
+  JobGraph(const JobGraph& other) { CopyFrom(other); }
+  JobGraph& operator=(const JobGraph& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  JobGraph(JobGraph&& other) noexcept { MoveFrom(other); }
+  JobGraph& operator=(JobGraph&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
   /// Adds an operator and returns its id.
   int AddOperator(OperatorSpec spec);
 
@@ -38,7 +54,12 @@ class JobGraph {
   int num_edges() const { return static_cast<int>(edges_.size()); }
 
   const OperatorSpec& op(int id) const { return operators_[id]; }
-  OperatorSpec& mutable_op(int id) { return operators_[id]; }
+  OperatorSpec& mutable_op(int id) {
+    // The caller may change the operator type through the returned
+    // reference, so pessimistically drop the memoized canonical hash.
+    canonical_hash_.store(0, std::memory_order_relaxed);
+    return operators_[id];
+  }
   const std::vector<OperatorSpec>& operators() const { return operators_; }
   const std::vector<std::pair<int, int>>& edges() const { return edges_; }
 
@@ -68,9 +89,24 @@ class JobGraph {
   /// Depends only on operator types and edge structure, i.e. exactly the
   /// signals the GED cost model sees, so it is a sound memoization key for
   /// GED computations (up to the usual WL blind spots, which do not occur
-  /// for the labeled DAGs in this repo). Pure function of the graph — no
-  /// lazy caches are touched, safe to call concurrently.
+  /// for the labeled DAGs in this repo).
+  ///
+  /// Memoized on the immutable-after-build graph: the first call pays the
+  /// WL refinement, later calls return the cached value. Unlike the
+  /// WarmAdjacency caches this is safe to race — the memo is a single
+  /// relaxed atomic and every writer stores the same value — so no warm-up
+  /// step is needed before sharing a graph across threads. Mutation
+  /// (AddOperator/AddEdge/mutable_op) invalidates the memo.
   uint64_t CanonicalHash() const;
+
+  /// One full WL color-refinement pass: the per-node final colors that
+  /// CanonicalHash() folds into the graph hash. Node v's color captures
+  /// its operator type plus the types/wiring of everything within
+  /// min(n, 16) hops, separating in- from out-neighborhoods. Shared by
+  /// CanonicalHash() and the KB signature index (index/wl_signature.h).
+  /// Pure function of the graph — no lazy caches touched, safe to call
+  /// concurrently.
+  std::vector<uint64_t> WlColors() const;
 
   /// True if the graph contains a directed cycle.
   bool HasCycle() const;
@@ -86,6 +122,8 @@ class JobGraph {
 
  private:
   void RebuildAdjacency() const;
+  void CopyFrom(const JobGraph& other);
+  void MoveFrom(JobGraph& other);
 
   std::string name_;
   std::vector<OperatorSpec> operators_;
@@ -95,6 +133,11 @@ class JobGraph {
   mutable bool adjacency_dirty_ = true;
   mutable std::vector<std::vector<int>> upstream_;
   mutable std::vector<std::vector<int>> downstream_;
+
+  // Memoized CanonicalHash(); 0 means "not computed yet". A genuine hash of
+  // 0 is never cached (it just recomputes), which keeps the sentinel sound.
+  // Relaxed is enough: all writers store the same pure-function value.
+  mutable std::atomic<uint64_t> canonical_hash_{0};
 };
 
 }  // namespace streamtune

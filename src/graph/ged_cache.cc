@@ -52,7 +52,7 @@ GedResult GedCache::Compute(const JobGraph& a, const JobGraph& b,
     if (it != shard.map.end()) {
       const Entry& e = it->second;
       if (e.has_exact) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_exact_.fetch_add(1, std::memory_order_relaxed);
         GedResult r;
         r.distance = e.exact_distance;
         // Mirror a fresh search: in threshold mode a distance beyond tau is
@@ -63,7 +63,7 @@ GedResult GedCache::Compute(const JobGraph& a, const JobGraph& b,
       if (thresholded && options.threshold <= e.certified_gt + kEps) {
         // ged > certified_gt >= tau: a fresh search would prune; serve the
         // remembered upper bound (> tau by construction).
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_certified_.fetch_add(1, std::memory_order_relaxed);
         GedResult r;
         r.distance = e.upper;
         r.exact = false;
@@ -87,11 +87,11 @@ bool GedCache::WithinThreshold(const JobGraph& a, const JobGraph& b,
     if (it != shard.map.end()) {
       const Entry& e = it->second;
       if (e.has_exact) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_exact_.fetch_add(1, std::memory_order_relaxed);
         return e.exact_distance <= tau + kEps;
       }
       if (tau <= e.certified_gt + kEps) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_certified_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
     }
@@ -116,8 +116,11 @@ bool GedCache::WithinThreshold(const JobGraph& a, const JobGraph& b,
 
 GedCache::Stats GedCache::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
+  s.hits_exact = hits_exact_.load(std::memory_order_relaxed);
+  s.hits_certified = hits_certified_.load(std::memory_order_relaxed);
+  s.hits = s.hits_exact + s.hits_certified;
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.entries = static_cast<uint64_t>(size());
   return s;
 }
 
@@ -135,7 +138,8 @@ void GedCache::Clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
-  hits_.store(0, std::memory_order_relaxed);
+  hits_exact_.store(0, std::memory_order_relaxed);
+  hits_certified_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
 

@@ -53,10 +53,21 @@ class GedCache {
   bool WithinThreshold(const JobGraph& a, const JobGraph& b, double tau,
                        const GedOptions& options = {});
 
-  /// Hit/miss counters (a hit = answered without running a search).
+  /// Hit/miss counters (a hit = answered without running a search), split
+  /// by what kind of remembered answer served the hit. One consistent-ish
+  /// sample: counters are monotone but read individually (relaxed), so a
+  /// sample taken during concurrent queries may be mid-update by one.
   struct Stats {
+    /// Total hits (== hits_exact + hits_certified; kept as a field so
+    /// long-standing callers keep reading `stats().hits`).
     uint64_t hits = 0;
+    /// Hits served from a cached exact distance.
+    uint64_t hits_exact = 0;
+    /// Hits served from a "ged > tau" certificate (threshold queries).
+    uint64_t hits_certified = 0;
     uint64_t misses = 0;
+    /// Distinct graph pairs with a cached entry at sample time.
+    uint64_t entries = 0;
     double HitRate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -107,7 +118,8 @@ class GedCache {
               const GedOptions& options, bool searched);
 
   Shard shards_[kNumShards];
-  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> hits_exact_{0};
+  std::atomic<uint64_t> hits_certified_{0};
   std::atomic<uint64_t> misses_{0};
 };
 

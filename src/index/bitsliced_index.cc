@@ -1,0 +1,145 @@
+#include "index/bitsliced_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "index/index_simd.h"
+#include "ml/cpu_features.h"
+
+namespace streamtune::index {
+
+namespace {
+
+using ml::ForceScalarRequested;
+using ml::HostCpuFeatures;
+
+// Scalar twin of simd::ScoreGroupAvx2: the identical vertical-counter
+// circuit on 4-word lanes instead of one ymm register. Keep the two in
+// lockstep — bit-identity between them is what the forced-scalar CI shard
+// pins.
+void ScoreGroupScalar(const uint64_t* slices, const uint64_t* query,
+                      uint16_t* out) {
+  constexpr int kPlanes = 9;
+  uint64_t planes[kPlanes][kSignatureWords] = {};
+
+  for (int w = 0; w < kSignatureWords; ++w) {
+    uint64_t qword = query[w];
+    while (qword != 0) {
+      const int bit = std::countr_zero(qword);
+      qword &= qword - 1;
+      const uint64_t* row = slices + kSignatureWords * (w * 64 + bit);
+      uint64_t carry[kSignatureWords];
+      std::memcpy(carry, row, sizeof(carry));
+      for (int p = 0; p < kPlanes; ++p) {
+        for (int l = 0; l < kSignatureWords; ++l) {
+          const uint64_t t = planes[p][l] & carry[l];
+          planes[p][l] ^= carry[l];
+          carry[l] = t;
+        }
+      }
+    }
+  }
+
+  for (int w = 0; w < kSignatureWords; ++w) {
+    for (int j = 0; j < 64; ++j) {
+      unsigned count = 0;
+      for (int p = 0; p < kPlanes; ++p) {
+        count |= static_cast<unsigned>((planes[p][w] >> j) & 1ULL) << p;
+      }
+      out[w * 64 + j] = static_cast<uint16_t>(count);
+    }
+  }
+}
+
+// ---- Runtime dispatch (same shape as ml/matrix.cc) -------------------------
+
+struct IndexKernelTable {
+  void (*score_group)(const uint64_t*, const uint64_t*, uint16_t*);
+};
+
+constexpr IndexKernelTable kScalarTable{ScoreGroupScalar};
+constexpr IndexKernelTable kAvx2Table{simd::ScoreGroupAvx2};
+
+constinit const char* g_index_dispatch_name = "scalar";
+constinit IndexKernelTable g_index_kernels = kScalarTable;
+
+void SelectIndexKernels() {
+  if (simd::CompiledIn() && HostCpuFeatures().avx2 &&
+      !ForceScalarRequested()) {
+    g_index_kernels = kAvx2Table;
+    g_index_dispatch_name = "avx2";
+  } else {
+    g_index_kernels = kScalarTable;
+    g_index_dispatch_name = "scalar";
+  }
+}
+
+struct IndexDispatchInit {
+  IndexDispatchInit() { SelectIndexKernels(); }
+};
+IndexDispatchInit g_index_dispatch_init;
+
+}  // namespace
+
+const char* ActiveIndexDispatch() { return g_index_dispatch_name; }
+
+void ReinitIndexDispatchForTest() { SelectIndexKernels(); }
+
+void BitslicedIndex::Insert(const WlSignature& sig,
+                            const GraphFeatures& features) {
+  const int col = size();
+  if (col % kGroupCols == 0) {
+    slices_.resize(slices_.size() + kWordsPerGroup, 0);
+  }
+  uint64_t* group = slices_.data() +
+                    static_cast<size_t>(col / kGroupCols) * kWordsPerGroup;
+  const int lane_word = (col % kGroupCols) / 64;
+  const uint64_t lane_bit = 1ULL << (col % 64);
+  for (int w = 0; w < kSignatureWords; ++w) {
+    uint64_t word = sig.words[w];
+    while (word != 0) {
+      const int s = w * 64 + std::countr_zero(word);
+      word &= word - 1;
+      group[s * kSignatureWords + lane_word] |= lane_bit;
+    }
+  }
+  features_.push_back(features);
+}
+
+WlSignature BitslicedIndex::signature(int i) const {
+  WlSignature sig;
+  const uint64_t* group =
+      slices_.data() + static_cast<size_t>(i / kGroupCols) * kWordsPerGroup;
+  const int lane_word = (i % kGroupCols) / 64;
+  const uint64_t lane_bit = 1ULL << (i % 64);
+  for (int s = 0; s < kSignatureBits; ++s) {
+    if (group[s * kSignatureWords + lane_word] & lane_bit) {
+      sig.Set(static_cast<uint32_t>(s));
+    }
+  }
+  return sig;
+}
+
+void BitslicedIndex::Scores(const WlSignature& query,
+                            std::vector<uint16_t>* scores) const {
+  const int n = size();
+  scores->resize(static_cast<size_t>(n));
+  uint16_t group_scores[kGroupCols];
+  for (int g = 0; g * kGroupCols < n; ++g) {
+    g_index_kernels.score_group(
+        slices_.data() + static_cast<size_t>(g) * kWordsPerGroup,
+        query.words.data(), group_scores);
+    const int base = g * kGroupCols;
+    const int cols = std::min(kGroupCols, n - base);
+    std::memcpy(scores->data() + base, group_scores,
+                static_cast<size_t>(cols) * sizeof(uint16_t));
+  }
+}
+
+void BitslicedIndex::Clear() {
+  slices_.clear();
+  features_.clear();
+}
+
+}  // namespace streamtune::index

@@ -1,0 +1,74 @@
+// COBS-style bit-sliced (transposed) signature matrix with AND-popcount
+// candidate scans.
+//
+// Row-major signature storage would make a scan read 32 bytes per corpus
+// graph; transposing it — bit s of every graph stored contiguously — turns
+// the scan into popcount accumulation over only the slices whose query bit
+// is set (score(c) = sum_s q_s AND sig_c[s]), touching memory proportional
+// to the query's popcount instead of the signature width.
+//
+// Layout contract (shared by the scalar and AVX2 cores): columns (graphs)
+// are packed into groups of kGroupCols = 256. Within a group, slice s
+// (s in [0, kSignatureBits)) is kSignatureWords = 4 consecutive words, and
+// column c's bit lives in word (c % 256) / 64 at bit (c % 64):
+//
+//   slices_[group * 1024 + s * 4 + w]   — one group = 8 KiB, cache-friendly
+//
+// so one slice row is exactly 256 column-bits = one AVX2 register. Scores
+// are accumulated in 9 vertical bit-plane counters (max count 256 needs 9
+// bits) with ripple-carry adds; the scalar and AVX2 cores are the same
+// integer bitwise circuit and therefore bit-identical. Core selection
+// mirrors ml/matrix.cc: a table picked once at static-init from
+// HostCpuFeatures() x simd::CompiledIn() x STREAMTUNE_FORCE_SCALAR.
+//
+// Incremental: Insert appends a column (allocating a zeroed group every 256
+// inserts); nothing is ever rewritten, so an index extended copy-on-write
+// shares no state with its source. Persistence goes through kb_store's
+// "index" STKB section, which reads columns back via signature()/features()
+// and replays Insert.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/wl_signature.h"
+
+namespace streamtune::index {
+
+/// The transposed signature matrix over one corpus (or one center set).
+class BitslicedIndex {
+ public:
+  static constexpr int kGroupCols = 256;
+  static constexpr int kWordsPerGroup = kSignatureBits * kSignatureWords;
+
+  /// Appends one column; column ids are dense in insertion order.
+  void Insert(const WlSignature& sig, const GraphFeatures& features);
+
+  int size() const { return static_cast<int>(features_.size()); }
+  bool empty() const { return features_.empty(); }
+
+  const GraphFeatures& features(int i) const { return features_[i]; }
+
+  /// Column i's signature, gathered back out of the slices (used by
+  /// persistence and tests; O(kSignatureBits)).
+  WlSignature signature(int i) const;
+
+  /// scores->at(c) = popcount(query AND column c's signature) for every
+  /// column. The hot scan of the two-stage nearest-center search.
+  void Scores(const WlSignature& query, std::vector<uint16_t>* scores) const;
+
+  void Clear();
+
+ private:
+  std::vector<uint64_t> slices_;
+  std::vector<GraphFeatures> features_;
+};
+
+/// Which score core the dispatch selected ("scalar" or "avx2").
+const char* ActiveIndexDispatch();
+
+/// Re-runs core selection (tests flip STREAMTUNE_FORCE_SCALAR around this).
+void ReinitIndexDispatchForTest();
+
+}  // namespace streamtune::index

@@ -1,0 +1,72 @@
+#include "index/index_simd.h"
+
+#include <cstdlib>
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace streamtune::index::simd {
+
+bool CompiledIn() { return true; }
+
+// out[c] = sum over set query bits s of slice-row bit (s, c). Each slice
+// row is 256 column-bits (= one ymm register); rows for set query bits are
+// accumulated into 9 vertical bit-plane counters (max count 256 needs 9
+// bits) with a ripple-carry add — the textbook "positional popcount"
+// scheme. All ops are integer bitwise, so this is bit-identical to the
+// scalar core in bitsliced_index.cc.
+void ScoreGroupAvx2(const uint64_t* slices, const uint64_t* query,
+                    uint16_t* out) {
+  constexpr int kPlanes = 9;
+  __m256i planes[kPlanes];
+  for (int p = 0; p < kPlanes; ++p) planes[p] = _mm256_setzero_si256();
+
+  for (int w = 0; w < 4; ++w) {
+    uint64_t qword = query[w];
+    while (qword != 0) {
+      const int bit = __builtin_ctzll(qword);
+      qword &= qword - 1;
+      const int s = w * 64 + bit;
+      __m256i carry = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(slices + 4 * s));
+      for (int p = 0; p < kPlanes; ++p) {
+        const __m256i t = _mm256_and_si256(planes[p], carry);
+        planes[p] = _mm256_xor_si256(planes[p], carry);
+        carry = t;
+      }
+    }
+  }
+
+  alignas(32) uint64_t plane_words[kPlanes][4];
+  for (int p = 0; p < kPlanes; ++p) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(plane_words[p]), planes[p]);
+  }
+  for (int w = 0; w < 4; ++w) {
+    for (int j = 0; j < 64; ++j) {
+      unsigned count = 0;
+      for (int p = 0; p < kPlanes; ++p) {
+        count |= static_cast<unsigned>((plane_words[p][w] >> j) & 1ULL) << p;
+      }
+      out[w * 64 + j] = static_cast<uint16_t>(count);
+    }
+  }
+}
+
+}  // namespace streamtune::index::simd
+
+#else  // !defined(__AVX2__)
+
+namespace streamtune::index::simd {
+
+// Unreachable stubs: the dispatch in bitsliced_index.cc never installs
+// these when CompiledIn() is false.
+bool CompiledIn() { return false; }
+
+void ScoreGroupAvx2(const uint64_t*, const uint64_t*, uint16_t*) {
+  std::abort();
+}
+
+}  // namespace streamtune::index::simd
+
+#endif

@@ -1,0 +1,28 @@
+// AVX2 core of the bit-sliced signature scan.
+//
+// Same contract as ml/matrix_simd.h: index_simd.cc is the only index TU
+// compiled with -mavx2 (see src/index/CMakeLists.txt), everything here is
+// reached only through the runtime dispatch in bitsliced_index.cc, and on
+// targets compiled without the flags the TU carries unreachable stubs with
+// CompiledIn() == false. The kernel is pure integer bitwise work (AND, XOR,
+// shifts, popcount extraction), so the AVX2 and scalar paths are
+// bit-identical by construction — no tolerance-pinned goldens needed.
+
+#pragma once
+
+#include <cstdint>
+
+namespace streamtune::index::simd {
+
+/// True when this TU was compiled with AVX2 enabled.
+bool CompiledIn();
+
+/// Scores one slice group of 256 columns: out[c] = popcount of the AND of
+/// the query signature with column c's signature. `slices` holds
+/// kSignatureBits rows of 4 words (one bit per column, see
+/// BitslicedIndex's layout contract); `query` is the 4-word query
+/// signature; `out` receives 256 counts in [0, 256].
+void ScoreGroupAvx2(const uint64_t* slices, const uint64_t* query,
+                    uint16_t* out);
+
+}  // namespace streamtune::index::simd

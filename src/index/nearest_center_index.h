@@ -1,0 +1,136 @@
+// Two-stage exact nearest-center search: signature scan -> lower-bound
+// prune -> GED only on survivors.
+//
+// Drop-in replacement for the linear graph::NearestCenter scan, built for
+// corpora where "linear in the number of graphs x one A* search per pair"
+// stops being funny (the KB admission path of the control plane). The
+// result is bit-identical to the linear scan — same index, same distance —
+// because the two stages split responsibilities:
+//
+//   1. ORDER (unsound, cheap): the bit-sliced AND-popcount scan ranks all
+//      candidates by signature overlap, most-similar first. A bad ranking
+//      costs time, never correctness.
+//   2. PRUNE + VERIFY (sound): the single unthresholded GED call goes to
+//      the *probe* — the FeatureLowerBound argmin (ties: higher score,
+//      then lower id), the structurally closest column and, when an exact
+//      duplicate exists, that duplicate — so `best` starts small. The
+//      remaining candidates are visited in lower-bound-ascending order
+//      (ties: score descending, then id): the first one whose admissible
+//      lower bound exceeds `best` ends the search outright (everything
+//      after it is bounded even higher), every earlier one is measured
+//      with a threshold-pruned GED search at threshold = best.
+//
+// Exactness argument (property-tested in tests/index_test.cc, documented in
+// DESIGN.md §13): `best` is always an exact distance achieved by some
+// candidate, and it only decreases. A candidate with true distance d* =
+// min never gets pruned (its lower bound is <= d* <= best) and its search
+// runs at threshold >= d*, so it completes exactly. Threshold-pruned
+// non-answers report a value strictly greater than the threshold (hence
+// greater than the final best) and cannot displace the minimum; equal
+// distances resolve to the lowest index, matching std::min_element. The
+// one precondition is that no search exhausts its expansion budget — with
+// the default 500k budget and the <= 63-operator DAGs this repo builds,
+// exhaustion does not occur (and the randomized equality test would catch
+// it if it did).
+//
+// Thread safety: Nearest()/CandidatesWithin() are const and safe to call
+// concurrently on a shared index (query stats sit behind an internal
+// mutex), provided the usual graph contract holds — accessor-returned
+// graphs adjacency-warmed before publication, exactly as KB snapshots
+// already guarantee. Copies and moves transfer the signature matrix but
+// start with cold query stats, mirroring how graph copies start with cold
+// lazy caches (JobGraph::WarmAdjacency).
+
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+#include "graph/ged_cache.h"
+#include "index/bitsliced_index.h"
+
+namespace streamtune::index {
+
+class NearestCenterIndex {
+ public:
+  /// Resolves a column id to its graph. The index stores only signatures
+  /// and features (32 B + 40 B per graph); graph ownership stays with the
+  /// caller — a bundle's cluster vector, a corpus record vector, or a
+  /// generator re-materializing graphs on demand at bench scale.
+  using GraphAccessor = std::function<const JobGraph&(int)>;
+
+  NearestCenterIndex() = default;
+  NearestCenterIndex(const NearestCenterIndex& other) { CopyFrom(other); }
+  NearestCenterIndex& operator=(const NearestCenterIndex& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  NearestCenterIndex(NearestCenterIndex&& other) noexcept {
+    MoveFrom(other);
+  }
+  NearestCenterIndex& operator=(NearestCenterIndex&& other) noexcept {
+    if (this != &other) MoveFrom(other);
+    return *this;
+  }
+
+  /// Appends `g` as the next column (computes its signature + features).
+  void Insert(const JobGraph& g);
+  /// Appends a pre-computed column (deserialization path).
+  void Insert(const WlSignature& sig, const GraphFeatures& features);
+
+  int size() const { return slices_.size(); }
+  bool empty() const { return slices_.empty(); }
+  const BitslicedIndex& slices() const { return slices_; }
+
+  struct NearestResult {
+    /// Argmin column (-1 on an empty index). On ties the lowest index,
+    /// matching std::min_element over a full distance vector.
+    int index = -1;
+    /// Exact GED to column `index` (+inf on an empty index).
+    double distance = std::numeric_limits<double>::infinity();
+    /// GED searches issued (including cache-served ones).
+    int evaluated = 0;
+    /// Candidates skipped on the lower bound alone — the work the index
+    /// saved over a linear scan.
+    int pruned = 0;
+  };
+
+  /// The two-stage search. `graph_at` must resolve every id in [0, size());
+  /// `cache` (optional) is consulted exactly like the linear scan consults
+  /// it — GedCache's order-independent answer policy is what keeps results
+  /// stable under either traversal order.
+  NearestResult Nearest(const JobGraph& query, const GraphAccessor& graph_at,
+                        graph::GedCache* cache = nullptr) const;
+
+  /// Prefilter listing: column ids whose lower bound admits GED <= tau,
+  /// ordered by signature overlap (descending, ties by ascending id). A
+  /// superset of the true <= tau set — callers verify survivors with GED.
+  std::vector<int> CandidatesWithin(const JobGraph& query, double tau) const;
+
+  /// Cumulative query-side counters since construction (copies start at
+  /// zero). candidates - evaluated = total GED calls avoided.
+  struct QueryStats {
+    long long queries = 0;
+    long long candidates = 0;
+    long long evaluated = 0;
+  };
+  QueryStats query_stats() const;
+
+ private:
+  void CopyFrom(const NearestCenterIndex& other);
+  void MoveFrom(NearestCenterIndex& other);
+  void RecordQuery(int candidates, int evaluated) const;
+
+  BitslicedIndex slices_;
+
+  /// Guards only the cumulative counters: Nearest() is logically const and
+  /// concurrent, so the stats it maintains live behind their own mutex
+  /// (same shape as the lazily-warmed members of PerfModel).
+  mutable std::mutex stats_mu_;
+  mutable QueryStats stats_ STREAMTUNE_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace streamtune::index

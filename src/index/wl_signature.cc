@@ -1,0 +1,87 @@
+#include "index/wl_signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+namespace streamtune::index {
+
+namespace {
+
+// splitmix64 finalizer, same mixing structure as the JobGraph hash helpers
+// (local copy: the signature needs good bit dispersion, not equality with
+// the CanonicalHash internals).
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Combine(uint64_t h, uint64_t v) {
+  return Mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+// Distinct salts per probe family, so a node color, an operator type, and
+// an edge pair never collide by construction alone.
+constexpr uint64_t kColorSaltA = 0xC0102A5ULL;
+constexpr uint64_t kColorSaltB = 0xC0102B5ULL;
+constexpr uint64_t kTypeSalt = 0x7195A17ULL;
+constexpr uint64_t kEdgeSalt = 0xED6E5A17ULL;
+
+}  // namespace
+
+int WlSignature::Popcount() const {
+  int n = 0;
+  for (uint64_t w : words) n += std::popcount(w);
+  return n;
+}
+
+GraphFeatures ComputeGraphFeatures(const JobGraph& g) {
+  GraphFeatures f;
+  f.nodes = g.num_operators();
+  f.edges = g.num_edges();
+  for (const OperatorSpec& op : g.operators()) {
+    ++f.type_hist[static_cast<int>(op.type) % kNumOperatorTypes];
+  }
+  return f;
+}
+
+WlSignature ComputeWlSignature(const JobGraph& g) {
+  WlSignature sig;
+  const std::vector<uint64_t> colors = g.WlColors();
+  for (int v = 0; v < g.num_operators(); ++v) {
+    // Two probes per final color (Bloom-style) + one per raw type. The
+    // type probe keeps coarse similarity visible even when refinement
+    // drives every color distinct.
+    sig.Set(static_cast<uint32_t>(Mix(colors[v] ^ kColorSaltA)));
+    sig.Set(static_cast<uint32_t>(Mix(colors[v] ^ kColorSaltB)));
+    sig.Set(static_cast<uint32_t>(
+        Mix(static_cast<uint64_t>(g.op(v).type) ^ kTypeSalt)));
+  }
+  // Directed color 2-grams: one probe per edge.
+  for (const auto& [from, to] : g.edges()) {
+    sig.Set(static_cast<uint32_t>(
+        Mix(Combine(colors[from], colors[to]) ^ kEdgeSalt)));
+  }
+  return sig;
+}
+
+int SignatureOverlap(const WlSignature& a, const WlSignature& b) {
+  int n = 0;
+  for (int w = 0; w < kSignatureWords; ++w) {
+    n += std::popcount(a.words[w] & b.words[w]);
+  }
+  return n;
+}
+
+double FeatureLowerBound(const GraphFeatures& a, const GraphFeatures& b) {
+  int common = 0;
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    common += std::min(a.type_hist[t], b.type_hist[t]);
+  }
+  const int node_lb = std::max(a.nodes, b.nodes) - common;
+  const int edge_lb = std::abs(a.edges - b.edges);
+  return static_cast<double>(node_lb + edge_lb);
+}
+
+}  // namespace streamtune::index

@@ -1,0 +1,76 @@
+// WL-label signatures + scalar features: the per-graph fingerprint of the
+// KB's bit-sliced nearest-center prefilter (see index/bitsliced_index.h).
+//
+// A signature is a fixed-width Bloom-style bit set folded from the graph's
+// Weisfeiler-Leman refinement (JobGraph::WlColors — the same pass that
+// backs CanonicalHash): per-node final colors (unigrams), raw operator
+// types, and per-edge (color_from, color_to) pairs (directed 2-grams). Two
+// isomorphic graphs produce identical signatures; similar graphs share many
+// bits, so popcount(sig_a AND sig_b) is a cheap similarity proxy used to
+// ORDER candidates — it carries no soundness burden.
+//
+// Soundness lives in the scalar features: node count, edge count, and the
+// operator-type histogram are exactly the inputs of the admissible
+// graph::LabelSetLowerBound, so FeatureLowerBound(features(a), features(b))
+// == LabelSetLowerBound(a, b) for the valid DAGs this repo builds. A
+// candidate is pruned only when that bound exceeds the best distance found
+// so far, which is what keeps the two-stage search exact.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dataflow/job_graph.h"
+#include "dataflow/operator.h"
+
+namespace streamtune::index {
+
+/// Signature width. 256 bits = 4 words keeps one signature in half a cache
+/// line and lets the bit-sliced scan process 256 corpus columns per slice.
+inline constexpr int kSignatureBits = 256;
+inline constexpr int kSignatureWords = kSignatureBits / 64;
+
+/// One graph's Bloom-style WL bit signature.
+struct WlSignature {
+  std::array<uint64_t, kSignatureWords> words{};
+
+  void Set(uint32_t bit) {
+    words[(bit % kSignatureBits) / 64] |= 1ULL << (bit % 64);
+  }
+  bool Test(uint32_t bit) const {
+    return (words[(bit % kSignatureBits) / 64] >> (bit % 64)) & 1ULL;
+  }
+  int Popcount() const;
+
+  bool operator==(const WlSignature&) const = default;
+};
+
+/// The scalar features feeding the sound lower bound: exactly the signals
+/// graph::LabelSetLowerBound reads (label multiset + edge count).
+struct GraphFeatures {
+  int32_t nodes = 0;
+  int32_t edges = 0;
+  std::array<int32_t, kNumOperatorTypes> type_hist{};
+
+  bool operator==(const GraphFeatures&) const = default;
+};
+
+GraphFeatures ComputeGraphFeatures(const JobGraph& g);
+
+/// Folds g's WL colors, operator types, and edge color pairs into a
+/// signature. Isomorphism-invariant (all three inputs are multisets of
+/// relabeling-independent values). One WL pass per call; costs the same as
+/// an uncached CanonicalHash().
+WlSignature ComputeWlSignature(const JobGraph& g);
+
+/// popcount(a AND b): the candidate-ordering score of the prefilter.
+int SignatureOverlap(const WlSignature& a, const WlSignature& b);
+
+/// Admissible GED lower bound from features alone. For valid DAGs (no
+/// antiparallel edge pairs — guaranteed by JobGraph::Validate, which every
+/// admitted record passes) this equals graph::LabelSetLowerBound(a, b):
+/// max(n_a, n_b) - sum_t min(hist_a[t], hist_b[t]) + |e_a - e_b|.
+double FeatureLowerBound(const GraphFeatures& a, const GraphFeatures& b);
+
+}  // namespace streamtune::index

@@ -18,6 +18,7 @@ KnowledgeBase StateFromBundle(
   }
   kb.pretrain_corpus_size = static_cast<long long>(bundle->records().size());
   kb.bundle = std::move(bundle);
+  SyncCorpusIndex(&kb);
   return kb;
 }
 
@@ -145,6 +146,13 @@ KbServiceStats KbService::Stats() const {
   // Read `started` after `completed`: concurrent writers can only grow it,
   // so started >= completed holds in every sample.
   stats.admissions_started = admissions_started_.load(std::memory_order_relaxed);
+  // GED-cache counters are sampled outside the consistent block: they are
+  // individually monotone atomics, which is all MonotoneSince() asserts.
+  const graph::GedCache::Stats ged = cache_.stats();
+  stats.ged_hits_exact = static_cast<long long>(ged.hits_exact);
+  stats.ged_hits_certified = static_cast<long long>(ged.hits_certified);
+  stats.ged_misses = static_cast<long long>(ged.misses);
+  stats.ged_entries = static_cast<long long>(ged.entries);
   return stats;
 }
 

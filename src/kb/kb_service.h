@@ -41,6 +41,12 @@ class KbSnapshot {
   std::shared_ptr<const core::PretrainedBundle> bundle() const {
     return kb_.bundle;
   }
+  /// The bit-sliced signature index over this snapshot's corpus (column i
+  /// == bundle records()[i]); rebuilt/extended copy-on-write with the rest
+  /// of the state, so it is as immutable as the snapshot itself.
+  const index::NearestCenterIndex& corpus_index() const {
+    return kb_.corpus_index;
+  }
   /// What the KB knows about `job`; nullptr when it was never admitted.
   const JobKnowledge* job(const std::string& name) const;
 
@@ -88,6 +94,21 @@ struct KbServiceStats {
   /// Admissions that triggered an inline re-pre-training.
   long long repretrains = 0;
 
+  /// GED-cache counters at sample time — how much GED work the signature
+  /// index plus the cache saved the admission path (bench + watchdog
+  /// signal). Sampled from the shared cache's atomics right after the
+  /// consistent block; monotone like the other counters.
+  long long ged_hits_exact = 0;
+  long long ged_hits_certified = 0;
+  long long ged_misses = 0;
+  long long ged_entries = 0;
+
+  long long ged_hits() const { return ged_hits_exact + ged_hits_certified; }
+  double ged_hit_rate() const {
+    const long long total = ged_hits() + ged_misses;
+    return total == 0 ? 0.0 : static_cast<double>(ged_hits()) / total;
+  }
+
   /// Writers queued or in flight behind the copy-on-write writer lock.
   long long writer_queue_depth() const {
     return admissions_started - admissions_completed;
@@ -101,14 +122,20 @@ struct KbServiceStats {
     return admissions_started >= admissions_completed &&
            admissions_completed >= 0 && snapshot_version >= 0 &&
            repretrains >= 0 && repretrains <= admissions_completed &&
-           snapshot_version == admissions_completed;
+           snapshot_version == admissions_completed &&
+           ged_hits_exact >= 0 && ged_hits_certified >= 0 &&
+           ged_misses >= 0 && ged_entries >= 0;
   }
   /// Monotonicity between an earlier sample and this one.
   bool MonotoneSince(const KbServiceStats& earlier) const {
     return snapshot_version >= earlier.snapshot_version &&
            admissions_started >= earlier.admissions_started &&
            admissions_completed >= earlier.admissions_completed &&
-           repretrains >= earlier.repretrains;
+           repretrains >= earlier.repretrains &&
+           ged_hits_exact >= earlier.ged_hits_exact &&
+           ged_hits_certified >= earlier.ged_hits_certified &&
+           ged_misses >= earlier.ged_misses &&
+           ged_entries >= earlier.ged_entries;
   }
 };
 

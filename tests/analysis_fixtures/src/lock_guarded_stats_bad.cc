@@ -1,0 +1,29 @@
+// Fixture: the mutable-stats pattern — a const query method and a named
+// copy helper mutating a STREAMTUNE_GUARDED_BY member with no lock held.
+// st-lock-guarded-by must fire on both: const does not mean thread-safe,
+// and only constructors/destructors are exempt, not named helpers.
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class QueryStats {
+ public:
+  void Record(int evaluated) const {
+    queries_ += 1;          // line 14: const method, still a write
+    evaluated_ += evaluated;  // line 15: same
+  }
+
+  void CopyFrom(const QueryStats& other) {
+    queries_ = 0;  // line 19: named helper is not constructor-exempt
+    (void)other;
+  }
+
+ private:
+  mutable std::mutex stats_mu_;
+  mutable long long queries_ STREAMTUNE_GUARDED_BY(stats_mu_) = 0;
+  mutable long long evaluated_ STREAMTUNE_GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace fixture

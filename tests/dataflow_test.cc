@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "dataflow/feature_encoder.h"
 #include "dataflow/job_graph.h"
 
@@ -97,6 +99,61 @@ TEST(JobGraphTest, TopologicalOrderRespectsEdges) {
   std::vector<int> pos(4);
   for (int i = 0; i < 4; ++i) pos[order.value()[i]] = i;
   for (const auto& [from, to] : g.edges()) EXPECT_LT(pos[from], pos[to]);
+}
+
+TEST(JobGraphTest, CanonicalHashIsMemoizedAndStable) {
+  JobGraph g = Chain3();
+  const uint64_t h = g.CanonicalHash();
+  // Repeated calls serve the memo and must agree with a fresh computation
+  // on an identical graph.
+  EXPECT_EQ(g.CanonicalHash(), h);
+  EXPECT_EQ(Chain3().CanonicalHash(), h);
+}
+
+TEST(JobGraphTest, MutationInvalidatesCanonicalHashMemo) {
+  JobGraph g = Chain3();
+  const uint64_t before = g.CanonicalHash();
+
+  // Structural growth must recompute, matching a from-scratch build.
+  int d = g.AddOperator(Op("map2", OperatorType::kMap));
+  ASSERT_TRUE(g.AddEdge(1, d).ok());
+  const uint64_t grown = g.CanonicalHash();
+  EXPECT_NE(grown, before);
+
+  JobGraph fresh("chain");
+  int a = fresh.AddOperator(Src("src", 1000));
+  int b = fresh.AddOperator(Op("map", OperatorType::kMap));
+  int c = fresh.AddOperator(Op("sink", OperatorType::kSink));
+  ASSERT_TRUE(fresh.AddEdge(a, b).ok());
+  ASSERT_TRUE(fresh.AddEdge(b, c).ok());
+  int d2 = fresh.AddOperator(Op("map2", OperatorType::kMap));
+  ASSERT_TRUE(fresh.AddEdge(b, d2).ok());
+  EXPECT_EQ(fresh.CanonicalHash(), grown);
+
+  // mutable_op can retype an operator, so taking it must drop the memo
+  // even if the caller only reads through the reference.
+  const uint64_t pre = g.CanonicalHash();
+  g.mutable_op(d).type = OperatorType::kFilter;
+  EXPECT_NE(g.CanonicalHash(), pre);
+}
+
+TEST(JobGraphTest, CopiesAndMovesCarryTheHashMemo) {
+  JobGraph g = Chain3();
+  const uint64_t h = g.CanonicalHash();
+
+  JobGraph copy = g;
+  EXPECT_EQ(copy.CanonicalHash(), h);
+  // Mutating the copy must not disturb the original's memo (and vice
+  // versa) — the cached value is per object, not shared.
+  copy.mutable_op(0).source_rate = 2000;
+  int extra = copy.AddOperator(Op("tail", OperatorType::kSink));
+  ASSERT_TRUE(copy.AddEdge(2, extra).ok());
+  EXPECT_NE(copy.CanonicalHash(), h);
+  EXPECT_EQ(g.CanonicalHash(), h);
+
+  JobGraph moved = std::move(copy);
+  EXPECT_EQ(moved.num_operators(), 4);
+  EXPECT_NE(moved.CanonicalHash(), h);
 }
 
 TEST(JobGraphTest, ValidateRejectsSourceAnomalies) {

@@ -142,6 +142,50 @@ TEST(GedCacheTest, IdenticalGraphsShareOneEntry) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(GedCacheTest, StatsSplitHitsByKind) {
+  GedCache cache;
+  JobGraph a = Linear(0), b = Linear(1);
+
+  cache.Compute(a, b);  // miss, stores the exact distance
+  cache.Compute(a, b);  // exact hit
+  EXPECT_EQ(cache.stats().hits_exact, 1u);
+  EXPECT_EQ(cache.stats().hits_certified, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // A pruned search against a fresh pair stores only a certificate; serving
+  // from it is a certified hit, not an exact one.
+  JobGraph c = ThreeWay(0);
+  GedOptions opts;
+  opts.threshold = 1.0;
+  ASSERT_FALSE(cache.Compute(a, c, opts).exact);
+  ASSERT_FALSE(cache.Compute(a, c, opts).exact);
+  EXPECT_EQ(cache.stats().hits_exact, 1u);
+  EXPECT_EQ(cache.stats().hits_certified, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // The aggregate stays the sum of the kinds, and entries mirrors size().
+  EXPECT_EQ(cache.stats().hits,
+            cache.stats().hits_exact + cache.stats().hits_certified);
+  EXPECT_EQ(cache.stats().entries, cache.size());
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 2.0 / 4.0);
+}
+
+TEST(GedCacheTest, ClearResetsHitKindsToo) {
+  GedCache cache;
+  JobGraph a = Linear(2), b = ThreeWay(2);
+  cache.Compute(a, b);
+  cache.Compute(a, b);
+  cache.WithinThreshold(a, ThreeWay(3), 0.5);
+  cache.WithinThreshold(a, ThreeWay(3), 0.25);
+  ASSERT_GT(cache.stats().hits_exact, 0u);
+  ASSERT_GT(cache.stats().hits_certified, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().hits_exact, 0u);
+  EXPECT_EQ(cache.stats().hits_certified, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
 TEST(GedCacheTest, ClearResetsEntriesAndStats) {
   GedCache cache;
   cache.Compute(Linear(0), Linear(1));

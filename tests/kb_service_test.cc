@@ -269,6 +269,35 @@ TEST(KbServiceTest, StatsMonotoneAndConsistentAcrossAdmissions) {
   EXPECT_EQ(after_reject.admissions_completed, 3);
 }
 
+TEST(KbServiceTest, StatsExposeGedCacheCountersFromAdmissions) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  KbServiceStats before = (*service)->Stats();
+  EXPECT_TRUE(before.Consistent());
+  EXPECT_EQ(before.ged_hits(), 0);
+  EXPECT_EQ(before.ged_misses, 0);
+  EXPECT_EQ(before.ged_entries, 0);
+
+  // Each admission runs the two-stage nearest-center search through the
+  // service's shared GedCache, so the GED counters must move.
+  JobGraph q8 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ8,
+                                           workloads::Engine::kFlink);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*service)->Admit(MakeAdmission(q8, 900 + i)).ok());
+  }
+  KbServiceStats after = (*service)->Stats();
+  EXPECT_TRUE(after.Consistent());
+  EXPECT_TRUE(after.MonotoneSince(before));
+  EXPECT_GT(after.ged_misses + after.ged_hits(), 0);
+  EXPECT_GT(after.ged_entries, 0);
+  // Admissions 2 and 3 repeat admission 1's query structure, so the cache
+  // must have served at least one of them.
+  EXPECT_GT(after.ged_hits(), 0);
+  EXPECT_GT(after.ged_hit_rate(), 0.0);
+  EXPECT_LE(after.ged_hit_rate(), 1.0);
+}
+
 TEST(KbServiceTest, StatsConsistentUnderConcurrentWriters) {
   KbUpdateOptions o = SmallOptions();
   auto service_res = KbService::Build(SampleCorpus(3), o);

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <sys/stat.h>
 
+#include "common/crc32.h"
+#include "index/wl_signature.h"
 #include "kb/kb_service.h"
 #include "kb/kb_store.h"
 #include "kb/kb_updater.h"
@@ -239,6 +241,145 @@ TEST(KbStoreTest, SaveToUnwritablePathFails) {
   ASSERT_TRUE(service.ok()) << service.status().ToString();
   Status st = (*service)->Save("/nonexistent/dir/kb.txt");
   EXPECT_FALSE(st.ok());
+}
+
+// ---- Index section (version 2) ---------------------------------------------
+
+/// Byte offset where the index section's header line starts. The index is
+/// the last section, so [SectionStart, size) covers header + body.
+size_t IndexSectionStart(const std::string& content) {
+  size_t pos = content.find("\nsection index ");
+  EXPECT_NE(pos, std::string::npos);
+  return pos + 1;
+}
+
+/// Byte offset of the index section's body (just past its header newline).
+size_t IndexBodyStart(const std::string& content) {
+  size_t header = IndexSectionStart(content);
+  size_t nl = content.find('\n', header);
+  EXPECT_NE(nl, std::string::npos);
+  return nl + 1;
+}
+
+TEST(KbStoreTest, RoundTripPreservesCorpusIndex) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("idxroundtrip");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  auto back = LoadKb(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const KnowledgeBase& orig = (*service)->Snapshot()->kb();
+  ASSERT_EQ(back->corpus_index.size(), orig.corpus_index.size());
+  ASSERT_EQ(static_cast<size_t>(back->corpus_index.size()),
+            back->bundle->records().size());
+  for (int i = 0; i < back->corpus_index.size(); ++i) {
+    EXPECT_EQ(back->corpus_index.slices().signature(i),
+              index::ComputeWlSignature(back->bundle->records()[i].graph))
+        << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, LegacyVersion1FileLoadsAndRebuildsIndex) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  JobGraph q5 = workloads::BuildNexmarkJob(workloads::NexmarkQuery::kQ5,
+                                           workloads::Engine::kFlink);
+  ASSERT_TRUE((*service)->Admit(MakeAdmission(**service, q5, 41)).ok());
+  std::string path = TempPath("v1compat");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+
+  // Reconstruct what a pre-index writer produced: version-1 header, three
+  // sections, no index section (it is the last one, so a clean cut).
+  std::string legacy = content.substr(0, IndexSectionStart(content));
+  const std::string v2_header = "STKB 2\nsections 4\n";
+  ASSERT_EQ(legacy.compare(0, v2_header.size(), v2_header), 0);
+  legacy = "STKB 1\nsections 3\n" + legacy.substr(v2_header.size());
+  WriteAll(path, legacy);
+
+  auto back = LoadKb(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(static_cast<size_t>(back->corpus_index.size()),
+            back->bundle->records().size());
+  for (int i = 0; i < back->corpus_index.size(); ++i) {
+    EXPECT_EQ(back->corpus_index.slices().signature(i),
+              index::ComputeWlSignature(back->bundle->records()[i].graph))
+        << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, IndexSectionBitFlipIsRejected) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("idxflip");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+
+  // Dense sweep over the index section only (header + body).
+  int flips = 0;
+  for (size_t pos = IndexSectionStart(content); pos < content.size();
+       pos += 7) {
+    std::string corrupted = content;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << (pos % 8)));
+    WriteAll(path, corrupted);
+    EXPECT_FALSE(LoadKb(path).ok())
+        << "index-section bit flip at byte " << pos << " loaded";
+    ++flips;
+  }
+  EXPECT_GT(flips, 10);
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, IndexSectionTruncationIsRejected) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("idxtrunc");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+  const size_t body = IndexBodyStart(content);
+  for (size_t keep :
+       {body, body + (content.size() - body) / 2, content.size() - 1}) {
+    WriteAll(path, content.substr(0, keep));
+    EXPECT_FALSE(LoadKb(path).ok())
+        << "file truncated inside the index section at " << keep << " loaded";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KbStoreTest, IndexInconsistentWithCorpusIsRejectedDespiteValidCrc) {
+  auto service = KbService::Build(SampleCorpus(), SmallOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::string path = TempPath("idxtamper");
+  ASSERT_TRUE((*service)->Save(path).ok());
+  std::string content = ReadAll(path);
+
+  // An attacker (or a buggy external tool) rewrites column 0's signature
+  // AND fixes the section CRC so the checksum passes. The load-time spot
+  // check against signatures recomputed from the corpus must still refuse.
+  std::string prefix = content.substr(0, IndexSectionStart(content));
+  std::string body = content.substr(IndexBodyStart(content));
+  const size_t line_end = body.find('\n', body.find('\n') + 1);
+  ASSERT_NE(line_end, std::string::npos);
+  size_t last_space = body.rfind(' ', line_end);
+  ASSERT_NE(last_space, std::string::npos);
+  std::string tampered = body.substr(0, last_space + 1) + "deadbeef" +
+                         body.substr(line_end);
+  ASSERT_NE(tampered, body);
+  std::ostringstream out;
+  out << prefix << "section index " << tampered.size() << ' '
+      << Crc32(tampered) << '\n'
+      << tampered;
+  WriteAll(path, out.str());
+
+  auto loaded = LoadKb(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("inconsistent"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(KbStoreTest, LoadRejectsMissingAndForeignFiles) {
