@@ -1,0 +1,408 @@
+// Adaptive execution-strategy engine, measured end to end (DESIGN.md §14).
+//
+// Two experiments, one per layer of the engine:
+//
+// 1. Metrics-aggregation sweep (common/ + sim/): reduce N flow-solver
+//    samples into one FlowMetricsAccum under each ParallelReduce strategy
+//    (ordered fold = the pre-PR gather-then-fold shape, tree merge, radix
+//    shard) and under the selector (auto). Reports per-cell times, the
+//    best fixed strategy's speedup over the ordered fold, and the
+//    selector's regret against the best fixed choice. Every strategy is
+//    checked bit-identical to the serial reference fold.
+//
+// 2. Pre-train GED assignment (graph/): assign a random-DAG corpus to its
+//    nearest center by threshold-pruned GED, once with the per-pair policy
+//    pinned to the pre-PR fixed search (STREAMTUNE_GED_POLICY=bounded) and
+//    once adaptive. The adaptive run must produce the identical assignment
+//    (outcome invariance) while skipping Prepare + greedy + A* for every
+//    pair the lower-bound screen already proves dissimilar.
+//
+// Writes BENCH_exec.json with host provenance, the strategy execution
+// counters and the GED policy histogram.
+//
+// Environment knobs:
+//   ST_BENCH_METRICS_MAXPOW        largest sweep cell = 2^pow (default 20)
+//   ST_BENCH_REPS                  timing repetitions, best-of (default 3)
+//   ST_BENCH_GED_CORPUS            corpus size for the assignment phase
+//                                  (default 10000)
+//   ST_BENCH_GED_CENTERS           number of centers (default 32)
+//   ST_BENCH_GATE                  1 enforces the CI gates, exit 1 on miss
+//   ST_GATE_METRICS_SPEEDUP_PCT    min best-fixed speedup over the ordered
+//                                  fold at the largest cell, %% (default 150)
+//   ST_GATE_REGRET_PCT             max selector regret vs the best fixed
+//                                  strategy, any cell, %% (default 10)
+//   ST_GATE_GED_SPEEDUP_PCT        min adaptive-over-pinned speedup on the
+//                                  assignment phase, %% (default 200)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel_reduce.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/ged_cache.h"
+#include "graph/ged_kmeans.h"
+#include "graph/ged_policy.h"
+#include "sim/flow_solver.h"
+#include "sim/metrics_aggregator.h"
+#include "workloads/random_dag.h"
+
+using namespace streamtune;
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool AccumEqual(const sim::FlowMetricsAccum& a,
+                const sim::FlowMetricsAccum& b) {
+  return a.samples == b.samples &&
+         a.backpressured_samples == b.backpressured_samples &&
+         a.operators == b.operators &&
+         a.saturated_operators == b.saturated_operators &&
+         a.blocked_operators == b.blocked_operators &&
+         a.min_lambda == b.min_lambda && a.max_lambda == b.max_lambda &&
+         a.lambda_micros == b.lambda_micros &&
+         a.busy_micros == b.busy_micros;
+}
+
+struct MetricsCell {
+  long long n = 0;
+  double ordered_ms = 0;
+  double tree_ms = 0;
+  double radix_ms = 0;
+  double auto_ms = 0;
+  std::string auto_picked;
+  double best_fixed_speedup = 0;  ///< ordered_ms / best fixed strategy
+  double regret = 0;              ///< auto_ms / best fixed ms - 1
+  bool exact = true;
+};
+
+struct GedPhase {
+  long long corpus = 0;
+  int centers = 0;
+  double pinned_ms = 0;
+  double adaptive_ms = 0;
+  double speedup = 0;
+  bool assignments_match = true;
+  graph::GedCache::Stats adaptive_stats;
+};
+
+}  // namespace
+
+int main() {
+  const int max_pow = bench::EnvInt("ST_BENCH_METRICS_MAXPOW", 20);
+  const int reps = bench::EnvInt("ST_BENCH_REPS", 3);
+  const long long ged_corpus = bench::EnvInt("ST_BENCH_GED_CORPUS", 10000);
+  const int ged_centers = bench::EnvInt("ST_BENCH_GED_CENTERS", 32);
+
+  // A strategy pin in the environment would turn the sweep into four runs
+  // of the same shape; measure what the engine actually does.
+  unsetenv("STREAMTUNE_REDUCE_STRATEGY");
+  unsetenv("STREAMTUNE_GED_POLICY");
+  StrategySelector::ResetStats();
+
+  // ---- Phase 1: metrics-aggregation sweep -------------------------------
+  // A bank of genuine flow solutions (one job, capacity scaled around the
+  // feasibility knee so some samples backpressure), cycled to any N: the
+  // map stays realistic while the reduction shape is what varies.
+  Rng rng(0xB0B);
+  const JobGraph job = workloads::GenerateRandomDag(&rng);
+  const size_t ops = static_cast<size_t>(job.num_operators());
+  std::vector<sim::FlowResult> bank;
+  {
+    std::vector<double> selectivity(ops, 0.9);
+    std::vector<double> source_rate(ops, 0.0);
+    for (size_t v = 0; v < ops; ++v) {
+      if (job.op(static_cast<int>(v)).type == OperatorType::kSource) {
+        source_rate[v] = 1000.0;
+      }
+    }
+    for (int s = 0; s < 256; ++s) {
+      std::vector<double> capacity(ops);
+      for (size_t v = 0; v < ops; ++v) {
+        capacity[v] = 600.0 + 8.0 * ((s * 37 + static_cast<int>(v) * 11) % 200);
+      }
+      bank.push_back(sim::SolveFlow(job, capacity, selectivity, source_rate));
+    }
+  }
+  const auto solve_at = [&bank](int64_t i) -> const sim::FlowResult& {
+    return bank[static_cast<size_t>(i) % bank.size()];
+  };
+
+  ThreadPool pool;
+  std::vector<MetricsCell> cells;
+  for (int pow = 14; pow <= max_pow; pow += 3) {
+    MetricsCell cell;
+    cell.n = 1LL << pow;
+    const sim::FlowMetricsAccum reference =
+        sim::AggregateFlowMetrics(nullptr, cell.n, solve_at);
+
+    auto time_strategy = [&](ReduceStrategy s) {
+      double best = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        const double t0 = NowMs();
+        const sim::FlowMetricsAccum got =
+            sim::AggregateFlowMetrics(&pool, cell.n, solve_at, s);
+        best = std::min(best, NowMs() - t0);
+        if (!AccumEqual(got, reference)) {
+          cell.exact = false;
+          std::fprintf(stderr, "MISMATCH n=%lld strategy=%s\n", cell.n,
+                       ToString(s));
+        }
+      }
+      return best;
+    };
+
+    cell.ordered_ms = time_strategy(ReduceStrategy::kOrderedFold);
+    cell.tree_ms = time_strategy(ReduceStrategy::kTreeMerge);
+    cell.radix_ms = time_strategy(ReduceStrategy::kRadixShard);
+    const StrategyStatsSnapshot before = StrategySelector::Snapshot();
+    cell.auto_ms = time_strategy(ReduceStrategy::kAuto);
+    const StrategyStatsSnapshot after = StrategySelector::Snapshot();
+    // The auto runs all picked the same strategy (same observables); name
+    // the counter that moved.
+    if (after.radix > before.radix) {
+      cell.auto_picked = "radix";
+    } else if (after.tree > before.tree) {
+      cell.auto_picked = "tree";
+    } else {
+      cell.auto_picked = "ordered";
+    }
+
+    const double best_fixed = std::min({cell.tree_ms, cell.radix_ms});
+    cell.best_fixed_speedup =
+        best_fixed > 0 ? cell.ordered_ms / best_fixed : 0;
+    const double best_any = std::min(best_fixed, cell.ordered_ms);
+    cell.regret = best_any > 0 ? cell.auto_ms / best_any - 1.0 : 0;
+    cells.push_back(cell);
+    std::printf(
+        "[metrics n=%8lld] ordered %8.2f ms | tree %8.2f ms | radix %8.2f "
+        "ms | auto %8.2f ms (%s) | best-fixed %5.2fx | regret %+6.1f%%%s\n",
+        cell.n, cell.ordered_ms, cell.tree_ms, cell.radix_ms, cell.auto_ms,
+        cell.auto_picked.c_str(), cell.best_fixed_speedup,
+        cell.regret * 100.0, cell.exact ? "" : "  MISMATCH (BUG)");
+  }
+
+  // ---- Phase 2: pre-train GED assignment --------------------------------
+  // The clustered pre-train regime the paper's KB is built on: workloads
+  // recur, so the corpus is duplicates and small variants of a handful of
+  // structurally distinct job shapes (the cluster centers). Each graph is
+  // assigned to the nearest center within tau (Def. 1), the threshold
+  // tightening to the best distance found so far — exactly the pruning
+  // structure of the kmeans assignment step. For every far pair the label
+  // set lower bound already proves ged > threshold; the pinned policy
+  // still pays Prepare + greedy + a pruned root expansion there, the
+  // adaptive policy answers from the screen.
+  GedPhase ged;
+  ged.corpus = ged_corpus;
+  ged.centers = ged_centers;
+  {
+    const double tau = 2.0;
+    // Centers: random jobs kept only if the lower bound to every earlier
+    // center clears tau with margin (distinct clusters have distinct
+    // shapes; the margin keeps one-edit variants screenable too).
+    std::vector<JobGraph> centers;
+    {
+      Rng center_rng(0xACE);
+      int attempts = 0;
+      while (static_cast<int>(centers.size()) < ged_centers &&
+             attempts < 100 * ged_centers) {
+        ++attempts;
+        // Vary the shape envelope so mutually distant centers exist: size
+        // spread is what drives the label-set bound apart.
+        workloads::RandomDagConfig cfg;
+        cfg.min_sources = 1 + attempts % 3;
+        cfg.max_sources = cfg.min_sources;
+        cfg.max_chain_length = 1 + (attempts / 3) % 6;
+        JobGraph candidate = workloads::GenerateRandomDag(&center_rng, cfg);
+        bool distinct = true;
+        for (const JobGraph& c : centers) {
+          if (graph::LabelSetLowerBound(candidate, c) <= tau + 3.0) {
+            distinct = false;
+            break;
+          }
+        }
+        if (distinct) centers.push_back(std::move(candidate));
+      }
+      ged.centers = static_cast<int>(centers.size());
+    }
+
+    // Corpus: each graph recurs as a copy of its center, a quarter of them
+    // with one operator relabeled (distance <= 2, still within tau).
+    std::vector<JobGraph> corpus;
+    corpus.reserve(static_cast<size_t>(ged_corpus));
+    for (long long i = 0; i < ged_corpus; ++i) {
+      JobGraph g = centers[static_cast<size_t>(i) % centers.size()];
+      if (i % 4 == 0) {
+        for (int v = 0; v < g.num_operators(); ++v) {
+          OperatorType& t = g.mutable_op(v).type;
+          if (t == OperatorType::kMap) {
+            t = OperatorType::kFilter;
+            break;
+          }
+          if (t == OperatorType::kFilter) {
+            t = OperatorType::kMap;
+            break;
+          }
+        }
+      }
+      corpus.push_back(std::move(g));
+    }
+
+    auto assign_all = [&](graph::GedPolicyCounters* counters) {
+      std::vector<int> assignment(corpus.size(), -1);
+      for (size_t i = 0; i < corpus.size(); ++i) {
+        double best = tau;
+        for (size_t c = 0; c < centers.size(); ++c) {
+          graph::GedOptions opts;
+          opts.threshold = best;
+          const graph::GedResult r =
+              graph::PolicyComputeGed(corpus[i], centers[c], opts, counters);
+          if (r.exact && r.distance <= best) {
+            best = r.distance;
+            assignment[i] = static_cast<int>(c);
+          }
+        }
+      }
+      return assignment;
+    };
+
+    setenv("STREAMTUNE_GED_POLICY", "bounded", 1);
+    double t0 = NowMs();
+    const std::vector<int> pinned = assign_all(nullptr);
+    ged.pinned_ms = NowMs() - t0;
+
+    unsetenv("STREAMTUNE_GED_POLICY");
+    graph::GedPolicyCounters counters;
+    t0 = NowMs();
+    const std::vector<int> adaptive = assign_all(&counters);
+    ged.adaptive_ms = NowMs() - t0;
+
+    ged.assignments_match = adaptive == pinned;
+    bool all_assigned = true;
+    for (int a : adaptive) all_assigned &= a >= 0;
+    ged.assignments_match &= all_assigned;
+    ged.speedup = ged.adaptive_ms > 0 ? ged.pinned_ms / ged.adaptive_ms : 0;
+    ged.adaptive_stats.policy_upper = counters.upper.load();
+    ged.adaptive_stats.policy_bounded = counters.bounded.load();
+    ged.adaptive_stats.policy_exact = counters.exact.load();
+    ged.adaptive_stats.budget_exhausted = counters.budget_exhausted.load();
+    std::printf(
+        "[ged corpus=%lld centers=%d] pinned %8.1f ms | adaptive %8.1f ms "
+        "-> %5.2fx | upper %llu bounded %llu exact %llu budget %llu%s\n",
+        ged.corpus, ged.centers, ged.pinned_ms, ged.adaptive_ms, ged.speedup,
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_upper),
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_bounded),
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_exact),
+        static_cast<unsigned long long>(ged.adaptive_stats.budget_exhausted),
+        ged.assignments_match ? "" : "  ASSIGNMENT MISMATCH (BUG)");
+  }
+
+  bool exact_all = ged.assignments_match;
+  for (const MetricsCell& c : cells) exact_all &= c.exact;
+  const MetricsCell& headline = cells.back();
+
+  const StrategyStatsSnapshot strat = StrategySelector::Snapshot();
+  std::ostringstream json;
+  json << "{\n  \"host\": " << bench::HostInfoJson() << ",\n"
+       << "  \"reps\": " << reps << ",\n  \"metrics_sweep\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MetricsCell& c = cells[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"n\": %lld, \"ordered_ms\": %.3f, \"tree_ms\": %.3f, "
+        "\"radix_ms\": %.3f, \"auto_ms\": %.3f, \"auto_picked\": \"%s\", "
+        "\"best_fixed_speedup\": %.3f, \"regret\": %.4f, \"exact\": %s}%s\n",
+        c.n, c.ordered_ms, c.tree_ms, c.radix_ms, c.auto_ms,
+        c.auto_picked.c_str(), c.best_fixed_speedup, c.regret,
+        c.exact ? "true" : "false", i + 1 < cells.size() ? "," : "");
+    json << line;
+  }
+  json << "  ],\n";
+  {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"ged_assignment\": {\"corpus\": %lld, \"centers\": %d, "
+        "\"pinned_ms\": %.1f, \"adaptive_ms\": %.1f, \"speedup\": %.3f, "
+        "\"assignments_match\": %s, \"policy_upper\": %llu, "
+        "\"policy_bounded\": %llu, \"policy_exact\": %llu, "
+        "\"budget_exhausted\": %llu},\n"
+        "  \"strategy_counters\": {\"ordered\": %llu, \"tree\": %llu, "
+        "\"radix\": %llu, \"auto_picks\": %llu, \"pinned_picks\": %llu, "
+        "\"clamped\": %llu},\n"
+        "  \"headline_metrics_speedup\": %.3f,\n"
+        "  \"headline_ged_speedup\": %.3f,\n"
+        "  \"exactness\": %s\n}\n",
+        ged.corpus, ged.centers, ged.pinned_ms, ged.adaptive_ms, ged.speedup,
+        ged.assignments_match ? "true" : "false",
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_upper),
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_bounded),
+        static_cast<unsigned long long>(ged.adaptive_stats.policy_exact),
+        static_cast<unsigned long long>(ged.adaptive_stats.budget_exhausted),
+        static_cast<unsigned long long>(strat.ordered),
+        static_cast<unsigned long long>(strat.tree),
+        static_cast<unsigned long long>(strat.radix),
+        static_cast<unsigned long long>(strat.auto_picks),
+        static_cast<unsigned long long>(strat.pinned_picks),
+        static_cast<unsigned long long>(strat.clamped),
+        headline.best_fixed_speedup, ged.speedup,
+        exact_all ? "true" : "false");
+    json << buf;
+  }
+  {
+    std::ofstream f("BENCH_exec.json", std::ios::trunc);
+    f << json.str();
+  }
+  std::printf("wrote BENCH_exec.json\n");
+
+  // Self-enforcing CI gates.
+  if (bench::EnvInt("ST_BENCH_GATE", 0) != 0) {
+    const double min_metrics =
+        bench::EnvInt("ST_GATE_METRICS_SPEEDUP_PCT", 150) / 100.0;
+    const double max_regret = bench::EnvInt("ST_GATE_REGRET_PCT", 10) / 100.0;
+    const double min_ged =
+        bench::EnvInt("ST_GATE_GED_SPEEDUP_PCT", 200) / 100.0;
+    int failures = 0;
+    if (!exact_all) {
+      std::fprintf(stderr, "GATE: bit-identity violated\n");
+      ++failures;
+    }
+    if (headline.best_fixed_speedup < min_metrics) {
+      std::fprintf(stderr, "GATE: metrics speedup %.2f < %.2f at n=%lld\n",
+                   headline.best_fixed_speedup, min_metrics, headline.n);
+      ++failures;
+    }
+    for (const MetricsCell& c : cells) {
+      if (c.regret > max_regret) {
+        std::fprintf(stderr, "GATE: selector regret %.1f%% > %.1f%% at "
+                     "n=%lld\n",
+                     c.regret * 100.0, max_regret * 100.0, c.n);
+        ++failures;
+      }
+    }
+    if (ged.speedup < min_ged) {
+      std::fprintf(stderr, "GATE: ged speedup %.2f < %.2f\n", ged.speedup,
+                   min_ged);
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf(
+        "gates: OK (metrics >= %.2fx, regret <= %.0f%%, ged >= %.2fx, "
+        "exact)\n",
+        min_metrics, max_regret * 100.0, min_ged);
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "common/exec_strategy.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace streamtune {
+
+namespace {
+
+// Cost-model thresholds (DESIGN.md §14). Tuned against BENCH_exec.json on
+// the reference box; all of them only steer which bit-identical strategy
+// runs, never what it computes.
+//
+// Below this item count the slot array fits in L1 and the fold is a blip:
+// the ordered shape costs nothing measurable, so keep the pre-PR behavior.
+constexpr int64_t kSmallItems = 64;
+// Radix sharding walks the index space with stride = shard count, which is
+// only worth it for very large, very cheap items where the strided partial
+// accumulation amortizes (the parallel-groupby "radix partitioning" regime).
+constexpr int64_t kRadixMinItems = int64_t{1} << 16;
+constexpr double kRadixMaxItemNs = 100.0;
+
+struct Counters {
+  std::atomic<uint64_t> ordered{0};
+  std::atomic<uint64_t> tree{0};
+  std::atomic<uint64_t> radix{0};
+  std::atomic<uint64_t> auto_picks{0};
+  std::atomic<uint64_t> pinned_picks{0};
+  std::atomic<uint64_t> clamped{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+}  // namespace
+
+const char* ToString(ReduceStrategy s) {
+  switch (s) {
+    case ReduceStrategy::kAuto:
+      return "auto";
+    case ReduceStrategy::kOrderedFold:
+      return "ordered";
+    case ReduceStrategy::kTreeMerge:
+      return "tree";
+    case ReduceStrategy::kRadixShard:
+      return "radix";
+  }
+  return "?";
+}
+
+const char* ToString(CombineAlgebra a) {
+  switch (a) {
+    case CombineAlgebra::kOrderedOnly:
+      return "ordered-only";
+    case CombineAlgebra::kAssociative:
+      return "associative";
+    case CombineAlgebra::kCommutative:
+      return "commutative";
+  }
+  return "?";
+}
+
+ReduceStrategy StrategySelector::ClampToAlgebra(ReduceStrategy s,
+                                                CombineAlgebra a) {
+  if (s == ReduceStrategy::kRadixShard && a != CombineAlgebra::kCommutative) {
+    s = ReduceStrategy::kTreeMerge;
+  }
+  if (s == ReduceStrategy::kTreeMerge && a == CombineAlgebra::kOrderedOnly) {
+    s = ReduceStrategy::kOrderedFold;
+  }
+  return s;
+}
+
+ReduceStrategy StrategySelector::EnvPin() {
+  const char* v = std::getenv("STREAMTUNE_REDUCE_STRATEGY");
+  if (v == nullptr) return ReduceStrategy::kAuto;
+  if (std::strcmp(v, "ordered") == 0) return ReduceStrategy::kOrderedFold;
+  if (std::strcmp(v, "tree") == 0) return ReduceStrategy::kTreeMerge;
+  if (std::strcmp(v, "radix") == 0) return ReduceStrategy::kRadixShard;
+  return ReduceStrategy::kAuto;
+}
+
+bool StrategySelector::WantsCostEstimate(const ReduceOptions& opts) {
+  if (opts.algebra == CombineAlgebra::kOrderedOnly) return false;
+  if (opts.strategy != ReduceStrategy::kAuto) return false;
+  return EnvPin() == ReduceStrategy::kAuto;
+}
+
+ReduceStrategy StrategySelector::Pick(int64_t items, int threads,
+                                      int64_t accumulator_bytes,
+                                      const ReduceOptions& opts) {
+  (void)threads;  // observable kept for future models; today's rules are
+                  // item/cost/size-driven so 1-thread boxes benefit too.
+  // Env pin beats the per-call pin beats the model: the env knob exists to
+  // reproduce a run without touching call sites.
+  ReduceStrategy s = EnvPin();
+  if (s == ReduceStrategy::kAuto) s = opts.strategy;
+  if (s != ReduceStrategy::kAuto) return ClampToAlgebra(s, opts.algebra);
+
+  if (opts.algebra == CombineAlgebra::kOrderedOnly ||
+      items < kSmallItems) {
+    return ReduceStrategy::kOrderedFold;
+  }
+  // A non-ordered strategy folds chunk partials in registers instead of
+  // materializing items * sizeof(T) of slots and re-reading them serially;
+  // whenever the algebra allows one, it is at worst neutral. Radix only for
+  // the huge-and-cheap regime; tree everywhere else.
+  (void)accumulator_bytes;
+  if (opts.algebra == CombineAlgebra::kCommutative &&
+      items >= kRadixMinItems && opts.cost_hint_ns > 0.0 &&
+      opts.cost_hint_ns < kRadixMaxItemNs) {
+    return ReduceStrategy::kRadixShard;
+  }
+  return ReduceStrategy::kTreeMerge;
+}
+
+void StrategySelector::RecordExecution(ReduceStrategy executed, bool pinned,
+                                       bool clamped) {
+  Counters& c = counters();
+  switch (executed) {
+    case ReduceStrategy::kOrderedFold:
+      c.ordered.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ReduceStrategy::kTreeMerge:
+      c.tree.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ReduceStrategy::kRadixShard:
+      c.radix.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ReduceStrategy::kAuto:
+      break;  // never executed
+  }
+  (pinned ? c.pinned_picks : c.auto_picks)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (clamped) c.clamped.fetch_add(1, std::memory_order_relaxed);
+}
+
+StrategyStatsSnapshot StrategySelector::Snapshot() {
+  const Counters& c = counters();
+  StrategyStatsSnapshot s;
+  s.ordered = c.ordered.load(std::memory_order_relaxed);
+  s.tree = c.tree.load(std::memory_order_relaxed);
+  s.radix = c.radix.load(std::memory_order_relaxed);
+  s.auto_picks = c.auto_picks.load(std::memory_order_relaxed);
+  s.pinned_picks = c.pinned_picks.load(std::memory_order_relaxed);
+  s.clamped = c.clamped.load(std::memory_order_relaxed);
+  return s;
+}
+
+void StrategySelector::ResetStats() {
+  Counters& c = counters();
+  c.ordered.store(0, std::memory_order_relaxed);
+  c.tree.store(0, std::memory_order_relaxed);
+  c.radix.store(0, std::memory_order_relaxed);
+  c.auto_picks.store(0, std::memory_order_relaxed);
+  c.pinned_picks.store(0, std::memory_order_relaxed);
+  c.clamped.store(0, std::memory_order_relaxed);
+}
+
+int64_t StrategySelector::NowNanos() {
+  // Warmup-slice timing: the clock steers only which of several
+  // bit-identical strategies runs, never a computed value, so it cannot
+  // break run-to-run determinism of results.
+  const auto now =
+      std::chrono::steady_clock::now();  // NOLINT(st-determinism-random)
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace streamtune

@@ -1,0 +1,132 @@
+// Runtime selection among deterministic parallel-reduction strategies.
+//
+// Every reduction in this codebase used to run one fixed shape: ParallelFor
+// into a slot per item, then a serial fold in index order (the "ordered
+// fold"). That shape is always correct but not always fast — it materializes
+// one accumulator per item and re-reads the whole slot array on one thread.
+// Following the parallel-groupby playbook (competing GROUP BY strategies
+// picked at runtime by a small cost model), ParallelReduce offers three
+// strategies and a StrategySelector that picks one per call site from cheap
+// observables: item count, a per-item cost estimate (caller hint or a timed
+// warmup slice), accumulator size and thread count.
+//
+// Determinism contract (DESIGN.md §14): every strategy returns a result
+// bit-identical to the serial left fold at any thread count. The caller
+// declares the algebra of its combine operator, and the selector only picks
+// strategies that are exact for that algebra:
+//
+//   kOrderedOnly   combine is not (bitwise) reassociable — e.g. a running
+//                  double sum of arbitrary values. Only the ordered fold is
+//                  legal; requests for other strategies are clamped.
+//   kAssociative   combine(combine(a, b), c) is bit-identical to
+//                  combine(a, combine(b, c)) on the value domain — e.g.
+//                  list concatenation, first-error-by-lowest-index. Ordered
+//                  fold and tree merge are legal.
+//   kCommutative   associative and combine(a, b) bit-identical to
+//                  combine(b, a) — e.g. integer sums, min/max, bitwise or,
+//                  argmax with a canonical index tie-break, fixed-point
+//                  sums. All strategies (including radix sharding) are
+//                  legal.
+//
+// Declaring an algebra asserts *bitwise* exactness, not mathematical
+// associativity: a plain double sum is mathematically associative but not
+// bitwise so, and must be declared kOrderedOnly.
+//
+// Pinning: the environment variable STREAMTUNE_REDUCE_STRATEGY
+// (ordered|tree|radix|auto) or ReduceOptions::strategy overrides the
+// selector for reproducibility studies; pins are still clamped to the
+// declared algebra, so a pin can never change a result.
+
+#pragma once
+
+#include <cstdint>
+
+namespace streamtune {
+
+/// The competing reduction shapes (see parallel_reduce.h for each one).
+enum class ReduceStrategy {
+  kAuto = 0,     ///< let StrategySelector pick
+  kOrderedFold,  ///< slot per item + serial fold in index order (pre-PR shape)
+  kTreeMerge,    ///< fixed contiguous chunks + canonical binary tree merge
+  kRadixShard,   ///< index-residue shards + ascending shard-id merge
+};
+
+/// What the caller guarantees about its combine operator (bitwise).
+enum class CombineAlgebra {
+  kOrderedOnly = 0,
+  kAssociative,
+  kCommutative,
+};
+
+const char* ToString(ReduceStrategy s);
+const char* ToString(CombineAlgebra a);
+
+/// Per-call knobs for ParallelReduce.
+struct ReduceOptions {
+  /// kAuto defers to StrategySelector (or the env pin); anything else is a
+  /// per-call pin, clamped to what `algebra` allows.
+  ReduceStrategy strategy = ReduceStrategy::kAuto;
+  /// The caller's exactness contract for `combine` (see file comment).
+  CombineAlgebra algebra = CombineAlgebra::kOrderedOnly;
+  /// Estimated cost of one map(i) call in nanoseconds; 0 = unknown, let
+  /// ParallelReduce time a warmup slice when a choice actually exists.
+  double cost_hint_ns = 0.0;
+};
+
+/// Process-wide execution counters (satellite observability): how often each
+/// strategy actually ran, and whether the pick came from the selector or a
+/// pin. Sampled into bench JSON next to the GED policy histogram.
+struct StrategyStatsSnapshot {
+  uint64_t ordered = 0;
+  uint64_t tree = 0;
+  uint64_t radix = 0;
+  /// Executions whose strategy came from the cost model (opts + env = auto).
+  uint64_t auto_picks = 0;
+  /// Executions pinned by options or STREAMTUNE_REDUCE_STRATEGY.
+  uint64_t pinned_picks = 0;
+  /// Requested strategy was illegal for the declared algebra and was
+  /// downgraded (radix -> tree -> ordered).
+  uint64_t clamped = 0;
+  uint64_t total() const { return ordered + tree + radix; }
+};
+
+/// The cost model + bookkeeping. All methods are static and thread-safe.
+class StrategySelector {
+ public:
+  /// Picks the strategy for one reduction: env pin, then options pin, then
+  /// the cost model — always clamped to `algebra`. `items` is the number of
+  /// mapped items, `threads` the pool width, `accumulator_bytes` sizeof of
+  /// the accumulator type, `cost_ns` the per-item estimate (0 = unknown).
+  static ReduceStrategy Pick(int64_t items, int threads,
+                             int64_t accumulator_bytes,
+                             const ReduceOptions& opts);
+
+  /// Downgrades `s` to the strongest strategy legal under `algebra`
+  /// (radix needs kCommutative, tree needs kAssociative; ordered is always
+  /// legal). kAuto passes through.
+  static ReduceStrategy ClampToAlgebra(ReduceStrategy s, CombineAlgebra a);
+
+  /// Parses STREAMTUNE_REDUCE_STRATEGY; kAuto when unset/unrecognized.
+  /// Read per call (reductions are coarse-grained, getenv is cheap) so
+  /// tests can flip the pin without process restarts.
+  static ReduceStrategy EnvPin();
+
+  /// True when Pick() would consult the cost model — i.e. no env/options
+  /// pin and more than one strategy is legal for `algebra`. ParallelReduce
+  /// uses this to decide whether a warmup slice is worth timing.
+  static bool WantsCostEstimate(const ReduceOptions& opts);
+
+  /// Records one executed reduction for the stats snapshot.
+  static void RecordExecution(ReduceStrategy executed, bool pinned,
+                              bool clamped);
+
+  static StrategyStatsSnapshot Snapshot();
+  static void ResetStats();
+
+  /// Monotonic nanosecond clock for warmup-slice timing. Timing never
+  /// changes a result (all legal strategies are bit-identical), only which
+  /// one runs, so this is determinism-safe despite being a clock.
+  static int64_t NowNanos();
+};
+
+}  // namespace streamtune

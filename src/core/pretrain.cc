@@ -224,11 +224,16 @@ Result<PretrainedBundle> Pretrainer::Run(
 
   // Normalized adjacency is a pure function of the (deduplicated) graph
   // structure: build each GraphContext once and share it read-only across
-  // every cluster worker, epoch, and sample.
+  // every cluster worker, epoch, and sample. At bench-scale corpora this
+  // loop is minutes of dense-matrix setup, so it fans out over the pool
+  // (slot-per-graph writes: deterministic regardless of schedule).
+  ThreadPool pool(options_.num_threads);
   std::vector<ml::GraphContext> graph_contexts(unique_graphs.size());
-  for (size_t gi = 0; gi < unique_graphs.size(); ++gi) {
-    graph_contexts[gi] = ml::GraphContext::Build(unique_graphs[gi]);
-  }
+  pool.ParallelFor(0, static_cast<int64_t>(unique_graphs.size()),
+                   [&](int64_t gi) {
+                     graph_contexts[gi] =
+                         ml::GraphContext::Build(unique_graphs[gi]);
+                   });
 
   // ---- Clustering (Sec. IV-C) ----
   std::vector<int> graph_cluster(unique_graphs.size(), 0);
@@ -288,7 +293,6 @@ Result<PretrainedBundle> Pretrainer::Run(
     if (!cm.record_indices.empty()) shuffle_seeds[c] = seeder.NextU64();
   }
 
-  ThreadPool pool(options_.num_threads);
   pool.ParallelFor(0, num_clusters, [&](int64_t c) {
     ClusterModel& cm = clusters[c];
 

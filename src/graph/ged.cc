@@ -243,8 +243,31 @@ double GreedyGedUpperBound(const JobGraph& g1, const JobGraph& g2) {
 }
 
 double LabelSetLowerBound(const JobGraph& g1, const JobGraph& g2) {
-  Prepared p = Prepare(g1, g2);
-  return LowerBound(p, 0, 0);
+  // Closed form of LowerBound(Prepare(g1, g2), 0, 0): with no partial
+  // mapping the remaining-label multisets are the full histograms and the
+  // remaining-edge counts are the full edge counts, so the bound collapses
+  // to max(n1, n2) - sum_t min(h1[t], h2[t]) + |e1 - e2|. Computing it
+  // directly is O(n + e) instead of Prepare's O(n^2) relation matrices —
+  // this is the screen the GED policy layer leans on, so it must stay
+  // cheap (and it returns bit-identical values to the Prepared form: all
+  // terms are small integers).
+  std::array<int, kNumOperatorTypes> h1{}, h2{};
+  const int n1 = g1.num_operators(), n2 = g2.num_operators();
+  for (int i = 0; i < n1; ++i) ++h1[static_cast<int>(g1.op(i).type)];
+  for (int i = 0; i < n2; ++i) ++h2[static_cast<int>(g2.op(i).type)];
+  int common = 0;
+  for (int t = 0; t < kNumOperatorTypes; ++t) {
+    common += std::min(h1[t], h2[t]);
+  }
+  const double node_lb = std::max(n1, n2) - common;
+  const double edge_lb = std::abs(g1.num_edges() - g2.num_edges());
+  return node_lb + edge_lb;
+}
+
+double StructuralGedUpperBound(const JobGraph& g1, const JobGraph& g2) {
+  // The delete-everything/insert-everything edit path is always valid.
+  return static_cast<double>(g1.num_operators() + g1.num_edges() +
+                             g2.num_operators() + g2.num_edges());
 }
 
 GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
@@ -255,6 +278,7 @@ GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
     result.mapping = GreedyMapping(p);
     result.distance = MappingCostPrepared(p, result.mapping);
     result.exact = false;
+    result.termination = GedTermination::kGreedy;
     return result;
   }
 
@@ -302,6 +326,7 @@ GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
       result.distance = incumbent;
       result.exact = false;
       result.mapping = incumbent_mapping;
+      result.termination = GedTermination::kBudget;
       return result;
     }
 
@@ -351,7 +376,23 @@ GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
   result.distance = incumbent;
   result.exact = !thresholded || incumbent <= options.threshold + 1e-9;
   result.mapping = incumbent_mapping;
+  result.termination =
+      result.exact ? GedTermination::kExact : GedTermination::kPruned;
   return result;
+}
+
+const char* ToString(GedTermination t) {
+  switch (t) {
+    case GedTermination::kExact:
+      return "exact";
+    case GedTermination::kPruned:
+      return "pruned";
+    case GedTermination::kBudget:
+      return "budget";
+    case GedTermination::kGreedy:
+      return "greedy";
+  }
+  return "?";
 }
 
 const char* EditOpKindName(EditOp::Kind kind) {
@@ -442,13 +483,22 @@ std::vector<EditOp> ExplainEdits(const JobGraph& g1, const JobGraph& g2,
 }
 
 bool GedWithinThreshold(const JobGraph& g1, const JobGraph& g2, double tau,
-                        const GedOptions& options) {
+                        const GedOptions& options, GedResult* result) {
   // Cheap screens first (the "filtering" phase).
-  if (LabelSetLowerBound(g1, g2) > tau + 1e-9) return false;
+  if (LabelSetLowerBound(g1, g2) > tau + 1e-9) {
+    if (result != nullptr) {
+      *result = GedResult{};
+      result->distance = StructuralGedUpperBound(g1, g2);
+      result->exact = false;
+      result->termination = GedTermination::kPruned;
+    }
+    return false;
+  }
   GedOptions opts = options;
   opts.threshold = tau;
   opts.use_lower_bound = true;
   GedResult r = ComputeGed(g1, g2, opts);
+  if (result != nullptr) *result = r;
   return r.exact && r.distance <= tau + 1e-9;
 }
 

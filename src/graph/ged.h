@@ -23,10 +23,31 @@
 
 namespace streamtune::graph {
 
+/// Why a GED search stopped. Distinguishes "provably dissimilar" from "ran
+/// out of budget": a threshold search that *completed* certifies
+/// ged > threshold, while a budget-exhausted one proves nothing beyond its
+/// upper bound — the cache must never turn the latter into a certificate,
+/// and callers (e.g. GedWithinThreshold users) can observe exhaustion
+/// instead of silently reading it as "dissimilar".
+enum class GedTermination {
+  /// Search completed and `distance` is the true GED.
+  kExact = 0,
+  /// Threshold search completed without finding a mapping <= threshold:
+  /// ged > threshold is proven; `distance` is only an upper bound.
+  kPruned,
+  /// Expansion budget exhausted: `distance` is an upper bound, nothing is
+  /// proven about the threshold.
+  kBudget,
+  /// Graphs too large for A* (> 63 nodes): greedy upper bound only.
+  kGreedy,
+};
+
+const char* ToString(GedTermination t);
+
 /// Outcome of one GED computation.
 struct GedResult {
   /// The edit distance (or, if !exact, an upper bound from the best mapping
-  /// found before the budget ran out).
+  /// found before the search stopped).
   double distance = 0;
   /// True when `distance` is provably minimal.
   bool exact = true;
@@ -37,6 +58,8 @@ struct GedResult {
   /// Empty only when the search found no complete mapping (should not
   /// happen for valid inputs).
   std::vector<int> mapping;
+  /// How the search ended (exact <=> termination == kExact).
+  GedTermination termination = GedTermination::kExact;
 };
 
 /// One edit operation of a concrete edit script.
@@ -80,9 +103,14 @@ GedResult ComputeGed(const JobGraph& g1, const JobGraph& g2,
 
 /// True iff ged(g1, g2) <= tau, using threshold-pruned search; much cheaper
 /// than an exact computation when the answer is "no". If the expansion
-/// budget is exhausted the pair is conservatively reported dissimilar.
+/// budget is exhausted the pair is conservatively reported dissimilar —
+/// pass `result` to tell the two apart (termination == kBudget means
+/// "unknown", kPruned/kExact mean the boolean is proven). On the cheap
+/// lower-bound screen `result` carries a synthetic kPruned outcome with the
+/// trivial structural upper bound as its distance.
 bool GedWithinThreshold(const JobGraph& g1, const JobGraph& g2, double tau,
-                        const GedOptions& options = {});
+                        const GedOptions& options = {},
+                        GedResult* result = nullptr);
 
 /// Cost of a specific complete node mapping (mapping[i] = g2 node for g1
 /// node i, or -1 for deletion); unmapped g2 nodes are insertions. Used for
@@ -92,6 +120,12 @@ double MappingCost(const JobGraph& g1, const JobGraph& g2,
 
 /// Fast greedy upper bound on the GED (label/degree-guided assignment).
 double GreedyGedUpperBound(const JobGraph& g1, const JobGraph& g2);
+
+/// O(1) structural upper bound: the cost of the delete-everything /
+/// insert-everything edit path (n1 + e1 + n2 + e2). Loose but free — the
+/// value the upper-bound-only GED policy reports for pairs its lower-bound
+/// screen already proved dissimilar.
+double StructuralGedUpperBound(const JobGraph& g1, const JobGraph& g2);
 
 /// The label-set lower bound on ged(g1, g2) for the full graphs (no partial
 /// mapping): label-multiset mismatch plus edge-count mismatch. Admissible.

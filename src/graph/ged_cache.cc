@@ -19,11 +19,7 @@ GedCache::Key GedCache::MakeKey(const JobGraph& a, const JobGraph& b) {
 }
 
 void GedCache::Record(const Key& key, const GedResult& result,
-                      const GedOptions& options, bool searched) {
-  // A search "completed" when it neither fell back to the greedy mapping
-  // (n2 > 63, `searched` false) nor ran out of expansion budget; only then
-  // does a pruned outcome certify "ged > threshold".
-  const bool exhausted = result.expansions > options.expansion_budget;
+                      const GedOptions& options) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry& e = shard.map[key];
@@ -33,10 +29,14 @@ void GedCache::Record(const Key& key, const GedResult& result,
     e.upper = std::min(e.upper, result.distance);
     return;
   }
-  // Inexact outcomes: the incumbent is always a valid upper bound (it is
-  // the MappingCost of a concrete mapping), never an exact distance.
+  // Inexact outcomes: the reported distance is always a valid upper bound
+  // (the MappingCost of a concrete mapping, or the structural bound of the
+  // upper-bound-only policy), never an exact distance. Only a kPruned
+  // termination proves "ged > threshold" — kBudget (ran out of expansions)
+  // and kGreedy (n2 > 63 fallback) must never mint a certificate.
   e.upper = std::min(e.upper, result.distance);
-  if (options.threshold >= 0 && searched && !exhausted) {
+  if (options.threshold >= 0 &&
+      result.termination == GedTermination::kPruned) {
     e.certified_gt = std::max(e.certified_gt, options.threshold);
   }
 }
@@ -72,8 +72,12 @@ GedResult GedCache::Compute(const JobGraph& a, const JobGraph& b,
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  GedResult result = ComputeGed(a, b, options);
-  Record(key, result, options, b.num_operators() <= 63);
+  // AStar+-LSa-mode misses route through the per-pair policy; explicit
+  // direct-GED queries (the Fig. 11b ablation baseline) bypass it.
+  GedResult result = options.use_lower_bound
+                         ? PolicyComputeGed(a, b, options, &policy_)
+                         : ComputeGed(a, b, options);
+  Record(key, result, options);
   return result;
 }
 
@@ -109,8 +113,8 @@ bool GedCache::WithinThreshold(const JobGraph& a, const JobGraph& b,
   GedOptions opts = options;
   opts.threshold = tau;
   opts.use_lower_bound = true;
-  GedResult r = ComputeGed(a, b, opts);
-  Record(key, r, opts, b.num_operators() <= 63);
+  GedResult r = PolicyComputeGed(a, b, opts, &policy_);
+  Record(key, r, opts);
   return r.exact && r.distance <= tau + kEps;
 }
 
@@ -121,6 +125,15 @@ GedCache::Stats GedCache::stats() const {
   s.hits = s.hits_exact + s.hits_certified;
   s.misses = misses_.load(std::memory_order_relaxed);
   s.entries = static_cast<uint64_t>(size());
+  // Read budget_exhausted before the choice counters: a search's choice is
+  // counted before its termination, so sampling the result counter first
+  // keeps `budget_exhausted <= policy_exact + policy_bounded` true in every
+  // concurrent sample.
+  s.budget_exhausted =
+      policy_.budget_exhausted.load(std::memory_order_relaxed);
+  s.policy_exact = policy_.exact.load(std::memory_order_relaxed);
+  s.policy_bounded = policy_.bounded.load(std::memory_order_relaxed);
+  s.policy_upper = policy_.upper.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -141,6 +154,7 @@ void GedCache::Clear() {
   hits_exact_.store(0, std::memory_order_relaxed);
   hits_certified_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  policy_.Reset();
 }
 
 }  // namespace streamtune::graph

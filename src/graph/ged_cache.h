@@ -31,6 +31,7 @@
 
 #include "common/annotations.h"
 #include "graph/ged.h"
+#include "graph/ged_policy.h"
 
 namespace streamtune::graph {
 
@@ -68,6 +69,15 @@ class GedCache {
     uint64_t misses = 0;
     /// Distinct graph pairs with a cached entry at sample time.
     uint64_t entries = 0;
+    /// GED policy histogram over miss-path searches routed through this
+    /// cache (AStar+-LSa mode only; direct-GED misses are not routed and
+    /// not counted). policy_* sums to at most `misses`.
+    uint64_t policy_exact = 0;
+    uint64_t policy_bounded = 0;
+    uint64_t policy_upper = 0;
+    /// Miss-path searches that exhausted their expansion budget (these
+    /// never mint certificates; see GedTermination::kBudget).
+    uint64_t budget_exhausted = 0;
     double HitRate() const {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -113,14 +123,19 @@ class GedCache {
   Shard& ShardFor(const Key& key) {
     return shards_[KeyHash{}(key) % kNumShards];
   }
-  // Folds a finished search result into the entry for `key`.
+  // Folds a finished search result into the entry for `key`. Certificates
+  // are keyed off GedTermination::kPruned — the only outcome that proves
+  // "ged > threshold" (budget-exhausted and greedy-fallback results prove
+  // nothing beyond their upper bound).
   void Record(const Key& key, const GedResult& result,
-              const GedOptions& options, bool searched);
+              const GedOptions& options);
 
   Shard shards_[kNumShards];
   std::atomic<uint64_t> hits_exact_{0};
   std::atomic<uint64_t> hits_certified_{0};
   std::atomic<uint64_t> misses_{0};
+  /// Policy histogram + budget-exhaustion count for miss-path searches.
+  GedPolicyCounters policy_;
 };
 
 }  // namespace streamtune::graph

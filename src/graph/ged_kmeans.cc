@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel_reduce.h"
 #include "common/status.h"
+#include "graph/ged_policy.h"
 
 namespace streamtune::graph {
 
@@ -11,7 +13,11 @@ namespace {
 
 GedResult ComputeMaybeCached(const JobGraph& a, const JobGraph& b,
                              const GedOptions& opts, GedCache* cache) {
-  return cache ? cache->Compute(a, b, opts) : ComputeGed(a, b, opts);
+  if (cache != nullptr) return cache->Compute(a, b, opts);
+  // Uncached comparisons take the same per-pair policy route the cache's
+  // miss path takes, so cached and uncached runs do identical searches.
+  return opts.use_lower_bound ? PolicyComputeGed(a, b, opts)
+                              : ComputeGed(a, b, opts);
 }
 
 }  // namespace
@@ -60,62 +66,78 @@ Result<KMeansResult> ClusterDags(const std::vector<JobGraph>& dataset,
   // Init: farthest-point seeding (k-means++-style). A random first center,
   // then each next center is the graph farthest from all chosen centers —
   // structurally distinct families reliably get their own seed. The
-  // distance refresh is per-graph parallel; the argmax reduction stays
-  // serial in index order, so tie-breaking matches the serial path.
+  // distance refresh and the argmax run as one ParallelReduce: argmax with
+  // a lowest-index tie-break is bitwise commutative, so any strategy
+  // reproduces the serial first-wins scan.
+  struct Farthest {
+    double dist = -1.0;
+    int64_t index = 0;
+  };
+  ReduceOptions argmax_opts;
+  argmax_opts.algebra = CombineAlgebra::kCommutative;
   std::vector<int> center_idx;
   center_idx.push_back(rng.UniformInt(0, n - 1));
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
   while (static_cast<int>(center_idx.size()) < options.k) {
     int last = center_idx.back();
-    pool.ParallelFor(0, n, [&](int64_t i) {
-      GedOptions opts;
-      opts.threshold = min_dist[i];  // prune beyond the current minimum
-      GedResult r =
-          ComputeMaybeCached(dataset[i], dataset[last], opts, cache);
-      min_dist[i] = std::min(min_dist[i], r.distance);
-    });
-    int farthest = 0;
-    double best = -1;
-    for (int i = 0; i < n; ++i) {
-      if (min_dist[i] > best) {
-        best = min_dist[i];
-        farthest = i;
-      }
-    }
-    center_idx.push_back(farthest);
+    const Farthest far = ParallelReduce(
+        &pool, 0, n, Farthest{},
+        [&](int64_t i) {
+          GedOptions opts;
+          opts.threshold = min_dist[i];  // prune beyond the current minimum
+          GedResult r =
+              ComputeMaybeCached(dataset[i], dataset[last], opts, cache);
+          min_dist[i] = std::min(min_dist[i], r.distance);
+          return Farthest{min_dist[i], i};
+        },
+        [](Farthest& a, const Farthest& b) {
+          if (b.dist > a.dist || (b.dist == a.dist && b.index < a.index)) {
+            a = b;
+          }
+        },
+        argmax_opts);
+    center_idx.push_back(static_cast<int>(far.index));
   }
 
   KMeansResult result;
   result.assignment.assign(n, 0);
-  std::vector<int> best_center(n, 0);
-  std::vector<double> best_dist(n, 0.0);
+
+  // Assignment step: one ParallelReduce per iteration — the map assigns
+  // graph i to its nearest center (center scan + assignment write), the
+  // fold accumulates inertia and the changed flag. The inertia sum is a
+  // running double sum of arbitrary values, i.e. not bitwise reassociable,
+  // so the algebra is declared kOrderedOnly and the selector keeps the
+  // ordered fold — exactly the pre-PR gather-then-fold, bit for bit.
+  struct AssignOutcome {
+    double dist = 0.0;
+    bool changed = false;
+  };
+  ReduceOptions assign_opts;
+  assign_opts.algebra = CombineAlgebra::kOrderedOnly;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step: per-graph parallel, each graph's center scan is
-    // independent; the inertia sum is reduced serially in index order so it
-    // is bit-identical run-to-run.
     std::vector<JobGraph> centers;
     centers.reserve(options.k);
     for (int c : center_idx) centers.push_back(dataset[c]);
-    pool.ParallelFor(0, n, [&](int64_t i) {
-      std::vector<double> dist = DistancesToCenters(dataset[i], centers, cache);
-      int best = static_cast<int>(
-          std::min_element(dist.begin(), dist.end()) - dist.begin());
-      best_center[i] = best;
-      best_dist[i] = dist[best];
-    });
-    double inertia = 0;
-    bool changed = false;
-    for (int i = 0; i < n; ++i) {
-      inertia += best_dist[i];
-      if (result.assignment[i] != best_center[i]) {
-        result.assignment[i] = best_center[i];
-        changed = true;
-      }
-    }
-    result.within_cluster_distance = inertia;
-    if (!changed && iter > 0) break;
+    AssignOutcome total = ParallelReduce(
+        &pool, 0, n, AssignOutcome{},
+        [&](int64_t i) {
+          std::vector<double> dist =
+              DistancesToCenters(dataset[i], centers, cache);
+          int best = static_cast<int>(
+              std::min_element(dist.begin(), dist.end()) - dist.begin());
+          AssignOutcome out{dist[best], result.assignment[i] != best};
+          if (out.changed) result.assignment[i] = best;
+          return out;
+        },
+        [](AssignOutcome& a, const AssignOutcome& b) {
+          a.dist += b.dist;
+          a.changed |= b.changed;
+        },
+        assign_opts);
+    result.within_cluster_distance = total.dist;
+    if (!total.changed && iter > 0) break;
 
     // Update step: similarity center per cluster (all-pairs sweep runs on
     // the pool).
@@ -158,25 +180,31 @@ Result<int> SelectKByElbow(const std::vector<JobGraph>& dataset, int k_min,
                          : (base_options.use_cache ? &local_cache : nullptr);
   const int count = k_max - k_min + 1;
   std::vector<double> inertia(count, 0.0);
-  std::vector<Status> statuses(count, Status::OK());
 
   // The per-k runs are independent given a shared memo table; run them on
-  // the pool (each inner ClusterDags degrades to serial on a worker).
+  // the pool (each inner ClusterDags degrades to serial on a worker). The
+  // fold keeps the first error in k order: "first non-OK" is bitwise
+  // associative (but not commutative — a later error must not displace an
+  // earlier one), so ordered fold and tree merge are both legal.
   ThreadPool pool(base_options.num_threads);
-  pool.ParallelFor(0, count, [&](int64_t i) {
-    KMeansOptions opts = base_options;
-    opts.k = k_min + static_cast<int>(i);
-    opts.cache = shared;
-    auto res = ClusterDags(dataset, opts);
-    if (!res.ok()) {
-      statuses[i] = res.status();
-      return;
-    }
-    inertia[i] = res->within_cluster_distance;
-  });
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
+  ReduceOptions status_opts;
+  status_opts.algebra = CombineAlgebra::kAssociative;
+  Status first_error = ParallelReduce(
+      &pool, 0, count, Status::OK(),
+      [&](int64_t i) {
+        KMeansOptions opts = base_options;
+        opts.k = k_min + static_cast<int>(i);
+        opts.cache = shared;
+        auto res = ClusterDags(dataset, opts);
+        if (!res.ok()) return res.status();
+        inertia[i] = res->within_cluster_distance;
+        return Status::OK();
+      },
+      [](Status& a, const Status& b) {
+        if (a.ok()) a = b;
+      },
+      status_opts);
+  if (!first_error.ok()) return first_error;
 
   // Elbow = maximum positive curvature of the inertia curve.
   int best_k = k_min + 1;

@@ -2,19 +2,31 @@
 
 #include <algorithm>
 
+#include "common/parallel_reduce.h"
 #include "graph/ged_cache.h"
+#include "graph/ged_policy.h"
 
 namespace streamtune::graph {
 
 namespace {
 
+constexpr double kEps = 1e-9;
+
 bool Within(const JobGraph& a, const JobGraph& b, double tau,
             SearchMethod method, GedCache* cache) {
   if (method == SearchMethod::kAStarLsa) {
-    return cache ? cache->WithinThreshold(a, b, tau)
-                 : GedWithinThreshold(a, b, tau);
+    if (cache != nullptr) return cache->WithinThreshold(a, b, tau);
+    // Mirror the cache's miss path: lower-bound screen, then the
+    // policy-routed threshold search — uncached runs do the same searches
+    // a cold cache would.
+    if (LabelSetLowerBound(a, b) > tau + kEps) return false;
+    GedOptions opts;
+    opts.threshold = tau;
+    GedResult r = PolicyComputeGed(a, b, opts);
+    return r.exact && r.distance <= tau + kEps;
   }
-  // Direct: pay for the full exact computation, then compare.
+  // Direct: pay for the full exact computation, then compare. This is the
+  // Fig. 11b ablation baseline — deliberately not policy-routed.
   GedOptions opts;
   opts.use_lower_bound = false;
   GedResult r = cache ? cache->Compute(a, b, opts) : ComputeGed(a, b, opts);
@@ -28,20 +40,25 @@ std::vector<int> SimilaritySearch(const std::vector<JobGraph>& dataset,
                                   SearchMethod method, GedCache* cache,
                                   ThreadPool* pool) {
   const int n = static_cast<int>(dataset.size());
-  std::vector<char> within(n, 0);
-  auto check = [&](int64_t i) {
-    within[i] = Within(dataset[i], query, tau, method, cache) ? 1 : 0;
-  };
-  if (pool) {
-    pool->ParallelFor(0, n, check);
-  } else {
-    for (int i = 0; i < n; ++i) check(i);
-  }
-  std::vector<int> hits;
-  for (int i = 0; i < n; ++i) {
-    if (within[i]) hits.push_back(i);
-  }
-  return hits;
+  // Hit-list building is a reduction under concatenation: list concat is
+  // bitwise associative (adjacent index ranges merge in order), so the
+  // tree strategy is legal and the result always equals the serial
+  // index-order collect.
+  ReduceOptions opts;
+  opts.algebra = CombineAlgebra::kAssociative;
+  return ParallelReduce(
+      pool, 0, n, std::vector<int>{},
+      [&](int64_t i) {
+        std::vector<int> hit;
+        if (Within(dataset[i], query, tau, method, cache)) {
+          hit.push_back(static_cast<int>(i));
+        }
+        return hit;
+      },
+      [](std::vector<int>& a, const std::vector<int>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+      },
+      opts);
 }
 
 std::vector<int> AppearanceCounts(const std::vector<JobGraph>& cluster,

@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 
+#include "graph/ged_policy.h"
+
 namespace streamtune::index {
 
 namespace {
@@ -117,13 +119,16 @@ NearestCenterIndex::NearestResult NearestCenterIndex::Nearest(
       probe = i;
     }
   }
+  // Uncached searches take the same per-pair policy route the cache's miss
+  // path takes (exact answers are policy-independent, so the two-stage
+  // exactness argument below is unaffected).
   double best;
   {
     const graph::GedOptions opts;
     const JobGraph& candidate = graph_at(probe);
-    const graph::GedResult r = cache
-                                   ? cache->Compute(query, candidate, opts)
-                                   : graph::ComputeGed(query, candidate, opts);
+    const graph::GedResult r =
+        cache ? cache->Compute(query, candidate, opts)
+              : graph::PolicyComputeGed(query, candidate, opts);
     best = r.distance;
   }
   int best_idx = probe;
@@ -146,7 +151,7 @@ NearestCenterIndex::NearestResult NearestCenterIndex::Nearest(
       const JobGraph& candidate = graph_at(idx);
       const graph::GedResult r =
           cache ? cache->Compute(query, candidate, opts)
-                : graph::ComputeGed(query, candidate, opts);
+                : graph::PolicyComputeGed(query, candidate, opts);
       ++evaluated;
       if (r.distance < best - kEps) {
         // The probe ran unthresholded, so `best` starts exact; later

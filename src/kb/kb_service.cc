@@ -153,6 +153,10 @@ KbServiceStats KbService::Stats() const {
   stats.ged_hits_certified = static_cast<long long>(ged.hits_certified);
   stats.ged_misses = static_cast<long long>(ged.misses);
   stats.ged_entries = static_cast<long long>(ged.entries);
+  stats.ged_policy_exact = static_cast<long long>(ged.policy_exact);
+  stats.ged_policy_bounded = static_cast<long long>(ged.policy_bounded);
+  stats.ged_policy_upper = static_cast<long long>(ged.policy_upper);
+  stats.ged_budget_exhausted = static_cast<long long>(ged.budget_exhausted);
   return stats;
 }
 

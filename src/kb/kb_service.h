@@ -103,6 +103,15 @@ struct KbServiceStats {
   long long ged_misses = 0;
   long long ged_entries = 0;
 
+  /// Per-pair GED policy histogram (how cache misses were routed: exact
+  /// A*, bounded AStar+-LSa, or structural upper bound only) plus how many
+  /// searches ran out of expansion budget. Same sampling discipline as the
+  /// hit/miss counters above.
+  long long ged_policy_exact = 0;
+  long long ged_policy_bounded = 0;
+  long long ged_policy_upper = 0;
+  long long ged_budget_exhausted = 0;
+
   long long ged_hits() const { return ged_hits_exact + ged_hits_certified; }
   double ged_hit_rate() const {
     const long long total = ged_hits() + ged_misses;
@@ -124,7 +133,10 @@ struct KbServiceStats {
            repretrains >= 0 && repretrains <= admissions_completed &&
            snapshot_version == admissions_completed &&
            ged_hits_exact >= 0 && ged_hits_certified >= 0 &&
-           ged_misses >= 0 && ged_entries >= 0;
+           ged_misses >= 0 && ged_entries >= 0 && ged_policy_exact >= 0 &&
+           ged_policy_bounded >= 0 && ged_policy_upper >= 0 &&
+           ged_budget_exhausted >= 0 &&
+           ged_budget_exhausted <= ged_policy_exact + ged_policy_bounded;
   }
   /// Monotonicity between an earlier sample and this one.
   bool MonotoneSince(const KbServiceStats& earlier) const {
@@ -135,7 +147,11 @@ struct KbServiceStats {
            ged_hits_exact >= earlier.ged_hits_exact &&
            ged_hits_certified >= earlier.ged_hits_certified &&
            ged_misses >= earlier.ged_misses &&
-           ged_entries >= earlier.ged_entries;
+           ged_entries >= earlier.ged_entries &&
+           ged_policy_exact >= earlier.ged_policy_exact &&
+           ged_policy_bounded >= earlier.ged_policy_bounded &&
+           ged_policy_upper >= earlier.ged_policy_upper &&
+           ged_budget_exhausted >= earlier.ged_budget_exhausted;
   }
 };
 

@@ -1,0 +1,61 @@
+#include "sim/metrics_aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel_reduce.h"
+
+namespace streamtune::sim {
+
+namespace {
+
+// Fixed-point micro-units: exact integer addition in any order.
+int64_t Micros(double x) { return std::llround(x * 1e6); }
+
+}  // namespace
+
+void FlowMetricsAccum::Add(const FlowResult& flow) {
+  samples += 1;
+  if (flow.AnyBackpressure()) backpressured_samples += 1;
+  operators += static_cast<int64_t>(flow.busy.size());
+  for (size_t v = 0; v < flow.busy.size(); ++v) {
+    if (flow.saturated[v]) saturated_operators += 1;
+    if (flow.blocked[v]) blocked_operators += 1;
+    busy_micros += Micros(flow.busy[v]);
+  }
+  min_lambda = std::min(min_lambda, flow.lambda);
+  max_lambda = std::max(max_lambda, flow.lambda);
+  lambda_micros += Micros(flow.lambda);
+}
+
+void FlowMetricsAccum::Merge(const FlowMetricsAccum& other) {
+  samples += other.samples;
+  backpressured_samples += other.backpressured_samples;
+  operators += other.operators;
+  saturated_operators += other.saturated_operators;
+  blocked_operators += other.blocked_operators;
+  min_lambda = std::min(min_lambda, other.min_lambda);
+  max_lambda = std::max(max_lambda, other.max_lambda);
+  lambda_micros += other.lambda_micros;
+  busy_micros += other.busy_micros;
+}
+
+FlowMetricsAccum AggregateFlowMetrics(
+    ThreadPool* pool, int64_t count,
+    const std::function<const FlowResult&(int64_t)>& solve_at,
+    ReduceStrategy strategy) {
+  ReduceOptions opts;
+  opts.strategy = strategy;
+  opts.algebra = CombineAlgebra::kCommutative;
+  return ParallelReduce(
+      pool, 0, count, FlowMetricsAccum{},
+      [&](int64_t i) {
+        FlowMetricsAccum one;
+        one.Add(solve_at(i));
+        return one;
+      },
+      [](FlowMetricsAccum& a, const FlowMetricsAccum& b) { a.Merge(b); },
+      opts);
+}
+
+}  // namespace streamtune::sim

@@ -1,0 +1,80 @@
+// Deterministic aggregation of FlowSolver results over a sweep.
+//
+// Benches, capacity sweeps and the control plane's fleet watchdog all
+// reduce many SolveFlow fixed points into one summary (how many sample
+// points backpressured, how saturated the fleet ran, the mean sustainable
+// lambda). Those were bespoke serial loops; this is the shared reduction,
+// built on ParallelReduce so the execution strategy is runtime-selected.
+//
+// The accumulator is designed to be *bitwise commutative* so every reduce
+// strategy (ordered fold, tree merge, radix shard) is legal and
+// bit-identical: counts are integers, extrema are exact under any order,
+// and the two mean-forming sums carry fixed-point micro-units
+// (llround(x * 1e6) per sample) instead of raw doubles — integer addition
+// reassociates exactly where double addition does not. The quantization
+// error (<= 5e-7 per sample, before division) is far below anything a
+// fleet-level mean is read for, and it buys order-independence.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/exec_strategy.h"
+#include "common/thread_pool.h"
+#include "sim/flow_solver.h"
+
+namespace streamtune::sim {
+
+/// Summary of one or more SolveFlow results; merge any two with Merge().
+struct FlowMetricsAccum {
+  /// Sample points folded in.
+  int64_t samples = 0;
+  /// Samples where some operator saturated (FlowResult::AnyBackpressure).
+  int64_t backpressured_samples = 0;
+  /// Operators observed in total / saturated / blocked across all samples.
+  int64_t operators = 0;
+  int64_t saturated_operators = 0;
+  int64_t blocked_operators = 0;
+  /// Extrema of the sustainable throughput fraction (exact under any
+  /// merge order).
+  double min_lambda = 1.0;
+  double max_lambda = 0.0;
+  /// Fixed-point sums (micro-units) for the means below.
+  int64_t lambda_micros = 0;
+  int64_t busy_micros = 0;
+
+  /// Folds one solved sample in.
+  void Add(const FlowResult& flow);
+  /// Folds another accumulator in (bitwise commutative + associative).
+  void Merge(const FlowMetricsAccum& other);
+
+  double mean_lambda() const {
+    return samples == 0 ? 0.0 : static_cast<double>(lambda_micros) / 1e6 /
+                                    static_cast<double>(samples);
+  }
+  double mean_busy() const {
+    return operators == 0 ? 0.0 : static_cast<double>(busy_micros) / 1e6 /
+                                      static_cast<double>(operators);
+  }
+  double backpressure_rate() const {
+    return samples == 0
+               ? 0.0
+               : static_cast<double>(backpressured_samples) /
+                     static_cast<double>(samples);
+  }
+};
+
+/// Reduces `count` sample points into one summary on the pool (nullptr =
+/// serial). `solve_at(i)` produces sample i's flow solution; it runs
+/// exactly once per index, and the returned reference only needs to stay
+/// valid for the duration of that fold step (a thread-local scratch slot
+/// is fine). `strategy` pins the reduce strategy for reproducibility
+/// studies (default: let the selector pick; every choice is bit-identical,
+/// see the accumulator's design note).
+FlowMetricsAccum AggregateFlowMetrics(
+    ThreadPool* pool, int64_t count,
+    const std::function<const FlowResult&(int64_t)>& solve_at,
+    ReduceStrategy strategy = ReduceStrategy::kAuto);
+
+}  // namespace streamtune::sim

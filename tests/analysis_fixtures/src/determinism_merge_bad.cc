@@ -1,0 +1,24 @@
+// Fixture: the merge point of a sharded reduction gone wrong — shard
+// partials keyed in an unordered container and folded in iteration order.
+// The combine sequence then follows the hash layout instead of the shard
+// ids, exactly the bug the canonical merge order in ParallelReduce rules
+// out; st-determinism-unordered-iter must fire on both merges.
+#include <string>
+#include <unordered_map>
+
+double MergeShardPartials(const std::unordered_map<int, double>& partials) {
+  double merged = 0.0;
+  for (const auto& shard : partials) {
+    merged += shard.second;  // += in hash-layout order
+  }
+  return merged;
+}
+
+std::string ConcatShardLogs(
+    const std::unordered_map<int, std::string>& logs) {
+  std::string joined;
+  for (const auto& shard : logs) {
+    joined += shard.second;  // concatenation is order-sensitive too
+  }
+  return joined;
+}

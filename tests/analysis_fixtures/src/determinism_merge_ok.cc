@@ -1,0 +1,24 @@
+// Fixture: the deterministic merge point — shard partials live in a vector
+// and fold in ascending shard id, so the combine sequence is a function of
+// the input alone (the ParallelReduce radix-shard contract). No findings.
+#include <cstddef>
+#include <vector>
+
+double MergeShardPartialsCanonical(const std::vector<double>& partials) {
+  double merged = 0.0;
+  for (size_t s = 0; s < partials.size(); ++s) {
+    merged += partials[s];
+  }
+  return merged;
+}
+
+// Pairwise tree merge over a vector: adjacent ranges combine along a
+// topology fixed by the chunk count, independent of thread schedule.
+double TreeMergeCanonical(std::vector<double> parts) {
+  for (size_t stride = 1; stride < parts.size(); stride *= 2) {
+    for (size_t j = 0; j + stride < parts.size(); j += 2 * stride) {
+      parts[j] += parts[j + stride];
+    }
+  }
+  return parts.empty() ? 0.0 : parts[0];
+}

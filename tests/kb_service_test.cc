@@ -296,6 +296,17 @@ TEST(KbServiceTest, StatsExposeGedCacheCountersFromAdmissions) {
   EXPECT_GT(after.ged_hits(), 0);
   EXPECT_GT(after.ged_hit_rate(), 0.0);
   EXPECT_LE(after.ged_hit_rate(), 1.0);
+  // Policy choices happen only on cache misses (some misses die on the
+  // cache's own lower-bound screen before a route is chosen), and only
+  // searched routes can exhaust the budget.
+  EXPECT_LE(after.ged_policy_exact + after.ged_policy_bounded +
+                after.ged_policy_upper,
+            after.ged_misses);
+  EXPECT_GT(after.ged_policy_exact + after.ged_policy_bounded +
+                after.ged_policy_upper,
+            0);
+  EXPECT_LE(after.ged_budget_exhausted,
+            after.ged_policy_exact + after.ged_policy_bounded);
 }
 
 TEST(KbServiceTest, StatsConsistentUnderConcurrentWriters) {
