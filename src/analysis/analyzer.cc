@@ -1,11 +1,18 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
 
+#include "analysis/cache.h"
+#include "analysis/call_graph.h"
 #include "analysis/project_index.h"
 #include "analysis/rules.h"
+#include "common/thread_pool.h"
 
 namespace streamtune::analysis {
 
@@ -68,6 +75,41 @@ Status CollectFiles(const fs::path& root, const std::string& rel_path,
   return Status::OK();
 }
 
+// The analyzer times itself with the wall clock it bans in library code:
+// phase timings are diagnostics, not data.
+using Clock = std::chrono::steady_clock;  // NOLINT(st-determinism-random)
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Per-file working state across the three phases.
+struct FileState {
+  std::string rel;
+  uint64_t hash = 0;
+  std::string content;
+  FileFacts facts;
+  NolintMap nolint;
+  /// Tokenized form; absent when every needed product came from the cache.
+  std::optional<SourceFile> source;
+  /// Cached raw findings (valid only if the index fingerprint also holds).
+  std::vector<Finding> cached_raw;
+  bool cache_hit = false;  // content hash matched a cache entry
+  std::vector<Finding> raw;  // per-file rule findings, all rules
+};
+
+Status ReadWholeFile(const std::string& root, const std::string& rel,
+                     std::string* out) {
+  std::string full = root.empty() ? rel : root + "/" + rel;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + full);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::set<std::string>> LoadBaseline(const std::string& path) {
@@ -115,48 +157,147 @@ Result<AnalysisReport> RunAnalyzer(const AnalyzerOptions& options) {
     if (seen.insert(f).second) unique_files.push_back(std::move(f));
   }
 
-  std::vector<SourceFile> files;
-  files.reserve(unique_files.size());
-  for (const std::string& rel : unique_files) {
-    ST_ASSIGN_OR_RETURN(SourceFile f,
-                        SourceFile::Load(root.string(), rel));
-    files.push_back(std::move(f));
+  AnalysisCache cache;
+  bool have_cache = false;
+  if (!options.cache_path.empty()) {
+    Result<AnalysisCache> loaded = LoadCache(options.cache_path);
+    if (loaded.ok()) {
+      cache = std::move(loaded).value();
+      have_cache = true;
+    }
   }
 
-  // Pass 1: cross-file declarations.
-  ProjectIndex index;
-  for (const SourceFile& f : files) index.AddFile(f);
-
-  // Pass 2: rules.
-  std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
   AnalysisReport report;
-  report.files_analyzed = static_cast<int>(files.size());
-  std::vector<Finding> raw;
-  for (const SourceFile& f : files) {
+  ThreadPool pool(options.threads);
+
+  // Phase 1: scan. Read + hash every file; extract facts (or reuse cached
+  // ones). Results land in slot i, so the merged index is independent of
+  // scheduling.
+  Clock::time_point t0 = Clock::now();
+  int n = static_cast<int>(unique_files.size());
+  std::vector<FileState> states(n);
+  std::vector<Status> errors(n, Status::OK());
+  pool.ParallelFor(0, n, [&](int64_t i) {
+    FileState& st = states[i];
+    st.rel = unique_files[i];
+    Status s = ReadWholeFile(root.string(), st.rel, &st.content);
+    if (!s.ok()) {
+      errors[i] = std::move(s);
+      return;
+    }
+    st.hash = HashBytes(st.content);
+    if (have_cache) {
+      auto it = cache.files.find(st.rel);
+      if (it != cache.files.end() && it->second.content_hash == st.hash) {
+        st.cache_hit = true;
+        st.facts = it->second.facts;
+        st.nolint = it->second.nolint;
+        st.cached_raw = it->second.raw_findings;
+        return;
+      }
+    }
+    st.source = SourceFile::FromContent(st.rel, st.content);
+    st.facts = ExtractFileFacts(*st.source);
+    st.nolint = st.source->src.nolint;
+  });
+  for (Status& e : errors) {
+    if (!e.ok()) return std::move(e);
+  }
+  report.scan_ms = MsSince(t0);
+  report.files_analyzed = n;
+
+  // Cross-file index (sequential, file order).
+  ProjectIndex index;
+  for (const FileState& st : states) index.Add(st.facts);
+  uint64_t fingerprint = FingerprintIndex(index);
+  bool index_unchanged = have_cache && cache.index_fingerprint == fingerprint;
+
+  // Phase 2: per-file rules, in parallel, for files whose cached findings
+  // are unusable. All rules always run — the enabled_rules filter applies
+  // at report time, so the cache holds the full result.
+  t0 = Clock::now();
+  std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
+  pool.ParallelFor(0, n, [&](int64_t i) {
+    FileState& st = states[i];
+    if (st.cache_hit && index_unchanged) {
+      st.raw = std::move(st.cached_raw);
+      return;
+    }
+    if (!st.source.has_value()) {
+      // Facts were cached but the index moved: findings must be recomputed.
+      st.source = SourceFile::FromContent(st.rel, st.content);
+    }
     for (const std::unique_ptr<Rule>& rule : rules) {
-      if (!options.enabled_rules.empty() &&
-          options.enabled_rules.count(rule->name()) == 0) {
-        continue;
-      }
-      rule->Check(f, index, &raw);
+      rule->Check(*st.source, index, &st.raw);
     }
-    // Collapse findings with identical (file, line, rule) BEFORE the
-    // suppression filters: two `.value()` calls on one line are one defect,
-    // one baseline key, and one suppression tally.
-    std::sort(raw.begin(), raw.end());
-    raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
-    for (Finding& finding : raw) {
-      if (f.Suppressed(finding.line, finding.rule)) {
-        ++report.suppressed_nolint;
-      } else if (options.baseline.count(finding.Key()) > 0) {
-        ++report.suppressed_baseline;
-      } else {
-        report.findings.push_back(std::move(finding));
-      }
+    std::sort(st.raw.begin(), st.raw.end());
+    st.raw.erase(std::unique(st.raw.begin(), st.raw.end()), st.raw.end());
+  });
+  for (const FileState& st : states) {
+    if (st.source.has_value()) {
+      ++report.files_retokenized;
+    } else {
+      ++report.files_from_cache;
     }
-    raw.clear();
+  }
+  report.rules_ms = MsSince(t0);
+
+  // Phase 3: interprocedural analyses over the summaries (sequential — the
+  // graph is global and cheap next to tokenization).
+  t0 = Clock::now();
+  std::vector<FileFacts> facts;
+  facts.reserve(n);
+  for (const FileState& st : states) facts.push_back(st.facts);
+  CallGraph graph = CallGraph::Build(facts);
+  std::vector<Finding> graph_findings;
+  RunGraphRules(facts, graph, index, &graph_findings, &report.graph);
+  report.graph_ms = MsSince(t0);
+
+  // Merge, dedup, and filter. Collapsing identical (file, line, rule)
+  // happens BEFORE the suppression filters: two `.value()` calls on one
+  // line are one defect, one baseline key, and one suppression tally.
+  std::vector<Finding> all;
+  std::map<std::string, const NolintMap*> nolint_by_file;
+  for (FileState& st : states) {
+    nolint_by_file[st.rel] = &st.nolint;
+    // Copied, not moved: the raw findings are also what the cache stores.
+    for (const Finding& f : st.raw) all.push_back(f);
+  }
+  for (Finding& f : graph_findings) all.push_back(std::move(f));
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  for (Finding& finding : all) {
+    if (!options.enabled_rules.empty() &&
+        options.enabled_rules.count(finding.rule) == 0) {
+      continue;
+    }
+    auto nl = nolint_by_file.find(finding.file);
+    if (nl != nolint_by_file.end() &&
+        IsSuppressed(*nl->second, finding.line, finding.rule)) {
+      ++report.suppressed_nolint;
+    } else if (options.baseline.count(finding.Key()) > 0) {
+      ++report.suppressed_baseline;
+    } else {
+      report.findings.push_back(std::move(finding));
+    }
   }
   std::sort(report.findings.begin(), report.findings.end());
+
+  if (!options.cache_path.empty()) {
+    AnalysisCache fresh;
+    fresh.index_fingerprint = fingerprint;
+    for (FileState& st : states) {
+      CachedFile cf;
+      cf.content_hash = st.hash;
+      cf.facts = std::move(st.facts);
+      cf.nolint = std::move(st.nolint);
+      cf.raw_findings = std::move(st.raw);
+      fresh.files.emplace(st.rel, std::move(cf));
+    }
+    // Cache write failures are not analysis failures; the next run simply
+    // goes cold.
+    SaveCache(options.cache_path, fresh).ok();
+  }
   return report;
 }
 

@@ -1,6 +1,18 @@
-// Analyzer driver: collects files, builds the cross-file ProjectIndex,
-// runs every rule, applies NOLINT suppressions and the baseline, and
-// reports findings in a stable order.
+// Analyzer driver. Three phases:
+//
+//   scan   (parallel)    read + hash every file; tokenize and extract
+//                        per-file facts, or reuse them from the incremental
+//                        cache on a content-hash match;
+//   rules  (parallel)    per-file rules for files whose cached findings are
+//                        stale (content changed, or the cross-file index
+//                        fingerprint moved);
+//   graph  (sequential)  call-graph construction, SCC condensation, and the
+//                        interprocedural rules (determinism taint,
+//                        lock-order cycles, requires-unheld).
+//
+// Findings from all phases are merged, deduplicated per (file, line, rule),
+// then filtered by NOLINT markers and the baseline — in that order, so a
+// warm cached run produces byte-identical output to a cold one.
 
 #pragma once
 
@@ -8,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/graph_rules.h"
 #include "analysis/rule.h"
 #include "common/status.h"
 
@@ -21,17 +34,32 @@ struct AnalyzerOptions {
   /// recursively for *.h / *.cc, skipping `analysis_fixtures` and build
   /// trees; explicitly named files are always analyzed, fixtures included.
   std::vector<std::string> paths;
-  /// When non-empty, only rules whose name is listed run.
+  /// When non-empty, only rules whose name is listed are reported. The
+  /// filter is applied to the merged findings, not at rule-run time, so the
+  /// cache always holds the full-rule result.
   std::set<std::string> enabled_rules;
   /// Baseline findings (by Key()) to subtract from the report.
   std::set<std::string> baseline;
+  /// Incremental cache file. Empty = no caching (every run is cold).
+  std::string cache_path;
+  /// Threads for the scan and rules phases; <= 0 = hardware concurrency.
+  int threads = 0;
 };
 
 struct AnalysisReport {
   std::vector<Finding> findings;    // sorted, post-NOLINT, post-baseline
   int files_analyzed = 0;
-  int suppressed_nolint = 0;   // dropped by NOLINT markers
-  int suppressed_baseline = 0; // dropped by the baseline file
+  int suppressed_nolint = 0;    // dropped by NOLINT markers
+  int suppressed_baseline = 0;  // dropped by the baseline file
+  /// Cache effectiveness: every analyzed file is counted in exactly one.
+  int files_retokenized = 0;
+  int files_from_cache = 0;
+  /// Call-graph and interprocedural-analysis statistics (--stats).
+  GraphAnalysisStats graph;
+  /// Phase wall times, milliseconds.
+  double scan_ms = 0;
+  double rules_ms = 0;
+  double graph_ms = 0;
 };
 
 /// Runs the analyzer. Fails only on environment errors (unreadable root or

@@ -1,0 +1,261 @@
+#include "analysis/cache.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace streamtune::analysis {
+
+namespace {
+
+constexpr const char* kMagic = "stcache";
+constexpr const char* kVersion = "v1";
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  uint64_t v = 0;
+  if (!ParseU64(s, &v) || v > 1u << 30) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+void WriteFacts(std::ostream& out, const FileFacts& f) {
+  for (const std::string& s : f.status_functions) out << "sf\t" << s << "\n";
+  for (const std::string& s : f.void_functions) out << "vf\t" << s << "\n";
+  for (const std::string& s : f.determinism_safe) out << "df\t" << s << "\n";
+  for (const GuardedMember& g : f.guarded_members) {
+    out << "gm\t" << g.member << "\t" << g.mutex << "\t" << g.file_stem
+        << "\t" << g.decl_line << "\t" << g.decl_file << "\n";
+  }
+  for (const auto& [fn, mus] : f.requires_mutexes) {
+    out << "rq\t" << fn;
+    for (const std::string& mu : mus) out << "\t" << mu;
+    out << "\n";
+  }
+  for (const FunctionSummary& fn : f.summary.functions) {
+    out << "fn\t" << fn.line << "\t" << (fn.is_ctor_dtor ? 1 : 0) << "\t"
+        << fn.qualifier << "\t" << fn.name << "\n";
+    for (const TaintSeed& s : fn.seeds) {
+      out << "sd\t" << s.line << "\t" << s.what << "\n";
+    }
+    for (const LockAcquireSummary& l : fn.locks) {
+      out << "lk\t" << l.line << "\t" << l.mutexes.size();
+      for (const std::string& m : l.mutexes) out << "\t" << m;
+      for (const std::string& h : l.held_before) out << "\t" << h;
+      out << "\n";
+    }
+    for (const CallSiteSummary& c : fn.calls) {
+      out << "cs\t" << c.line << "\t" << (c.in_parallel_callback ? 1 : 0)
+          << "\t" << c.callee;
+      for (const std::string& h : c.held_mutexes) out << "\t" << h;
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t FingerprintIndex(const ProjectIndex& index) {
+  std::ostringstream os;
+  for (const std::string& s : index.status_functions) os << "s" << s << ";";
+  for (const std::string& s : index.void_functions) os << "v" << s << ";";
+  for (const std::string& s : index.determinism_safe_functions)
+    os << "d" << s << ";";
+  for (const GuardedMember& g : index.guarded_members) {
+    os << "g" << g.member << "," << g.mutex << "," << g.file_stem << ","
+       << g.decl_file << "," << g.decl_line << ";";
+  }
+  for (const auto& [fn, mus] : index.requires_mutexes) {
+    os << "r" << fn << ":";
+    for (const std::string& mu : mus) os << mu << ",";
+    os << ";";
+  }
+  for (const auto& [fn, stems] : index.requires_decl_stems) {
+    os << "t" << fn << ":";
+    for (const std::string& st : stems) os << st << ",";
+    os << ";";
+  }
+  std::string s = os.str();
+  return HashBytes(s);
+}
+
+Result<AnalysisCache> LoadCache(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no cache at " + path);
+  AnalysisCache cache;
+  std::string line;
+  if (!std::getline(in, line) ||
+      SplitTabs(line) != std::vector<std::string>{kMagic, kVersion}) {
+    return Status::NotFound("cache version mismatch");
+  }
+  if (!std::getline(in, line)) return Status::NotFound("truncated cache");
+  std::vector<std::string> fp = SplitTabs(line);
+  if (fp.size() != 2 || fp[0] != "fp" ||
+      !ParseU64(fp[1], &cache.index_fingerprint)) {
+    return Status::NotFound("bad cache fingerprint");
+  }
+
+  CachedFile* cur = nullptr;
+  FunctionSummary* fn = nullptr;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> f = SplitTabs(line);
+    const std::string& tag = f[0];
+    if (tag == "eof") {
+      saw_eof = true;
+      break;
+    }
+    if (tag == "file") {
+      if (f.size() != 4) return Status::NotFound("bad file record");
+      uint64_t hash = 0;
+      int origin = 0;
+      if (!ParseU64(f[1], &hash) || !ParseInt(f[2], &origin) ||
+          origin > static_cast<int>(FileOrigin::kOther)) {
+        return Status::NotFound("bad file record");
+      }
+      cur = &cache.files[f[3]];
+      cur->content_hash = hash;
+      cur->facts.path = f[3];
+      cur->facts.origin = static_cast<FileOrigin>(origin);
+      fn = nullptr;
+      continue;
+    }
+    if (cur == nullptr) return Status::NotFound("record outside file");
+    if (tag == "sf" && f.size() == 2) {
+      cur->facts.status_functions.insert(f[1]);
+    } else if (tag == "vf" && f.size() == 2) {
+      cur->facts.void_functions.insert(f[1]);
+    } else if (tag == "df" && f.size() == 2) {
+      cur->facts.determinism_safe.insert(f[1]);
+    } else if (tag == "gm" && f.size() == 6) {
+      GuardedMember g;
+      g.member = f[1];
+      g.mutex = f[2];
+      g.file_stem = f[3];
+      if (!ParseInt(f[4], &g.decl_line)) return Status::NotFound("bad gm");
+      g.decl_file = f[5];
+      cur->facts.guarded_members.push_back(std::move(g));
+    } else if (tag == "rq" && f.size() >= 3) {
+      for (size_t i = 2; i < f.size(); ++i) {
+        cur->facts.requires_mutexes[f[1]].insert(f[i]);
+      }
+    } else if (tag == "fn" && f.size() == 5) {
+      FunctionSummary s;
+      int ctor = 0;
+      if (!ParseInt(f[1], &s.line) || !ParseInt(f[2], &ctor)) {
+        return Status::NotFound("bad fn");
+      }
+      s.is_ctor_dtor = ctor != 0;
+      s.qualifier = f[3];
+      s.name = f[4];
+      cur->facts.summary.functions.push_back(std::move(s));
+      fn = &cur->facts.summary.functions.back();
+    } else if (tag == "sd" && f.size() == 3 && fn != nullptr) {
+      TaintSeed s;
+      if (!ParseInt(f[1], &s.line)) return Status::NotFound("bad sd");
+      s.what = f[2];
+      fn->seeds.push_back(std::move(s));
+    } else if (tag == "lk" && f.size() >= 3 && fn != nullptr) {
+      LockAcquireSummary l;
+      int nmutex = 0;
+      if (!ParseInt(f[1], &l.line) || !ParseInt(f[2], &nmutex) ||
+          3 + static_cast<size_t>(nmutex) > f.size()) {
+        return Status::NotFound("bad lk");
+      }
+      for (int i = 0; i < nmutex; ++i) l.mutexes.push_back(f[3 + i]);
+      for (size_t i = 3 + nmutex; i < f.size(); ++i) {
+        l.held_before.push_back(f[i]);
+      }
+      fn->locks.push_back(std::move(l));
+    } else if (tag == "cs" && f.size() >= 4 && fn != nullptr) {
+      CallSiteSummary c;
+      int par = 0;
+      if (!ParseInt(f[1], &c.line) || !ParseInt(f[2], &par)) {
+        return Status::NotFound("bad cs");
+      }
+      c.in_parallel_callback = par != 0;
+      c.callee = f[3];
+      for (size_t i = 4; i < f.size(); ++i) c.held_mutexes.push_back(f[i]);
+      fn->calls.push_back(std::move(c));
+    } else if (tag == "nl" && f.size() >= 2) {
+      int ln = 0;
+      if (!ParseInt(f[1], &ln)) return Status::NotFound("bad nl");
+      std::set<std::string>& rules = cur->nolint[ln];
+      for (size_t i = 2; i < f.size(); ++i) rules.insert(f[i]);
+    } else if (tag == "rf" && f.size() == 4) {
+      Finding finding;
+      finding.file = cur->facts.path;
+      if (!ParseInt(f[1], &finding.line)) return Status::NotFound("bad rf");
+      finding.rule = f[2];
+      finding.message = f[3];
+      cur->raw_findings.push_back(std::move(finding));
+    } else if (tag == "end") {
+      cur = nullptr;
+      fn = nullptr;
+    } else {
+      return Status::NotFound("unknown cache record '" + tag + "'");
+    }
+  }
+  if (!saw_eof) return Status::NotFound("truncated cache");
+  return cache;
+}
+
+Status SaveCache(const std::string& path, const AnalysisCache& cache) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write cache " + path);
+  out << kMagic << "\t" << kVersion << "\n";
+  out << "fp\t" << cache.index_fingerprint << "\n";
+  for (const auto& [rel, cf] : cache.files) {
+    out << "file\t" << cf.content_hash << "\t"
+        << static_cast<int>(cf.facts.origin) << "\t" << rel << "\n";
+    WriteFacts(out, cf.facts);
+    for (const auto& [ln, rules] : cf.nolint) {
+      out << "nl\t" << ln;
+      for (const std::string& r : rules) out << "\t" << r;
+      out << "\n";
+    }
+    for (const Finding& f : cf.raw_findings) {
+      out << "rf\t" << f.line << "\t" << f.rule << "\t" << f.message << "\n";
+    }
+    out << "end\n";
+  }
+  out << "eof\n";
+  out.flush();
+  if (!out) return Status::Internal("short write to cache " + path);
+  return Status::OK();
+}
+
+}  // namespace streamtune::analysis

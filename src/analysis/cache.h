@@ -1,0 +1,61 @@
+// On-disk incremental cache for the analyzer. Keyed by per-file content
+// hash: a warm run over an unchanged tree re-tokenizes nothing — it reloads
+// each file's extracted facts, NOLINT map, and raw per-file findings and
+// goes straight to the (cheap) graph analyses.
+//
+// Two validity levels:
+//   - facts + NOLINT map depend only on the file's own bytes, so a content
+//     hash match alone makes them reusable;
+//   - raw per-file findings also depend on the cross-file ProjectIndex, so
+//     they are only reused when the index fingerprint recorded at save time
+//     matches the one computed this run.
+//
+// Format: versioned tab-separated text. Any parse problem, version skew, or
+// truncation makes the loader report the cache as absent — the analyzer
+// then takes the cold path and rewrites it; a cache can never cause wrong
+// output, only extra work.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/project_index.h"
+#include "analysis/rule.h"
+#include "analysis/tokenizer.h"
+#include "common/status.h"
+
+namespace streamtune::analysis {
+
+struct CachedFile {
+  uint64_t content_hash = 0;
+  FileFacts facts;
+  NolintMap nolint;
+  /// Per-file rule findings, all rules, pre-suppression. Graph findings are
+  /// never cached — they are recomputed from the summaries every run.
+  std::vector<Finding> raw_findings;
+};
+
+struct AnalysisCache {
+  /// FingerprintIndex() of the ProjectIndex the raw findings were computed
+  /// against.
+  uint64_t index_fingerprint = 0;
+  std::map<std::string, CachedFile> files;  // by root-relative path
+};
+
+/// FNV-1a 64-bit.
+uint64_t HashBytes(std::string_view bytes);
+
+/// Stable hash over every index fact a per-file rule can observe.
+uint64_t FingerprintIndex(const ProjectIndex& index);
+
+/// NotFound when the file is missing or unusable (any malformed content is
+/// deliberately folded into NotFound: cold path, never an error).
+Result<AnalysisCache> LoadCache(const std::string& path);
+
+Status SaveCache(const std::string& path, const AnalysisCache& cache);
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,133 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+
+CallGraph CallGraph::Build(const std::vector<FileFacts>& facts) {
+  CallGraph g;
+
+  // Nodes: one per distinct unqualified name with a definition.
+  for (const FileFacts& f : facts) {
+    for (const FunctionSummary& fn : f.summary.functions) {
+      auto [it, inserted] =
+          g.by_name_.emplace(fn.name, static_cast<int>(g.nodes_.size()));
+      if (inserted) {
+        CallGraphNode node;
+        node.name = fn.name;
+        g.nodes_.push_back(std::move(node));
+      }
+      g.nodes_[it->second].defs.push_back(FunctionDef{&fn, f.path, f.origin});
+      ++g.stats_.functions;
+    }
+  }
+
+  // Ambiguity: definitions under two class qualifiers are different
+  // functions sharing a name; free functions in two unrelated stems likewise
+  // (a .h/.cc pair shares one stem and stays unambiguous).
+  for (CallGraphNode& node : g.nodes_) {
+    std::set<std::string> qualifiers;
+    std::set<std::string> free_stems;
+    for (const FunctionDef& d : node.defs) {
+      qualifiers.insert(d.summary->qualifier);
+      if (d.summary->qualifier.empty()) free_stems.insert(PathStem(d.file));
+    }
+    node.ambiguous = qualifiers.size() >= 2 || free_stems.size() >= 2;
+    if (node.ambiguous) ++g.stats_.ambiguous_nodes;
+  }
+  g.stats_.nodes = static_cast<int>(g.nodes_.size());
+
+  // Edges, deduplicated per caller node.
+  for (int caller = 0; caller < static_cast<int>(g.nodes_.size()); ++caller) {
+    std::set<int> resolved;
+    std::set<std::string> ambiguous;
+    std::set<std::string> external;
+    for (const FunctionDef& d : g.nodes_[caller].defs) {
+      for (const CallSiteSummary& c : d.summary->calls) {
+        auto it = g.by_name_.find(c.callee);
+        if (it == g.by_name_.end()) {
+          external.insert(c.callee);
+        } else if (g.nodes_[it->second].ambiguous) {
+          ambiguous.insert(c.callee);
+        } else {
+          resolved.insert(it->second);
+        }
+      }
+    }
+    g.nodes_[caller].callees.assign(resolved.begin(), resolved.end());
+    g.stats_.resolved_edges += static_cast<int>(resolved.size());
+    g.stats_.ambiguous_edges += static_cast<int>(ambiguous.size());
+    g.stats_.external_edges += static_cast<int>(external.size());
+  }
+
+  g.RunTarjan();
+  g.stats_.scc_count = static_cast<int>(g.sccs_.size());
+  for (const std::vector<int>& scc : g.sccs_) {
+    if (scc.size() >= 2) ++g.stats_.nontrivial_sccs;
+  }
+  return g;
+}
+
+int CallGraph::NodeId(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+// Iterative Tarjan (explicit stack — the graph can contain long call
+// chains). Emission order is reverse-topological over the condensation:
+// every SCC is emitted after all SCCs it calls into, which makes ascending
+// scc id the bottom-up order the propagation passes walk.
+void CallGraph::RunTarjan() {
+  int n = static_cast<int>(nodes_.size());
+  std::vector<int> index(n, -1), low(n, 0), next_child(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack, call_stack;
+  int counter = 0;
+
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    call_stack.push_back(start);
+    while (!call_stack.empty()) {
+      int v = call_stack.back();
+      if (index[v] == -1) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (next_child[v] < static_cast<int>(nodes_[v].callees.size())) {
+        int w = nodes_[v].callees[next_child[v]++];
+        if (index[w] == -1) {
+          call_stack.push_back(w);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        std::vector<int> scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          nodes_[w].scc = static_cast<int>(sccs_.size());
+          scc.push_back(w);
+        } while (w != v);
+        std::sort(scc.begin(), scc.end());
+        sccs_.push_back(std::move(scc));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back();
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+}
+
+}  // namespace streamtune::analysis

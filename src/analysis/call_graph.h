@@ -1,0 +1,73 @@
+// Cross-TU call graph built from per-file function summaries. Nodes are
+// keyed by unqualified function name (overloads merged); resolution is
+// name-based, so a name defined under two distinct class qualifiers — or as
+// a free function in two unrelated file stems — is marked ambiguous, and
+// the interprocedural rules refuse to propagate facts through it rather
+// than guess (the same stay-silent philosophy as the void_functions set).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/project_index.h"
+
+namespace streamtune::analysis {
+
+/// One definition of a function: where it lives and its extracted summary.
+struct FunctionDef {
+  const FunctionSummary* summary = nullptr;  // into the FileFacts vector
+  std::string file;                          // defining file path
+  FileOrigin origin = FileOrigin::kOther;
+};
+
+struct CallGraphNode {
+  std::string name;  // unqualified: "Admit", "operator()", "~KbService"
+  /// True when call sites naming this function cannot be attributed to one
+  /// definition: defs under >= 2 distinct qualifiers, or free-function defs
+  /// spread over >= 2 file stems.
+  bool ambiguous = false;
+  std::vector<FunctionDef> defs;
+  /// Deduplicated resolved out-edges (node ids); self-edges kept.
+  std::vector<int> callees;
+  /// SCC id after condensation (Tarjan emission order: callees' SCCs are
+  /// numbered before or equal to the caller's, so ascending id order is a
+  /// valid bottom-up propagation order).
+  int scc = -1;
+};
+
+struct CallGraphStats {
+  int functions = 0;        // total definitions across files
+  int nodes = 0;            // distinct names
+  int ambiguous_nodes = 0;
+  int resolved_edges = 0;   // unique (caller node, callee node), unambiguous
+  int ambiguous_edges = 0;  // unique (caller node, name), name ambiguous
+  int external_edges = 0;   // unique (caller node, name), name undefined here
+  int scc_count = 0;
+  int nontrivial_sccs = 0;  // SCCs with >= 2 members (mutual recursion)
+};
+
+class CallGraph {
+ public:
+  /// Builds nodes, classifies edges, and condenses into SCCs. Keeps
+  /// pointers into `facts` — the vector must outlive the graph.
+  static CallGraph Build(const std::vector<FileFacts>& facts);
+
+  const std::vector<CallGraphNode>& nodes() const { return nodes_; }
+  /// Node id for an unqualified name, or -1.
+  int NodeId(const std::string& name) const;
+  /// SCC member lists, indexed by scc id (reverse-topological order).
+  const std::vector<std::vector<int>>& sccs() const { return sccs_; }
+  const CallGraphStats& stats() const { return stats_; }
+
+ private:
+  void RunTarjan();
+
+  std::vector<CallGraphNode> nodes_;
+  std::map<std::string, int> by_name_;
+  std::vector<std::vector<int>> sccs_;
+  CallGraphStats stats_;
+};
+
+}  // namespace streamtune::analysis

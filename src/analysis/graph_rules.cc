@@ -1,0 +1,388 @@
+#include "analysis/graph_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+constexpr const char* kRuleTransitive = "st-determinism-transitive";
+constexpr const char* kRuleLockOrder = "st-lock-order-cycle";
+constexpr const char* kRuleRequiresUnheld = "st-requires-unheld";
+
+bool InLibraryScope(FileOrigin o) {
+  return o == FileOrigin::kSrc || o == FileOrigin::kTests;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism taint.
+
+struct Taint {
+  bool tainted = false;
+  // Seed nodes: what/where. Propagated nodes: via = tainted callee node id.
+  std::string seed_what;
+  std::string seed_file;
+  int seed_line = 0;
+  int via = -1;
+};
+
+// Bottom-up over SCCs (ascending id = reverse topological). A node with a
+// STREAMTUNE_DETERMINISM_SAFE vetting mark is a clean leaf regardless of
+// its body or callees.
+std::vector<Taint> PropagateTaint(const CallGraph& graph,
+                                  const ProjectIndex& index) {
+  const std::vector<CallGraphNode>& nodes = graph.nodes();
+  std::vector<Taint> taint(nodes.size());
+  for (const std::vector<int>& scc : graph.sccs()) {
+    // Pass 1: direct seeds and taint entering from outside the SCC.
+    for (int v : scc) {
+      if (index.determinism_safe_functions.count(nodes[v].name) > 0) continue;
+      for (const FunctionDef& d : nodes[v].defs) {
+        if (taint[v].tainted) break;
+        if (!d.summary->seeds.empty()) {
+          const TaintSeed& s = d.summary->seeds.front();
+          taint[v] = Taint{true, s.what, d.file, s.line, -1};
+        }
+      }
+      if (taint[v].tainted) continue;
+      for (int w : nodes[v].callees) {
+        if (nodes[w].scc != nodes[v].scc && taint[w].tainted) {
+          taint[v] = Taint{true, "", "", 0, w};
+          break;
+        }
+      }
+    }
+    // Pass 2: mutual recursion — one tainted member taints the whole SCC.
+    if (scc.size() >= 2) {
+      int source = -1;
+      for (int v : scc) {
+        if (taint[v].tainted) source = v;
+      }
+      if (source >= 0) {
+        for (int v : scc) {
+          if (taint[v].tainted) continue;
+          if (index.determinism_safe_functions.count(nodes[v].name) > 0)
+            continue;
+          taint[v] = Taint{true, "", "", 0, source};
+        }
+      }
+    }
+  }
+  return taint;
+}
+
+// "Helper -> Rand uses rand() (src/foo.cc:12)" — the witness chain from
+// `v` down to the seeding function.
+std::string TaintChain(const CallGraph& graph, const std::vector<Taint>& taint,
+                       int v) {
+  std::string chain = graph.nodes()[v].name;
+  int cur = v;
+  for (int hops = 0; taint[cur].via >= 0 && hops < 8; ++hops) {
+    cur = taint[cur].via;
+    chain += " -> " + graph.nodes()[cur].name;
+  }
+  if (taint[cur].via < 0 && !taint[cur].seed_what.empty()) {
+    chain += " uses " + taint[cur].seed_what + " (" + taint[cur].seed_file +
+             ":" + std::to_string(taint[cur].seed_line) + ")";
+  }
+  return chain;
+}
+
+void CheckDeterminismTransitive(const CallGraph& graph,
+                                const ProjectIndex& index,
+                                std::vector<Finding>* out,
+                                GraphAnalysisStats* stats) {
+  std::vector<Taint> taint = PropagateTaint(graph, index);
+  for (const Taint& t : taint) {
+    if (t.tainted) ++stats->tainted_functions;
+  }
+  for (const CallGraphNode& node : graph.nodes()) {
+    for (const FunctionDef& d : node.defs) {
+      if (!InLibraryScope(d.origin)) continue;
+      for (const CallSiteSummary& c : d.summary->calls) {
+        if (!c.in_parallel_callback) continue;
+        int callee = graph.NodeId(c.callee);
+        if (callee < 0 || graph.nodes()[callee].ambiguous) continue;
+        if (!taint[callee].tainted) continue;
+        // The direct-use rules already flag seeds inside the callback
+        // itself; this rule is about what the call *reaches*.
+        out->push_back(Finding{
+            d.file, c.line, kRuleTransitive,
+            "'" + c.callee +
+                "' is called from a parallel map/combine callback but is "
+                "transitively nondeterministic: " +
+                TaintChain(graph, taint, callee) +
+                "; make the chain deterministic or vet it with "
+                "STREAMTUNE_DETERMINISM_SAFE"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock order.
+
+// Mutex identity is file-stem-qualified: `mu_` locked anywhere in the
+// kb_service.{h,cc} pair is one lock, `mu_` in thread_pool.cc another.
+std::string QualifyMutex(const std::string& file, const std::string& name) {
+  return PathStem(file) + "::" + name;
+}
+
+struct OrderEdge {
+  std::string file;  // witness: first place this ordering was seen
+  int line = 0;
+  std::string note;
+};
+
+// The caller's own STREAMTUNE_REQUIRES set counts as held on entry.
+std::set<std::string> RequiresHeld(const ProjectIndex& index,
+                                   const FunctionDef& d,
+                                   const std::string& name) {
+  std::set<std::string> held;
+  auto it = index.requires_mutexes.find(name);
+  if (it == index.requires_mutexes.end()) return held;
+  for (const std::string& mu : it->second) {
+    held.insert(QualifyMutex(d.file, mu));
+  }
+  return held;
+}
+
+void CheckLockOrder(const CallGraph& graph, const ProjectIndex& index,
+                    std::vector<Finding>* out, GraphAnalysisStats* stats) {
+  const std::vector<CallGraphNode>& nodes = graph.nodes();
+
+  // Acq*(F): every mutex executing F may acquire, bottom-up over SCCs.
+  // Members of one SCC share a set (mutual recursion reaches everything).
+  std::vector<std::set<std::string>> acq(nodes.size());
+  for (const std::vector<int>& scc : graph.sccs()) {
+    std::set<std::string> merged;
+    for (int v : scc) {
+      for (const FunctionDef& d : nodes[v].defs) {
+        for (const LockAcquireSummary& l : d.summary->locks) {
+          for (const std::string& mu : l.mutexes) {
+            merged.insert(QualifyMutex(d.file, mu));
+          }
+        }
+      }
+      for (int w : nodes[v].callees) {
+        if (nodes[w].scc != nodes[v].scc) {
+          merged.insert(acq[w].begin(), acq[w].end());
+        }
+      }
+    }
+    for (int v : scc) acq[v] = merged;
+  }
+
+  // Ordering edges held -> acquired, with a first-witness per edge.
+  std::map<std::pair<std::string, std::string>, OrderEdge> edges;
+  auto add_edge = [&](const std::string& held, const std::string& acquired,
+                      const std::string& file, int line, std::string note) {
+    if (held == acquired) return;  // same-object identity unknowable here
+    auto key = std::make_pair(held, acquired);
+    auto it = edges.find(key);
+    // Deterministic witness: lexicographically first (file, line).
+    if (it == edges.end() || file < it->second.file ||
+        (file == it->second.file && line < it->second.line)) {
+      edges[key] = OrderEdge{file, line, std::move(note)};
+    }
+  };
+
+  for (const CallGraphNode& node : nodes) {
+    for (const FunctionDef& d : node.defs) {
+      std::set<std::string> entry = RequiresHeld(index, d, node.name);
+      // Lock-while-holding-lock inside one function.
+      for (const LockAcquireSummary& l : d.summary->locks) {
+        std::set<std::string> held = entry;
+        for (const std::string& h : l.held_before) {
+          held.insert(QualifyMutex(d.file, h));
+        }
+        for (const std::string& h : held) {
+          for (const std::string& m : l.mutexes) {
+            add_edge(h, QualifyMutex(d.file, m), d.file, l.line,
+                     "acquires " + m + " while holding");
+          }
+        }
+      }
+      // Calls that may acquire downstream while the caller holds a lock.
+      for (const CallSiteSummary& c : d.summary->calls) {
+        int callee = graph.NodeId(c.callee);
+        if (callee < 0 || nodes[callee].ambiguous) continue;
+        if (acq[callee].empty()) continue;
+        std::set<std::string> held = entry;
+        for (const std::string& h : c.held_mutexes) {
+          held.insert(QualifyMutex(d.file, h));
+        }
+        for (const std::string& h : held) {
+          for (const std::string& a : acq[callee]) {
+            add_edge(h, a, d.file, c.line,
+                     "calls '" + c.callee + "' which may acquire");
+          }
+        }
+      }
+    }
+  }
+  stats->lock_order_edges = static_cast<int>(edges.size());
+
+  // Cycles = SCCs of size >= 2 in the mutex digraph (Kosaraju-style double
+  // DFS is overkill at this size; reuse Tarjan via a tiny local pass).
+  std::map<std::string, int> mutex_id;
+  std::vector<std::string> mutex_name;
+  for (const auto& [key, e] : edges) {
+    for (const std::string& m : {key.first, key.second}) {
+      if (mutex_id.emplace(m, static_cast<int>(mutex_name.size())).second) {
+        mutex_name.push_back(m);
+      }
+    }
+  }
+  int n = static_cast<int>(mutex_name.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [key, e] : edges) {
+    adj[mutex_id[key.first]].push_back(mutex_id[key.second]);
+  }
+  // Iterative Tarjan over the mutex graph.
+  std::vector<int> index_(n, -1), low(n, 0), next_child(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<int> stack, call_stack;
+  std::vector<std::vector<int>> sccs;
+  std::vector<int> scc_of(n, -1);
+  int counter = 0;
+  for (int s = 0; s < n; ++s) {
+    if (index_[s] != -1) continue;
+    call_stack.push_back(s);
+    while (!call_stack.empty()) {
+      int v = call_stack.back();
+      if (index_[v] == -1) {
+        index_[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (next_child[v] < static_cast<int>(adj[v].size())) {
+        int w = adj[v][next_child[v]++];
+        if (index_[w] == -1) {
+          call_stack.push_back(w);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index_[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index_[v]) {
+        std::vector<int> scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc_of[w] = static_cast<int>(sccs.size());
+          scc.push_back(w);
+        } while (w != v);
+        sccs.push_back(std::move(scc));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        low[call_stack.back()] = std::min(low[call_stack.back()], low[v]);
+      }
+    }
+  }
+
+  for (const std::vector<int>& scc : sccs) {
+    if (scc.size() < 2) continue;
+    ++stats->lock_order_cycles;
+    // Cycle description: members in sorted name order.
+    std::vector<std::string> names;
+    for (int m : scc) names.push_back(mutex_name[m]);
+    std::sort(names.begin(), names.end());
+    std::string cycle;
+    for (const std::string& nm : names) {
+      if (!cycle.empty()) cycle += " -> ";
+      cycle += nm;
+    }
+    cycle += " -> " + names.front();
+    // Anchor: the in-cycle edge with the lexicographically first witness.
+    const OrderEdge* anchor = nullptr;
+    std::pair<std::string, std::string> anchor_key;
+    for (const auto& [key, e] : edges) {
+      auto a = mutex_id.find(key.first);
+      auto b = mutex_id.find(key.second);
+      if (scc_of[a->second] != scc_of[b->second] ||
+          scc_of[a->second] != scc_of[mutex_id[names.front()]]) {
+        continue;
+      }
+      if (anchor == nullptr || e.file < anchor->file ||
+          (e.file == anchor->file && e.line < anchor->line)) {
+        anchor = &e;
+        anchor_key = key;
+      }
+    }
+    if (anchor == nullptr) continue;
+    out->push_back(Finding{
+        anchor->file, anchor->line, kRuleLockOrder,
+        "lock-order cycle " + cycle + ": here " + anchor->note + " '" +
+            anchor_key.second + "' while holding '" + anchor_key.first +
+            "', but another path orders them oppositely; pick one global "
+            "order or merge the critical sections"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requires-unheld.
+
+void CheckRequiresUnheld(const CallGraph& graph, const ProjectIndex& index,
+                         std::vector<Finding>* out) {
+  for (const CallGraphNode& node : graph.nodes()) {
+    for (const FunctionDef& d : node.defs) {
+      std::string caller_stem = PathStem(d.file);
+      if (d.summary->is_ctor_dtor) continue;  // object not shared yet
+      const auto caller_req = index.requires_mutexes.find(node.name);
+      for (const CallSiteSummary& c : d.summary->calls) {
+        auto req = index.requires_mutexes.find(c.callee);
+        if (req == index.requires_mutexes.end()) continue;
+        // Name-based resolution: only check callers living in a file stem
+        // that declares this REQUIRES (same .h/.cc pair).
+        auto stems = index.requires_decl_stems.find(c.callee);
+        if (stems == index.requires_decl_stems.end() ||
+            stems->second.count(caller_stem) == 0) {
+          continue;
+        }
+        for (const std::string& mu : req->second) {
+          bool held = std::find(c.held_mutexes.begin(), c.held_mutexes.end(),
+                                mu) != c.held_mutexes.end();
+          if (!held && caller_req != index.requires_mutexes.end() &&
+              caller_req->second.count(mu) > 0) {
+            held = true;  // caller's own contract covers it
+          }
+          if (held) continue;
+          out->push_back(Finding{
+              d.file, c.line, kRuleRequiresUnheld,
+              "'" + c.callee + "' is declared STREAMTUNE_REQUIRES(" + mu +
+                  ") but no lock on '" + mu +
+                  "' is held at this call; acquire it first or propagate "
+                  "the STREAMTUNE_REQUIRES annotation"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> GraphRuleNames() {
+  return {kRuleTransitive, kRuleLockOrder, kRuleRequiresUnheld};
+}
+
+void RunGraphRules(const std::vector<FileFacts>& facts, const CallGraph& graph,
+                   const ProjectIndex& index, std::vector<Finding>* out,
+                   GraphAnalysisStats* stats) {
+  (void)facts;  // the graph already holds pointers into it
+  stats->call_graph = graph.stats();
+  CheckDeterminismTransitive(graph, index, out, stats);
+  CheckLockOrder(graph, index, out, stats);
+  CheckRequiresUnheld(graph, index, out);
+}
+
+}  // namespace streamtune::analysis

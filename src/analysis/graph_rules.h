@@ -1,0 +1,42 @@
+// Interprocedural analyses over the cross-TU call graph:
+//
+//  st-determinism-transitive  a function whose *callees* (transitively)
+//                             consult entropy, wall clocks, thread ids, or
+//                             hash-order is called from a ParallelFor /
+//                             ParallelReduce map or combine callback.
+//  st-lock-order-cycle        two code paths acquire the same mutexes in
+//                             opposite orders (composed along call edges).
+//  st-requires-unheld         a call to a STREAMTUNE_REQUIRES(mu) function
+//                             where mu is provably not held.
+//
+// All three propagate facts bottom-up over the SCC condensation and only
+// flow through resolved (unambiguous) call edges: a name the graph cannot
+// attribute to one definition silently stops propagation rather than guess.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/rule.h"
+
+namespace streamtune::analysis {
+
+struct GraphAnalysisStats {
+  CallGraphStats call_graph;
+  int tainted_functions = 0;   // nodes transitively nondeterministic
+  int lock_order_edges = 0;    // distinct held->acquired mutex pairs
+  int lock_order_cycles = 0;   // mutex SCCs of size >= 2
+};
+
+/// Names of the rules this layer can emit (for --list-rules and filters).
+std::vector<std::string> GraphRuleNames();
+
+/// Runs all three analyses; appends raw findings (suppression is applied by
+/// the caller, which owns the per-file NOLINT maps).
+void RunGraphRules(const std::vector<FileFacts>& facts, const CallGraph& graph,
+                   const ProjectIndex& index, std::vector<Finding>* out,
+                   GraphAnalysisStats* stats);
+
+}  // namespace streamtune::analysis

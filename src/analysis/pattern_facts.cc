@@ -1,0 +1,188 @@
+#include "analysis/pattern_facts.h"
+
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+bool IsLockType(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "shared_lock" ||
+         s == "scoped_lock";
+}
+
+}  // namespace
+
+bool IsGlobalOrStdCall(const std::vector<Token>& toks, size_t i) {
+  if (i + 1 >= toks.size() || !toks[i + 1].IsPunct("(")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.IsPunct(".") || prev.IsPunct("->")) return false;
+  if (prev.IsPunct("::")) {
+    return i >= 2 && toks[i - 2].IsIdent("std");
+  }
+  return true;
+}
+
+std::vector<LockSite> CollectLockSites(const std::vector<Token>& toks,
+                                       const std::vector<int>& encl) {
+  std::vector<LockSite> sites;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent || !IsLockType(toks[i].text))
+      continue;
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].IsPunct("<")) {  // template args
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].IsPunct("<")) ++depth;
+        if (toks[j].IsPunct(">") && --depth == 0) break;
+      }
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    // Declaration form: `lock_guard<...> name(args);` — skip the variable
+    // name, then harvest the argument identifiers.
+    if (j >= toks.size() || toks[j].kind != TokenKind::kIdent) continue;
+    ++j;
+    if (j >= toks.size() || !toks[j].IsPunct("(")) continue;
+    int close = MatchForward(toks, j);
+    if (close < 0) continue;
+    LockSite site;
+    site.pos = i;
+    site.scope = encl[i];
+    std::string last;
+    for (int k = static_cast<int>(j) + 1; k < close; ++k) {
+      if (toks[k].kind == TokenKind::kIdent) last = toks[k].text;
+      if (toks[k].IsPunct(",")) {
+        if (!last.empty()) site.mutexes.push_back(last);
+        last.clear();
+      }
+    }
+    if (!last.empty()) site.mutexes.push_back(last);
+    if (!site.mutexes.empty()) sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+std::set<std::string> CollectUnorderedVars(const std::vector<Token>& toks) {
+  std::set<std::string> unordered_types = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  // Pass 1: `using Alias = ... unordered_xxx ... ;`
+  std::set<std::string> aliases;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("using")) continue;
+    if (toks[i + 1].kind != TokenKind::kIdent || !toks[i + 2].IsPunct("="))
+      continue;
+    for (size_t j = i + 3; j < toks.size() && !toks[j].IsPunct(";"); ++j) {
+      if (toks[j].kind == TokenKind::kIdent &&
+          unordered_types.count(toks[j].text) > 0) {
+        aliases.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+
+  // Pass 2: declarations `unordered_map<...> [&*]* name` (or alias name).
+  std::set<std::string> vars;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    bool is_unordered = unordered_types.count(t.text) > 0;
+    bool is_alias = aliases.count(t.text) > 0;
+    if (!is_unordered && !is_alias) continue;
+    size_t j = i + 1;
+    if (is_unordered) {
+      if (!toks[j].IsPunct("<")) continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].IsPunct("<")) ++depth;
+        if (toks[j].IsPunct(">") && --depth == 0) break;
+        if (toks[j].IsPunct(">>")) {
+          depth -= 2;
+          if (depth <= 0) break;
+        }
+        if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) break;
+      }
+      if (j >= toks.size() || depth > 0) continue;
+      ++j;  // past '>'
+    }
+    while (j < toks.size() &&
+           (toks[j].IsPunct("&") || toks[j].IsPunct("*") ||
+            toks[j].IsPunct("&&") || toks[j].IsIdent("const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokenKind::kIdent) {
+      vars.insert(toks[j].text);
+    }
+  }
+  return vars;
+}
+
+std::vector<UnorderedIterSite> FindOrderSensitiveUnorderedLoops(
+    const std::vector<Token>& toks, const std::set<std::string>& vars) {
+  std::vector<UnorderedIterSite> sites;
+  if (vars.empty()) return sites;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].IsIdent("for") || !toks[i + 1].IsPunct("(")) continue;
+    int close = MatchForward(toks, i + 1);
+    if (close < 0) continue;
+    // Range-for: a top-level ':' and no ';' inside the parens.
+    int colon = -1;
+    bool classic = false;
+    int depth = 0;
+    for (int j = static_cast<int>(i) + 2; j < close; ++j) {
+      if (toks[j].IsPunct("(") || toks[j].IsPunct("[") ||
+          toks[j].IsPunct("{") || toks[j].IsPunct("<")) {
+        ++depth;
+      } else if (toks[j].IsPunct(")") || toks[j].IsPunct("]") ||
+                 toks[j].IsPunct("}") || toks[j].IsPunct(">")) {
+        --depth;
+      } else if (depth == 0 && toks[j].IsPunct(";")) {
+        classic = true;
+        break;
+      } else if (depth == 0 && colon < 0 && toks[j].IsPunct(":")) {
+        colon = j;
+      }
+    }
+    if (classic || colon < 0) continue;
+    // Range expression: last identifier names the container.
+    std::string range_var;
+    for (int j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdent) range_var = toks[j].text;
+    }
+    if (range_var.empty() || vars.count(range_var) == 0) continue;
+
+    // Loop body: `{...}` or a single statement up to ';'.
+    size_t body_begin = close + 1;
+    size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].IsPunct("{")) {
+      int m = MatchForward(toks, body_begin);
+      if (m < 0) continue;
+      body_end = static_cast<size_t>(m);
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !toks[body_end].IsPunct(";"))
+        ++body_end;
+    }
+    // Order-sensitive body: in-place accumulation or appending to an
+    // output container / stream.
+    for (size_t j = body_begin; j < body_end; ++j) {
+      const Token& b = toks[j];
+      bool accumulate = b.IsPunct("+=") || b.IsPunct("-=") ||
+                        b.IsPunct("*=") || b.IsPunct("<<");
+      bool append = b.kind == TokenKind::kIdent &&
+                    (b.text == "push_back" || b.text == "emplace_back" ||
+                     b.text == "push_front" || b.text == "append" ||
+                     b.text == "insert" || b.text == "emplace");
+      if (accumulate || append) {
+        sites.push_back(
+            UnorderedIterSite{toks[i].line, i, range_var, b.text});
+        break;
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace streamtune::analysis

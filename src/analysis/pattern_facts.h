@@ -1,0 +1,48 @@
+// Domain-level token-pattern extractors shared by the per-file rules and
+// the interprocedural summary builder: lock-acquisition sites, unordered
+// container declarations, and order-sensitive loops over them.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace streamtune::analysis {
+
+/// One `lock_guard<...> g(mu[, mu2...])`-style acquisition.
+struct LockSite {
+  size_t pos = 0;  // token index of the lock-type identifier
+  int scope = -1;  // innermost '{' containing the declaration
+  std::vector<std::string> mutexes;  // final idents of the lock arguments
+};
+
+/// All lock_guard / unique_lock / shared_lock / scoped_lock declarations.
+/// `encl` is EnclosingBraces(toks).
+std::vector<LockSite> CollectLockSites(const std::vector<Token>& toks,
+                                       const std::vector<int>& encl);
+
+/// Identifiers declared in this file with an unordered container type
+/// (members, locals, parameters), following one level of `using` aliases
+/// declared in the same file.
+std::set<std::string> CollectUnorderedVars(const std::vector<Token>& toks);
+
+/// A range-for over an unordered container whose body feeds an
+/// order-sensitive sink (accumulation or appending).
+struct UnorderedIterSite {
+  int line = 0;           // line of the `for`
+  size_t pos = 0;         // token index of the `for`
+  std::string range_var;  // container being iterated
+  std::string sink;       // the order-sensitive operation ('+=', 'push_back')
+};
+
+std::vector<UnorderedIterSite> FindOrderSensitiveUnorderedLoops(
+    const std::vector<Token>& toks, const std::set<std::string>& vars);
+
+/// True when the identifier at i is a plain or std-qualified call target
+/// (not a member access `x.time(...)` or a foreign qualifier `foo::time`).
+bool IsGlobalOrStdCall(const std::vector<Token>& toks, size_t i);
+
+}  // namespace streamtune::analysis

@@ -6,11 +6,78 @@ namespace streamtune::analysis {
 
 namespace {
 
-// Registers functions declared as `Status Name(` / `Result<...> Name(`.
-// Qualified return types (`streamtune::Status`) work because the pattern
-// keys on the last type token before the name.
-void CollectStatusFunctions(const SourceFile& file,
-                            std::set<std::string>* out) {
+// From `idx` — the first token after a return type — steps forward over
+// `Class::` and `Holder<T>::` qualifiers and returns the index of the
+// function-name identifier directly followed by `(`, or -1. This is what
+// lets out-of-line definitions (`Status KbService::Admit(`) and out-of-line
+// template members (`Result<T> Holder<T>::Get(`) register like plain
+// declarations do.
+int QualifiedNameEnd(const std::vector<Token>& toks, size_t idx) {
+  size_t j = idx;
+  while (j + 1 < toks.size()) {
+    if (toks[j].kind != TokenKind::kIdent) return -1;
+    size_t next = j + 1;
+    if (toks[next].IsPunct("(")) return static_cast<int>(j);
+    if (toks[next].IsPunct("<")) {
+      int depth = 0;
+      size_t k = next;
+      for (; k < toks.size(); ++k) {
+        if (toks[k].IsPunct("<")) ++depth;
+        if (toks[k].IsPunct(">") && --depth == 0) break;
+        if (toks[k].IsPunct(">>")) {
+          depth -= 2;
+          if (depth <= 0) break;
+        }
+        if (toks[k].IsPunct(";") || toks[k].IsPunct("{")) return -1;
+      }
+      if (k >= toks.size() || depth > 0) return -1;
+      next = k + 1;
+      if (next >= toks.size() || !toks[next].IsPunct("::")) return -1;
+      j = next + 1;
+      continue;
+    }
+    if (toks[next].IsPunct("::")) {
+      j = next + 2;
+      continue;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+// Resolves the function name an annotation macro at `i` is attached to:
+// walks left over other trailing qualifiers to the `)` of the parameter
+// list, then reads the (possibly operator) name before it. "" on failure.
+std::string AnnotatedFunctionName(const std::vector<Token>& toks, int i) {
+  int j = i - 1;
+  while (j >= 0 && toks[j].kind == TokenKind::kIdent &&
+         (toks[j].text == "const" || toks[j].text == "noexcept" ||
+          toks[j].text == "override" || toks[j].text == "final")) {
+    --j;
+  }
+  // Another annotation macro's argument group in between, e.g.
+  // `) STREAMTUNE_REQUIRES(mu) STREAMTUNE_DETERMINISM_SAFE`.
+  if (j >= 1 && toks[j].IsPunct(")")) {
+    int o = MatchBackward(toks, j);
+    if (o > 0 && toks[o - 1].kind == TokenKind::kIdent &&
+        (toks[o - 1].text == "STREAMTUNE_REQUIRES" ||
+         toks[o - 1].text == "STREAMTUNE_GUARDED_BY")) {
+      j = o - 2;
+      while (j >= 0 && toks[j].kind == TokenKind::kIdent &&
+             (toks[j].text == "const" || toks[j].text == "noexcept")) {
+        --j;
+      }
+    }
+  }
+  if (j < 0 || !toks[j].IsPunct(")")) return "";
+  return FunctionNameAtParamOpen(toks, MatchBackward(toks, j));
+}
+
+// Registers functions declared as `Status Name(` / `Result<...> Name(`,
+// including out-of-line `Status Class::Name(` definitions. Qualified return
+// types (`streamtune::Status`) work because the pattern keys on the last
+// type token before the name.
+void CollectStatusFunctions(const SourceFile& file, FileFacts* out) {
   const std::vector<Token>& toks = file.src.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {
     const Token& t = toks[i];
@@ -41,33 +108,31 @@ void CollectStatusFunctions(const SourceFile& file,
       continue;
     }
     if (name_idx + 1 >= toks.size()) continue;
-    const Token& name = toks[name_idx];
-    if (name.kind != TokenKind::kIdent) continue;
-    if (!toks[name_idx + 1].IsPunct("(")) continue;
-    out->insert(name.text);
+    int end = QualifiedNameEnd(toks, name_idx);
+    if (end < 0) continue;
+    out->status_functions.insert(toks[end].text);
   }
 }
 
-// Registers functions declared as `void Name(`. A name carrying both a
-// Status/Result declaration and a void declaration anywhere in the project
-// cannot be resolved at a call site by name alone.
-void CollectVoidFunctions(const SourceFile& file,
-                          std::set<std::string>* out) {
+// Registers functions declared as `void Name(` (including out-of-line
+// `void Class::Name(`). A name carrying both a Status/Result declaration
+// and a void declaration anywhere in the project cannot be resolved at a
+// call site by name alone.
+void CollectVoidFunctions(const SourceFile& file, FileFacts* out) {
   const std::vector<Token>& toks = file.src.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {
     if (!toks[i].IsIdent("void")) continue;
     if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")))
       continue;
-    const Token& name = toks[i + 1];
-    if (name.kind != TokenKind::kIdent) continue;  // skips `void*` returns
-    if (!toks[i + 2].IsPunct("(")) continue;
-    out->insert(name.text);
+    if (toks[i + 1].kind != TokenKind::kIdent) continue;  // `void*` returns
+    int end = QualifiedNameEnd(toks, i + 1);
+    if (end < 0) continue;
+    out->void_functions.insert(toks[end].text);
   }
 }
 
 // Registers `Type member STREAMTUNE_GUARDED_BY(mu);` declarations.
-void CollectGuardedMembers(const SourceFile& file,
-                           std::vector<GuardedMember>* out) {
+void CollectGuardedMembers(const SourceFile& file, FileFacts* out) {
   const std::vector<Token>& toks = file.src.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {
     if (!toks[i].IsIdent("STREAMTUNE_GUARDED_BY")) continue;
@@ -90,14 +155,13 @@ void CollectGuardedMembers(const SourceFile& file,
     g.file_stem = PathStem(file.path);
     g.decl_file = file.path;
     g.decl_line = toks[i].line;
-    out->push_back(std::move(g));
+    out->guarded_members.push_back(std::move(g));
   }
 }
 
 // Registers `... Name(...) STREAMTUNE_REQUIRES(mu)` on declarations or
-// definitions, in headers or .cc files.
-void CollectRequires(const SourceFile& file,
-                     std::map<std::string, std::set<std::string>>* out) {
+// definitions, in headers or .cc files — including operator functions.
+void CollectRequires(const SourceFile& file, FileFacts* out) {
   const std::vector<Token>& toks = file.src.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {
     if (!toks[i].IsIdent("STREAMTUNE_REQUIRES")) continue;
@@ -108,27 +172,55 @@ void CollectRequires(const SourceFile& file,
     for (int j = static_cast<int>(i) + 2; j < close; ++j) {
       if (toks[j].kind == TokenKind::kIdent) mutex = toks[j].text;
     }
-    // The macro follows the parameter list: `)` [qualifiers] REQUIRES(...).
-    int j = static_cast<int>(i) - 1;
-    while (j >= 0 && toks[j].kind == TokenKind::kIdent &&
-           (toks[j].text == "const" || toks[j].text == "noexcept" ||
-            toks[j].text == "override" || toks[j].text == "final")) {
-      --j;
-    }
-    if (j < 0 || !toks[j].IsPunct(")")) continue;
-    int o = MatchBackward(toks, j);
-    if (o <= 0 || toks[o - 1].kind != TokenKind::kIdent) continue;
-    if (!mutex.empty()) (*out)[toks[o - 1].text].insert(mutex);
+    std::string fn = AnnotatedFunctionName(toks, static_cast<int>(i));
+    if (fn.empty() || mutex.empty()) continue;
+    out->requires_mutexes[fn].insert(mutex);
+  }
+}
+
+// Registers `... Name(...) STREAMTUNE_DETERMINISM_SAFE` vetting marks.
+void CollectDeterminismSafe(const SourceFile& file, FileFacts* out) {
+  const std::vector<Token>& toks = file.src.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].IsIdent("STREAMTUNE_DETERMINISM_SAFE")) continue;
+    std::string fn = AnnotatedFunctionName(toks, static_cast<int>(i));
+    if (!fn.empty()) out->determinism_safe.insert(fn);
   }
 }
 
 }  // namespace
 
+FileFacts ExtractFileFacts(const SourceFile& file) {
+  FileFacts facts;
+  facts.path = file.path;
+  facts.origin = file.origin;
+  CollectStatusFunctions(file, &facts);
+  CollectVoidFunctions(file, &facts);
+  CollectGuardedMembers(file, &facts);
+  CollectRequires(file, &facts);
+  CollectDeterminismSafe(file, &facts);
+  facts.summary = BuildFileSummary(file);
+  return facts;
+}
+
+void ProjectIndex::Add(const FileFacts& facts) {
+  status_functions.insert(facts.status_functions.begin(),
+                          facts.status_functions.end());
+  void_functions.insert(facts.void_functions.begin(),
+                        facts.void_functions.end());
+  determinism_safe_functions.insert(facts.determinism_safe.begin(),
+                                    facts.determinism_safe.end());
+  guarded_members.insert(guarded_members.end(), facts.guarded_members.begin(),
+                         facts.guarded_members.end());
+  std::string stem = PathStem(facts.path);
+  for (const auto& [fn, mus] : facts.requires_mutexes) {
+    requires_mutexes[fn].insert(mus.begin(), mus.end());
+    requires_decl_stems[fn].insert(stem);
+  }
+}
+
 void ProjectIndex::AddFile(const SourceFile& file) {
-  CollectStatusFunctions(file, &status_functions);
-  CollectVoidFunctions(file, &void_functions);
-  CollectGuardedMembers(file, &guarded_members);
-  CollectRequires(file, &requires_mutexes);
+  Add(ExtractFileFacts(file));
 }
 
 }  // namespace streamtune::analysis

@@ -1,6 +1,13 @@
 // Cross-file facts gathered in a first pass over every analyzed file:
 // which functions return Status/Result (for the ignored-return rule), which
-// members are lock-annotated, and which functions require a held mutex.
+// members are lock-annotated, which functions require a held mutex, which
+// are vetted STREAMTUNE_DETERMINISM_SAFE — plus the per-function summaries
+// the interprocedural layer composes into a call graph.
+//
+// Extraction is split from aggregation: ExtractFileFacts() reads one file's
+// tokens and nothing else, so the scan phase can run on a thread pool and
+// its results can be cached by content hash; ProjectIndex::Add() folds the
+// per-file facts together sequentially.
 
 #pragma once
 
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "analysis/source_file.h"
+#include "analysis/summary.h"
 
 namespace streamtune::analysis {
 
@@ -23,6 +31,26 @@ struct GuardedMember {
   int decl_line = 0;
 };
 
+/// Everything the analyzer learns from one file in isolation. Depends only
+/// on that file's token stream — cacheable, parallel-extractable.
+struct FileFacts {
+  std::string path;
+  FileOrigin origin = FileOrigin::kOther;
+
+  std::set<std::string> status_functions;
+  std::set<std::string> void_functions;
+  /// Functions annotated STREAMTUNE_DETERMINISM_SAFE on a declaration or
+  /// definition in this file.
+  std::set<std::string> determinism_safe;
+  std::vector<GuardedMember> guarded_members;
+  /// Function name -> mutexes it declares via STREAMTUNE_REQUIRES here.
+  std::map<std::string, std::set<std::string>> requires_mutexes;
+
+  FileSummary summary;
+};
+
+FileFacts ExtractFileFacts(const SourceFile& file);
+
 struct ProjectIndex {
   /// Names of functions whose declared return type is Status or Result<T>.
   std::set<std::string> status_functions;
@@ -33,12 +61,25 @@ struct ProjectIndex {
   /// the void overload.
   std::set<std::string> void_functions;
 
+  /// Functions vetted as deterministic despite what their bodies (or
+  /// callees) contain; the transitive determinism analysis treats them as
+  /// clean leaves.
+  std::set<std::string> determinism_safe_functions;
+
   std::vector<GuardedMember> guarded_members;
 
   /// Function name -> mutex names it declares via STREAMTUNE_REQUIRES.
   std::map<std::string, std::set<std::string>> requires_mutexes;
 
-  /// Scans one file and folds its declarations into the index.
+  /// Function name -> stems of the files carrying its REQUIRES declaration.
+  /// The requires-unheld rule only checks callers in those stems: name-based
+  /// resolution cannot tell `Foo::RunJob` from `Bar::RunJob` across files.
+  std::map<std::string, std::set<std::string>> requires_decl_stems;
+
+  /// Folds one file's facts into the index.
+  void Add(const FileFacts& facts);
+
+  /// Convenience for tests: extract + add in one step.
   void AddFile(const SourceFile& file);
 };
 

@@ -29,7 +29,11 @@ struct Finding {
   bool operator<(const Finding& o) const {
     if (file != o.file) return file < o.file;
     if (line != o.line) return line < o.line;
-    return rule < o.rule;
+    if (rule != o.rule) return rule < o.rule;
+    // Identity stops at (file, line, rule); the message tie-break only
+    // makes dedup keep a deterministic representative when two rules'
+    // messages collide on one key.
+    return message < o.message;
   }
 };
 

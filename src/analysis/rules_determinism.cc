@@ -3,9 +3,14 @@
 // library code consults a wall clock, an OS entropy source, or the
 // iteration order of a hash container. These rules keep those ingredients
 // out of src/ and tests/ (bench/ and tools/ may time and print freely).
+//
+// The transitive variant — a helper that is clean here but reaches one of
+// these ingredients through calls — is covered by the interprocedural
+// st-determinism-transitive analysis in graph_rules.cc.
 
 #include <set>
 
+#include "analysis/pattern_facts.h"
 #include "analysis/project_index.h"
 #include "analysis/rules.h"
 #include "analysis/token_utils.h"
@@ -16,19 +21,6 @@ namespace {
 
 bool InLibraryScope(const SourceFile& f) {
   return f.origin == FileOrigin::kSrc || f.origin == FileOrigin::kTests;
-}
-
-// True when the identifier at i is a plain or std-qualified call target
-// (not a member access `x.time(...)` or a foreign qualifier `foo::time`).
-bool IsGlobalOrStdCall(const std::vector<Token>& toks, size_t i) {
-  if (i + 1 >= toks.size() || !toks[i + 1].IsPunct("(")) return false;
-  if (i == 0) return true;
-  const Token& prev = toks[i - 1];
-  if (prev.IsPunct(".") || prev.IsPunct("->")) return false;
-  if (prev.IsPunct("::")) {
-    return i >= 2 && toks[i - 2].IsIdent("std");
-  }
-  return true;
 }
 
 class DeterminismRandomRule : public Rule {
@@ -76,64 +68,6 @@ class DeterminismRandomRule : public Rule {
   }
 };
 
-// Collects identifiers declared in this file with an unordered container
-// type (members, locals, parameters), following one level of `using`
-// aliases declared in the same file.
-std::set<std::string> CollectUnorderedVars(const std::vector<Token>& toks) {
-  std::set<std::string> unordered_types = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  // Pass 1: `using Alias = ... unordered_xxx ... ;`
-  std::set<std::string> aliases;
-  for (size_t i = 0; i + 3 < toks.size(); ++i) {
-    if (!toks[i].IsIdent("using")) continue;
-    if (toks[i + 1].kind != TokenKind::kIdent || !toks[i + 2].IsPunct("="))
-      continue;
-    for (size_t j = i + 3; j < toks.size() && !toks[j].IsPunct(";"); ++j) {
-      if (toks[j].kind == TokenKind::kIdent &&
-          unordered_types.count(toks[j].text) > 0) {
-        aliases.insert(toks[i + 1].text);
-        break;
-      }
-    }
-  }
-
-  // Pass 2: declarations `unordered_map<...> [&*]* name` (or alias name).
-  std::set<std::string> vars;
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokenKind::kIdent) continue;
-    bool is_unordered = unordered_types.count(t.text) > 0;
-    bool is_alias = aliases.count(t.text) > 0;
-    if (!is_unordered && !is_alias) continue;
-    size_t j = i + 1;
-    if (is_unordered) {
-      if (!toks[j].IsPunct("<")) continue;
-      int depth = 0;
-      for (; j < toks.size(); ++j) {
-        if (toks[j].IsPunct("<")) ++depth;
-        if (toks[j].IsPunct(">") && --depth == 0) break;
-        if (toks[j].IsPunct(">>")) {
-          depth -= 2;
-          if (depth <= 0) break;
-        }
-        if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) break;
-      }
-      if (j >= toks.size() || depth > 0) continue;
-      ++j;  // past '>'
-    }
-    while (j < toks.size() &&
-           (toks[j].IsPunct("&") || toks[j].IsPunct("*") ||
-            toks[j].IsPunct("&&") || toks[j].IsIdent("const"))) {
-      ++j;
-    }
-    if (j < toks.size() && toks[j].kind == TokenKind::kIdent) {
-      vars.insert(toks[j].text);
-    }
-  }
-  return vars;
-}
-
 class DeterminismUnorderedIterRule : public Rule {
  public:
   const char* name() const override {
@@ -145,69 +79,13 @@ class DeterminismUnorderedIterRule : public Rule {
     if (!InLibraryScope(file)) return;
     const std::vector<Token>& toks = file.src.tokens;
     std::set<std::string> unordered_vars = CollectUnorderedVars(toks);
-    if (unordered_vars.empty()) return;
-
-    for (size_t i = 0; i + 2 < toks.size(); ++i) {
-      if (!toks[i].IsIdent("for") || !toks[i + 1].IsPunct("(")) continue;
-      int close = MatchForward(toks, i + 1);
-      if (close < 0) continue;
-      // Range-for: a top-level ':' and no ';' inside the parens.
-      int colon = -1;
-      bool classic = false;
-      int depth = 0;
-      for (int j = static_cast<int>(i) + 2; j < close; ++j) {
-        if (toks[j].IsPunct("(") || toks[j].IsPunct("[") ||
-            toks[j].IsPunct("{") || toks[j].IsPunct("<")) {
-          ++depth;
-        } else if (toks[j].IsPunct(")") || toks[j].IsPunct("]") ||
-                   toks[j].IsPunct("}") || toks[j].IsPunct(">")) {
-          --depth;
-        } else if (depth == 0 && toks[j].IsPunct(";")) {
-          classic = true;
-          break;
-        } else if (depth == 0 && colon < 0 && toks[j].IsPunct(":")) {
-          colon = j;
-        }
-      }
-      if (classic || colon < 0) continue;
-      // Range expression: last identifier names the container.
-      std::string range_var;
-      for (int j = colon + 1; j < close; ++j) {
-        if (toks[j].kind == TokenKind::kIdent) range_var = toks[j].text;
-      }
-      if (range_var.empty() || unordered_vars.count(range_var) == 0) continue;
-
-      // Loop body: `{...}` or a single statement up to ';'.
-      size_t body_begin = close + 1;
-      size_t body_end;
-      if (body_begin < toks.size() && toks[body_begin].IsPunct("{")) {
-        int m = MatchForward(toks, body_begin);
-        if (m < 0) continue;
-        body_end = static_cast<size_t>(m);
-      } else {
-        body_end = body_begin;
-        while (body_end < toks.size() && !toks[body_end].IsPunct(";"))
-          ++body_end;
-      }
-      // Order-sensitive body: in-place accumulation or appending to an
-      // output container / stream.
-      for (size_t j = body_begin; j < body_end; ++j) {
-        const Token& b = toks[j];
-        bool accumulate = b.IsPunct("+=") || b.IsPunct("-=") ||
-                          b.IsPunct("*=") || b.IsPunct("<<");
-        bool append = b.kind == TokenKind::kIdent &&
-                      (b.text == "push_back" || b.text == "emplace_back" ||
-                       b.text == "push_front" || b.text == "append" ||
-                       b.text == "insert" || b.text == "emplace");
-        if (accumulate || append) {
-          out->push_back(Finding{
-              file.path, toks[i].line, name(),
-              "iteration over unordered container '" + range_var +
-                  "' feeds an order-sensitive reduction ('" + b.text +
-                  "'); iterate a sorted copy or use an ordered container"});
-          break;
-        }
-      }
+    for (const UnorderedIterSite& s :
+         FindOrderSensitiveUnorderedLoops(toks, unordered_vars)) {
+      out->push_back(Finding{
+          file.path, s.line, name(),
+          "iteration over unordered container '" + s.range_var +
+              "' feeds an order-sensitive reduction ('" + s.sink +
+              "'); iterate a sorted copy or use an ordered container"});
     }
   }
 };

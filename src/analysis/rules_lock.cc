@@ -10,6 +10,7 @@
 // this codebase every mutex-protected class keeps its accesses in its own
 // header/source pair.
 
+#include "analysis/pattern_facts.h"
 #include "analysis/project_index.h"
 #include "analysis/rules.h"
 #include "analysis/token_utils.h"
@@ -17,57 +18,6 @@
 namespace streamtune::analysis {
 
 namespace {
-
-struct LockSite {
-  size_t pos = 0;             // token index of the lock declaration
-  int scope = -1;             // innermost '{' containing the declaration
-  std::vector<std::string> mutexes;  // final idents of the lock arguments
-};
-
-bool IsLockType(const std::string& s) {
-  return s == "lock_guard" || s == "unique_lock" || s == "shared_lock" ||
-         s == "scoped_lock";
-}
-
-std::vector<LockSite> CollectLockSites(const std::vector<Token>& toks,
-                                       const std::vector<int>& encl) {
-  std::vector<LockSite> sites;
-  for (size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (toks[i].kind != TokenKind::kIdent || !IsLockType(toks[i].text))
-      continue;
-    size_t j = i + 1;
-    if (j < toks.size() && toks[j].IsPunct("<")) {  // template args
-      int depth = 0;
-      for (; j < toks.size(); ++j) {
-        if (toks[j].IsPunct("<")) ++depth;
-        if (toks[j].IsPunct(">") && --depth == 0) break;
-      }
-      if (j >= toks.size()) continue;
-      ++j;
-    }
-    // Declaration form: `lock_guard<...> name(args);` — skip the variable
-    // name, then harvest the argument identifiers.
-    if (j >= toks.size() || toks[j].kind != TokenKind::kIdent) continue;
-    ++j;
-    if (j >= toks.size() || !toks[j].IsPunct("(")) continue;
-    int close = MatchForward(toks, j);
-    if (close < 0) continue;
-    LockSite site;
-    site.pos = i;
-    site.scope = encl[i];
-    std::string last;
-    for (int k = static_cast<int>(j) + 1; k < close; ++k) {
-      if (toks[k].kind == TokenKind::kIdent) last = toks[k].text;
-      if (toks[k].IsPunct(",")) {
-        if (!last.empty()) site.mutexes.push_back(last);
-        last.clear();
-      }
-    }
-    if (!last.empty()) site.mutexes.push_back(last);
-    if (!site.mutexes.empty()) sites.push_back(std::move(site));
-  }
-  return sites;
-}
 
 bool ChainContains(const std::vector<int>& encl, size_t use, int scope) {
   for (int b = encl[use]; b != -1; b = encl[b]) {

@@ -170,7 +170,7 @@ class StatusValueRule : public Rule {
 
       int body = OutermostFunctionBody(toks, encl, i);
       size_t window_begin = body < 0 ? 0 : static_cast<size_t>(body);
-      if (!DominatedByCheck(toks, window_begin, i, receiver)) {
+      if (!DominatedByCheck(toks, encl, window_begin, i, receiver)) {
         out->push_back(Finding{
             file.path, toks[i].line, name(),
             "'" + receiver +
@@ -181,13 +181,31 @@ class StatusValueRule : public Rule {
   }
 
  private:
+  // True when the block enclosing token `j` is the block enclosing `use` or
+  // one of its ancestors — i.e. control flow from j's statement to the use
+  // cannot be skipped by j's own braces closing. A check inside a closed
+  // sibling block (`if (x) { if (r.ok()) {...} } r.value();`) proves
+  // nothing about the path reaching the use.
+  static bool InDominatingBlock(const std::vector<int>& encl, size_t j,
+                                size_t use) {
+    for (int b = encl[use]; b != -1; b = encl[b]) {
+      if (b == encl[j]) return true;
+    }
+    return encl[j] == -1;  // file scope encloses everything
+  }
+
   // Looks for `receiver.ok(`, `receiver.has_value(`, `receiver.status(`,
-  // `if (receiver)` or `if (!receiver)` between window_begin and use.
+  // `if (receiver)` or `if (!receiver)` between window_begin and use, in a
+  // block that dominates the use. An `if (!r.ok()) return;` early exit
+  // qualifies: the check itself sits in the enclosing block; only the
+  // return is nested.
   static bool DominatedByCheck(const std::vector<Token>& toks,
+                               const std::vector<int>& encl,
                                size_t window_begin, size_t use,
                                const std::string& receiver) {
     for (size_t j = window_begin; j < use; ++j) {
       if (toks[j].kind != TokenKind::kIdent) continue;
+      if (!InDominatingBlock(encl, j, use)) continue;
       // Try to match the receiver chain ending at token j.
       bool dummy = false;
       // Reuse chain extraction: pretend toks[j+1] is the '.' of a call.

@@ -1,0 +1,112 @@
+#include "analysis/sarif.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace streamtune::analysis {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  AppendEscaped(s, &out);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string SarifJson(const std::vector<Finding>& findings) {
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) rule_ids.insert(f.rule);
+
+  std::string j;
+  j += "{\n";
+  j += "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  j += "  \"version\": \"2.1.0\",\n";
+  j += "  \"runs\": [\n";
+  j += "    {\n";
+  j += "      \"tool\": {\n";
+  j += "        \"driver\": {\n";
+  j += "          \"name\": \"st_analyze\",\n";
+  j += "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    if (!first) j += ",\n";
+    first = false;
+    j += "            {\"id\": " + Quoted(id) + "}";
+  }
+  j += "\n          ]\n";
+  j += "        }\n";
+  j += "      },\n";
+  j += "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) j += ",\n";
+    first = false;
+    j += "        {\n";
+    j += "          \"ruleId\": " + Quoted(f.rule) + ",\n";
+    j += "          \"level\": \"warning\",\n";
+    j += "          \"message\": {\"text\": " + Quoted(f.message) + "},\n";
+    j += "          \"locations\": [\n";
+    j += "            {\n";
+    j += "              \"physicalLocation\": {\n";
+    j += "                \"artifactLocation\": {\"uri\": " + Quoted(f.file) +
+         "},\n";
+    j += "                \"region\": {\"startLine\": " +
+         std::to_string(f.line > 0 ? f.line : 1) + "}\n";
+    j += "              }\n";
+    j += "            }\n";
+    j += "          ]\n";
+    j += "        }";
+  }
+  j += "\n      ]\n";
+  j += "    }\n";
+  j += "  ]\n";
+  j += "}\n";
+  return j;
+}
+
+Status WriteSarif(const std::string& path,
+                  const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write SARIF " + path);
+  out << SarifJson(findings);
+  out.flush();
+  if (!out) return Status::Internal("short write to SARIF " + path);
+  return Status::OK();
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,23 @@
+// Minimal SARIF 2.1.0 writer for analyzer findings, hand-rolled (the repo
+// has no JSON dependency). Emits exactly the subset GitHub code scanning
+// consumes: one run, the driver's rule ids, and one result per finding with
+// a physical location.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/rule.h"
+#include "common/status.h"
+
+namespace streamtune::analysis {
+
+/// The SARIF document as a string (deterministic: findings are emitted in
+/// the order given, rules sorted by id).
+std::string SarifJson(const std::vector<Finding>& findings);
+
+Status WriteSarif(const std::string& path,
+                  const std::vector<Finding>& findings);
+
+}  // namespace streamtune::analysis

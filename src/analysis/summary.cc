@@ -1,0 +1,205 @@
+#include "analysis/summary.h"
+
+#include <algorithm>
+
+#include "analysis/pattern_facts.h"
+#include "analysis/token_utils.h"
+
+namespace streamtune::analysis {
+
+namespace {
+
+// Identifiers that look like calls (`name(`) but never are.
+bool IsNonCallKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "assert" ||
+         s == "defined" || s == "noexcept" || s == "alignas";
+}
+
+// Keywords that may directly precede a genuine call expression, so a
+// preceding identifier from this set does NOT make `name(` a declaration.
+bool IsCallContextKeyword(const std::string& s) {
+  return s == "return" || s == "throw" || s == "new" || s == "delete" ||
+         s == "else" || s == "do" || s == "case" || s == "goto" ||
+         s == "co_return" || s == "co_yield" || s == "co_await";
+}
+
+// A seed suppressed for any determinism rule must not taint callers: the
+// NOLINT is a reviewed claim that this use is safe.
+bool SeedSuppressed(const NolintMap& nolint, int line) {
+  return IsSuppressed(nolint, line, "st-determinism-random") ||
+         IsSuppressed(nolint, line, "st-determinism-unordered-iter") ||
+         IsSuppressed(nolint, line, "st-determinism-transitive");
+}
+
+struct BodyInfo {
+  int begin = 0;  // '{' token index
+  int end = 0;    // matching '}' token index
+  int fn = -1;    // index into FileSummary::functions
+};
+
+// `map<Key*, ...>` / `set<Key*>` declarations order by pointer value, which
+// differs between runs. Returns the line of the declaration or -1.
+int PointerKeyedDecl(const std::vector<Token>& toks, size_t i) {
+  if (toks[i].text != "map" && toks[i].text != "set") return -1;
+  if (i + 1 >= toks.size() || !toks[i + 1].IsPunct("<")) return -1;
+  if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")))
+    return -1;
+  int depth = 1;
+  bool star_last = false;
+  for (size_t j = i + 2; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.IsPunct("<") || t.IsPunct("(") || t.IsPunct("[")) ++depth;
+    if (t.IsPunct(">") || t.IsPunct(")") || t.IsPunct("]")) --depth;
+    if (t.IsPunct(">>")) depth -= 2;
+    if (depth <= 0 || (depth == 1 && t.IsPunct(","))) {
+      return star_last ? toks[i].line : -1;
+    }
+    if (t.IsPunct(";") || t.IsPunct("{")) return -1;  // not a template list
+    star_last = t.IsPunct("*");
+  }
+  return -1;
+}
+
+}  // namespace
+
+FileSummary BuildFileSummary(const SourceFile& file) {
+  FileSummary out;
+  const std::vector<Token>& toks = file.src.tokens;
+  const NolintMap& nolint = file.src.nolint;
+  if (toks.empty()) return out;
+  std::vector<int> encl = EnclosingBraces(toks);
+
+  // 1. Named function bodies, and for every token the innermost one that
+  // owns it (inner bodies — local structs — override their enclosing one).
+  std::vector<BodyInfo> bodies;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].IsPunct("{") || !IsFunctionBody(toks, static_cast<int>(i)))
+      continue;
+    std::string name = FunctionNameForBody(toks, static_cast<int>(i));
+    if (name.empty()) continue;  // lambdas belong to their enclosing function
+    int close = MatchForward(toks, i);
+    if (close < 0) continue;
+    FunctionSummary fn;
+    fn.name = name;
+    fn.qualifier =
+        FunctionQualifierForBody(toks, encl, static_cast<int>(i));
+    fn.line = toks[i].line;
+    fn.is_ctor_dtor = IsCtorOrDtorBody(toks, encl, static_cast<int>(i));
+    bodies.push_back(BodyInfo{static_cast<int>(i), close,
+                              static_cast<int>(out.functions.size())});
+    out.functions.push_back(std::move(fn));
+  }
+  std::vector<int> owner(toks.size(), -1);
+  for (const BodyInfo& b : bodies) {  // ascending begin: inner wins
+    for (int j = b.begin + 1; j < b.end; ++j) owner[j] = b.fn;
+  }
+
+  // 2. Argument ranges of ParallelFor / ParallelReduce calls.
+  std::vector<char> in_parallel(toks.size(), 0);
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent) continue;
+    if (toks[i].text != "ParallelFor" && toks[i].text != "ParallelReduce")
+      continue;
+    if (!toks[i + 1].IsPunct("(")) continue;
+    int close = MatchForward(toks, i + 1);
+    if (close < 0) continue;
+    for (int j = static_cast<int>(i) + 2; j < close; ++j) in_parallel[j] = 1;
+  }
+
+  // 3. Lock sites, attributed to their owning function; held-mutex context
+  // at an arbitrary token = every earlier site in a still-open scope of the
+  // same function.
+  std::vector<LockSite> locks = CollectLockSites(toks, encl);
+  auto held_at = [&](size_t pos) {
+    std::vector<std::string> held;
+    for (const LockSite& l : locks) {
+      if (l.pos >= pos || owner[l.pos] != owner[pos]) continue;
+      bool open = false;
+      for (int b = encl[pos]; b != -1; b = encl[b]) {
+        if (b == l.scope) {
+          open = true;
+          break;
+        }
+      }
+      if (!open && l.scope != -1) continue;
+      for (const std::string& m : l.mutexes) {
+        if (std::find(held.begin(), held.end(), m) == held.end())
+          held.push_back(m);
+      }
+    }
+    return held;
+  };
+  for (const LockSite& l : locks) {
+    if (owner[l.pos] < 0) continue;
+    LockAcquireSummary a;
+    a.line = toks[l.pos].line;
+    a.mutexes = l.mutexes;
+    a.held_before = held_at(l.pos);
+    out.functions[owner[l.pos]].locks.push_back(std::move(a));
+  }
+
+  // 4. Direct nondeterminism seeds.
+  auto add_seed = [&](size_t pos, std::string what) {
+    int fn = owner[pos];
+    int line = toks[pos].line;
+    if (fn < 0 || SeedSuppressed(nolint, line)) return;
+    out.functions[fn].seeds.push_back(TaintSeed{line, std::move(what)});
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdent) continue;
+    if (t.text == "random_device") {
+      add_seed(i, "std::random_device");
+    } else if (t.text == "system_clock" || t.text == "steady_clock" ||
+               t.text == "high_resolution_clock") {
+      add_seed(i, "wall clock (" + t.text + ")");
+    } else if ((t.text == "rand" || t.text == "srand" || t.text == "time") &&
+               IsGlobalOrStdCall(toks, i)) {
+      add_seed(i, t.text + "()");
+    } else if (t.text == "get_id" && i >= 2 && toks[i - 1].IsPunct("::") &&
+               toks[i - 2].IsIdent("this_thread")) {
+      add_seed(i, "this_thread::get_id()");
+    } else {
+      int line = PointerKeyedDecl(toks, i);
+      if (line >= 0) add_seed(i, "pointer-keyed " + t.text + " ordering");
+    }
+  }
+  std::set<std::string> unordered_vars = CollectUnorderedVars(toks);
+  for (const UnorderedIterSite& s :
+       FindOrderSensitiveUnorderedLoops(toks, unordered_vars)) {
+    add_seed(s.pos, "order-sensitive iteration over unordered '" +
+                        s.range_var + "'");
+  }
+
+  // 5. Call sites.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdent || !toks[i + 1].IsPunct("(")) continue;
+    if (owner[i] < 0) continue;
+    if (IsNonCallKeyword(t.text)) continue;
+    int p = static_cast<int>(i) - 1;
+    while (p >= 0 && toks[p].kind == TokenKind::kPreproc) --p;
+    if (p >= 0) {
+      const Token& prev = toks[p];
+      // `Type name(...)` / `Type* name(...)` / `vector<T> name(...)` are
+      // declarations, not calls.
+      if (prev.kind == TokenKind::kIdent && !IsCallContextKeyword(prev.text))
+        continue;
+      if (prev.IsPunct("*") || prev.IsPunct("&") || prev.IsPunct(">") ||
+          prev.IsIdent("operator")) {
+        continue;
+      }
+    }
+    CallSiteSummary c;
+    c.callee = t.text;
+    c.line = t.line;
+    c.in_parallel_callback = in_parallel[i] != 0;
+    c.held_mutexes = held_at(i);
+    out.functions[owner[i]].calls.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace streamtune::analysis

@@ -1,0 +1,64 @@
+// Per-file function summaries: the compact facts the interprocedural layer
+// (call graph, determinism taint, lock-order analysis) composes across
+// translation units. Extraction is purely local — a summary depends only on
+// one file's tokens — which is what makes summaries cacheable by content
+// hash and the scan phase embarrassingly parallel.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+
+/// One nondeterminism ingredient used directly in a function body.
+struct TaintSeed {
+  int line = 0;
+  std::string what;  // human-readable, e.g. "rand()" or "wall clock"
+};
+
+/// One lock_guard/unique_lock/shared_lock/scoped_lock declaration.
+struct LockAcquireSummary {
+  int line = 0;
+  std::vector<std::string> mutexes;      // acquired together (std::lock order)
+  std::vector<std::string> held_before;  // syntactically held at this point
+};
+
+/// One call site `callee(...)` / `obj.callee(...)` inside a function body.
+struct CallSiteSummary {
+  std::string callee;  // final identifier of the call target
+  int line = 0;
+  /// Lexically inside the argument list of a ParallelFor / ParallelReduce
+  /// call (i.e. inside a map or combine callback).
+  bool in_parallel_callback = false;
+  /// Mutexes syntactically held at the call (enclosing lock declarations;
+  /// the caller's STREAMTUNE_REQUIRES set is joined in at analysis time).
+  std::vector<std::string> held_mutexes;
+};
+
+/// One named function definition found in the file.
+struct FunctionSummary {
+  std::string name;       // unqualified: "Admit", "operator()", "~KbService"
+  std::string qualifier;  // "KbService" for members, "" for free functions
+  int line = 0;
+  bool is_ctor_dtor = false;
+  std::vector<TaintSeed> seeds;
+  std::vector<CallSiteSummary> calls;
+  std::vector<LockAcquireSummary> locks;
+};
+
+struct FileSummary {
+  std::vector<FunctionSummary> functions;
+};
+
+/// Extracts every named function body, its direct nondeterminism seeds, its
+/// call sites (with held-lock context and parallel-callback flags), and its
+/// lock acquisitions. Seeds on lines carrying a NOLINT for any determinism
+/// rule are skipped — the suppression is a reviewed claim that the line is
+/// safe, so it must not taint callers either.
+FileSummary BuildFileSummary(const SourceFile& file);
+
+}  // namespace streamtune::analysis

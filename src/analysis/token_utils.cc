@@ -22,7 +22,8 @@ bool IsOpener(const Token& t, char* close) {
 
 bool IsQualifierIdent(const std::string& s) {
   return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
-         s == "mutable" || s == "try" || s == "volatile" || s == "&&";
+         s == "mutable" || s == "try" || s == "volatile" || s == "&&" ||
+         s == "STREAMTUNE_DETERMINISM_SAFE";
 }
 
 bool IsControlKeyword(const std::string& s) {
@@ -37,14 +38,36 @@ bool IsAnnotationMacro(const std::string& s) {
          s == "STREAMTUNE_GUARDED_BY";
 }
 
+// Index of the `<` opening the template argument list whose `>` (or `>>`)
+// sits at `k`, or -1. Angle depth only; declarations contain no comparison
+// operators, so this is exact there.
+int SkipAngleBackward(const std::vector<Token>& toks, int k) {
+  int depth = 0;
+  for (int j = k; j >= 0; --j) {
+    if (toks[j].IsPunct(">")) ++depth;
+    if (toks[j].IsPunct(">>")) depth += 2;
+    if (toks[j].IsPunct("<") && --depth == 0) return j;
+    if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) break;
+  }
+  return -1;
+}
+
 // Steps backward over one (possibly qualified) name: `k` points at the
-// token before the name ident on return. Handles `Ns::Class::~Name`.
+// token before the name ident on return. Handles `Ns::Class::~Name` and
+// template qualifiers like `Holder<T>::Name`.
 int SkipNameBackward(const std::vector<Token>& toks, int name_idx) {
   int k = name_idx - 1;
   if (k >= 0 && toks[k].IsPunct("~")) --k;
-  while (k >= 1 && toks[k].IsPunct("::") &&
-         toks[k - 1].kind == TokenKind::kIdent) {
-    k -= 2;
+  while (k >= 1 && toks[k].IsPunct("::")) {
+    int prev = k - 1;
+    // `Holder<T>::` — step over the template argument list first.
+    if (toks[prev].IsPunct(">") || toks[prev].IsPunct(">>")) {
+      int open = SkipAngleBackward(toks, prev);
+      if (open <= 0) break;
+      prev = open - 1;
+    }
+    if (toks[prev].kind != TokenKind::kIdent) break;
+    k = prev - 1;
     if (k >= 0 && toks[k].IsPunct("~")) --k;
   }
   return k;
@@ -93,6 +116,12 @@ bool FindParamList(const std::vector<Token>& toks, int b, int* param_close) {
         *param_close = j;  // lambda or templated name
         return true;
       }
+      // Operator functions: `operator()(args)`, `operator<(rhs)`, ... — the
+      // token before the parameter list is punctuation, not a plain ident.
+      if (OperatorKeywordBefore(toks, o) >= 0) {
+        *param_close = j;
+        return true;
+      }
       return false;
     }
     return false;
@@ -101,6 +130,24 @@ bool FindParamList(const std::vector<Token>& toks, int b, int* param_close) {
 }
 
 }  // namespace
+
+int OperatorKeywordBefore(const std::vector<Token>& toks, int paren) {
+  int k = paren - 1;
+  if (k < 1) return -1;
+  if (toks[k].IsPunct(")") && toks[k - 1].IsPunct("(")) {
+    k -= 2;  // operator()
+  } else if (toks[k].IsPunct("]") && toks[k - 1].IsPunct("[")) {
+    k -= 2;  // operator[]
+  } else if (toks[k].kind == TokenKind::kPunct) {
+    --k;  // symbolic operator: one token (multi-char ops are single tokens)
+  } else if (toks[k].kind == TokenKind::kIdent) {
+    --k;  // conversion operator: `operator bool`, `operator SomeType`
+  } else {
+    return -1;
+  }
+  if (k >= 0 && toks[k].IsIdent("operator")) return k;
+  return -1;
+}
 
 int MatchForward(const std::vector<Token>& toks, size_t i) {
   char close = 0;
@@ -157,15 +204,56 @@ int OutermostFunctionBody(const std::vector<Token>& toks,
   return result;
 }
 
-std::string FunctionNameForBody(const std::vector<Token>& toks, int b) {
-  int param_close = -1;
-  if (!FindParamList(toks, b, &param_close)) return "";
-  int o = MatchBackward(toks, param_close);
+std::string FunctionNameAtParamOpen(const std::vector<Token>& toks, int o) {
   if (o <= 0) return "";
+  int kop = OperatorKeywordBefore(toks, o);
+  if (kop >= 0) {
+    // "operator()" / "operator[]" / "operator<" / "operator bool".
+    std::string name = "operator";
+    for (int k = kop + 1; k < o; ++k) {
+      if (toks[k].kind == TokenKind::kIdent) name += " ";
+      name += toks[k].text;
+    }
+    return name;
+  }
   const Token& name = toks[o - 1];
   if (name.kind != TokenKind::kIdent) return "";  // lambda
   if (o >= 2 && toks[o - 2].IsPunct("~")) return "~" + name.text;
   return name.text;
+}
+
+std::string FunctionNameForBody(const std::vector<Token>& toks, int b) {
+  int param_close = -1;
+  if (!FindParamList(toks, b, &param_close)) return "";
+  return FunctionNameAtParamOpen(toks, MatchBackward(toks, param_close));
+}
+
+std::string FunctionQualifierForBody(const std::vector<Token>& toks,
+                                     const std::vector<int>& encl, int b) {
+  int param_close = -1;
+  if (!FindParamList(toks, b, &param_close)) return "";
+  int o = MatchBackward(toks, param_close);
+  if (o <= 0) return "";
+  // Start of the (possibly operator) name.
+  int kop = OperatorKeywordBefore(toks, o);
+  int name_start = kop >= 0 ? kop : o - 1;
+  if (kop < 0 && toks[name_start].kind != TokenKind::kIdent) return "";
+  if (kop < 0 && name_start >= 1 && toks[name_start - 1].IsPunct("~"))
+    --name_start;
+  // Out-of-line `Class::Name` / `Class<T>::Name` qualifier.
+  int k = name_start - 1;
+  if (k >= 1 && toks[k].IsPunct("::")) {
+    int prev = k - 1;
+    if (toks[prev].IsPunct(">") || toks[prev].IsPunct(">>")) {
+      int open = SkipAngleBackward(toks, prev);
+      if (open <= 0) return "";
+      prev = open - 1;
+    }
+    if (toks[prev].kind == TokenKind::kIdent) return toks[prev].text;
+    return "";
+  }
+  // In-class definition: the innermost enclosing class.
+  return EnclosingClassName(toks, encl, static_cast<size_t>(b));
 }
 
 std::string EnclosingClassName(const std::vector<Token>& toks,
@@ -208,15 +296,22 @@ bool IsCtorOrDtorBody(const std::vector<Token>& toks,
   bool dtor = name[0] == '~';
   std::string plain = dtor ? name.substr(1) : name;
 
-  // Qualified out-of-line definition: `T::T(` or `T::~T(`.
+  // Qualified out-of-line definition: `T::T(`, `T::~T(`, `T<X>::T(`.
   int param_close = -1;
   if (FindParamList(toks, b, &param_close)) {
     int o = MatchBackward(toks, param_close);
     int k = o - 2;  // before the name ident
     if (k >= 0 && toks[k].IsPunct("~")) --k;
-    if (k >= 1 && toks[k].IsPunct("::") &&
-        toks[k - 1].kind == TokenKind::kIdent && toks[k - 1].text == plain) {
-      return true;
+    if (k >= 1 && toks[k].IsPunct("::")) {
+      int prev = k - 1;
+      if (toks[prev].IsPunct(">") || toks[prev].IsPunct(">>")) {
+        int open = SkipAngleBackward(toks, prev);
+        prev = open > 0 ? open - 1 : -1;
+      }
+      if (prev >= 0 && toks[prev].kind == TokenKind::kIdent &&
+          toks[prev].text == plain) {
+        return true;
+      }
     }
   }
   // Inline definition inside the class body.

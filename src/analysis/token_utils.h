@@ -37,8 +37,25 @@ int OutermostFunctionBody(const std::vector<Token>& toks,
 
 /// Unqualified name of the function whose body opens at `b` ("" when it
 /// cannot be determined, e.g. a lambda). For "KbService::Admit" returns
-/// "Admit"; for a destructor returns "~KbService".
+/// "Admit"; for a destructor returns "~KbService"; for a call operator
+/// returns "operator()" and for a conversion operator "operator bool".
 std::string FunctionNameForBody(const std::vector<Token>& toks, int b);
+
+/// Qualifier of the function whose body opens at `b`: the class name from an
+/// out-of-line `Class::Name` / `Class<T>::Name` definition, or the innermost
+/// enclosing class for an in-class definition, or "" for a free function.
+std::string FunctionQualifierForBody(const std::vector<Token>& toks,
+                                     const std::vector<int>& encl, int b);
+
+/// Index of the `operator` keyword when the tokens just before the `(` at
+/// `paren` spell an operator-function name (`operator()`, `operator[]`,
+/// `operator<`, `operator bool`, ...); -1 otherwise.
+int OperatorKeywordBefore(const std::vector<Token>& toks, int paren);
+
+/// Unqualified function name read backwards from the `(` at `o` that opens
+/// its parameter list: "Admit", "~KbService", "operator()", "operator bool".
+/// "" when the preceding tokens do not spell a function name.
+std::string FunctionNameAtParamOpen(const std::vector<Token>& toks, int o);
 
 /// Name of the innermost class/struct whose body encloses token `i`, or ""
 /// (used to exempt constructors/destructors declared inline in the class).

@@ -16,6 +16,13 @@
 // Constructors and destructors are exempt (no concurrent access can exist
 // before the object is shared or after teardown begins); anything else that
 // is safe for a non-obvious reason takes // NOLINT(st-lock-guarded-by).
+//
+// STREAMTUNE_DETERMINISM_SAFE marks a function as bit-deterministic even
+// though the interprocedural taint analysis (st-determinism-transitive)
+// would conclude otherwise — e.g. a seeded draw whose nondeterministic
+// ingredient is provably order-insensitive. It is the sanctioned escape
+// hatch: the annotation clears the function's taint and stops propagation
+// to its callers. Always pair it with a comment justifying why.
 
 #pragma once
 
@@ -30,3 +37,6 @@
 #define STREAMTUNE_GUARDED_BY(mu)
 #define STREAMTUNE_REQUIRES(mu)
 #endif
+
+// No compiler backing in any toolchain: purely an analyzer-visible marker.
+#define STREAMTUNE_DETERMINISM_SAFE

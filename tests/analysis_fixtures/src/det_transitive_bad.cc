@@ -1,0 +1,20 @@
+// Fixture: calling a transitively nondeterministic helper (defined in
+// det_transitive_helper.cc) from a ParallelFor map callback. The callback
+// itself is clean — only the cross-file call graph can see the taint.
+
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+int MidLayer(int x);
+
+void ScaleAll(std::vector<int>* out) {
+  streamtune::ThreadPool pool(2);
+  pool.ParallelFor(0, static_cast<long>(out->size()), [&](long i) {
+    (*out)[i] = MidLayer((*out)[i]);  // st-determinism-transitive
+  });
+}
+
+}  // namespace fixture

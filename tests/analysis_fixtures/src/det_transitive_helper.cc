@@ -1,0 +1,16 @@
+// Fixture: a helper chain whose leaf consults entropy. The direct rule
+// flags the leaf line here; the *transitive* finding fires in
+// det_transitive_bad.cc, where the chain is entered from a parallel
+// callback.
+
+namespace fixture {
+
+int LeafEntropy() {
+  return rand();  // st-determinism-random fires on this line
+}
+
+int MidLayer(int x) {
+  return LeafEntropy() + x;  // clean body, tainted through the call
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: the callee reaches entropy but carries a reviewed
+// STREAMTUNE_DETERMINISM_SAFE vetting mark — the transitive rule treats it
+// as a clean leaf and stays silent.
+
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+int VettedJitter() STREAMTUNE_DETERMINISM_SAFE {
+  return rand();  // NOLINT(st-determinism-random) -- reviewed: fixture stub
+}
+
+void ScaleAllVetted(std::vector<int>* out) {
+  streamtune::ThreadPool pool(2);
+  pool.ParallelFor(0, static_cast<long>(out->size()), [&](long i) {
+    (*out)[i] += VettedJitter();  // vetted callee: silent
+  });
+}
+
+}  // namespace fixture

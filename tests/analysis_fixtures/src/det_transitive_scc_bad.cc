@@ -1,0 +1,29 @@
+// Fixture: mutual recursion — the wall-clock read in PingDepth taints the
+// whole {PingDepth, PongDepth} SCC, so entering it anywhere from a parallel
+// combine callback fires.
+
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+int PongDepth(int d);
+
+int PingDepth(int d) {
+  if (d <= 0) return static_cast<int>(time(nullptr));  // direct rule fires
+  return PongDepth(d - 1);
+}
+
+int PongDepth(int d) {
+  return PingDepth(d);  // clean body; tainted via the SCC
+}
+
+void ReduceDepths(std::vector<int>* out) {
+  streamtune::ThreadPool pool(2);
+  pool.ParallelReduce(0, static_cast<long>(out->size()), [&](long i) {
+    (*out)[i] = PongDepth((*out)[i]);  // st-determinism-transitive
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: file 1 of a three-file lock-order cycle. ChainA holds this
+// file's mutex while calling into lock_order_b.cc, which (transitively)
+// acquires the other two — composing the A-before-B edge of the
+// A -> B -> C -> A cycle.
+
+#include <mutex>
+
+namespace fixture {
+
+void ChainB();  // defined in lock_order_b.cc
+
+std::mutex order_a_mu;
+
+void AcquireA() {
+  std::lock_guard<std::mutex> hold(order_a_mu);
+}
+
+void ChainA() {
+  std::lock_guard<std::mutex> hold(order_a_mu);
+  ChainB();  // st-lock-order-cycle anchors here (first witness edge)
+}
+
+}  // namespace fixture

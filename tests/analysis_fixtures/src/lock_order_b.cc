@@ -1,0 +1,16 @@
+// Fixture: file 2 of the three-file lock-order cycle (see lock_order_a.cc).
+
+#include <mutex>
+
+namespace fixture {
+
+void ChainC();  // defined in lock_order_c.cc
+
+std::mutex order_b_mu;
+
+void ChainB() {
+  std::lock_guard<std::mutex> hold(order_b_mu);
+  ChainC();  // B before C
+}
+
+}  // namespace fixture

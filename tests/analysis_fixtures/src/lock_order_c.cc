@@ -1,0 +1,17 @@
+// Fixture: file 3 of the three-file lock-order cycle (see lock_order_a.cc).
+// Calling back into AcquireA closes the loop: C before A.
+
+#include <mutex>
+
+namespace fixture {
+
+void AcquireA();  // defined in lock_order_a.cc
+
+std::mutex order_c_mu;
+
+void ChainC() {
+  std::lock_guard<std::mutex> hold(order_c_mu);
+  AcquireA();  // C before A — closes the cycle
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: nested acquisition in one consistent global order everywhere —
+// the lock-order graph has edges but no cycle, so st-lock-order-cycle
+// stays silent.
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex ok_outer_mu;
+std::mutex ok_inner_mu;
+
+int NestedInOrder(int x) {
+  std::lock_guard<std::mutex> outer(ok_outer_mu);
+  std::lock_guard<std::mutex> inner(ok_inner_mu);
+  return x + 1;
+}
+
+int AlsoInOrder(int x) {
+  std::lock_guard<std::mutex> outer(ok_outer_mu);
+  std::lock_guard<std::mutex> inner(ok_inner_mu);
+  return x + 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: a guarded member touched inside operator() with no lock and no
+// REQUIRES contract. Operator bodies are recognized as functions, so the
+// access is checked like any other member function.
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Tally {
+ public:
+  int operator()(int x) {
+    return total_ += x;  // st-lock-guarded-by: tmu_ not held
+  }
+
+ private:
+  std::mutex tmu_;
+  int total_ STREAMTUNE_GUARDED_BY(tmu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: operator() carrying STREAMTUNE_REQUIRES(vmu_) — the annotation
+// is attached to the operator name, sanctioning the guarded access.
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class Visitor {
+ public:
+  int operator()(int x) STREAMTUNE_REQUIRES(vmu_) {
+    return total_ += x;  // contract declared: silent
+  }
+
+ private:
+  std::mutex vmu_;
+  int total_ STREAMTUNE_GUARDED_BY(vmu_) = 0;
+};
+
+}  // namespace fixture

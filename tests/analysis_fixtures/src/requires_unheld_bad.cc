@@ -1,0 +1,23 @@
+// Fixture: calling a STREAMTUNE_REQUIRES(qmu_) member without holding the
+// mutex and without the caller declaring the same contract.
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class JobQueue {
+ public:
+  void DrainPending() STREAMTUNE_REQUIRES(qmu_);
+  void Pump();
+
+ private:
+  std::mutex qmu_;
+};
+
+void JobQueue::Pump() {
+  DrainPending();  // st-requires-unheld: qmu_ is not held here
+}
+
+}  // namespace fixture

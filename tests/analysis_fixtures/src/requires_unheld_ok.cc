@@ -1,0 +1,30 @@
+// Fixture: both sanctioned ways to call a STREAMTUNE_REQUIRES function —
+// under a lock_guard on the required mutex, or from a caller that declares
+// the same contract.
+
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+class SafeQueue {
+ public:
+  void DrainReady() STREAMTUNE_REQUIRES(smu_);
+  void PumpHolding();
+  void PumpFromLocked() STREAMTUNE_REQUIRES(smu_);
+
+ private:
+  std::mutex smu_;
+};
+
+void SafeQueue::PumpHolding() {
+  std::lock_guard<std::mutex> hold(smu_);
+  DrainReady();  // lock held: silent
+}
+
+void SafeQueue::PumpFromLocked() {
+  DrainReady();  // caller's own REQUIRES covers it: silent
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: the `if (!r.ok()) return;` early-exit idiom. The check sits in
+// the function's own block (only the return is nested), so it dominates
+// every later statement — st-status-value stays silent.
+
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Result<int> ParseRate(int raw);
+
+int EarlyExit(int raw) {
+  streamtune::Result<int> r = ParseRate(raw);
+  if (!r.ok()) {
+    return -1;
+  }
+  return r.value();  // dominated by the early exit above
+}
+
+}  // namespace fixture

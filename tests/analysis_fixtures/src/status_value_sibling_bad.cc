@@ -1,0 +1,20 @@
+// Fixture: the only ok() mention lives inside a closed sibling block —
+// control flow can reach the .value() without ever passing the check, so
+// st-status-value fires (block-structural dominance, not textual match).
+
+#include "common/status.h"
+
+namespace fixture {
+
+streamtune::Result<int> ParseTier(int raw);
+
+int SiblingChecked(int raw, bool verbose) {
+  streamtune::Result<int> r = ParseTier(raw);
+  if (verbose) {
+    bool checked = r.ok();  // buried in a block that may never run
+    (void)checked;
+  }
+  return r.value();  // st-status-value: not dominated
+}
+
+}  // namespace fixture

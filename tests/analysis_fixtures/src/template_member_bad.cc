@@ -1,0 +1,22 @@
+// Fixture: only the *out-of-line template member definition* is visible in
+// this corpus (the class declaration lives in a TU that is not analyzed).
+// Recognition of `Result<T> Registry<T>::Lookup(` must come from the
+// qualified definition itself.
+
+#include "common/status.h"
+
+namespace fixture {
+
+template <typename T>
+class Registry;
+
+template <typename T>
+streamtune::Result<int> Registry<T>::Lookup(int key) {
+  return streamtune::Result<int>(key);
+}
+
+void Probe(Registry<int>& reg) {
+  reg.Lookup(7);  // st-status-ignored: Result discarded
+}
+
+}  // namespace fixture

@@ -1,0 +1,138 @@
+// Tests for the cross-TU call graph: node and edge classification
+// (resolved / ambiguous / external), ambiguity detection for same-name
+// definitions, and SCC condensation order.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/call_graph.h"
+#include "analysis/project_index.h"
+#include "analysis/source_file.h"
+
+namespace streamtune::analysis {
+namespace {
+
+std::vector<FileFacts> FactsFor(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<FileFacts> facts;
+  for (const auto& [path, content] : files) {
+    facts.push_back(ExtractFileFacts(SourceFile::FromContent(path, content)));
+  }
+  return facts;
+}
+
+// Two files, ten definitions. "Dup" is a free function in two unrelated
+// stems and "Run" is a method of two different classes — both ambiguous.
+// Ping/Pong are mutually recursive. "External" is never defined here.
+std::vector<FileFacts> Corpus() {
+  return FactsFor({
+      {"src/a.cc",
+       "int Beta() { return 1; }\n"
+       "int Dup() { return 3; }\n"
+       "int Alpha() { return Beta() + Gamma() + External(); }\n"
+       "void Caller() { Run(); }\n"
+       "void Widget::Run() { Alpha(); }\n"},
+      {"src/b.cc",
+       "int Gamma() { return 2; }\n"
+       "int Dup() { return 4; }\n"
+       "int Ping(int n) { return n <= 0 ? 0 : Pong(n - 1); }\n"
+       "int Pong(int n) { return Ping(n - 1); }\n"
+       "void Gadget::Run() { Ping(3); }\n"},
+  });
+}
+
+TEST(CallGraphTest, NodeAndEdgeClassification) {
+  std::vector<FileFacts> facts = Corpus();
+  CallGraph graph = CallGraph::Build(facts);
+  const CallGraphStats& s = graph.stats();
+
+  EXPECT_EQ(s.functions, 10);
+  // Beta, Dup, Alpha, Caller, Run, Gamma, Ping, Pong.
+  EXPECT_EQ(s.nodes, 8);
+  EXPECT_EQ(s.ambiguous_nodes, 2);
+
+  // Alpha->Beta, Alpha->Gamma, Run->Alpha, Run->Ping, Ping->Pong,
+  // Pong->Ping. A caller being ambiguous does not taint its out-edges.
+  EXPECT_EQ(s.resolved_edges, 6);
+  EXPECT_EQ(s.ambiguous_edges, 1);  // Caller -> Run
+  EXPECT_EQ(s.external_edges, 1);   // Alpha -> External
+}
+
+TEST(CallGraphTest, AmbiguityByQualifierAndByStem) {
+  std::vector<FileFacts> facts = Corpus();
+  CallGraph graph = CallGraph::Build(facts);
+
+  int run = graph.NodeId("Run");
+  ASSERT_GE(run, 0);
+  EXPECT_TRUE(graph.nodes()[run].ambiguous);  // Widget:: vs Gadget::
+  EXPECT_EQ(graph.nodes()[run].defs.size(), 2u);
+
+  int dup = graph.NodeId("Dup");
+  ASSERT_GE(dup, 0);
+  EXPECT_TRUE(graph.nodes()[dup].ambiguous);  // free defs in stems a and b
+
+  int alpha = graph.NodeId("Alpha");
+  ASSERT_GE(alpha, 0);
+  EXPECT_FALSE(graph.nodes()[alpha].ambiguous);
+
+  EXPECT_EQ(graph.NodeId("External"), -1);
+  EXPECT_EQ(graph.NodeId("NoSuchFunction"), -1);
+}
+
+TEST(CallGraphTest, HeaderAndSourcePairStaysUnambiguous) {
+  // An inline definition in foo.h plus an overload in foo.cc share one
+  // stem: name-based resolution treats them as one function.
+  std::vector<FileFacts> facts = FactsFor({
+      {"src/foo.h", "inline int Twice(int x) { return 2 * x; }\n"},
+      {"src/foo.cc", "int Twice(long x) { return static_cast<int>(2 * x); }\n"},
+  });
+  CallGraph graph = CallGraph::Build(facts);
+  int id = graph.NodeId("Twice");
+  ASSERT_GE(id, 0);
+  EXPECT_FALSE(graph.nodes()[id].ambiguous);
+  EXPECT_EQ(graph.nodes()[id].defs.size(), 2u);
+  EXPECT_EQ(graph.stats().ambiguous_nodes, 0);
+}
+
+TEST(CallGraphTest, SccCondensationIsBottomUp) {
+  std::vector<FileFacts> facts = Corpus();
+  CallGraph graph = CallGraph::Build(facts);
+  const CallGraphStats& s = graph.stats();
+
+  // {Ping, Pong} collapse; everything else is a singleton.
+  EXPECT_EQ(s.scc_count, 7);
+  EXPECT_EQ(s.nontrivial_sccs, 1);
+
+  int ping = graph.NodeId("Ping");
+  int pong = graph.NodeId("Pong");
+  ASSERT_GE(ping, 0);
+  ASSERT_GE(pong, 0);
+  EXPECT_EQ(graph.nodes()[ping].scc, graph.nodes()[pong].scc);
+
+  const auto& members = graph.sccs()[graph.nodes()[ping].scc];
+  EXPECT_EQ(members.size(), 2u);
+
+  // Ascending scc id is a valid bottom-up propagation order: a callee's
+  // SCC is numbered no later than its caller's.
+  int alpha = graph.NodeId("Alpha");
+  int beta = graph.NodeId("Beta");
+  int gamma = graph.NodeId("Gamma");
+  EXPECT_LT(graph.nodes()[beta].scc, graph.nodes()[alpha].scc);
+  EXPECT_LT(graph.nodes()[gamma].scc, graph.nodes()[alpha].scc);
+  int run = graph.NodeId("Run");
+  EXPECT_LT(graph.nodes()[alpha].scc, graph.nodes()[run].scc);
+  EXPECT_LT(graph.nodes()[ping].scc, graph.nodes()[run].scc);
+}
+
+TEST(CallGraphTest, EmptyCorpus) {
+  std::vector<FileFacts> facts;
+  CallGraph graph = CallGraph::Build(facts);
+  EXPECT_EQ(graph.stats().nodes, 0);
+  EXPECT_EQ(graph.stats().scc_count, 0);
+  EXPECT_EQ(graph.NodeId("Anything"), -1);
+}
+
+}  // namespace
+}  // namespace streamtune::analysis

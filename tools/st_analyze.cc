@@ -1,21 +1,27 @@
-// st_analyze — the self-hosted invariant checker (DESIGN.md §10).
+// st_analyze — the self-hosted invariant checker (DESIGN.md §10, §15).
 //
 // Usage:
 //   st_analyze [--root=DIR] [--baseline=FILE] [--write-baseline=FILE]
-//              [--rule=st-name ...] [--list-rules] PATH...
+//              [--rule=st-name ...] [--cache=FILE] [--sarif=FILE]
+//              [--threads=N] [--stats] [--list-rules] PATH...
 //
 // PATHs are files or directories relative to --root (default: cwd).
 // Directories are walked recursively for *.h / *.cc, skipping
-// analysis_fixtures/ and build*/ trees. Exit codes: 0 = clean,
-// 1 = findings, 2 = usage or I/O error.
+// analysis_fixtures/ and build*/ trees. With --cache=FILE, per-file facts
+// and findings are reused across runs when file contents are unchanged.
+// Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/graph_rules.h"
 #include "analysis/rules.h"
+#include "analysis/sarif.h"
 
 namespace {
 
@@ -24,8 +30,37 @@ int Usage() {
       stderr,
       "usage: st_analyze [--root=DIR] [--baseline=FILE]\n"
       "                  [--write-baseline=FILE] [--rule=st-name ...]\n"
-      "                  [--list-rules] PATH...\n");
+      "                  [--cache=FILE] [--sarif=FILE] [--threads=N]\n"
+      "                  [--stats] [--list-rules] PATH...\n");
   return 2;
+}
+
+void PrintStats(const streamtune::analysis::AnalysisReport& r) {
+  const streamtune::analysis::GraphAnalysisStats& g = r.graph;
+  std::printf("-- st_analyze stats --\n");
+  std::printf("files: %d analyzed (%d re-tokenized, %d from cache)\n",
+              r.files_analyzed, r.files_retokenized, r.files_from_cache);
+  std::printf(
+      "call graph: %d functions, %d nodes (%d ambiguous), edges: %d "
+      "resolved / %d ambiguous / %d external\n",
+      g.call_graph.functions, g.call_graph.nodes, g.call_graph.ambiguous_nodes,
+      g.call_graph.resolved_edges, g.call_graph.ambiguous_edges,
+      g.call_graph.external_edges);
+  std::printf("sccs: %d (%d nontrivial)\n", g.call_graph.scc_count,
+              g.call_graph.nontrivial_sccs);
+  std::printf(
+      "interprocedural: %d tainted function(s), %d lock-order edge(s), "
+      "%d cycle(s)\n",
+      g.tainted_functions, g.lock_order_edges, g.lock_order_cycles);
+  std::printf("phases: scan %.1fms, rules %.1fms, graph %.1fms\n", r.scan_ms,
+              r.rules_ms, r.graph_ms);
+  std::map<std::string, int> per_rule;
+  for (const streamtune::analysis::Finding& f : r.findings) {
+    ++per_rule[f.rule];
+  }
+  for (const auto& [rule, count] : per_rule) {
+    std::printf("findings[%s]: %d\n", rule.c_str(), count);
+  }
 }
 
 }  // namespace
@@ -37,6 +72,8 @@ int main(int argc, char** argv) {
   AnalyzerOptions options;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string sarif_path;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -52,7 +89,12 @@ int main(int argc, char** argv) {
       for (const auto& rule : streamtune::analysis::BuildAllRules()) {
         std::printf("%s\n", rule->name());
       }
+      for (const std::string& name : streamtune::analysis::GraphRuleNames()) {
+        std::printf("%s\n", name.c_str());
+      }
       return 0;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (const char* v = value_of("--root")) {
       options.root = v;
     } else if (const char* v = value_of("--baseline")) {
@@ -61,6 +103,12 @@ int main(int argc, char** argv) {
       write_baseline_path = v;
     } else if (const char* v = value_of("--rule")) {
       options.enabled_rules.insert(v);
+    } else if (const char* v = value_of("--cache")) {
+      options.cache_path = v;
+    } else if (const char* v = value_of("--sarif")) {
+      sarif_path = v;
+    } else if (const char* v = value_of("--threads")) {
+      options.threads = std::atoi(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -87,6 +135,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!sarif_path.empty()) {
+    auto st = streamtune::analysis::WriteSarif(sarif_path, report->findings);
+    if (!st.ok()) {
+      std::fprintf(stderr, "st_analyze: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
   if (!write_baseline_path.empty()) {
     auto st = streamtune::analysis::WriteBaseline(write_baseline_path,
                                                  report->findings);
@@ -107,5 +163,6 @@ int main(int argc, char** argv) {
       "%d baselined\n",
       report->files_analyzed, report->findings.size(),
       report->suppressed_nolint, report->suppressed_baseline);
+  if (stats) PrintStats(*report);
   return report->findings.empty() ? 0 : 1;
 }
